@@ -1,0 +1,77 @@
+(* abclc: run a program written in the ABCL-like surface language on the
+   simulated multicomputer.
+
+     dune exec bin/abclc.exe -- examples/abcl/counter.abcl
+     dune exec bin/abclc.exe -- examples/abcl/queens.abcl -p 64 --stats *)
+
+open Cmdliner
+
+let run file nodes naive placement seed stats =
+  let source =
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let rt_config =
+    {
+      (if naive then Core.System.naive_rt_config
+       else Core.System.default_rt_config)
+      with
+      Core.Kernel.placement;
+    }
+  in
+  let machine_config = { Machine.Engine.default_config with Machine.Engine.seed } in
+  match Lang.Compile.run_source ~machine_config ~rt_config ~nodes source with
+  | output, sys ->
+      print_string output;
+      Format.printf "--- %d nodes, elapsed %a, utilization %.0f%%@." nodes
+        Simcore.Time.pp (Core.System.elapsed sys)
+        (100. *. Core.System.utilization sys);
+      if stats then
+        Format.printf "%a@." Simcore.Stats.pp (Core.System.stats sys);
+      (match Core.Diagnostics.survey sys with
+      | r when Core.Diagnostics.is_clean r -> ()
+      | r -> Format.printf "warning — %a@." Core.Diagnostics.pp r);
+      0
+  | exception Lang.Lexer.Error { line; message } ->
+      Format.eprintf "%s:%d: lexical error: %s@." file line message;
+      1
+  | exception Lang.Parser.Error { line; message } ->
+      Format.eprintf "%s:%d: syntax error: %s@." file line message;
+      1
+  | exception Lang.Compile.Script_error message ->
+      Format.eprintf "%s: %s@." file message;
+      1
+
+let placement_conv =
+  Arg.enum
+    [
+      ("round-robin", Core.Kernel.Round_robin);
+      ("neighbor", Core.Kernel.Neighbor_round_robin);
+      ("random", Core.Kernel.Random_node);
+      ("self", Core.Kernel.Self_node);
+    ]
+
+let () =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.abcl")
+  in
+  let nodes =
+    Arg.(value & opt int 4 & info [ "p"; "nodes" ] ~docv:"P" ~doc:"Processor count.")
+  in
+  let naive = Arg.(value & flag & info [ "naive" ] ~doc:"Naive scheduler baseline.") in
+  let placement =
+    Arg.(
+      value
+      & opt placement_conv Core.Kernel.Round_robin
+      & info [ "placement" ] ~docv:"POLICY" ~doc:"Remote-creation placement.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump statistics.") in
+  let term = Term.(const run $ file $ nodes $ naive $ placement $ seed $ stats) in
+  let info =
+    Cmd.info "abclc" ~version:"1.0.0"
+      ~doc:"Run an ABCL-like script on the simulated multicomputer."
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,100 @@
+(* A bank account with selective message reception: a withdrawal that
+   exceeds the balance makes the account wait — in ABCL's waiting mode —
+   for further deposits, buffering everything else until it can proceed.
+
+     dune exec examples/bank.exe *)
+
+open Core
+
+let p_deposit = Pattern.intern "deposit" ~arity:1
+let p_withdraw = Pattern.intern "withdraw" ~arity:1
+let p_balance = Pattern.intern "balance" ~arity:0
+let p_run_teller = Pattern.intern "run_teller" ~arity:1
+
+let account_cls =
+  Class_def.define ~name:"account" ~state:[| "balance" |]
+    ~init:(fun _ -> [| Value.int 0 |])
+    ~methods:
+      [
+        ( p_deposit,
+          fun ctx msg ->
+            let amount = Value.to_int (Message.arg msg 0) in
+            Ctx.set ctx 0 (Value.int (Value.to_int (Ctx.get ctx 0) + amount));
+            Format.printf "  account: +%d (balance %d)@." amount
+              (Value.to_int (Ctx.get ctx 0)) );
+        ( p_withdraw,
+          fun ctx msg ->
+            let amount = Value.to_int (Message.arg msg 0) in
+            (* Selective reception: while the balance is short, accept
+               only deposits; other requests stay buffered. *)
+            let rec ensure () =
+              let balance = Value.to_int (Ctx.get ctx 0) in
+              if balance < amount then begin
+                Format.printf
+                  "  account: withdrawal of %d waits (balance %d)@." amount
+                  balance;
+                let m = Ctx.wait_for ctx [ p_deposit ] in
+                let got = Value.to_int (Message.arg m 0) in
+                Ctx.set ctx 0 (Value.int (balance + got));
+                Format.printf "  account: +%d while waiting (balance %d)@."
+                  got
+                  (Value.to_int (Ctx.get ctx 0));
+                ensure ()
+              end
+            in
+            ensure ();
+            Ctx.set ctx 0 (Value.int (Value.to_int (Ctx.get ctx 0) - amount));
+            Format.printf "  account: -%d (balance %d)@." amount
+              (Value.to_int (Ctx.get ctx 0));
+            Ctx.reply ctx msg (Value.int amount) );
+        (p_balance, fun ctx msg -> Ctx.reply ctx msg (Ctx.get ctx 0));
+      ]
+    ()
+
+(* The teller issues a withdrawal that must wait for funds arriving from
+   a payroll object on another node. *)
+let teller_cls =
+  Class_def.define ~name:"teller"
+    ~methods:
+      [
+        ( p_run_teller,
+          fun ctx msg ->
+            let account = Value.to_addr (Message.arg msg 0) in
+            Format.printf "teller: withdrawing 100...@.";
+            let got = Ctx.send_now ctx account p_withdraw [ Value.int 100 ] in
+            Format.printf "teller: received %a@." Value.pp got;
+            let balance = Ctx.send_now ctx account p_balance [] in
+            Format.printf "teller: final balance %a@." Value.pp balance );
+      ]
+    ()
+
+let p_payday = Pattern.intern "payday" ~arity:1
+
+let payroll_cls =
+  Class_def.define ~name:"payroll"
+    ~methods:
+      [
+        ( p_payday,
+          fun ctx msg ->
+            let account = Value.to_addr (Message.arg msg 0) in
+            List.iter
+              (fun amount -> Ctx.send ctx account p_deposit [ Value.int amount ])
+              [ 30; 30; 50 ] );
+      ]
+    ()
+
+let () =
+  let sys =
+    System.boot ~nodes:3 ~classes:[ account_cls; teller_cls; payroll_cls ] ()
+  in
+  let account = System.create_root sys ~node:0 account_cls [] in
+  let teller = System.create_root sys ~node:1 teller_cls [] in
+  let payroll = System.create_root sys ~node:2 payroll_cls [] in
+  System.send_boot sys teller p_run_teller [ Value.addr account ];
+  System.send_boot sys payroll p_payday [ Value.addr account ];
+  System.run sys;
+  let st = System.stats sys in
+  Format.printf "waiting-mode blocks: %d, buffered while waiting: %d@."
+    (Simcore.Stats.get st "wait.blocked")
+    (Simcore.Stats.get st "recv.remote.active"
+    + Simcore.Stats.get st "send.local.active")

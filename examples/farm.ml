@@ -1,0 +1,75 @@
+(* Task farm with future-type messages: the master sends one request per
+   worker up front (all round trips overlap), then touches the futures in
+   turn — ABCL's third transmission mode, built on the same reply
+   destination objects as now-type sends.
+
+     dune exec examples/farm.exe -- [tasks] [nodes]       (default 12 4) *)
+
+open Core
+
+let p_count_primes = Pattern.intern "count_primes" ~arity:2
+let p_farm = Pattern.intern "farm" ~arity:1
+
+let is_prime k =
+  if k < 2 then false
+  else
+    let rec check d = d * d > k || (k mod d <> 0 && check (d + 1)) in
+    check 2
+
+let worker_cls =
+  Class_def.define ~name:"prime_worker"
+    ~methods:
+      [
+        ( p_count_primes,
+          fun ctx msg ->
+            let lo = Value.to_int (Message.arg msg 0) in
+            let hi = Value.to_int (Message.arg msg 1) in
+            let count = ref 0 in
+            for k = lo to hi - 1 do
+              (* model ~sqrt(k) division cost per candidate *)
+              Ctx.charge ctx (4 * int_of_float (sqrt (float_of_int (max k 4))));
+              if is_prime k then incr count
+            done;
+            Ctx.reply ctx msg (Value.int !count) );
+      ]
+    ()
+
+let master_cls =
+  Class_def.define ~name:"farm_master"
+    ~methods:
+      [
+        ( p_farm,
+          fun ctx msg ->
+            let tasks = Value.to_int (Message.arg msg 0) in
+            let span = 2_000 in
+            (* One worker per task, spread by the placement policy. *)
+            let futures =
+              List.init tasks (fun i ->
+                  let w = Ctx.create_remote ctx worker_cls [] in
+                  Ctx.send_future ctx w p_count_primes
+                    [ Value.int (i * span); Value.int ((i + 1) * span) ])
+            in
+            let total =
+              List.fold_left
+                (fun acc f -> acc + Value.to_int (Ctx.touch ctx f))
+                0 futures
+            in
+            Format.printf "primes below %d: %d@." (tasks * span) total );
+      ]
+    ()
+
+let () =
+  let tasks = try int_of_string Sys.argv.(1) with _ -> 12 in
+  let nodes = try int_of_string Sys.argv.(2) with _ -> 4 in
+  let sys = System.boot ~nodes ~classes:[ worker_cls; master_cls ] () in
+  let master = System.create_root sys ~node:0 master_cls [] in
+  System.send_boot sys master p_farm [ Value.int tasks ];
+  System.run sys;
+  let st = System.stats sys in
+  Format.printf
+    "elapsed %a on %d nodes (utilization %.0f%%); %d touches blocked, %d were \
+     already resolved@."
+    Simcore.Time.pp (System.elapsed sys) nodes
+    (100. *. System.utilization sys)
+    (Simcore.Stats.get st "reply.blocked")
+    (Simcore.Stats.get st "reply.immediate")

@@ -1,0 +1,15 @@
+(* Fork-join Fibonacci: each internal object spawns two children and
+   selectively waits for their [result] messages, exercising waiting
+   mode, context save/restore and stack unwinding at scale.
+
+     dune exec examples/fib.exe -- [n] [nodes]            (default 15 16) *)
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 15 in
+  let nodes = try int_of_string Sys.argv.(2) with _ -> 16 in
+  let r = Apps.Fib.run ~nodes ~n () in
+  Format.printf "fib(%d) = %d@." n r.Apps.Fib.value;
+  Format.printf "objects created:       %d@." r.objects_created;
+  Format.printf "blocking receptions:   %d@." r.blocked_waits;
+  Format.printf "virtual elapsed:       %a on %d nodes@." Simcore.Time.pp
+    r.elapsed nodes

@@ -1,0 +1,25 @@
+(* The paper's large-scale benchmark as an application: exhaustive
+   N-queens search with one concurrent object per valid partial
+   placement, ack messages tracing back the search tree.
+
+     dune exec examples/nqueens.exe -- [N] [nodes]        (default 10 64) *)
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 10 in
+  let nodes = try int_of_string Sys.argv.(2) with _ -> 64 in
+  Format.printf "solving %d-queens on a %d-node machine...@." n nodes;
+  let seq = Apps.Nqueens_seq.solve ~n in
+  let seq_time = Apps.Nqueens_seq.modeled_time Machine.Cost_model.default seq in
+  let r = Apps.Nqueens_par.run ~nodes ~n () in
+  Format.printf "solutions:        %d (sequential agrees: %b)@."
+    r.Apps.Nqueens_par.solutions
+    (seq.Apps.Nqueens_seq.solutions = r.solutions);
+  Format.printf "objects created:  %d@." r.objects_created;
+  Format.printf "messages:         %d@." r.messages;
+  Format.printf "parallel elapsed: %a@." Simcore.Time.pp r.elapsed;
+  Format.printf "sequential time:  %a (modeled, same work model)@."
+    Simcore.Time.pp seq_time;
+  Format.printf "speedup:          %.1fx on %d nodes (%.0f%% utilization)@."
+    (float_of_int seq_time /. float_of_int r.elapsed)
+    nodes (100. *. r.utilization);
+  Format.printf "heap used:        %d KB@." (r.heap_words * 4 / 1024)

@@ -1,0 +1,14 @@
+(* Prime sieve over a dynamically growing pipeline of filter objects:
+   one object per prime, placed across the machine by the placement
+   policy; candidates stream through the chain.
+
+     dune exec examples/sieve.exe -- [limit] [nodes]      (default 500 8) *)
+
+let () =
+  let limit = try int_of_string Sys.argv.(1) with _ -> 500 in
+  let nodes = try int_of_string Sys.argv.(2) with _ -> 8 in
+  let r = Apps.Sieve.run ~nodes ~limit () in
+  Format.printf "primes <= %d: %d (largest %d)@." limit r.Apps.Sieve.primes
+    r.largest;
+  Format.printf "filter objects: %d, elapsed %a on %d nodes (%.0f%% util)@."
+    r.filters_created Simcore.Time.pp r.elapsed nodes (100. *. r.utilization)

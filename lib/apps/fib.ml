@@ -1,0 +1,73 @@
+open Core
+
+type result = {
+  n : int;
+  value : int;
+  objects_created : int;
+  elapsed : Simcore.Time.t;
+  blocked_waits : int;
+}
+
+let p_compute = Pattern.intern "compute" ~arity:2
+let p_result = Pattern.intern "result" ~arity:1
+let p_collect = Pattern.intern "collect" ~arity:1
+
+let fib_cls () =
+  let cls_ref = ref None in
+  let compute ctx msg =
+    let n = Value.to_int (Message.arg msg 0) in
+    let collector = Value.to_addr (Message.arg msg 1) in
+    Ctx.charge ctx 20;
+    if n < 2 then Ctx.send ctx collector p_result [ Value.int 1 ]
+    else begin
+      let cls = Option.get !cls_ref in
+      let self = Value.addr (Ctx.self ctx) in
+      let c1 = Ctx.create_remote ctx cls [] in
+      let c2 = Ctx.create_remote ctx cls [] in
+      Ctx.send ctx c1 p_compute [ Value.int (n - 1); self ];
+      Ctx.send ctx c2 p_compute [ Value.int (n - 2); self ];
+      let m1 = Ctx.wait_for ctx [ p_result ] in
+      let m2 = Ctx.wait_for ctx [ p_result ] in
+      let total =
+        Value.to_int (Message.arg m1 0) + Value.to_int (Message.arg m2 0)
+      in
+      Ctx.send ctx collector p_result [ Value.int total ];
+      Ctx.retire ctx
+    end
+  in
+  let cls =
+    Class_def.define ~name:"fib" ~methods:[ (p_compute, compute) ] ()
+  in
+  cls_ref := Some cls;
+  cls
+
+let collector_cls () =
+  Class_def.define ~name:"fib_collector" ~state:[| "value" |]
+    ~init:(fun _ -> [| Value.int (-1) |])
+    ~methods:
+      [
+        ( p_result,
+          fun ctx msg -> Ctx.set ctx 0 (Message.arg msg 0) );
+        ( p_collect, fun _ctx _msg -> () );
+      ]
+    ()
+
+let run ?machine_config ?rt_config ~nodes ~n () =
+  let fib = fib_cls () and collector = collector_cls () in
+  let sys =
+    System.boot ?machine_config ?rt_config ~nodes ~classes:[ fib; collector ]
+      ()
+  in
+  let sink = System.create_root sys ~node:0 collector [] in
+  let root = System.create_root sys ~node:0 fib [] in
+  System.send_boot sys root p_compute [ Value.int n; Value.addr sink ];
+  System.run sys;
+  let sink_obj = Option.get (System.lookup_obj sys sink) in
+  let stats = System.stats sys in
+  {
+    n;
+    value = Value.to_int sink_obj.Kernel.state.(0);
+    objects_created = Nqueens_par.creation_count stats;
+    elapsed = System.elapsed sys;
+    blocked_waits = Simcore.Stats.get stats "wait.blocked";
+  }

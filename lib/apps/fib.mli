@@ -1,0 +1,23 @@
+(** Fork-join Fibonacci over concurrent objects.
+
+    Exercises the blocking machinery the N-queens benchmark avoids: each
+    internal node spawns two children, sends them past-type requests with
+    itself as collector, and then {e selectively waits} for the two
+    [result] messages (Section 2.2's waiting mode), so contexts are
+    saved and restored across the whole tree. *)
+
+type result = {
+  n : int;
+  value : int;  (** fib(n), with fib(0) = fib(1) = 1 *)
+  objects_created : int;
+  elapsed : Simcore.Time.t;
+  blocked_waits : int;  (** selective receptions that actually blocked *)
+}
+
+val run :
+  ?machine_config:Machine.Engine.config ->
+  ?rt_config:Core.Kernel.rt_config ->
+  nodes:int ->
+  n:int ->
+  unit ->
+  result

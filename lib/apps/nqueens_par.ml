@@ -1,0 +1,148 @@
+open Core
+
+type result = {
+  n : int;
+  nodes : int;
+  solutions : int;
+  objects_created : int;
+  messages : int;
+  elapsed : Simcore.Time.t;
+  utilization : float;
+  heap_words : int;
+  local_dormant_fraction : float;
+  local_fraction : float;
+}
+
+(* State layout of a solver object. *)
+let s_n = 0
+let s_board = 1
+let s_parent = 2
+let s_pending = 3
+let s_acc = 4
+
+let p_expand = Pattern.intern "expand" ~arity:0
+let p_done = Pattern.intern "done" ~arity:1
+
+let send_ack ctx parent total =
+  match parent with
+  | Value.Addr p ->
+      Ctx.send ctx p p_done [ Value.int total ];
+      Ctx.retire ctx
+  | _ ->
+      (* The root keeps the grand total for the driver to read. *)
+      Ctx.set ctx s_acc (Value.int total);
+      Ctx.bump ctx "queens.root_done"
+
+let expand_impl cls_ref ctx _msg =
+  let n = Value.to_int (Ctx.get ctx s_n) in
+  let packed = Value.to_int (Ctx.get ctx s_board) in
+  let placed = Queens_board.packed_count packed in
+  if placed = n then begin
+    Ctx.charge ctx Queens_board.leaf_instr;
+    send_ack ctx (Ctx.get ctx s_parent) 1
+  end
+  else begin
+    let children = Queens_board.safe_cols_packed ~n ~packed in
+    let k = List.length children in
+    Ctx.charge ctx (Queens_board.expand_instr ~n ~placed ~children:k);
+    if k = 0 then send_ack ctx (Ctx.get ctx s_parent) 0
+    else begin
+      Services.Termination.begin_wait ctx ~pending_slot:s_pending
+        ~acc_slot:s_acc ~expected:k;
+      let cls = Option.get !cls_ref in
+      let self = Value.addr (Ctx.self ctx) in
+      List.iter
+        (fun col ->
+          let child =
+            Ctx.create_remote ctx cls
+              [
+                Value.int n;
+                Value.int (Queens_board.pack_push ~packed ~col);
+                self;
+              ]
+          in
+          Ctx.send ctx child p_expand [])
+        children
+    end
+  end
+
+let done_impl ctx msg =
+  let count = Value.to_int (Message.arg msg 0) in
+  match
+    Services.Termination.record_ack ctx ~pending_slot:s_pending ~acc_slot:s_acc
+      ~count
+  with
+  | Some total -> send_ack ctx (Ctx.get ctx s_parent) total
+  | None -> ()
+
+let solver_cls () =
+  let cls_ref = ref None in
+  let cls =
+    Class_def.define ~name:"qsolver"
+      ~state:[| "n"; "board"; "parent"; "pending"; "acc" |]
+      ~init:(fun args ->
+        match args with
+        | [ n; board; parent ] ->
+            [| n; board; parent; Value.int 0; Value.int 0 |]
+        | _ -> invalid_arg "qsolver: bad constructor arguments")
+      ~methods:
+        [ (p_expand, expand_impl cls_ref); (p_done, done_impl) ]
+      ()
+  in
+  cls_ref := Some cls;
+  cls
+
+let message_count stats =
+  let get = Simcore.Stats.get stats in
+  get "send.local.dormant" + get "send.local.active" + get "send.local.fault"
+  + get "send.local.restore" + get "send.local.inlined"
+  + get "send.local.naive_buffered" + get "send.local.depth_limited"
+  + get "send.remote"
+
+let creation_count stats =
+  let get = Simcore.Stats.get stats in
+  get "create.local" + get "create.remote"
+
+let run ?machine_config ?rt_config ~nodes ~n () =
+  let cls = solver_cls () in
+  let sys = System.boot ?machine_config ?rt_config ~nodes ~classes:[ cls ] () in
+  if n > Queens_board.max_packed_n then
+    invalid_arg "Nqueens_par.run: n exceeds the packed board range";
+  let root =
+    System.create_root sys ~node:0 cls
+      [ Value.int n; Value.int Queens_board.empty_packed; Value.unit ]
+  in
+  System.send_boot sys root p_expand [];
+  System.run sys;
+  let root_obj =
+    match System.lookup_obj sys root with
+    | Some o -> o
+    | None -> failwith "Nqueens_par: root object disappeared"
+  in
+  let solutions = Value.to_int root_obj.Kernel.state.(s_acc) in
+  let stats = System.stats sys in
+  let get = Simcore.Stats.get stats in
+  let local_dormant = get "send.local.dormant" + get "send.local.inlined" in
+  let local_total =
+    local_dormant + get "send.local.active" + get "send.local.fault"
+    + get "send.local.restore" + get "send.local.naive_buffered"
+    + get "send.local.depth_limited"
+  in
+  {
+    n;
+    nodes;
+    solutions;
+    (* The root itself plus every spawned solver; reply destinations are
+       not created by this program. *)
+    objects_created = creation_count stats;
+    messages = message_count stats;
+    elapsed = System.elapsed sys;
+    utilization = System.utilization sys;
+    heap_words = System.total_heap_words sys;
+    local_dormant_fraction =
+      (if local_total = 0 then 0.
+       else float_of_int local_dormant /. float_of_int local_total);
+    local_fraction =
+      (let all = local_total + get "send.remote" in
+       if all = 0 then 0. else float_of_int local_total /. float_of_int all);
+  }

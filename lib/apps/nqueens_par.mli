@@ -1,0 +1,43 @@
+(** The paper's large-scale benchmark (Section 6.2): exhaustive N-queens
+    search with one concurrent object per valid partial placement.
+
+    Each solver object, on receiving [expand], tests every column of the
+    next row, creates a child object per safe placement (placed by the
+    configured policy) and sends it [expand]; acknowledgement messages
+    carrying solution counts trace back the search tree for termination
+    detection, combined with {!Services.Termination}. Finished solvers
+    retire so memory tracks the search frontier. *)
+
+type result = {
+  n : int;
+  nodes : int;  (** processors used *)
+  solutions : int;
+  objects_created : int;
+  messages : int;
+  elapsed : Simcore.Time.t;
+  utilization : float;
+  heap_words : int;
+  local_dormant_fraction : float;
+      (** fraction of intra-node messages that found a dormant receiver
+          (the paper reports ~75% for these programs) *)
+  local_fraction : float;
+      (** fraction of all object messages that stayed intra-node *)
+}
+
+val solver_cls : unit -> Core.Kernel.cls
+(** A fresh solver class (statistics and tables are per-class). *)
+
+val run :
+  ?machine_config:Machine.Engine.config ->
+  ?rt_config:Core.Kernel.rt_config ->
+  nodes:int ->
+  n:int ->
+  unit ->
+  result
+(** Boots a [nodes]-processor system, solves the [n]-queens problem and
+    reports the paper's Table 4 columns. *)
+
+val message_count : Simcore.Stats.t -> int
+(** Total object-to-object message sends recorded in a run's stats. *)
+
+val creation_count : Simcore.Stats.t -> int

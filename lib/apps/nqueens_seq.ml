@@ -1,0 +1,29 @@
+type result = { n : int; solutions : int; nodes : int; instr : int }
+
+let solve ~n =
+  if n < 1 then invalid_arg "Nqueens_seq.solve: n must be >= 1";
+  let solutions = ref 0 and nodes = ref 0 and instr = ref 0 in
+  (* [cols]: placement so far, most recent first. Each call expands one
+     tree node, exactly like one [expand] method of the parallel
+     version. *)
+  let rec expand cols placed =
+    if placed = n then begin
+      incr solutions;
+      instr := !instr + Queens_board.leaf_instr
+    end
+    else begin
+      let children = Queens_board.safe_cols ~n ~cols in
+      let k = List.length children in
+      instr := !instr + Queens_board.expand_instr ~n ~placed ~children:k;
+      List.iter
+        (fun col ->
+          incr nodes;
+          instr := !instr + Queens_board.seq_call_instr;
+          expand (col :: cols) (placed + 1))
+        children
+    end
+  in
+  expand [] 0;
+  { n; solutions = !solutions; nodes = !nodes; instr = !instr }
+
+let modeled_time cost r = Machine.Cost_model.time cost r.instr

@@ -1,0 +1,17 @@
+(** Sequential N-queens: the paper's baseline (Table 4, Figure 5).
+
+    A plain depth-first search using the run-time stack, as the authors'
+    C++ version does; its execution time is modelled with the same
+    instruction charges as the parallel version's method bodies, so that
+    speedups compare like against like. *)
+
+type result = {
+  n : int;
+  solutions : int;
+  nodes : int;  (** search-tree nodes below the root == valid placements *)
+  instr : int;  (** total modelled instructions *)
+}
+
+val solve : n:int -> result
+
+val modeled_time : Machine.Cost_model.t -> result -> Simcore.Time.t

@@ -1,0 +1,68 @@
+let safe ~cols ~col =
+  let rec check d = function
+    | [] -> true
+    | c :: rest -> c <> col && abs (c - col) <> d && check (d + 1) rest
+  in
+  check 1 cols
+
+let safe_cols ~n ~cols =
+  let rec collect col acc =
+    if col < 0 then acc
+    else collect (col - 1) (if safe ~cols ~col then col :: acc else acc)
+  in
+  collect (n - 1) []
+
+let max_packed_n = 14
+let empty_packed = 0
+let packed_count packed = packed land 0xF
+
+let pack_push ~packed ~col =
+  let count = packed_count packed in
+  if count >= max_packed_n || col < 0 || col > 0xF then
+    invalid_arg "Queens_board.pack_push: out of packed range";
+  (* Shift existing columns up one nibble; new column sits just above the
+     count nibble (most recent first). *)
+  let cols = packed lsr 4 in
+  (((cols lsl 4) lor col) lsl 4) lor (count + 1)
+
+let pack cols =
+  List.fold_left
+    (fun packed col -> pack_push ~packed ~col)
+    empty_packed (List.rev cols)
+
+let unpack packed =
+  let count = packed_count packed in
+  let rec collect i cols acc =
+    if i = count then List.rev acc
+    else collect (i + 1) (cols lsr 4) ((cols land 0xF) :: acc)
+  in
+  collect 0 (packed lsr 4) []
+
+let safe_packed ~packed ~col =
+  let count = packed_count packed in
+  let rec check d cols =
+    if d > count then true
+    else
+      let c = cols land 0xF in
+      c <> col && abs (c - col) <> d && check (d + 1) (cols lsr 4)
+  in
+  check 1 (packed lsr 4)
+
+let safe_cols_packed ~n ~packed =
+  let rec collect col acc =
+    if col < 0 then acc
+    else
+      collect (col - 1) (if safe_packed ~packed ~col then col :: acc else acc)
+  in
+  collect (n - 1) []
+
+let candidate_instr ~placed = 4 + (10 * placed)
+let child_copy_instr ~placed = 12 + (3 * placed)
+let expand_base_instr = 12
+let leaf_instr = 6
+let seq_call_instr = 12
+
+let expand_instr ~n ~placed ~children =
+  expand_base_instr
+  + (n * candidate_instr ~placed)
+  + (children * child_copy_instr ~placed)

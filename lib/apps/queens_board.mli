@@ -1,0 +1,62 @@
+(** Board logic and work model shared by the sequential and parallel
+    N-queens programs, so both sides of the speedup ratio charge the
+    same per-placement computation (see DESIGN.md, Figure 5 entry).
+
+    A partial placement is a list of column indices, most recent row
+    first. *)
+
+val safe : cols:int list -> col:int -> bool
+(** Can a queen go in [col] on the next row? *)
+
+val safe_cols : n:int -> cols:int list -> int list
+(** All safe columns for the next row, ascending. *)
+
+(** {2 Packed boards}
+
+    For large runs the parallel program ships boards as a single integer
+    (4 bits per column, placement count in the low nibble), keeping
+    message payloads one word as on the real machine. Valid for
+    [n <= 14]. *)
+
+val max_packed_n : int
+
+val empty_packed : int
+
+val pack : int list -> int
+(** Packs a most-recent-first placement list. *)
+
+val unpack : int -> int list
+
+val packed_count : int -> int
+
+val pack_push : packed:int -> col:int -> int
+
+val safe_packed : packed:int -> col:int -> bool
+
+val safe_cols_packed : n:int -> packed:int -> int list
+
+(** {2 Instruction-count work model}
+
+    Derived from what the sequential C++ code does per step: testing one
+    candidate scans the placed queens (column and two diagonals), and
+    spawning/descending copies the board. *)
+
+val candidate_instr : placed:int -> int
+(** Cost of testing one candidate column against [placed] queens. *)
+
+val child_copy_instr : placed:int -> int
+(** Cost of materialising a child board of [placed + 1] queens. *)
+
+val expand_base_instr : int
+(** Fixed per-expansion bookkeeping. *)
+
+val leaf_instr : int
+(** Cost of recording one complete solution. *)
+
+val seq_call_instr : int
+(** Sequential version: function call/return per tree edge (the parallel
+    version pays message passing instead). *)
+
+val expand_instr : n:int -> placed:int -> children:int -> int
+(** Total modelled cost of expanding one internal node (without the
+    per-edge descent cost): base + all candidate tests + child copies. *)

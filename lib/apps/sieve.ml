@@ -1,0 +1,103 @@
+open Core
+
+type result = {
+  limit : int;
+  primes : int;
+  largest : int;
+  filters_created : int;
+  elapsed : Simcore.Time.t;
+  utilization : float;
+}
+
+let p_candidate = Pattern.intern "sv_candidate" ~arity:1
+let p_start = Pattern.intern "sv_start" ~arity:1
+let p_found = Pattern.intern "sv_found" ~arity:1
+
+(* filter state: its prime, the next filter (Unit until one exists), and
+   the collector to report new primes to. *)
+let s_prime = 0
+let s_next = 1
+let s_collector = 2
+
+let filter_cls () =
+  let cls_ref = ref None in
+  let candidate_impl ctx msg =
+    let n = Value.to_int (Message.arg msg 0) in
+    let prime = Value.to_int (Ctx.get ctx s_prime) in
+    Ctx.charge ctx 6;
+    if n mod prime <> 0 then
+      match Ctx.get ctx s_next with
+      | Value.Addr next -> Ctx.send ctx next p_candidate [ Value.int n ]
+      | _ ->
+          (* n survived every filter: it is prime; grow the chain. *)
+          let collector = Ctx.get ctx s_collector in
+          let next =
+            Ctx.create_remote ctx (Option.get !cls_ref)
+              [ Value.int n; Value.unit; collector ]
+          in
+          Ctx.set ctx s_next (Value.addr next);
+          Ctx.send ctx (Value.to_addr collector) p_found [ Value.int n ]
+  in
+  let cls =
+    Class_def.define ~name:"sv_filter"
+      ~state:[| "prime"; "next"; "collector" |]
+      ~init:(fun args ->
+        match args with
+        | [ prime; next; collector ] -> [| prime; next; collector |]
+        | _ -> invalid_arg "sv_filter: bad constructor arguments")
+      ~methods:[ (p_candidate, candidate_impl) ]
+      ()
+  in
+  cls_ref := Some cls;
+  cls
+
+(* collector state: prime count, largest prime seen. *)
+let collector_cls filter =
+  Class_def.define ~name:"sv_collector" ~state:[| "count"; "largest" |]
+    ~init:(fun _ -> [| Value.int 0; Value.int 0 |])
+    ~methods:
+      [
+        ( p_start,
+          fun ctx msg ->
+            let limit = Value.to_int (Message.arg msg 0) in
+            let first =
+              Ctx.create_remote ctx filter
+                [ Value.int 2; Value.unit; Value.addr (Ctx.self ctx) ]
+            in
+            Ctx.set ctx 0 (Value.int 1);
+            Ctx.set ctx 1 (Value.int 2);
+            for n = 3 to limit do
+              Ctx.charge ctx 2;
+              Ctx.send ctx first p_candidate [ Value.int n ]
+            done );
+        ( p_found,
+          fun ctx msg ->
+            let p = Value.to_int (Message.arg msg 0) in
+            Ctx.set ctx 0 (Value.int (Value.to_int (Ctx.get ctx 0) + 1));
+            Ctx.set ctx 1 (Value.int (max p (Value.to_int (Ctx.get ctx 1)))) );
+      ]
+    ()
+
+let run ?machine_config ?rt_config ~nodes ~limit () =
+  if limit < 2 then invalid_arg "Sieve.run: limit must be >= 2";
+  let filter = filter_cls () in
+  let collector = collector_cls filter in
+  let sys =
+    System.boot ?machine_config ?rt_config ~nodes
+      ~classes:[ filter; collector ] ()
+  in
+  let c = System.create_root sys ~node:0 collector [] in
+  System.send_boot sys c p_start [ Value.int limit ];
+  System.run sys;
+  let c_obj = Option.get (System.lookup_obj sys c) in
+  let stats = System.stats sys in
+  {
+    limit;
+    primes = Value.to_int c_obj.Kernel.state.(0);
+    largest = Value.to_int c_obj.Kernel.state.(1);
+    filters_created =
+      Simcore.Stats.get stats "create.remote"
+      + Simcore.Stats.get stats "create.local";
+    elapsed = System.elapsed sys;
+    utilization = System.utilization sys;
+  }

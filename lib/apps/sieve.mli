@@ -1,0 +1,23 @@
+(** A dynamically growing prime-sieve pipeline — the classic concurrent
+    object workload: a generator streams candidates into a chain of
+    filter objects, one per prime discovered; each filter forwards
+    non-multiples; whatever survives the whole chain creates a new
+    filter at the tail. Exercises long message chains, dynamic topology
+    and placement (each new filter is placed by the configured policy). *)
+
+type result = {
+  limit : int;
+  primes : int;  (** count of primes <= limit *)
+  largest : int;
+  filters_created : int;
+  elapsed : Simcore.Time.t;
+  utilization : float;
+}
+
+val run :
+  ?machine_config:Machine.Engine.config ->
+  ?rt_config:Core.Kernel.rt_config ->
+  nodes:int ->
+  limit:int ->
+  unit ->
+  result

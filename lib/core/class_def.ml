@@ -1,0 +1,36 @@
+let next_id = ref 0
+
+let define ~name ?(state = [||]) ?init ~methods () : Kernel.cls =
+  let id = !next_id in
+  incr next_id;
+  let default_init _args = Array.map (fun _ -> Value.unit) state in
+  let cls_init = Option.value init ~default:default_init in
+  (* Reject duplicate patterns early: the VFT could only hold one. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (p, _) ->
+      if Hashtbl.mem seen p then
+        invalid_arg
+          (Printf.sprintf "Class_def.define %s: duplicate method %s" name
+             (Pattern.name p));
+      Hashtbl.add seen p ())
+    methods;
+  {
+    Kernel.cls_id = id;
+    cls_name = name;
+    state_names = state;
+    cls_init;
+    methods;
+    tbl_dormant = None;
+    tbl_init = None;
+    waiting_cache = Hashtbl.create 4;
+  }
+
+let meth keyword ~arity impl = (Pattern.intern keyword ~arity, impl)
+
+let pattern_of (cls : Kernel.cls) keyword =
+  match Pattern.lookup keyword with
+  | Some p when List.mem_assoc p cls.Kernel.methods -> p
+  | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf "Class %s has no method %s" cls.Kernel.cls_name keyword)

@@ -1,0 +1,25 @@
+(** Defining concurrent object classes.
+
+    A class bundles its state-variable layout, a constructor
+    (initialisation of the state box from creation arguments, run lazily
+    on first message reception as in Section 4.2) and a method per
+    message pattern. *)
+
+val define :
+  name:string ->
+  ?state:string array ->
+  ?init:(Value.t list -> Value.t array) ->
+  methods:(Pattern.t * Kernel.methd) list ->
+  unit ->
+  Kernel.cls
+(** Creates a class with a fresh program-wide id. Pass every class that
+    is created remotely to [System.boot] so the creation handler can find
+    it by id. Without [init], objects start with one [Unit] per declared
+    state variable. *)
+
+val meth : string -> arity:int -> Kernel.methd -> Pattern.t * Kernel.methd
+(** [meth keyword ~arity impl] interns the message pattern and pairs it
+    with its method body. *)
+
+val pattern_of : Kernel.cls -> string -> Pattern.t
+(** Looks up one of the class's method patterns by keyword. *)

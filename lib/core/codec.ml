@@ -1,0 +1,181 @@
+(* Tags of the self-describing encoding. *)
+let tag_unit = 0
+let tag_false = 1
+let tag_true = 2
+let tag_int = 3
+let tag_float = 4
+let tag_str = 5
+let tag_addr = 6
+let tag_list = 7
+let tag_tuple = 8
+
+let add_int64 buf i =
+  for shift = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((i lsr (8 * shift)) land 0xFF))
+  done
+
+let add_bits64 buf (i : Int64.t) =
+  for shift = 0 to 7 do
+    let byte =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical i (8 * shift)) 0xFFL)
+    in
+    Buffer.add_char buf (Char.chr byte)
+  done
+
+let add_len buf n =
+  if n < 0 || n > 0xFFFFFF then failwith "Codec: length out of range";
+  Buffer.add_char buf (Char.chr (n land 0xFF));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xFF))
+
+let rec encode_value buf (v : Value.t) =
+  match v with
+  | Value.Unit -> Buffer.add_char buf (Char.chr tag_unit)
+  | Value.Bool false -> Buffer.add_char buf (Char.chr tag_false)
+  | Value.Bool true -> Buffer.add_char buf (Char.chr tag_true)
+  | Value.Int i ->
+      Buffer.add_char buf (Char.chr tag_int);
+      add_int64 buf i
+  | Value.Float f ->
+      Buffer.add_char buf (Char.chr tag_float);
+      add_bits64 buf (Int64.bits_of_float f)
+  | Value.Str s ->
+      Buffer.add_char buf (Char.chr tag_str);
+      add_len buf (String.length s);
+      Buffer.add_string buf s
+  | Value.Addr { node; slot } ->
+      Buffer.add_char buf (Char.chr tag_addr);
+      add_len buf node;
+      add_int64 buf slot
+  | Value.List vs ->
+      Buffer.add_char buf (Char.chr tag_list);
+      add_len buf (List.length vs);
+      List.iter (encode_value buf) vs
+  | Value.Tuple vs ->
+      Buffer.add_char buf (Char.chr tag_tuple);
+      add_len buf (List.length vs);
+      List.iter (encode_value buf) vs
+
+let read_byte bytes ~pos =
+  if pos >= Bytes.length bytes then failwith "Codec: truncated buffer";
+  (Char.code (Bytes.get bytes pos), pos + 1)
+
+let read_int64 bytes ~pos =
+  if pos + 8 > Bytes.length bytes then failwith "Codec: truncated int";
+  let v = ref 0 in
+  for shift = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get bytes (pos + shift))
+  done;
+  (!v, pos + 8)
+
+let read_bits64 bytes ~pos =
+  if pos + 8 > Bytes.length bytes then failwith "Codec: truncated float";
+  let v = ref 0L in
+  for shift = 7 downto 0 do
+    v :=
+      Int64.logor (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code (Bytes.get bytes (pos + shift))))
+  done;
+  (!v, pos + 8)
+
+let read_len bytes ~pos =
+  if pos + 3 > Bytes.length bytes then failwith "Codec: truncated length";
+  let b k = Char.code (Bytes.get bytes (pos + k)) in
+  (b 0 lor (b 1 lsl 8) lor (b 2 lsl 16), pos + 3)
+
+let rec decode_value bytes ~pos =
+  let tag, pos = read_byte bytes ~pos in
+  if tag = tag_unit then (Value.Unit, pos)
+  else if tag = tag_false then (Value.Bool false, pos)
+  else if tag = tag_true then (Value.Bool true, pos)
+  else if tag = tag_int then
+    let i, pos = read_int64 bytes ~pos in
+    (Value.Int i, pos)
+  else if tag = tag_float then
+    let bits, pos = read_bits64 bytes ~pos in
+    (Value.Float (Int64.float_of_bits bits), pos)
+  else if tag = tag_str then begin
+    let len, pos = read_len bytes ~pos in
+    if pos + len > Bytes.length bytes then failwith "Codec: truncated string";
+    (Value.Str (Bytes.sub_string bytes pos len), pos + len)
+  end
+  else if tag = tag_addr then
+    let node, pos = read_len bytes ~pos in
+    let slot, pos = read_int64 bytes ~pos in
+    (Value.Addr { Value.node; slot }, pos)
+  else if tag = tag_list || tag = tag_tuple then begin
+    let len, pos = read_len bytes ~pos in
+    let rec elems n pos acc =
+      if n = 0 then (List.rev acc, pos)
+      else
+        let v, pos = decode_value bytes ~pos in
+        elems (n - 1) pos (v :: acc)
+    in
+    let vs, pos = elems len pos [] in
+    ((if tag = tag_list then Value.List vs else Value.Tuple vs), pos)
+  end
+  else failwith (Printf.sprintf "Codec: unknown tag %d" tag)
+
+let value_to_bytes v =
+  let buf = Buffer.create 32 in
+  encode_value buf v;
+  Buffer.to_bytes buf
+
+let value_of_bytes bytes =
+  let v, pos = decode_value bytes ~pos:0 in
+  if pos <> Bytes.length bytes then failwith "Codec: trailing garbage";
+  v
+
+let rec encoded_size (v : Value.t) =
+  match v with
+  | Value.Unit | Value.Bool _ -> 1
+  | Value.Int _ | Value.Float _ -> 9
+  | Value.Str s -> 4 + String.length s
+  | Value.Addr _ -> 12
+  | Value.List vs | Value.Tuple vs ->
+      4 + List.fold_left (fun acc v -> acc + encoded_size v) 0 vs
+
+let encode_message (m : Message.t) =
+  let buf = Buffer.create 64 in
+  let keyword = Pattern.name m.pattern in
+  add_len buf (String.length keyword);
+  Buffer.add_string buf keyword;
+  add_len buf (Pattern.arity m.pattern);
+  add_len buf m.src_node;
+  (match m.reply with
+  | None -> Buffer.add_char buf '\000'
+  | Some { Value.node; slot } ->
+      Buffer.add_char buf '\001';
+      add_len buf node;
+      add_int64 buf slot);
+  add_len buf (List.length m.args);
+  List.iter (encode_value buf) m.args;
+  Buffer.to_bytes buf
+
+let decode_message bytes =
+  let pos = 0 in
+  let len, pos = read_len bytes ~pos in
+  if pos + len > Bytes.length bytes then failwith "Codec: truncated keyword";
+  let keyword = Bytes.sub_string bytes pos len in
+  let pos = pos + len in
+  let arity, pos = read_len bytes ~pos in
+  let src_node, pos = read_len bytes ~pos in
+  let has_reply, pos = read_byte bytes ~pos in
+  let reply, pos =
+    if has_reply = 0 then (None, pos)
+    else
+      let node, pos = read_len bytes ~pos in
+      let slot, pos = read_int64 bytes ~pos in
+      (Some { Value.node; slot }, pos)
+  in
+  let argc, pos = read_len bytes ~pos in
+  let rec args n pos acc =
+    if n = 0 then (List.rev acc, pos)
+    else
+      let v, pos = decode_value bytes ~pos in
+      args (n - 1) pos (v :: acc)
+  in
+  let args, pos = args argc pos [] in
+  if pos <> Bytes.length bytes then failwith "Codec: trailing garbage";
+  let pattern = Pattern.intern keyword ~arity in
+  Message.make ~pattern ~args ?reply ~src_node ()

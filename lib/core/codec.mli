@@ -1,0 +1,26 @@
+(** Binary wire codec for values and messages.
+
+    The paper's compiler generates a specialised message handler per
+    pattern so arguments travel tag-free; our runtime ships OCaml values
+    directly and only {e models} wire sizes. This codec makes the wire
+    format concrete — a self-describing binary encoding suitable for a
+    real transport — and the system can optionally round-trip every
+    inter-node message through it ([rt_config.codec_check]) to guarantee
+    that everything a program sends is genuinely serialisable. *)
+
+val encode_value : Buffer.t -> Value.t -> unit
+
+val decode_value : Bytes.t -> pos:int -> Value.t * int
+(** Returns the value and the position after it. Raises [Failure] on a
+    malformed buffer. *)
+
+val value_to_bytes : Value.t -> Bytes.t
+val value_of_bytes : Bytes.t -> Value.t
+
+val encode_message : Message.t -> Bytes.t
+val decode_message : Bytes.t -> Message.t
+(** Patterns are encoded by keyword + arity so the decoder re-interns
+    them; ids therefore survive across address spaces. *)
+
+val encoded_size : Value.t -> int
+(** Length of [value_to_bytes] without materialising it. *)

@@ -1,0 +1,78 @@
+open Kernel
+module Cost_model = Machine.Cost_model
+
+let local rt cls args =
+  let c = cost rt in
+  charge_work rt c.Cost_model.local_create;
+  Machine.Node.heap_alloc_words rt.node (8 + Array.length cls.state_names);
+  let slot = Sched.alloc_slot rt in
+  let obj =
+    {
+      self = { Value.node = Machine.Node.id rt.node; slot };
+      cls = Some cls;
+      state = [||];
+      vftp = Vft.init cls;
+      mq = Queue.create ();
+      in_sched_q = false;
+      blocked = None;
+      initialized = false;
+      pending_ctor_args = args;
+      exported = false;
+    }
+  in
+  Sched.register_obj rt obj;
+  bump (ctrs rt).c_create_local;
+  obj.self
+
+let rec take_chunk rt target =
+  match Queue.take_opt rt.stocks.(target) with
+  | Some slot -> slot
+  | None -> (
+      (* The stock is empty: only now does remote creation block, to be
+         resumed by the next replenishing chunk reply (Section 5.2). *)
+      match Sched.block rt (Wait_chunk target) with
+      | R_go -> take_chunk rt target
+      | R_reply _ | R_msg _ -> assert false)
+
+let on rt ~target cls args =
+  let my_id = Machine.Node.id rt.node in
+  if target = my_id then local rt cls args
+  else begin
+    let c = cost rt in
+    charge_work rt c.Cost_model.remote_create_request;
+    let slot = take_chunk rt target in
+    charge rt c.Cost_model.msg_setup_send;
+    bump (ctrs rt).c_create_remote;
+    Sched.mark_exports rt args None;
+    Machine.Engine.send_am (machine rt) ~src:rt.node ~dst:target
+      ~handler:rt.shared.h_create
+      ~size_bytes:(Protocol.create_bytes args)
+      (Protocol.P_create { slot; cls_id = cls.cls_id; args });
+    { Value.node = target; slot }
+  end
+
+let pick_node rt =
+  let n = Machine.Engine.node_count (machine rt) in
+  let my_id = Machine.Node.id rt.node in
+  match rt.shared.config.placement with
+  | Round_robin ->
+      let pick = rt.rr_cursor mod n in
+      rt.rr_cursor <- rt.rr_cursor + 1;
+      pick
+  | Neighbor_round_robin ->
+      let candidates =
+        my_id
+        :: Network.Topology.neighbors
+             (Machine.Engine.topology (machine rt))
+             my_id
+      in
+      let k = List.length candidates in
+      let pick = List.nth candidates (rt.rr_cursor mod k) in
+      rt.rr_cursor <- rt.rr_cursor + 1;
+      pick
+  | Random_node -> Simcore.Rng.int rt.rng n
+  | Self_node -> my_id
+  | Fixed_node k -> k mod n
+  | Custom_policy f -> ((f my_id mod n) + n) mod n
+
+let remote rt cls args = on rt ~target:(pick_node rt) cls args

@@ -1,0 +1,23 @@
+(** Object creation: local, explicitly placed, and policy-placed remote
+    creation with latency hiding (Section 5.2).
+
+    Remote creation obtains the new object's mail address locally from
+    the pre-delivered chunk stock, sends the creation request as an
+    active message, and continues immediately; the requesting method only
+    blocks when the stock for the target node is empty. *)
+
+val local : Kernel.node_rt -> Kernel.cls -> Value.t list -> Value.addr
+(** Allocates and registers an object on this node; its state variables
+    are initialised lazily on first message reception. *)
+
+val on :
+  Kernel.node_rt -> target:int -> Kernel.cls -> Value.t list -> Value.addr
+(** Creation on an explicit node. Falls back to {!local} when [target]
+    is this node; otherwise uses the chunk-stock protocol and may block
+    (inside a method only) when the stock is exhausted. *)
+
+val remote : Kernel.node_rt -> Kernel.cls -> Value.t list -> Value.addr
+(** Creation on a node chosen by the configured placement policy. *)
+
+val pick_node : Kernel.node_rt -> int
+(** The placement policy's next choice (exposed for tests). *)

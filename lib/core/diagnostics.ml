@@ -1,0 +1,92 @@
+type stuck = {
+  addr : Value.addr;
+  cls_name : string;
+  mode : string;
+  waiting_for : string option;
+  queued_messages : int;
+}
+
+type report = {
+  blocked : stuck list;
+  buffered : stuck list;
+  chunk_waiters : int;
+}
+
+let reason_string = function
+  | Kernel.Wait_reply rd ->
+      Format.asprintf "a now-type reply (destination %a)" Value.pp_addr
+        rd.Kernel.self
+  | Kernel.Wait_patterns patterns ->
+      Format.asprintf "messages [%s]"
+        (String.concat "; " (List.map Pattern.name patterns))
+  | Kernel.Wait_chunk node -> Printf.sprintf "a chunk on node %d" node
+  | Kernel.Preempted -> "rescheduling after preemption"
+
+let stuck_of_obj (obj : Kernel.obj) =
+  (* A reply destination parks the *sender's* context; attribute the wait
+     to the suspended object, not to the mailbox holding it. *)
+  let subject =
+    match obj.blocked with
+    | Some b when b.Kernel.owner != obj -> b.Kernel.owner
+    | _ -> obj
+  in
+  {
+    addr = subject.Kernel.self;
+    cls_name =
+      (match subject.Kernel.cls with
+      | Some c -> c.Kernel.cls_name
+      | None -> "<chunk>");
+    mode = Vft.kind_name subject.Kernel.vftp.Kernel.vft_kind;
+    waiting_for = Option.map (fun b -> reason_string b.Kernel.why) obj.blocked;
+    queued_messages = Queue.length subject.Kernel.mq;
+  }
+
+let by_addr a b =
+  compare (a.addr.Value.node, a.addr.Value.slot) (b.addr.Value.node, b.addr.Value.slot)
+
+let survey sys =
+  let blocked = ref [] and buffered = ref [] and chunk_waiters = ref 0 in
+  for node = 0 to System.node_count sys - 1 do
+    let rt = System.rt sys node in
+    chunk_waiters := !chunk_waiters + List.length rt.Kernel.chunk_waiters;
+    Hashtbl.iter
+      (fun _slot (obj : Kernel.obj) ->
+        if Option.is_some obj.blocked then blocked := stuck_of_obj obj :: !blocked
+        else if (not (Queue.is_empty obj.mq)) && not obj.in_sched_q then
+          buffered := stuck_of_obj obj :: !buffered)
+      rt.Kernel.objects
+  done;
+  {
+    blocked = List.sort by_addr !blocked;
+    buffered = List.sort by_addr !buffered;
+    chunk_waiters = !chunk_waiters;
+  }
+
+let is_clean r = r.blocked = [] && r.buffered = [] && r.chunk_waiters = 0
+
+let pp_stuck ppf s =
+  Format.fprintf ppf "%a %s [%s]%s%s" Value.pp_addr s.addr s.cls_name s.mode
+    (match s.waiting_for with
+    | Some w -> ", waiting for " ^ w
+    | None -> "")
+    (if s.queued_messages > 0 then
+       Printf.sprintf ", %d buffered message(s)" s.queued_messages
+     else "")
+
+let pp ppf r =
+  if is_clean r then Format.fprintf ppf "clean: no residual work"
+  else begin
+    Format.fprintf ppf "@[<v>";
+    if r.blocked <> [] then begin
+      Format.fprintf ppf "suspended contexts:@,";
+      List.iter (fun s -> Format.fprintf ppf "  %a@," pp_stuck s) r.blocked
+    end;
+    if r.buffered <> [] then begin
+      Format.fprintf ppf "unconsumed messages:@,";
+      List.iter (fun s -> Format.fprintf ppf "  %a@," pp_stuck s) r.buffered
+    end;
+    if r.chunk_waiters > 0 then
+      Format.fprintf ppf "%d context(s) stalled on chunk stocks@,"
+        r.chunk_waiters;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,28 @@
+(** Post-run diagnostics: what is the system waiting for?
+
+    When a program quiesces with work undone (an awaited message never
+    sent, an acknowledgement lost to a retired object), the machine simply
+    runs out of events. This module surveys the residue so the failure is
+    explainable: suspended contexts and their reasons, messages still
+    buffered, objects stuck in the scheduling queue. *)
+
+type stuck = {
+  addr : Value.addr;
+  cls_name : string;  (** "<chunk>" for an uninitialised embryo *)
+  mode : string;  (** VFT kind currently exposed *)
+  waiting_for : string option;  (** block reason, if a context is parked *)
+  queued_messages : int;
+}
+
+type report = {
+  blocked : stuck list;  (** objects holding a suspended context *)
+  buffered : stuck list;  (** quiescent objects with unconsumed messages *)
+  chunk_waiters : int;  (** contexts stalled on empty chunk stocks *)
+}
+
+val survey : System.t -> report
+
+val is_clean : report -> bool
+(** No suspended contexts, no buffered messages, no stalled requesters. *)
+
+val pp : Format.formatter -> report -> unit

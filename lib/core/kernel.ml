@@ -1,0 +1,249 @@
+(** Core type knot of the ABCL runtime.
+
+    The object representation follows Figure 2 of the paper: a state
+    variable box, a message queue of heap-allocated frames, and a virtual
+    function table pointer (VFTP) that is switched between multiple
+    per-class tables as the object changes mode. Method bodies run on the
+    OCaml stack; a body that blocks performs the {!Block} effect, and the
+    captured one-shot continuation is the paper's lazily heap-allocated
+    context frame. *)
+
+(** One entry of a virtual function table. The paper compiles each entry
+    to a tiny procedure (method body / queuing procedure / context
+    restoration routine); we represent the three behaviours symbolically
+    and charge the same costs when interpreting them. *)
+type entry =
+  | Invoke of methd  (** dormant mode: execute the method body now *)
+  | Invoke_init of methd
+      (** dormant, state variables not yet initialised: run the lazy
+          initialisation routine, then the body (Section 4.2) *)
+  | Enqueue  (** active / fault / non-awaited: buffer into the queue *)
+  | Restore  (** waiting mode, awaited pattern: restore saved context *)
+  | No_method  (** pattern not understood by this class *)
+
+and vft = {
+  entries : entry array;  (** indexed by pattern id *)
+  default : entry;  (** behaviour for ids beyond [entries] *)
+  vft_kind : vft_kind;
+}
+
+and vft_kind =
+  | Vft_dormant
+  | Vft_init
+  | Vft_active
+  | Vft_waiting of Pattern.t list
+  | Vft_fault  (** generic fault table of uninitialised remote chunks *)
+
+and methd = ctx -> Message.t -> unit
+
+and cls = {
+  cls_id : int;
+  cls_name : string;
+  state_names : string array;
+  cls_init : Value.t list -> Value.t array;
+      (** constructor arguments -> initial state variable box *)
+  methods : (Pattern.t * methd) list;
+  mutable tbl_dormant : vft option;  (** built lazily, cached *)
+  mutable tbl_init : vft option;
+  waiting_cache : (Pattern.t list, vft) Hashtbl.t;
+}
+
+and obj = {
+  mutable self : Value.addr;  (** mutable only for local-GC relocation *)
+  mutable cls : cls option;  (** [None] while an uninitialised chunk *)
+  mutable state : Value.t array;
+  mutable vftp : vft;
+  mq : Message.t Queue.t;
+  mutable in_sched_q : bool;
+  mutable blocked : blocked option;
+      (** a context parked on this object: its own blocked method
+          (selective reception) or, for reply destinations, the waiting
+          sender's context *)
+  mutable initialized : bool;
+  mutable pending_ctor_args : Value.t list;
+      (** constructor arguments awaiting the lazy initialisation *)
+  mutable exported : bool;
+      (** its address has left this node (in a remote message, creation
+          argument or reply destination); a [(node, pointer)] mail
+          address pins such an object in place — Section 5.2 *)
+}
+
+and blocked = {
+  bk : (resume, unit) Effect.Deep.continuation;
+  owner : obj;  (** object whose method is suspended *)
+  why : block_reason;  (** what the context is waiting for (diagnostics) *)
+}
+
+and resume =
+  | R_go  (** plain resumption (preemption, chunk-stock refill) *)
+  | R_reply of Value.t  (** a now-type reply value *)
+  | R_msg of Message.t  (** an awaited message (selective reception) *)
+
+and block_reason =
+  | Wait_reply of obj  (** the reply-destination object *)
+  | Wait_patterns of Pattern.t list
+  | Wait_chunk of int  (** waiting for a chunk on this node *)
+  | Preempted
+
+and ctx = { rt : node_rt; self_obj : obj }
+
+and sched_kind =
+  | Hybrid  (** the paper's integrated stack + queue scheduling *)
+  | Naive  (** always buffer + schedule through the queue (Section 6.3) *)
+
+and placement =
+  | Round_robin  (** cycle over all nodes, starting after this one *)
+  | Neighbor_round_robin
+      (** cycle over this node and its torus neighbours: a simple
+          locality-preserving policy "based on local information" *)
+  | Random_node
+  | Self_node
+  | Fixed_node of int
+  | Custom_policy of (int -> int)
+      (** maps the creating node's id to a target (e.g. load-aware
+          placement built from the gossip service) *)
+
+and rt_config = {
+  sched_kind : sched_kind;
+  max_stack_depth : int;
+      (** stack-invocation depth beyond which sends are buffered; models
+          the preemption of deep recursions *)
+  quantum_instr : int;
+      (** accumulated work (in instructions) after which a running method
+          is preempted at its next safe point *)
+  stock_size : int;  (** chunks pre-delivered per (requester, target) pair *)
+  placement : placement;
+  discard_unacceptable : bool;
+      (** alternative selective-reception semantics (Section 4.2):
+          discard rather than buffer non-awaited messages *)
+  inline_sends : bool;
+      (** Section 8.2: compile-time-known-class send inlining *)
+  codec_check : bool;
+      (** round-trip every inter-node message through the binary wire
+          codec, verifying serialisability (testing aid) *)
+}
+
+and shared = {
+  machine : Machine.Engine.t;
+  classes : (int, cls) Hashtbl.t;  (** registry keyed by [cls_id] *)
+  enqueue_all : vft;  (** the shared active-mode table *)
+  fault_tbl : vft;  (** the generic fault table *)
+  h_obj_msg : int;  (** AM handler ids *)
+  h_create : int;
+  h_chunk : int;
+  config : rt_config;
+  reply_cls : cls;
+  ctrs : counters;  (** cached statistics cells (hot path) *)
+}
+
+(** Statistics counters resolved once at boot, so hot paths increment a
+    ref instead of hashing a string. The cells live in the machine's
+    [Stats.t], keeping all reporting uniform. *)
+and counters = {
+  sent_local : origin_counters;  (** local sends: "send.local.*" *)
+  recv_remote : origin_counters;  (** remote receipts: "recv.remote.*" *)
+  c_send_remote : int ref;
+  c_create_local : int ref;
+  c_create_remote : int ref;
+  c_create_remote_applied : int ref;
+  c_chunk_refill : int ref;
+  c_chunk_stall : int ref;
+  c_preempt : int ref;
+  c_wait_blocked : int ref;
+  c_wait_immediate : int ref;
+  c_reply_immediate : int ref;
+  c_reply_blocked : int ref;
+  c_reply_no_dest : int ref;
+}
+
+and origin_counters = {
+  o_dormant : int ref;
+  o_active : int ref;
+  o_fault : int ref;
+  o_restore : int ref;
+  o_discarded : int ref;
+  o_naive_buffered : int ref;
+  o_depth_limited : int ref;
+  o_inlined : int ref;
+}
+
+and node_rt = {
+  shared : shared;
+  node : Machine.Node.t;
+  objects : (int, obj) Hashtbl.t;
+  mutable next_slot : int;  (** watermark of allocated/reserved slots *)
+  stocks : int Queue.t array;  (** per target node: pre-delivered slots *)
+  mutable chunk_waiters : (int * blocked) list;
+      (** (target node, parked requester context) *)
+  mutable rr_cursor : int;  (** round-robin placement cursor *)
+  mutable depth : int;  (** current stack-invocation depth *)
+  mutable leaf_depth : int;
+      (** >0 while a [leaf]-optimised method runs (blocking forbidden) *)
+  mutable work_since_yield : int;  (** instructions since last yield *)
+  rng : Simcore.Rng.t;
+}
+
+type _ Effect.t += Block : block_reason -> resume Effect.t
+
+exception Not_understood of { cls_name : string; pattern : Pattern.t }
+
+(* --- small helpers shared by the behavioural modules --- *)
+
+let machine rt = rt.shared.machine
+let cost rt = Machine.Engine.cost rt.shared.machine
+let stats rt = Machine.Engine.stats rt.shared.machine
+let charge rt instructions = Machine.Engine.charge rt.shared.machine rt.node instructions
+
+let charge_work rt instructions =
+  charge rt instructions;
+  rt.work_since_yield <- rt.work_since_yield + instructions;
+  (* Interrupt-mode deliveries are taken here — at user-computation and
+     send boundaries — never inside scheduler bookkeeping. *)
+  Machine.Engine.interrupt_point rt.shared.machine rt.node
+
+let entry_at vft pattern =
+  if pattern < Array.length vft.entries then vft.entries.(pattern)
+  else vft.default
+
+let obj_class obj =
+  match obj.cls with
+  | Some c -> c
+  | None -> invalid_arg "Kernel.obj_class: uninitialised chunk"
+
+let is_reply_dest shared obj =
+  match obj.cls with Some c -> c == shared.reply_cls | None -> false
+
+let make_origin_counters stats prefix =
+  let cell suffix = Simcore.Stats.counter stats (prefix ^ suffix) in
+  {
+    o_dormant = cell "dormant";
+    o_active = cell "active";
+    o_fault = cell "fault";
+    o_restore = cell "restore";
+    o_discarded = cell "discarded";
+    o_naive_buffered = cell "naive_buffered";
+    o_depth_limited = cell "depth_limited";
+    o_inlined = cell "inlined";
+  }
+
+let make_counters stats =
+  let cell name = Simcore.Stats.counter stats name in
+  {
+    sent_local = make_origin_counters stats "send.local.";
+    recv_remote = make_origin_counters stats "recv.remote.";
+    c_send_remote = cell "send.remote";
+    c_create_local = cell "create.local";
+    c_create_remote = cell "create.remote";
+    c_create_remote_applied = cell "create.remote.applied";
+    c_chunk_refill = cell "chunk.refill";
+    c_chunk_stall = cell "chunk.stall";
+    c_preempt = cell "preempt";
+    c_wait_blocked = cell "wait.blocked";
+    c_wait_immediate = cell "wait.immediate";
+    c_reply_immediate = cell "reply.immediate";
+    c_reply_blocked = cell "reply.blocked";
+    c_reply_no_dest = cell "reply.no_dest";
+  }
+
+let ctrs rt = rt.shared.ctrs
+let bump cell = incr cell

@@ -1,0 +1,39 @@
+type t = {
+  pattern : Pattern.t;
+  args : Value.t list;
+  reply : Value.addr option;
+  src_node : int;
+}
+
+let make ~pattern ~args ?reply ~src_node () =
+  let expected = Pattern.arity pattern in
+  let got = List.length args in
+  if expected <> got then
+    invalid_arg
+      (Printf.sprintf "Message.make: pattern %s expects %d args, got %d"
+         (Pattern.name pattern) expected got);
+  { pattern; args; reply; src_node }
+
+let size_words m =
+  1
+  + List.fold_left (fun acc v -> acc + Value.size_words v) 0 m.args
+  + match m.reply with Some _ -> 2 | None -> 0
+
+let size_bytes m = 4 * size_words m
+
+let arg m i =
+  match List.nth_opt m.args i with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Message.arg: index %d out of range for %s" i
+           (Pattern.name m.pattern))
+
+let pp ppf m =
+  Format.fprintf ppf "@[<h>%s(%a)%s@]" (Pattern.name m.pattern)
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Value.pp)
+    m.args
+    (match m.reply with
+    | Some a -> Format.asprintf " ->%a" Value.pp_addr a
+    | None -> "")

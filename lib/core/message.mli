@@ -1,0 +1,27 @@
+(** A message in flight or buffered in an object's message queue. *)
+
+type t = {
+  pattern : Pattern.t;
+  args : Value.t list;
+  reply : Value.addr option;
+      (** reply destination for now-type sends; forwardable like any
+          other mail address *)
+  src_node : int;  (** node that performed the send (for statistics) *)
+}
+
+val make :
+  pattern:Pattern.t -> args:Value.t list -> ?reply:Value.addr -> src_node:int ->
+  unit -> t
+(** Checks that [List.length args] matches the pattern's arity. *)
+
+val size_words : t -> int
+(** Wire/frame size: pattern word + argument words + optional reply
+    address. *)
+
+val size_bytes : t -> int
+
+val arg : t -> int -> Value.t
+(** [arg m i] is the i-th argument. Raises [Invalid_argument] if out of
+    range. *)
+
+val pp : Format.formatter -> t -> unit

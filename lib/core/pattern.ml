@@ -1,0 +1,48 @@
+type t = int
+
+type info = { keyword : string; arity : int }
+
+let by_name : (string, t) Hashtbl.t = Hashtbl.create 64
+let infos : info array ref = ref (Array.make 0 { keyword = ""; arity = 0 })
+let next = ref 0
+
+let intern keyword ~arity =
+  match Hashtbl.find_opt by_name keyword with
+  | Some id ->
+      let info = !infos.(id) in
+      if info.arity <> arity then
+        invalid_arg
+          (Printf.sprintf
+             "Pattern.intern: %S already interned with arity %d (got %d)"
+             keyword info.arity arity);
+      id
+  | None ->
+      let id = !next in
+      incr next;
+      if id = Array.length !infos then begin
+        let infos' =
+          Array.make (max 16 (2 * id)) { keyword = ""; arity = 0 }
+        in
+        Array.blit !infos 0 infos' 0 id;
+        infos := infos'
+      end;
+      !infos.(id) <- { keyword; arity };
+      Hashtbl.add by_name keyword id;
+      id
+
+let lookup keyword = Hashtbl.find_opt by_name keyword
+
+let check id =
+  if id < 0 || id >= !next then invalid_arg "Pattern: unknown id"
+
+let name id =
+  check id;
+  !infos.(id).keyword
+
+let arity id =
+  check id;
+  !infos.(id).arity
+
+let count () = !next
+let pp ppf id = Format.fprintf ppf "%s/%d" (name id) (arity id)
+let reply = intern "__reply" ~arity:1

@@ -1,0 +1,32 @@
+(** Message patterns.
+
+    A message is distinguished by its pattern — the combination of its
+    keyword and argument count (Section 2.4). "At compile time, a unique
+    number is assigned to each message pattern": {!intern} plays the role
+    of the compiler's numbering, and the returned id indexes every
+    virtual function table. *)
+
+type t = int
+(** A pattern id: a small dense integer. *)
+
+val intern : string -> arity:int -> t
+(** [intern keyword ~arity] returns the unique id for this pattern,
+    assigning a fresh one on first use. Interning the same keyword with a
+    different arity is an error (patterns differ by keyword {e and}
+    argument types; we key on keyword and check the arity). *)
+
+val lookup : string -> t option
+(** The id of an already-interned keyword. *)
+
+val name : t -> string
+val arity : t -> int
+val count : unit -> int
+(** Number of patterns interned so far == size needed for a full VFT. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Built-in patterns} *)
+
+val reply : t
+(** The distinguished pattern that carries now-type reply values to
+    reply-destination objects. *)

@@ -1,0 +1,17 @@
+(** Wire payloads of the runtime's active messages, one constructor per
+    handler category of Section 5.1. *)
+
+type Machine.Am.payload +=
+  | P_obj_msg of { slot : int; msg : Message.t }
+      (** Category 1: normal message transmission between objects. *)
+  | P_create of { slot : int; cls_id : int; args : Value.t list }
+      (** Category 2: request for remote object creation at a chunk the
+          requester obtained from its stock. *)
+  | P_chunk of { slot : int }
+      (** Category 3: reply to a remote memory allocation request — a
+          fresh chunk on the sending node, replenishing the requester's
+          stock. *)
+
+let obj_msg_bytes msg = 4 + Message.size_bytes msg
+let create_bytes args = 12 + (4 * List.fold_left (fun a v -> a + Value.size_words v) 0 args)
+let chunk_bytes = 4

@@ -1,0 +1,53 @@
+open Kernel
+module Cost_model = Machine.Cost_model
+
+let dispose rt rd = Hashtbl.remove rt.objects rd.self.Value.slot
+
+(* state.(0): has the reply arrived; state.(1): the value. *)
+let impl ctx msg =
+  let rd = ctx.self_obj in
+  let v = Message.arg msg 0 in
+  match rd.blocked with
+  | Some b ->
+      rd.blocked <- None;
+      dispose ctx.rt rd;
+      Sched.resume ctx.rt b (R_reply v)
+  | None ->
+      rd.state.(0) <- Value.bool true;
+      rd.state.(1) <- v
+
+let make_cls () =
+  Class_def.define ~name:"__reply" ~state:[| "present"; "value" |]
+    ~init:(fun _ -> [| Value.bool false; Value.unit |])
+    ~methods:[ (Pattern.reply, impl) ]
+    ()
+
+let create_dest rt =
+  charge rt (cost rt).Cost_model.frame_alloc;
+  Machine.Node.heap_alloc_words rt.node 6;
+  let slot = Sched.alloc_slot rt in
+  let cls = rt.shared.reply_cls in
+  let obj =
+    {
+      self = { Value.node = Machine.Node.id rt.node; slot };
+      cls = Some cls;
+      state = [||];
+      vftp = Vft.init cls;
+      mq = Queue.create ();
+      in_sched_q = false;
+      blocked = None;
+      initialized = false;
+      pending_ctor_args = [];
+      exported = false;
+    }
+  in
+  Sched.register_obj rt obj;
+  obj
+
+let take rt rd =
+  if rd.initialized && Value.to_bool rd.state.(0) then begin
+    rd.state.(0) <- Value.bool false;
+    dispose rt rd;
+    Some rd.state.(1)
+  end
+  else None

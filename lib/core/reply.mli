@@ -1,0 +1,21 @@
+(** Reply destination objects for now-type message passing (Section 2.2).
+
+    A now-type send [[Target <== Msg]] creates a fresh reply destination,
+    attaches its mail address to the request, and — after the receiver
+    has been scheduled — checks it for the reply value. The reply is an
+    ordinary message (pattern {!Pattern.reply}) sent to the destination,
+    possibly from a different object than the original receiver, and
+    possibly from a remote node; when the sender is already suspended the
+    destination's method resumes it ("the reply destination object
+    actually resumes the sender"). *)
+
+val make_cls : unit -> Kernel.cls
+(** The builtin class backing reply destinations; registered once per
+    system at boot. *)
+
+val create_dest : Kernel.node_rt -> Kernel.obj
+(** Allocates a fresh reply destination on this node. *)
+
+val take : Kernel.node_rt -> Kernel.obj -> Value.t option
+(** Consumes the stored reply value if it has already arrived; the
+    destination is retired once the value is taken. *)

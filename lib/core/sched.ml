@@ -1,0 +1,422 @@
+open Kernel
+module Cost_model = Machine.Cost_model
+
+let alloc_slot rt =
+  let slot = rt.next_slot in
+  rt.next_slot <- slot + 1;
+  slot
+
+let register_obj rt obj = Hashtbl.replace rt.objects obj.self.Value.slot obj
+
+let make_embryo rt slot =
+  (* A chunk pre-initialised as in Section 5.2: empty message queue and
+     the generic fault table, so that any message racing ahead of the
+     creation request is enqueued. *)
+  let obj =
+    {
+      self = { Value.node = Machine.Node.id rt.node; slot };
+      cls = None;
+      state = [||];
+      vftp = rt.shared.fault_tbl;
+      mq = Queue.create ();
+      in_sched_q = false;
+      blocked = None;
+      initialized = false;
+      pending_ctor_args = [];
+      exported = false;
+    }
+  in
+  Hashtbl.add rt.objects slot obj;
+  Machine.Node.heap_alloc_words rt.node 8;
+  obj
+
+let lookup_or_embryo rt slot =
+  match Hashtbl.find_opt rt.objects slot with
+  | Some o -> o
+  | None ->
+      if slot < 0 || slot >= rt.next_slot then
+        invalid_arg
+          (Printf.sprintf "Sched: slot %d was never allocated on node %d" slot
+             (Machine.Node.id rt.node));
+      make_embryo rt slot
+
+let rest_table obj =
+  let cls = obj_class obj in
+  if obj.initialized then Vft.dormant cls else Vft.init cls
+
+let mode_of obj = Vft.kind_name obj.vftp.vft_kind
+
+let block rt reason =
+  if rt.leaf_depth > 0 then
+    failwith "Sched.block: a leaf-optimised method attempted to block";
+  Effect.perform (Block reason)
+
+(* Lazy state-variable initialisation (Section 4.2): runs on the first
+   method invocation instead of at creation, so creation itself stays a
+   cheap allocation. *)
+let do_init rt obj =
+  let cls = obj_class obj in
+  let args = obj.pending_ctor_args in
+  obj.pending_ctor_args <- [];
+  obj.state <- cls.cls_init args;
+  obj.initialized <- true;
+  let c = cost rt in
+  charge rt (4 + (Array.length obj.state * c.Cost_model.frame_store_per_word));
+  Machine.Node.heap_alloc_words rt.node (2 + Array.length obj.state)
+
+let buffer_message rt obj msg =
+  let c = cost rt in
+  let words = Message.size_words msg in
+  charge rt
+    (c.Cost_model.frame_alloc
+    + (words * c.Cost_model.frame_store_per_word)
+    + c.Cost_model.mq_enqueue);
+  Machine.Node.heap_alloc_words rt.node (4 + words);
+  Queue.push msg obj.mq
+
+let rec schedule_pending rt obj =
+  if not obj.in_sched_q then begin
+    obj.in_sched_q <- true;
+    charge rt (cost rt).Cost_model.sched_enqueue;
+    Machine.Engine.post (machine rt) rt.node (fun () -> run_pending rt obj)
+  end
+
+(* Invoked when the object is dequeued from the node-global scheduling
+   queue: process the next buffered message through the method table. *)
+and run_pending rt obj =
+  obj.in_sched_q <- false;
+  assert (Option.is_none obj.blocked);
+  match Queue.take_opt obj.mq with
+  | None ->
+      (* All buffered messages were consumed by a selective reception
+         scan in the meantime; fall back to the quiescent table. *)
+      charge rt (cost rt).Cost_model.switch_vft;
+      obj.vftp <- rest_table obj
+  | Some msg -> (
+      charge rt (cost rt).Cost_model.mq_dequeue;
+      let tbl = rest_table obj in
+      match entry_at tbl msg.Message.pattern with
+      | Invoke impl -> run_invoke rt obj impl msg ~init_first:false
+      | Invoke_init impl -> run_invoke rt obj impl msg ~init_first:true
+      | No_method ->
+          raise
+            (Not_understood
+               { cls_name = (obj_class obj).cls_name; pattern = msg.pattern })
+      | Enqueue | Restore ->
+          (* method tables contain only Invoke*/No_method entries *)
+          assert false)
+
+and run_invoke rt obj impl msg ~init_first =
+  rt.depth <- rt.depth + 1;
+  if rt.depth = 1 then rt.work_since_yield <- 0;
+  let c = cost rt in
+  charge rt c.Cost_model.switch_vft;
+  obj.vftp <- rt.shared.enqueue_all;
+  let ctx = { rt; self_obj = obj } in
+  let finally () = rt.depth <- rt.depth - 1 in
+  Fun.protect ~finally (fun () ->
+      Effect.Deep.match_with
+        (fun () ->
+          if init_first then do_init rt obj;
+          impl ctx msg)
+        ()
+        {
+          retc = (fun () -> end_of_method rt obj);
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Block reason ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      handle_block rt obj reason k)
+              | _ -> None);
+        })
+
+(* Table 2's tail: check the message queue, switch the VFTP back, poll
+   for remote messages, adjust the stack pointer and return. *)
+and end_of_method rt obj =
+  let c = cost rt in
+  charge rt c.Cost_model.check_message_queue;
+  if not (Queue.is_empty obj.mq) then schedule_pending rt obj
+  else begin
+    charge rt c.Cost_model.switch_vft;
+    obj.vftp <- rest_table obj
+  end;
+  charge rt c.Cost_model.poll_remote;
+  Machine.Engine.poll (machine rt) rt.node;
+  charge rt c.Cost_model.stack_adjust_return
+
+and handle_block :
+    node_rt -> obj -> block_reason -> (resume, unit) Effect.Deep.continuation
+    -> unit =
+ fun rt obj reason k ->
+  let b = { bk = k; owner = obj; why = reason } in
+  let c = cost rt in
+  charge rt c.Cost_model.context_save;
+  Machine.Node.heap_alloc_words rt.node 16;
+  match reason with
+  | Wait_reply rd ->
+      (* The sender parks its context on the reply destination; its own
+         VFTP is already the all-queuing table, as the paper requires. *)
+      assert (Option.is_none rd.blocked);
+      rd.blocked <- Some b;
+      bump (ctrs rt).c_reply_blocked
+  | Wait_patterns patterns ->
+      charge rt c.Cost_model.switch_vft;
+      obj.vftp <- Vft.waiting (obj_class obj) patterns;
+      assert (Option.is_none obj.blocked);
+      obj.blocked <- Some b;
+      bump (ctrs rt).c_wait_blocked
+  | Wait_chunk target ->
+      rt.chunk_waiters <- rt.chunk_waiters @ [ (target, b) ];
+      bump (ctrs rt).c_chunk_stall
+  | Preempted ->
+      rt.work_since_yield <- 0;
+      charge rt c.Cost_model.sched_enqueue;
+      bump (ctrs rt).c_preempt;
+      Machine.Engine.post (machine rt) rt.node (fun () -> resume rt b R_go)
+
+and resume rt b r =
+  charge rt (cost rt).Cost_model.context_restore;
+  rt.depth <- rt.depth + 1;
+  let finally () = rt.depth <- rt.depth - 1 in
+  Fun.protect ~finally (fun () -> Effect.Deep.continue b.bk r)
+
+and local_deliver ?(origin = `Local) rt obj msg =
+  let c = cost rt in
+  let config = rt.shared.config in
+  (* Statistics distinguish locally sent messages from the receiver-side
+     dispatch of inter-node messages (already counted as send.remote). *)
+  let oc =
+    match origin with
+    | `Local -> (ctrs rt).sent_local
+    | `Remote -> (ctrs rt).recv_remote
+  in
+  charge rt c.Cost_model.vft_lookup_call;
+  match entry_at obj.vftp msg.Message.pattern with
+  | Invoke impl -> deliver_invoke rt obj impl msg ~init_first:false ~oc
+  | Invoke_init impl -> deliver_invoke rt obj impl msg ~init_first:true ~oc
+  | Enqueue ->
+      let kind = obj.vftp.vft_kind in
+      if config.discard_unacceptable && (match kind with Vft_waiting _ -> true | _ -> false)
+      then bump oc.o_discarded
+      else begin
+        (match kind with
+        | Vft_fault -> bump oc.o_fault
+        | _ -> bump oc.o_active);
+        buffer_message rt obj msg
+      end
+  | Restore -> (
+      match obj.blocked with
+      | Some b ->
+          obj.blocked <- None;
+          charge rt c.Cost_model.switch_vft;
+          obj.vftp <- rt.shared.enqueue_all;
+          bump oc.o_restore;
+          if rt.depth >= config.max_stack_depth then
+            Machine.Engine.post (machine rt) rt.node (fun () ->
+                resume rt b (R_msg msg))
+          else resume rt b (R_msg msg)
+      | None -> assert false)
+  | No_method ->
+      raise
+        (Not_understood
+           { cls_name = (obj_class obj).cls_name; pattern = msg.pattern })
+
+and deliver_invoke rt obj impl msg ~init_first ~oc =
+  let config = rt.shared.config in
+  match config.sched_kind with
+  | Naive ->
+      bump oc.o_naive_buffered;
+      buffer_message rt obj msg;
+      schedule_pending rt obj
+  | Hybrid ->
+      if rt.depth >= config.max_stack_depth then begin
+        bump oc.o_depth_limited;
+        buffer_message rt obj msg;
+        schedule_pending rt obj
+      end
+      else begin
+        bump oc.o_dormant;
+        run_invoke rt obj impl msg ~init_first
+      end
+
+(* Export tracking (Section 5.2): once an address leaves its node, the
+   object can never be moved by a copying collector. *)
+let mark_exports rt values reply =
+  let my_id = Machine.Node.id rt.node in
+  let rec mark = function
+    | Value.Addr a ->
+        if a.Value.node = my_id then (
+          match Hashtbl.find_opt rt.objects a.Value.slot with
+          | Some o -> o.exported <- true
+          | None -> ())
+    | Value.List vs | Value.Tuple vs -> List.iter mark vs
+    | Value.Unit | Value.Bool _ | Value.Int _ | Value.Float _ | Value.Str _ ->
+        ()
+  in
+  List.iter mark values;
+  Option.iter (fun a -> mark (Value.Addr a)) reply
+
+let maybe_preempt rt =
+  let config = rt.shared.config in
+  if
+    rt.work_since_yield >= config.quantum_instr
+    && rt.depth >= 1
+    && rt.leaf_depth = 0
+  then
+    match block rt Preempted with
+    | R_go -> ()
+    | R_reply _ | R_msg _ -> assert false
+
+let send rt ~target ~pattern ~args ?reply () =
+  let c = cost rt in
+  charge_work rt c.Cost_model.check_locality;
+  maybe_preempt rt;
+  let my_id = Machine.Node.id rt.node in
+  let msg = Message.make ~pattern ~args ?reply ~src_node:my_id () in
+  if target.Value.node = my_id then
+    local_deliver rt (lookup_or_embryo rt target.Value.slot) msg
+  else begin
+    charge rt c.Cost_model.msg_setup_send;
+    bump (ctrs rt).c_send_remote;
+    mark_exports rt args reply;
+    let msg =
+      (* Optionally prove the message serialisable by shipping its codec
+         round trip instead of the original. *)
+      if rt.shared.config.codec_check then
+        Codec.decode_message (Codec.encode_message msg)
+      else msg
+    in
+    Machine.Engine.send_am (machine rt) ~src:rt.node ~dst:target.Value.node
+      ~handler:rt.shared.h_obj_msg
+      ~size_bytes:(Protocol.obj_msg_bytes msg)
+      (Protocol.P_obj_msg { slot = target.Value.slot; msg })
+  end
+
+let send_inlined rt cls ~target ~pattern ~args () =
+  let c = cost rt in
+  let my_id = Machine.Node.id rt.node in
+  if
+    rt.shared.config.inline_sends
+    && target.Value.node = my_id
+    && rt.shared.config.sched_kind = Hybrid
+  then begin
+    (* Inlined fast path (Section 8.2): locality check + VFTP comparison
+       against the statically known dormant table. *)
+    charge_work rt (c.Cost_model.check_locality + 2);
+    let obj = lookup_or_embryo rt target.Value.slot in
+    let dormant = Vft.dormant cls in
+    if obj.vftp == dormant && rt.depth < rt.shared.config.max_stack_depth then begin
+      let msg = Message.make ~pattern ~args ~src_node:my_id () in
+      match entry_at dormant pattern with
+      | Invoke impl ->
+          bump (ctrs rt).sent_local.o_inlined;
+          run_invoke rt obj impl msg ~init_first:false
+      | Invoke_init impl ->
+          bump (ctrs rt).sent_local.o_inlined;
+          run_invoke rt obj impl msg ~init_first:true
+      | Enqueue | Restore | No_method ->
+          raise (Not_understood { cls_name = cls.cls_name; pattern })
+    end
+    else
+      (* Mode or depth check failed: take the generic path (without
+         re-charging the locality check). *)
+      local_deliver rt obj (Message.make ~pattern ~args ~src_node:my_id ())
+  end
+  else send rt ~target ~pattern ~args ()
+
+let send_optimized rt cls ~target ~pattern ~args ~known_local ~leaf ~stateless
+    ~no_poll () =
+  let c = cost rt in
+  let my_id = Machine.Node.id rt.node in
+  let fallback () = send rt ~target ~pattern ~args () in
+  if target.Value.node <> my_id then begin
+    if known_local then
+      invalid_arg "Sched.send_optimized: known_local receiver is remote";
+    fallback ()
+  end
+  else if rt.shared.config.sched_kind <> Hybrid then fallback ()
+  else begin
+    if not known_local then charge_work rt c.Cost_model.check_locality;
+    let obj = lookup_or_embryo rt target.Value.slot in
+    let dormant = if obj.initialized then Vft.dormant cls else Vft.init cls in
+    if obj.vftp != dormant || rt.depth >= rt.shared.config.max_stack_depth then
+      (* Mode test failed: the message takes the generic path. *)
+      local_deliver rt obj (Message.make ~pattern ~args ~src_node:my_id ())
+    else begin
+      charge rt c.Cost_model.vft_lookup_call;
+      let impl =
+        match entry_at dormant pattern with
+        | Invoke impl | Invoke_init impl -> impl
+        | Enqueue | Restore | No_method ->
+            raise (Not_understood { cls_name = cls.cls_name; pattern })
+      in
+      bump (ctrs rt).sent_local.o_inlined;
+      let msg = Message.make ~pattern ~args ~src_node:my_id () in
+      rt.depth <- rt.depth + 1;
+      if leaf then begin
+        rt.leaf_depth <- rt.leaf_depth + 1;
+        (* An interrupt-dispatched method would inherit the no-blocking
+           restriction; hold deliveries until the leaf body is done. *)
+        Machine.Node.set_interrupts_masked rt.node true
+      end;
+      let finally () =
+        rt.depth <- rt.depth - 1;
+        if leaf then begin
+          rt.leaf_depth <- rt.leaf_depth - 1;
+          if rt.leaf_depth = 0 then
+            Machine.Node.set_interrupts_masked rt.node false
+        end
+      in
+      Fun.protect ~finally (fun () ->
+          if not leaf then begin
+            (* Without the leaf guarantee the VFTP must still be switched
+               around the body, as in the generic path. *)
+            charge rt (2 * c.Cost_model.switch_vft);
+            obj.vftp <- rt.shared.enqueue_all;
+            if not obj.initialized then do_init rt obj;
+            impl { rt; self_obj = obj } msg;
+            obj.vftp <- dormant
+          end
+          else begin
+            if not obj.initialized then do_init rt obj;
+            impl { rt; self_obj = obj } msg
+          end;
+          if not stateless then begin
+            charge rt c.Cost_model.check_message_queue;
+            if not (Queue.is_empty obj.mq) then schedule_pending rt obj
+          end;
+          if not no_poll then begin
+            charge rt c.Cost_model.poll_remote;
+            Machine.Engine.poll (machine rt) rt.node
+          end;
+          charge rt c.Cost_model.stack_adjust_return)
+    end
+  end
+
+(* Selective message reception (Sections 2.2 and 4.3). *)
+let wait_for rt obj patterns =
+  let c = cost rt in
+  charge rt c.Cost_model.check_message_queue;
+  let matching m = List.mem m.Message.pattern patterns in
+  (* Scan the message queue for the first awaited message. *)
+  let found = ref None in
+  let rest = Queue.create () in
+  Queue.iter
+    (fun m ->
+      if Option.is_none !found && matching m then found := Some m
+      else Queue.push m rest)
+    obj.mq;
+  match !found with
+  | Some m ->
+      Queue.clear obj.mq;
+      Queue.transfer rest obj.mq;
+      charge rt c.Cost_model.mq_dequeue;
+      bump (ctrs rt).c_wait_immediate;
+      m
+  | None -> (
+      match block rt (Wait_patterns patterns) with
+      | R_msg m -> m
+      | R_go | R_reply _ -> assert false)

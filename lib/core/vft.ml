@@ -1,0 +1,65 @@
+open Kernel
+
+let build_method_table cls ~wrap_init =
+  let entries = Array.make (Pattern.count ()) No_method in
+  let fill (pattern, impl) =
+    entries.(pattern) <- (if wrap_init then Invoke_init impl else Invoke impl)
+  in
+  List.iter fill cls.methods;
+  entries
+
+let dormant cls =
+  match cls.tbl_dormant with
+  | Some t -> t
+  | None ->
+      let t =
+        {
+          entries = build_method_table cls ~wrap_init:false;
+          default = No_method;
+          vft_kind = Vft_dormant;
+        }
+      in
+      cls.tbl_dormant <- Some t;
+      t
+
+let init cls =
+  match cls.tbl_init with
+  | Some t -> t
+  | None ->
+      let t =
+        {
+          entries = build_method_table cls ~wrap_init:true;
+          default = No_method;
+          vft_kind = Vft_init;
+        }
+      in
+      cls.tbl_init <- Some t;
+      t
+
+let waiting cls patterns =
+  let patterns = List.sort_uniq Int.compare patterns in
+  match Hashtbl.find_opt cls.waiting_cache patterns with
+  | Some t -> t
+  | None ->
+      let entries = Array.make (Pattern.count ()) Enqueue in
+      List.iter
+        (fun p ->
+          if p >= Array.length entries then
+            invalid_arg "Vft.waiting: pattern interned after table build";
+          entries.(p) <- Restore)
+        patterns;
+      let t = { entries; default = Enqueue; vft_kind = Vft_waiting patterns } in
+      Hashtbl.add cls.waiting_cache patterns t;
+      t
+
+let make_enqueue_all () =
+  { entries = [||]; default = Enqueue; vft_kind = Vft_active }
+
+let make_fault () = { entries = [||]; default = Enqueue; vft_kind = Vft_fault }
+
+let kind_name = function
+  | Vft_dormant -> "dormant"
+  | Vft_init -> "init"
+  | Vft_active -> "active"
+  | Vft_waiting _ -> "waiting"
+  | Vft_fault -> "fault"

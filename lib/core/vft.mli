@@ -1,0 +1,22 @@
+(** Construction of the multiple virtual function tables (Section 4.2).
+
+    Each class gets: a {e dormant} table holding its method bodies, an
+    {e init} table whose entries run the lazy state-variable
+    initialisation before the body, and on demand one {e waiting} table
+    per selective-reception pattern set (cached per class). Two tables
+    are class-independent and shared: the {e active} table (all entries
+    are queuing procedures) and the {e generic fault} table used by
+    not-yet-initialised remote chunks. *)
+
+val dormant : Kernel.cls -> Kernel.vft
+val init : Kernel.cls -> Kernel.vft
+
+val waiting : Kernel.cls -> Pattern.t list -> Kernel.vft
+(** [waiting cls patterns]: [Restore] for the awaited patterns, [Enqueue]
+    for everything else. The pattern list is normalised (sorted, deduped)
+    before the cache lookup. *)
+
+val make_enqueue_all : unit -> Kernel.vft
+val make_fault : unit -> Kernel.vft
+
+val kind_name : Kernel.vft_kind -> string

@@ -1,0 +1,96 @@
+(** Abstract syntax of the ABCL-like surface language.
+
+    The concrete syntax (see [Parser]) is a small, conventional notation
+    for the computation model of Section 2: classes of concurrent
+    objects with encapsulated state, past- / now- / future-type message
+    passing, object creation with placement, and selective message
+    reception. A program is a set of class definitions plus boot
+    directives. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type unop = Neg | Not
+
+(** Placement of a [new] expression. *)
+type where =
+  | W_local  (** on the creating node *)
+  | W_remote  (** wherever the configured policy decides *)
+  | W_on of expr  (** on an explicitly computed node *)
+
+and expr =
+  | E_unit
+  | E_int of int
+  | E_bool of bool
+  | E_str of string
+  | E_var of string
+  | E_self  (** this object's mail address *)
+  | E_node  (** the executing node's id *)
+  | E_nodes  (** total number of nodes *)
+  | E_binop of binop * expr * expr
+  | E_unop of unop * expr
+  | E_list of expr list
+  | E_prim of string * expr list
+      (** built-ins: hd, tl, cons, null, len, abs, min, max, random *)
+  | E_new of { cls : string; args : expr list; where : where }
+  | E_send_now of { target : expr; pattern : string; args : expr list }
+  | E_send_future of { target : expr; pattern : string; args : expr list }
+  | E_touch of expr
+
+and stmt =
+  | S_let of string * expr
+  | S_assign of string * expr  (** state variable or let-bound variable *)
+  | S_send of { target : expr; pattern : string; args : expr list }
+  | S_reply of expr
+  | S_print of expr
+  | S_charge of expr  (** model [e] instructions of computation *)
+  | S_retire  (** drop this object after the current method *)
+  | S_if of expr * block * block
+  | S_while of expr * block
+  | S_for of { var : string; from_ : expr; to_ : expr; body : block }
+      (** inclusive bounds; the loop variable stays bound (at its final
+          value) for the rest of the enclosing block *)
+  | S_wait of wait_arm list
+      (** selective reception: waits for the first message matching any
+          arm's pattern, binds its arguments, runs that arm's body *)
+  | S_expr of expr
+
+and wait_arm = { w_pattern : string; w_params : string list; w_body : block }
+and block = stmt list
+
+type method_def = {
+  m_pattern : string;
+  m_params : string list;
+  m_body : block;
+}
+
+type class_def = {
+  c_name : string;
+  c_params : string list;  (** constructor parameters *)
+  c_state : (string * expr) list;
+      (** state variables; initialisers may use constructor parameters *)
+  c_methods : method_def list;
+}
+
+(** [boot <class>(literals) on <node> <- <pattern>(literals)] *)
+type boot_def = {
+  b_class : string;
+  b_args : expr list;  (** must be literals *)
+  b_node : int;
+  b_pattern : string;
+  b_msg_args : expr list;  (** must be literals *)
+}
+
+type program = { p_classes : class_def list; p_boots : boot_def list }

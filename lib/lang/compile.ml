@@ -1,0 +1,347 @@
+open Ast
+module Value = Core.Value
+module Pattern = Core.Pattern
+module Message = Core.Message
+module Ctx = Core.Ctx
+module Class_def = Core.Class_def
+module System = Core.System
+
+exception Script_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Script_error m)) fmt
+
+type instance = {
+  registry : (string, Core.Kernel.cls) Hashtbl.t;
+  out : Buffer.t;
+  program : Ast.program;
+}
+
+(* Patterns are namespaced by arity so scripts compose with host code. *)
+let pat keyword ~arity =
+  Pattern.intern (Printf.sprintf "%s/%d" keyword arity) ~arity
+
+(* --- pure evaluation (state initialisers and boot arguments) --- *)
+
+let rec eval_pure bindings (e : expr) : Value.t =
+  match e with
+  | E_unit -> Value.unit
+  | E_int i -> Value.int i
+  | E_bool b -> Value.bool b
+  | E_str s -> Value.str s
+  | E_var x -> (
+      match List.assoc_opt x bindings with
+      | Some v -> v
+      | None -> error "unbound variable %s in a constant context" x)
+  | E_list es -> Value.list (List.map (eval_pure bindings) es)
+  | E_binop (op, a, b) ->
+      eval_binop op (eval_pure bindings a) (fun () -> eval_pure bindings b)
+  | E_unop (op, a) -> eval_unop op (eval_pure bindings a)
+  | E_prim (name, args) -> eval_prim_pure name (List.map (eval_pure bindings) args)
+  | E_self | E_node | E_nodes | E_new _ | E_send_now _ | E_send_future _
+  | E_touch _ ->
+      error "expression requires a running object (not allowed here)"
+
+and eval_binop op a b_thunk =
+  let int_op f =
+    let b = b_thunk () in
+    Value.int (f (Value.to_int a) (Value.to_int b))
+  in
+  let cmp_op f =
+    let b = b_thunk () in
+    Value.bool (f (Value.to_int a) (Value.to_int b))
+  in
+  match op with
+  | Add -> int_op ( + )
+  | Sub -> int_op ( - )
+  | Mul -> int_op ( * )
+  | Div ->
+      let b = Value.to_int (b_thunk ()) in
+      if b = 0 then error "division by zero";
+      Value.int (Value.to_int a / b)
+  | Mod ->
+      let b = Value.to_int (b_thunk ()) in
+      if b = 0 then error "modulo by zero";
+      Value.int (Value.to_int a mod b)
+  | Lt -> cmp_op ( < )
+  | Le -> cmp_op ( <= )
+  | Gt -> cmp_op ( > )
+  | Ge -> cmp_op ( >= )
+  | Eq -> Value.bool (Value.equal a (b_thunk ()))
+  | Ne -> Value.bool (not (Value.equal a (b_thunk ())))
+  | And -> if Value.to_bool a then b_thunk () else Value.bool false
+  | Or -> if Value.to_bool a then Value.bool true else b_thunk ()
+
+and eval_unop op a =
+  match op with
+  | Neg -> Value.int (-Value.to_int a)
+  | Not -> Value.bool (not (Value.to_bool a))
+
+and eval_prim_pure name args =
+  match (name, args) with
+  | "hd", [ v ] -> (
+      match Value.to_list v with
+      | x :: _ -> x
+      | [] -> error "hd of empty list")
+  | "tl", [ v ] -> (
+      match Value.to_list v with
+      | _ :: rest -> Value.list rest
+      | [] -> error "tl of empty list")
+  | "cons", [ x; v ] -> Value.list (x :: Value.to_list v)
+  | "null", [ v ] -> Value.bool (Value.to_list v = [])
+  | "len", [ v ] -> Value.int (List.length (Value.to_list v))
+  | "nth", [ v; i ] -> (
+      match List.nth_opt (Value.to_list v) (Value.to_int i) with
+      | Some x -> x
+      | None -> error "nth out of range")
+  | "abs", [ v ] -> Value.int (abs (Value.to_int v))
+  | "safe", [ board; col ] ->
+      (* N-queens helper: may a queen go in [col] on the next row, given
+         the placements so far (most recent first)? *)
+      let cols = List.map Value.to_int (Value.to_list board) in
+      let col = Value.to_int col in
+      let rec check d = function
+        | [] -> true
+        | c :: rest -> c <> col && abs (c - col) <> d && check (d + 1) rest
+      in
+      Value.bool (check 1 cols)
+  | "min", [ a; b ] -> Value.int (min (Value.to_int a) (Value.to_int b))
+  | "max", [ a; b ] -> Value.int (max (Value.to_int a) (Value.to_int b))
+  | name, args ->
+      error "unknown primitive %s/%d" name (List.length args)
+
+(* --- interpretation inside a method --- *)
+
+type env = {
+  inst : instance;
+  ctx : Ctx.t;
+  msg : Message.t;
+  mutable vars : (string * Value.t ref) list;
+  state_names : string array;
+}
+
+let lookup_class inst name =
+  match Hashtbl.find_opt inst.registry name with
+  | Some cls -> cls
+  | None -> error "unknown class %s" name
+
+let state_index env name =
+  let rec find i =
+    if i >= Array.length env.state_names then None
+    else if String.equal env.state_names.(i) name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let rec eval env (e : expr) : Value.t =
+  match e with
+  | E_unit -> Value.unit
+  | E_int i -> Value.int i
+  | E_bool b -> Value.bool b
+  | E_str s -> Value.str s
+  | E_self -> Value.addr (Ctx.self env.ctx)
+  | E_node -> Value.int (Ctx.node_id env.ctx)
+  | E_nodes -> Value.int (Ctx.node_count env.ctx)
+  | E_var x -> (
+      match List.assoc_opt x env.vars with
+      | Some r -> !r
+      | None -> (
+          match state_index env x with
+          | Some i -> Ctx.get env.ctx i
+          | None -> error "unbound variable %s" x))
+  | E_list es -> Value.list (List.map (eval env) es)
+  | E_binop (op, a, b) ->
+      Ctx.charge env.ctx 2;
+      eval_binop op (eval env a) (fun () -> eval env b)
+  | E_unop (op, a) ->
+      Ctx.charge env.ctx 1;
+      eval_unop op (eval env a)
+  | E_prim ("random", [ bound ]) ->
+      Value.int (Ctx.random env.ctx (Value.to_int (eval env bound)))
+  | E_prim (name, args) ->
+      Ctx.charge env.ctx 2;
+      eval_prim_pure name (List.map (eval env) args)
+  | E_new { cls; args; where } -> (
+      let cls = lookup_class env.inst cls in
+      let args = List.map (eval env) args in
+      match where with
+      | W_local -> Value.addr (Ctx.create_local env.ctx cls args)
+      | W_remote -> Value.addr (Ctx.create_remote env.ctx cls args)
+      | W_on node_expr ->
+          let target =
+            ((Value.to_int (eval env node_expr) mod Ctx.node_count env.ctx)
+            + Ctx.node_count env.ctx)
+            mod Ctx.node_count env.ctx
+          in
+          Value.addr (Ctx.create_on env.ctx ~target cls args))
+  | E_send_now { target; pattern; args } ->
+      let target = Value.to_addr (eval env target) in
+      let args = List.map (eval env) args in
+      Ctx.send_now env.ctx target (pat pattern ~arity:(List.length args)) args
+  | E_send_future { target; pattern; args } ->
+      let target = Value.to_addr (eval env target) in
+      let args = List.map (eval env) args in
+      let f =
+        Ctx.send_future env.ctx target
+          (pat pattern ~arity:(List.length args))
+          args
+      in
+      (* A future is represented in the script as its reply-destination
+         address; touch recognises it. *)
+      Value.addr (Ctx.future_addr f)
+  | E_touch e -> (
+      let addr = Value.to_addr (eval env e) in
+      match Ctx.future_of_addr env.ctx addr with
+      | f -> Ctx.touch env.ctx f
+      | exception Invalid_argument m -> error "%s" m)
+
+(* Futures in scripts: the address identifies the reply destination; we
+   keep a side table per env so touch can find the handle. *)
+and exec env (s : stmt) : unit =
+  match s with
+  | S_let (x, e) ->
+      let v = eval env e in
+      env.vars <- (x, ref v) :: env.vars
+  | S_assign (x, e) -> (
+      let v = eval env e in
+      match List.assoc_opt x env.vars with
+      | Some r -> r := v
+      | None -> (
+          match state_index env x with
+          | Some i -> Ctx.set env.ctx i v
+          | None -> error "assignment to unbound variable %s" x))
+  | S_send { target; pattern; args } ->
+      let target = Value.to_addr (eval env target) in
+      let args = List.map (eval env) args in
+      Ctx.send env.ctx target (pat pattern ~arity:(List.length args)) args
+  | S_reply e -> Ctx.reply env.ctx env.msg (eval env e)
+  | S_print e ->
+      Buffer.add_string env.inst.out
+        (Format.asprintf "%a@." Value.pp (eval env e))
+  | S_charge e -> Ctx.charge env.ctx (Value.to_int (eval env e))
+  | S_retire -> Ctx.retire env.ctx
+  | S_if (cond, then_, else_) ->
+      Ctx.charge env.ctx 2;
+      exec_block env (if Value.to_bool (eval env cond) then then_ else else_)
+  | S_while (cond, body) ->
+      let rec loop () =
+        Ctx.charge env.ctx 2;
+        if Value.to_bool (eval env cond) then begin
+          exec_block env body;
+          loop ()
+        end
+      in
+      loop ()
+  | S_for { var; from_; to_; body } ->
+      let lo = Value.to_int (eval env from_) in
+      let hi = Value.to_int (eval env to_) in
+      let cell = ref (Value.int lo) in
+      env.vars <- (var, cell) :: env.vars;
+      for i = lo to hi do
+        Ctx.charge env.ctx 2;
+        cell := Value.int i;
+        exec_block env body
+      done
+  | S_wait arms ->
+      let patterns =
+        List.map (fun a -> pat a.w_pattern ~arity:(List.length a.w_params)) arms
+      in
+      let m = Ctx.wait_for env.ctx patterns in
+      let arm =
+        List.nth arms
+          (let rec index i = function
+             | [] -> error "wait: no arm matched"
+             | p :: _ when p = m.Message.pattern -> i
+             | _ :: rest -> index (i + 1) rest
+           in
+           index 0 patterns)
+      in
+      let saved = env.vars in
+      List.iteri
+        (fun i param ->
+          env.vars <- (param, ref (Message.arg m i)) :: env.vars)
+        arm.w_params;
+      exec_block env arm.w_body;
+      env.vars <- saved
+  | S_expr e -> ignore (eval env e)
+
+and exec_block env block =
+  (* [let] bindings are scoped to their block. *)
+  let saved = env.vars in
+  List.iter (exec env) block;
+  env.vars <- saved
+
+(* --- class compilation --- *)
+
+let compile_method inst state_names (m : method_def) =
+  let arity = List.length m.m_params in
+  let impl ctx msg =
+    let env = { inst; ctx; msg; vars = []; state_names } in
+    List.iteri
+      (fun i param -> env.vars <- (param, ref (Message.arg msg i)) :: env.vars)
+      m.m_params;
+    exec_block env m.m_body
+  in
+  (pat m.m_pattern ~arity, impl)
+
+let compile_class inst (c : class_def) =
+  let state_names = Array.of_list (List.map fst c.c_state) in
+  let inits = List.map snd c.c_state in
+  let n_params = List.length c.c_params in
+  let cls_init args =
+    if List.length args <> n_params then
+      error "class %s expects %d constructor argument(s), got %d" c.c_name
+        n_params (List.length args);
+    let bindings = List.combine c.c_params args in
+    Array.of_list (List.map (eval_pure bindings) inits)
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let key = (m.m_pattern, List.length m.m_params) in
+      if Hashtbl.mem seen key then
+        error "class %s: duplicate method %s" c.c_name m.m_pattern;
+      Hashtbl.add seen key ())
+    c.c_methods;
+  Class_def.define ~name:c.c_name ~state:state_names ~init:cls_init
+    ~methods:(List.map (compile_method inst state_names) c.c_methods)
+    ()
+
+let compile (program : Ast.program) =
+  let inst =
+    { registry = Hashtbl.create 16; out = Buffer.create 256; program }
+  in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem inst.registry c.c_name then
+        error "duplicate class %s" c.c_name;
+      Hashtbl.replace inst.registry c.c_name (compile_class inst c))
+    program.p_classes;
+  inst
+
+let classes inst = Hashtbl.fold (fun _ c acc -> c :: acc) inst.registry []
+
+let boot ?machine_config ?rt_config ~nodes inst =
+  let sys =
+    System.boot ?machine_config ?rt_config ~nodes ~classes:(classes inst) ()
+  in
+  List.iter
+    (fun b ->
+      let cls = lookup_class inst b.b_class in
+      let ctor_args = List.map (eval_pure []) b.b_args in
+      let node = ((b.b_node mod nodes) + nodes) mod nodes in
+      let addr = System.create_root sys ~node cls ctor_args in
+      let msg_args = List.map (eval_pure []) b.b_msg_args in
+      System.send_boot sys addr
+        (pat b.b_pattern ~arity:(List.length msg_args))
+        msg_args)
+    inst.program.p_boots;
+  sys
+
+let output inst = Buffer.contents inst.out
+
+let run_source ?machine_config ?rt_config ?(nodes = 4) source =
+  let program = Parser.parse_program source in
+  let inst = compile program in
+  let sys = boot ?machine_config ?rt_config ~nodes inst in
+  System.run sys;
+  (output inst, sys)

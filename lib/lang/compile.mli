@@ -1,0 +1,41 @@
+(** Compiles a parsed program into runtime classes and boots it.
+
+    Method bodies are interpreted against the [Core.Ctx] API — the same
+    five basic actions the paper's compiler emits C code for. Every
+    pattern is interned as ["keyword/arity"], so scripts cannot collide
+    with host-defined patterns of different arity. Interpretation charges
+    small instruction counts per evaluated node, so script computation
+    advances virtual time like compiled method bodies would. *)
+
+exception Script_error of string
+(** Compile-time or runtime error in a script (unknown class, unbound
+    variable, type mismatch, division by zero, ...). *)
+
+type instance
+
+val compile : Ast.program -> instance
+(** Builds all classes. Raises {!Script_error} on duplicate class names,
+    duplicate methods, or non-constant boot arguments. *)
+
+val classes : instance -> Core.Kernel.cls list
+
+val boot :
+  ?machine_config:Machine.Engine.config ->
+  ?rt_config:Core.Kernel.rt_config ->
+  nodes:int ->
+  instance ->
+  Core.System.t
+(** Boots a system with the program's classes, creates the boot objects
+    and schedules the boot messages. *)
+
+val output : instance -> string
+(** Everything the program [print]ed so far. *)
+
+val run_source :
+  ?machine_config:Machine.Engine.config ->
+  ?rt_config:Core.Kernel.rt_config ->
+  ?nodes:int ->
+  string ->
+  string * Core.System.t
+(** Parse, compile, boot and run to quiescence; returns the printed
+    output and the final system (for statistics). [nodes] defaults to 4. *)

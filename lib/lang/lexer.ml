@@ -1,0 +1,139 @@
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | DOT
+  | ASSIGN
+  | ARROW
+  | OP of string
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let keywords =
+  [
+    "class"; "state"; "method"; "end"; "let"; "send"; "now"; "future";
+    "touch"; "reply"; "print"; "charge"; "retire"; "if"; "else"; "while";
+    "for"; "to"; "do"; "wait"; "new"; "on"; "remote"; "local"; "self";
+    "node"; "nodes"; "true"; "false"; "unit"; "boot"; "not";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let error message = raise (Error { line = !line; message }) in
+  let rec scan i =
+    if i >= n then emit EOF
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        scan (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then scan (i + 1)
+      else if c = '#' || (c = ';' && i + 1 < n && src.[i + 1] = ';') then begin
+        (* comment to end of line *)
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        scan (skip i)
+      end
+      else if is_digit c then begin
+        let rec grab j = if j < n && is_digit src.[j] then grab (j + 1) else j in
+        let j = grab i in
+        emit (INT (int_of_string (String.sub src i (j - i))));
+        scan j
+      end
+      else if is_ident_start c then begin
+        let rec grab j = if j < n && is_ident_char src.[j] then grab (j + 1) else j in
+        let j = grab i in
+        let word = String.sub src i (j - i) in
+        emit (if List.mem word keywords then KW word else IDENT word);
+        scan j
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec grab j =
+          if j >= n then error "unterminated string"
+          else if src.[j] = '"' then j + 1
+          else if src.[j] = '\\' && j + 1 < n then begin
+            (match src.[j + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | other -> Buffer.add_char buf other);
+            grab (j + 2)
+          end
+          else begin
+            Buffer.add_char buf src.[j];
+            grab (j + 1)
+          end
+        in
+        let j = grab (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        scan j
+      end
+      else
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | ":=" ->
+            emit ASSIGN;
+            scan (i + 2)
+        | "<-" ->
+            emit ARROW;
+            scan (i + 2)
+        | "<=" | ">=" | "<>" | "&&" | "||" ->
+            emit (OP two);
+            scan (i + 2)
+        | _ -> (
+            match c with
+            | '(' -> emit LPAREN; scan (i + 1)
+            | ')' -> emit RPAREN; scan (i + 1)
+            | '{' -> emit LBRACE; scan (i + 1)
+            | '}' -> emit RBRACE; scan (i + 1)
+            | '[' -> emit LBRACKET; scan (i + 1)
+            | ']' -> emit RBRACKET; scan (i + 1)
+            | ',' -> emit COMMA; scan (i + 1)
+            | ';' -> emit SEMI; scan (i + 1)
+            | '.' -> emit DOT; scan (i + 1)
+            | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' | '!' ->
+                emit (OP (String.make 1 c));
+                scan (i + 1)
+            | _ -> error (Printf.sprintf "unexpected character %C" c))
+  in
+  scan 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | INT i -> Format.fprintf ppf "%d" i
+  | STRING s -> Format.fprintf ppf "%S" s
+  | IDENT s -> Format.fprintf ppf "ident %s" s
+  | KW s -> Format.fprintf ppf "keyword %s" s
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | LBRACE -> Format.pp_print_string ppf "{"
+  | RBRACE -> Format.pp_print_string ppf "}"
+  | LBRACKET -> Format.pp_print_string ppf "["
+  | RBRACKET -> Format.pp_print_string ppf "]"
+  | COMMA -> Format.pp_print_string ppf ","
+  | SEMI -> Format.pp_print_string ppf ";"
+  | DOT -> Format.pp_print_string ppf "."
+  | ASSIGN -> Format.pp_print_string ppf ":="
+  | ARROW -> Format.pp_print_string ppf "<-"
+  | OP s -> Format.pp_print_string ppf s
+  | EOF -> Format.pp_print_string ppf "<eof>"

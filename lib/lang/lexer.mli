@@ -1,0 +1,30 @@
+(** Hand-written lexer for the surface language. *)
+
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string  (** lowercase identifiers and keywords are split by the parser *)
+  | KW of string  (** reserved word *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | DOT
+  | ASSIGN  (** := *)
+  | ARROW  (** <- *)
+  | OP of string  (** + - * / % < <= > >= = <> && || ! *)
+  | EOF
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers. Comments run from [;;] or [#] to end
+    of line. Raises {!Error} on malformed input. *)
+
+val keywords : string list
+
+val pp_token : Format.formatter -> token -> unit

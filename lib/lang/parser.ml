@@ -1,0 +1,381 @@
+open Ast
+
+exception Error of { line : int; message : string }
+
+type state = { tokens : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.tokens.(st.pos)
+let line st = snd st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st message = raise (Error { line = line st; message })
+
+let expect st token what =
+  if peek st = token then advance st
+  else
+    fail st
+      (Format.asprintf "expected %s, found %a" what Lexer.pp_token (peek st))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name ->
+      advance st;
+      name
+  | other -> fail st (Format.asprintf "expected identifier, found %a" Lexer.pp_token other)
+
+let int_lit st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      i
+  | other -> fail st (Format.asprintf "expected integer, found %a" Lexer.pp_token other)
+
+let comma_sep st parse ~closing =
+  if peek st = closing then []
+  else
+    let rec loop acc =
+      let item = parse st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        loop (item :: acc)
+      end
+      else List.rev (item :: acc)
+    in
+    loop []
+
+(* --- expressions --- *)
+
+let binop_of = function
+  | "+" -> Add
+  | "-" -> Sub
+  | "*" -> Mul
+  | "/" -> Div
+  | "%" -> Mod
+  | "<" -> Lt
+  | "<=" -> Le
+  | ">" -> Gt
+  | ">=" -> Ge
+  | "=" -> Eq
+  | "<>" -> Ne
+  | "&&" -> And
+  | "||" -> Or
+  | op -> invalid_arg ("binop_of: " ^ op)
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let lhs = and_expr st in
+  match peek st with
+  | Lexer.OP "||" ->
+      advance st;
+      E_binop (Or, lhs, or_expr st)
+  | _ -> lhs
+
+and and_expr st =
+  let lhs = cmp_expr st in
+  match peek st with
+  | Lexer.OP "&&" ->
+      advance st;
+      E_binop (And, lhs, and_expr st)
+  | _ -> lhs
+
+and cmp_expr st =
+  let lhs = add_expr st in
+  match peek st with
+  | Lexer.OP (("<" | "<=" | ">" | ">=" | "=" | "<>") as op) ->
+      advance st;
+      E_binop (binop_of op, lhs, add_expr st)
+  | _ -> lhs
+
+and add_expr st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.OP (("+" | "-") as op) ->
+        advance st;
+        loop (E_binop (binop_of op, lhs, mul_expr st))
+    | _ -> lhs
+  in
+  loop (mul_expr st)
+
+and mul_expr st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.OP (("*" | "/" | "%") as op) ->
+        advance st;
+        loop (E_binop (binop_of op, lhs, unary_expr st))
+    | _ -> lhs
+  in
+  loop (unary_expr st)
+
+and unary_expr st =
+  match peek st with
+  | Lexer.OP "-" ->
+      advance st;
+      E_unop (Neg, unary_expr st)
+  | Lexer.KW "not" | Lexer.OP "!" ->
+      advance st;
+      E_unop (Not, unary_expr st)
+  | _ -> primary st
+
+and args st =
+  expect st Lexer.LPAREN "(";
+  let items = comma_sep st expr ~closing:Lexer.RPAREN in
+  expect st Lexer.RPAREN ")";
+  items
+
+and message_suffix st target =
+  expect st Lexer.DOT ".";
+  let pattern = ident st in
+  let arguments = args st in
+  (target, pattern, arguments)
+
+and primary st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      E_int i
+  | Lexer.STRING s ->
+      advance st;
+      E_str s
+  | Lexer.KW "true" ->
+      advance st;
+      E_bool true
+  | Lexer.KW "false" ->
+      advance st;
+      E_bool false
+  | Lexer.KW "unit" ->
+      advance st;
+      E_unit
+  | Lexer.KW "self" ->
+      advance st;
+      E_self
+  | Lexer.KW "node" ->
+      advance st;
+      E_node
+  | Lexer.KW "nodes" ->
+      advance st;
+      E_nodes
+  | Lexer.LPAREN ->
+      advance st;
+      let e = expr st in
+      expect st Lexer.RPAREN ")";
+      e
+  | Lexer.LBRACKET ->
+      advance st;
+      let items = comma_sep st expr ~closing:Lexer.RBRACKET in
+      expect st Lexer.RBRACKET "]";
+      E_list items
+  | Lexer.KW "new" ->
+      advance st;
+      let cls = ident st in
+      let arguments = args st in
+      let where =
+        match peek st with
+        | Lexer.KW "on" ->
+            advance st;
+            W_on (primary st)
+        | Lexer.KW "remote" ->
+            advance st;
+            W_remote
+        | Lexer.KW "local" ->
+            advance st;
+            W_local
+        | _ -> W_remote
+      in
+      E_new { cls; args = arguments; where }
+  | Lexer.KW "now" ->
+      advance st;
+      let target = primary st in
+      let target, pattern, arguments = message_suffix st target in
+      E_send_now { target; pattern; args = arguments }
+  | Lexer.KW "future" ->
+      advance st;
+      let target = primary st in
+      let target, pattern, arguments = message_suffix st target in
+      E_send_future { target; pattern; args = arguments }
+  | Lexer.KW "touch" ->
+      advance st;
+      E_touch (primary st)
+  | Lexer.IDENT name ->
+      advance st;
+      if peek st = Lexer.LPAREN then E_prim (name, args st) else E_var name
+  | other ->
+      fail st (Format.asprintf "expected expression, found %a" Lexer.pp_token other)
+
+(* --- statements --- *)
+
+let rec block st =
+  expect st Lexer.LBRACE "{";
+  let rec loop acc =
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (stmt st :: acc)
+  in
+  loop []
+
+and stmt st =
+  match peek st with
+  | Lexer.KW "let" ->
+      advance st;
+      let name = ident st in
+      expect st (Lexer.OP "=") "=";
+      let e = expr st in
+      expect st Lexer.SEMI ";";
+      S_let (name, e)
+  | Lexer.KW "send" ->
+      advance st;
+      let target = primary st in
+      let target, pattern, arguments = message_suffix st target in
+      expect st Lexer.SEMI ";";
+      S_send { target; pattern; args = arguments }
+  | Lexer.KW "reply" ->
+      advance st;
+      let e = expr st in
+      expect st Lexer.SEMI ";";
+      S_reply e
+  | Lexer.KW "print" ->
+      advance st;
+      let e = expr st in
+      expect st Lexer.SEMI ";";
+      S_print e
+  | Lexer.KW "charge" ->
+      advance st;
+      let e = expr st in
+      expect st Lexer.SEMI ";";
+      S_charge e
+  | Lexer.KW "retire" ->
+      advance st;
+      expect st Lexer.SEMI ";";
+      S_retire
+  | Lexer.KW "if" ->
+      advance st;
+      let cond = expr st in
+      let then_ = block st in
+      let else_ =
+        if peek st = Lexer.KW "else" then begin
+          advance st;
+          block st
+        end
+        else []
+      in
+      S_if (cond, then_, else_)
+  | Lexer.KW "while" ->
+      advance st;
+      let cond = expr st in
+      S_while (cond, block st)
+  | Lexer.KW "for" ->
+      advance st;
+      let var = ident st in
+      expect st (Lexer.OP "=") "=";
+      let from_ = expr st in
+      expect st (Lexer.KW "to") "to";
+      let to_ = expr st in
+      S_for { var; from_; to_; body = block st }
+  | Lexer.KW "wait" ->
+      advance st;
+      expect st Lexer.LBRACE "{";
+      let rec arms acc =
+        if peek st = Lexer.RBRACE then begin
+          advance st;
+          List.rev acc
+        end
+        else begin
+          let w_pattern = ident st in
+          expect st Lexer.LPAREN "(";
+          let w_params = comma_sep st ident ~closing:Lexer.RPAREN in
+          expect st Lexer.RPAREN ")";
+          let w_body = block st in
+          arms ({ w_pattern; w_params; w_body } :: acc)
+        end
+      in
+      let arms = arms [] in
+      if arms = [] then fail st "wait requires at least one arm";
+      S_wait arms
+  | Lexer.IDENT name when fst st.tokens.(st.pos + 1) = Lexer.ASSIGN ->
+      advance st;
+      advance st;
+      let e = expr st in
+      expect st Lexer.SEMI ";";
+      S_assign (name, e)
+  | _ ->
+      let e = expr st in
+      expect st Lexer.SEMI ";";
+      S_expr e
+
+(* --- top level --- *)
+
+let method_def st =
+  expect st (Lexer.KW "method") "method";
+  let m_pattern = ident st in
+  expect st Lexer.LPAREN "(";
+  let m_params = comma_sep st ident ~closing:Lexer.RPAREN in
+  expect st Lexer.RPAREN ")";
+  { m_pattern; m_params; m_body = block st }
+
+let class_def st =
+  expect st (Lexer.KW "class") "class";
+  let c_name = ident st in
+  let c_params =
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let params = comma_sep st ident ~closing:Lexer.RPAREN in
+      expect st Lexer.RPAREN ")";
+      params
+    end
+    else []
+  in
+  let rec states acc =
+    if peek st = Lexer.KW "state" then begin
+      advance st;
+      let name = ident st in
+      expect st (Lexer.OP "=") "=";
+      let init = expr st in
+      states ((name, init) :: acc)
+    end
+    else List.rev acc
+  in
+  let c_state = states [] in
+  let rec methods acc =
+    if peek st = Lexer.KW "method" then methods (method_def st :: acc)
+    else List.rev acc
+  in
+  let c_methods = methods [] in
+  expect st (Lexer.KW "end") "end";
+  { c_name; c_params; c_state; c_methods }
+
+let boot_def st =
+  expect st (Lexer.KW "boot") "boot";
+  let b_class = ident st in
+  let b_args = args st in
+  expect st (Lexer.KW "on") "on";
+  let b_node = int_lit st in
+  expect st Lexer.ARROW "<-";
+  let b_pattern = ident st in
+  let b_msg_args = args st in
+  { b_class; b_args; b_node; b_pattern; b_msg_args }
+
+let parse_program src =
+  let st = { tokens = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let rec loop classes boots =
+    match peek st with
+    | Lexer.EOF ->
+        { p_classes = List.rev classes; p_boots = List.rev boots }
+    | Lexer.KW "class" -> loop (class_def st :: classes) boots
+    | Lexer.KW "boot" -> loop classes (boot_def st :: boots)
+    | other ->
+        fail st
+          (Format.asprintf "expected 'class' or 'boot', found %a"
+             Lexer.pp_token other)
+  in
+  let program = loop [] [] in
+  if program.p_boots = [] then
+    raise (Error { line = 0; message = "program has no boot directive" });
+  program
+
+let parse_expr src =
+  let st = { tokens = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let e = expr st in
+  expect st Lexer.EOF "end of input";
+  e

@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the surface language.
+
+    Grammar sketch (see the examples under [examples/abcl/]):
+    {v
+    program  ::= (class | boot)* EOF
+    class    ::= "class" name ["(" params ")"]
+                   ("state" name "=" expr)* method* "end"
+    method   ::= "method" name "(" params ")" block
+    boot     ::= "boot" name "(" literals ")" "on" int
+                   "<-" name "(" literals ")"
+    block    ::= "{" stmt* "}"
+    stmt     ::= "let" x "=" expr ";" | x ":=" expr ";"
+               | "send" primary "." name "(" args ")" ";"
+               | "reply" expr ";" | "print" expr ";" | "charge" expr ";"
+               | "retire" ";" | "if" expr block ["else" block]
+               | "while" expr block | "for" x "=" expr "to" expr block
+               | "wait" "{" (name "(" params ")" block)+ "}"
+               | expr ";"
+    expr     ::= usual precedence over || && = <> < <= > >= + - * / %
+    primary  ::= literal | x | x "(" args ")" | "(" expr ")" | "[" args "]"
+               | "self" | "node" | "nodes"
+               | "new" name "(" args ")" ["on" primary | "remote" | "local"]
+               | "now" primary "." name "(" args ")"
+               | "future" primary "." name "(" args ")" | "touch" primary
+    v} *)
+
+exception Error of { line : int; message : string }
+
+val parse_program : string -> Ast.program
+(** Raises {!Error} or {!Lexer.Error} on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a single expression (for tests). *)

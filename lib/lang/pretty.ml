@@ -1,0 +1,118 @@
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+  | Ne -> "<>"
+  | And -> "&&"
+  | Or -> "||"
+
+let comma_sep pp ppf items =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    pp ppf items
+
+(* Everything compound is parenthesised, so precedence never matters on
+   re-parse. *)
+let rec pp_expr ppf = function
+  | E_unit -> Format.pp_print_string ppf "unit"
+  | E_int i -> if i < 0 then Format.fprintf ppf "(0 - %d)" (-i) else Format.pp_print_int ppf i
+  | E_bool b -> Format.pp_print_bool ppf b
+  | E_str s -> Format.fprintf ppf "%S" s
+  | E_var x -> Format.pp_print_string ppf x
+  | E_self -> Format.pp_print_string ppf "self"
+  | E_node -> Format.pp_print_string ppf "node"
+  | E_nodes -> Format.pp_print_string ppf "nodes"
+  | E_binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | E_unop (Neg, a) -> Format.fprintf ppf "(- %a)" pp_expr a
+  | E_unop (Not, a) -> Format.fprintf ppf "(not %a)" pp_expr a
+  | E_list es -> Format.fprintf ppf "[%a]" (comma_sep pp_expr) es
+  | E_prim (name, args) ->
+      Format.fprintf ppf "%s(%a)" name (comma_sep pp_expr) args
+  | E_new { cls; args; where } ->
+      Format.fprintf ppf "(new %s(%a)%a)" cls (comma_sep pp_expr) args pp_where
+        where
+  | E_send_now { target; pattern; args } ->
+      Format.fprintf ppf "(now (%a).%s(%a))" pp_expr target pattern
+        (comma_sep pp_expr) args
+  | E_send_future { target; pattern; args } ->
+      Format.fprintf ppf "(future (%a).%s(%a))" pp_expr target pattern
+        (comma_sep pp_expr) args
+  | E_touch e -> Format.fprintf ppf "(touch (%a))" pp_expr e
+
+and pp_where ppf = function
+  | W_local -> Format.pp_print_string ppf " local"
+  | W_remote -> Format.pp_print_string ppf " remote"
+  | W_on e -> Format.fprintf ppf " on (%a)" pp_expr e
+
+let rec pp_stmt ppf = function
+  | S_let (x, e) -> Format.fprintf ppf "let %s = %a;" x pp_expr e
+  | S_assign (x, e) -> Format.fprintf ppf "%s := %a;" x pp_expr e
+  | S_send { target; pattern; args } ->
+      Format.fprintf ppf "send (%a).%s(%a);" pp_expr target pattern
+        (comma_sep pp_expr) args
+  | S_reply e -> Format.fprintf ppf "reply %a;" pp_expr e
+  | S_print e -> Format.fprintf ppf "print %a;" pp_expr e
+  | S_charge e -> Format.fprintf ppf "charge %a;" pp_expr e
+  | S_retire -> Format.pp_print_string ppf "retire;"
+  | S_if (cond, then_, else_) ->
+      Format.fprintf ppf "if %a %a" pp_expr cond pp_block then_;
+      if else_ <> [] then Format.fprintf ppf " else %a" pp_block else_
+  | S_while (cond, body) ->
+      Format.fprintf ppf "while %a %a" pp_expr cond pp_block body
+  | S_for { var; from_; to_; body } ->
+      Format.fprintf ppf "for %s = %a to %a %a" var pp_expr from_ pp_expr to_
+        pp_block body
+  | S_wait arms ->
+      Format.fprintf ppf "wait {@ %a@ }"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_arm)
+        arms
+  | S_expr e -> Format.fprintf ppf "%a;" pp_expr e
+
+and pp_arm ppf arm =
+  Format.fprintf ppf "%s(%a) %a" arm.w_pattern
+    (comma_sep Format.pp_print_string)
+    arm.w_params pp_block arm.w_body
+
+and pp_block ppf block =
+  Format.fprintf ppf "{@[<v 2>@ %a@]@ }"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_stmt)
+    block
+
+let pp_class ppf c =
+  Format.fprintf ppf "@[<v>class %s" c.c_name;
+  if c.c_params <> [] then
+    Format.fprintf ppf "(%a)" (comma_sep Format.pp_print_string) c.c_params;
+  List.iter
+    (fun (name, init) -> Format.fprintf ppf "@,  state %s = %a" name pp_expr init)
+    c.c_state;
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "@,  method %s(%a) %a" m.m_pattern
+        (comma_sep Format.pp_print_string)
+        m.m_params pp_block m.m_body)
+    c.c_methods;
+  Format.fprintf ppf "@,end@]"
+
+let pp_boot ppf b =
+  Format.fprintf ppf "boot %s(%a) on %d <- %s(%a)" b.b_class
+    (comma_sep pp_expr) b.b_args b.b_node b.b_pattern (comma_sep pp_expr)
+    b.b_msg_args
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>%a@,%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_class)
+    p.p_classes
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_boot)
+    p.p_boots
+
+let program_to_string p = Format.asprintf "%a@." pp_program p

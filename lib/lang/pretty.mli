@@ -1,0 +1,9 @@
+(** Pretty-printer for the surface language: emits canonical concrete
+    syntax that {!Parser.parse_program} reads back to an equal AST. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_class : Format.formatter -> Ast.class_def -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val program_to_string : Ast.program -> string

@@ -1,0 +1,12 @@
+type payload = ..
+type payload += Ping
+
+type category = Object_message | Create_request | Chunk_reply | Service
+
+type t = { handler : int; src : int; size_bytes : int; payload : payload }
+
+let category_name = function
+  | Object_message -> "object-message"
+  | Create_request -> "create-request"
+  | Chunk_reply -> "chunk-reply"
+  | Service -> "service"

@@ -1,0 +1,27 @@
+(** Active messages: a packet that carries the identifier of the handler
+    that will run on delivery (the paper's "self-dispatching message
+    handler", Section 5.1).
+
+    [payload] is an extensible variant so upper layers (the ABCL runtime,
+    services) can define their own message contents without this layer
+    depending on them. *)
+
+type payload = ..
+
+type payload += Ping  (** built-in no-op payload, used by tests/benches *)
+
+(** The paper's four handler categories (Section 5.1). *)
+type category =
+  | Object_message  (** normal message transmission between objects *)
+  | Create_request  (** request for remote object creation *)
+  | Chunk_reply  (** reply to a remote memory allocation request *)
+  | Service  (** load balancing, GC, termination, ... *)
+
+type t = {
+  handler : int;  (** index into the machine's handler table *)
+  src : int;  (** sending node *)
+  size_bytes : int;  (** payload size on the wire *)
+  payload : payload;
+}
+
+val category_name : category -> string

@@ -1,0 +1,68 @@
+type t = {
+  ns_per_instr : int;
+  check_locality : int;
+  vft_lookup_call : int;
+  switch_vft : int;
+  check_message_queue : int;
+  poll_remote : int;
+  stack_adjust_return : int;
+  frame_alloc : int;
+  frame_store_per_word : int;
+  mq_enqueue : int;
+  mq_dequeue : int;
+  sched_enqueue : int;
+  sched_dequeue : int;
+  context_save : int;
+  context_restore : int;
+  local_create : int;
+  remote_create_request : int;
+  create_init_handler : int;
+  chunk_refill : int;
+  msg_setup_send : int;
+  msg_receive_handling : int;
+  interrupt_overhead : int;
+  reply_check : int;
+}
+
+let default =
+  {
+    ns_per_instr = 92;
+    (* Table 2 rows. *)
+    check_locality = 3;
+    vft_lookup_call = 5;
+    switch_vft = 3;
+    check_message_queue = 3;
+    poll_remote = 5;
+    stack_adjust_return = 3;
+    (* Active-mode buffered path; calibrated so a one-word message to an
+       active object totals ~104 instructions = 9.6 us (Section 6.1). *)
+    frame_alloc = 20;
+    frame_store_per_word = 2;
+    mq_enqueue = 14;
+    mq_dequeue = 8;
+    sched_enqueue = 16;
+    sched_dequeue = 20;
+    context_save = 18;
+    context_restore = 14;
+    (* Creation: 23 instructions = 2.1 us (Table 1). *)
+    local_create = 23;
+    remote_create_request = 10;
+    create_init_handler = 18;
+    chunk_refill = 8;
+    (* Inter-node (Section 6.1): ~20 to set up and send, ~50 to receive. *)
+    msg_setup_send = 20;
+    msg_receive_handling = 50;
+    interrupt_overhead = 30;
+    reply_check = 4;
+  }
+
+let time c instructions = instructions * c.ns_per_instr
+
+let dormant_send_instructions c =
+  c.check_locality + c.vft_lookup_call + c.switch_vft + c.check_message_queue
+  + c.switch_vft + c.poll_remote + c.stack_adjust_return
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>cost model: %d ns/instr@,dormant fast path: %d instr@]"
+    c.ns_per_instr (dormant_send_instructions c)

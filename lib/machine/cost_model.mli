@@ -1,0 +1,50 @@
+(** Instruction-count cost model of the ABCL/onAP1000 runtime.
+
+    Every runtime operation is charged a number of (SPARC) instructions;
+    virtual time advances by [instructions * ns_per_instr]. The default
+    counts are taken from the paper (Table 2 and Section 6.1) and
+    [ns_per_instr] is back-derived from its headline numbers: the 25
+    instruction dormant fast path costs 2.3 us, i.e. 92 ns per
+    instruction (25 MHz SPARC, effective CPI ~2.3). *)
+
+type t = {
+  ns_per_instr : int;
+  (* --- intra-node dormant fast path (Table 2) --- *)
+  check_locality : int;
+  vft_lookup_call : int;
+  switch_vft : int;
+  check_message_queue : int;
+  poll_remote : int;
+  stack_adjust_return : int;
+  (* --- buffered (active-mode) path --- *)
+  frame_alloc : int;
+  frame_store_per_word : int;
+  mq_enqueue : int;
+  mq_dequeue : int;
+  sched_enqueue : int;
+  sched_dequeue : int;
+  context_save : int;  (** save locals + ip into a heap frame on blocking *)
+  context_restore : int;
+  (* --- object creation --- *)
+  local_create : int;
+  remote_create_request : int;  (** requester-side work beyond the AM send *)
+  create_init_handler : int;  (** target-side class-specific initialisation *)
+  chunk_refill : int;
+  (* --- inter-node messaging --- *)
+  msg_setup_send : int;  (** paper: ~20 instructions to set up and send *)
+  msg_receive_handling : int;
+      (** paper: ~50 instructions: polling, extraction, buffer management *)
+  interrupt_overhead : int;  (** extra cost per message in interrupt mode *)
+  reply_check : int;  (** sender checking its reply destination *)
+}
+
+val default : t
+(** The calibrated AP1000 model described above. *)
+
+val time : t -> int -> Simcore.Time.t
+(** [time c instructions] is the virtual duration of that many instructions. *)
+
+val dormant_send_instructions : t -> int
+(** Sum of the Table 2 rows for a null method: the paper reports 25. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,241 @@
+type delivery_mode = Polling | Interrupt
+
+type config = {
+  cost : Cost_model.t;
+  fabric : Network.Fabric.config;
+  delivery : delivery_mode;
+  seed : int;
+}
+
+let default_config =
+  {
+    cost = Cost_model.default;
+    fabric = Network.Fabric.default_config;
+    delivery = Polling;
+    seed = 42;
+  }
+
+type event = Wake of int
+
+type handler = {
+  h_category : Am.category;
+  h_name : string;
+  h_fn : t -> Node.t -> Am.t -> unit;
+  h_sent : int ref;  (** cached "am.sent.<category>" counter *)
+}
+
+and t = {
+  config : config;
+  topo : Network.Topology.t;
+  fabric : Am.t Network.Fabric.t;
+  nodes : Node.t array;
+  events : event Simcore.Event_queue.t;
+  mutable handlers : handler array;
+  mutable handler_count : int;
+  stats : Simcore.Stats.t;
+  rng : Simcore.Rng.t;
+  mutable vnow : Simcore.Time.t;
+  mutable observer : (observation -> unit) option;
+}
+
+and observation =
+  | Obs_deliver of { time : Simcore.Time.t; src : int; dst : int }
+  | Obs_slice of { node : int; t_start : Simcore.Time.t; t_end : Simcore.Time.t }
+
+let create ?(config = default_config) ~nodes:n () =
+  if n < 1 then invalid_arg "Engine.create: need at least one node";
+  let topo = Network.Topology.square_for n in
+  {
+    config;
+    topo;
+    fabric = Network.Fabric.create ~config:config.fabric topo;
+    nodes = Array.init n (fun id -> Node.create ~id);
+    events = Simcore.Event_queue.create ();
+    handlers = [||];
+    handler_count = 0;
+    stats = Simcore.Stats.create ();
+    rng = Simcore.Rng.create ~seed:config.seed;
+    vnow = Simcore.Time.zero;
+    observer = None;
+  }
+
+let config t = t.config
+let cost t = t.config.cost
+let topology t = t.topo
+let stats t = t.stats
+let rng t = t.rng
+let node_count t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let nodes t = t.nodes
+let charge t n instructions =
+  Node.charge_ns n (Cost_model.time t.config.cost instructions)
+
+let register_handler t category ~name fn =
+  let h_sent =
+    Simcore.Stats.counter t.stats ("am.sent." ^ Am.category_name category)
+  in
+  let h = { h_category = category; h_name = name; h_fn = fn; h_sent } in
+  let id = t.handler_count in
+  if id = Array.length t.handlers then begin
+    let handlers' = Array.make (max 8 (2 * id)) h in
+    Array.blit t.handlers 0 handlers' 0 id;
+    t.handlers <- handlers'
+  end;
+  t.handlers.(id) <- h;
+  t.handler_count <- t.handler_count + 1;
+  id
+
+let handler t id =
+  if id < 0 || id >= t.handler_count then invalid_arg "Engine: unknown handler";
+  t.handlers.(id)
+
+let wake t node ~time =
+  if Node.is_idle node then begin
+    Node.set_idle node false;
+    let time = max time (Node.now node) in
+    Simcore.Event_queue.add t.events ~time (Wake (Node.id node))
+  end
+
+let send_am t ~src ~dst ~handler:hid ~size_bytes payload =
+  let h = handler t hid in
+  incr h.h_sent;
+  let am = { Am.handler = hid; src = Node.id src; size_bytes; payload } in
+  let now = Node.now src in
+  let arrival =
+    if dst = Node.id src then now + 1 (* loopback bypasses the fabric *)
+    else
+      Network.Fabric.send t.fabric ~now
+        (Network.Packet.make ~src:(Node.id src) ~dst ~size_bytes am)
+  in
+  (match t.observer with
+  | Some f -> f (Obs_deliver { time = arrival; src = Node.id src; dst })
+  | None -> ());
+  (* The message sits in the destination's arrival-ordered inbox at once
+     (it only becomes *visible* when the clock passes its arrival), so
+     interrupt-mode delivery can notice it mid-computation. *)
+  let dst_node = t.nodes.(dst) in
+  Node.inbox_push dst_node ~arrival am;
+  let wake_time = max arrival (Node.now dst_node) in
+  if Node.is_idle dst_node then begin
+    Node.set_idle dst_node false;
+    Node.set_next_wake dst_node wake_time;
+    Simcore.Event_queue.add t.events ~time:wake_time (Wake dst)
+  end
+  else if wake_time < Node.next_wake dst_node then begin
+    (* The node is waiting for a later event; this message deserves an
+       earlier look. Duplicate wakes are harmless. *)
+    Node.set_next_wake dst_node wake_time;
+    Simcore.Event_queue.add t.events ~time:wake_time (Wake dst)
+  end
+
+let dispatch t node am =
+  let c = t.config.cost in
+  charge t node c.Cost_model.msg_receive_handling;
+  (match t.config.delivery with
+  | Polling -> ()
+  | Interrupt -> charge t node c.Cost_model.interrupt_overhead);
+  (handler t am.Am.handler).h_fn t node am
+
+let poll t node =
+  let rec drain () =
+    match Node.inbox_pop_ready node with
+    | Some (_, am) ->
+        dispatch t node am;
+        drain ()
+    | None -> ()
+  in
+  drain ()
+
+(* nCUBE/2-style delivery: message arrival interrupts the computation.
+   Interrupts are taken only at explicit interrupt points — user-level
+   computation (Ctx.charge) and message-send boundaries — never inside
+   runtime bookkeeping, whose critical sections are thereby implicitly
+   masked, as on a real machine. Re-entrant interrupts are masked while
+   a handler runs. *)
+let interrupt_point t node =
+  if t.config.delivery = Interrupt && not (Node.interrupts_masked node) then
+    match Node.inbox_pop_ready node with
+    | None -> ()
+    | Some (_, am) ->
+        Node.set_interrupts_masked node true;
+        Fun.protect
+          ~finally:(fun () -> Node.set_interrupts_masked node false)
+          (fun () ->
+            dispatch t node am;
+            poll t node)
+
+let post t node thunk =
+  Node.runq_push node thunk;
+  wake t node ~time:(max t.vnow (Node.now node))
+
+let reschedule_or_idle t node =
+  if Node.runq_size node > 0 then begin
+    Node.set_next_wake node (Node.now node);
+    Simcore.Event_queue.add t.events ~time:(Node.now node) (Wake (Node.id node))
+  end
+  else
+    match Node.inbox_next_arrival node with
+    | Some arrival ->
+        let time = max arrival (Node.now node) in
+        Node.set_next_wake node time;
+        Simcore.Event_queue.add t.events ~time (Wake (Node.id node))
+    | None ->
+        Node.set_next_wake node max_int;
+        Node.set_idle node true
+
+let set_observer t obs = t.observer <- obs
+
+let step t node ~time =
+  Node.set_next_wake node max_int;
+  Simcore.Clock.advance_to (Node.clock node) time;
+  let t_start = Node.now node in
+  poll t node;
+  (match Node.runq_pop node with
+  | Some thunk ->
+      charge t node t.config.cost.Cost_model.sched_dequeue;
+      thunk ()
+  | None -> ());
+  (match t.observer with
+  | Some f ->
+      let t_end = Node.now node in
+      if t_end > t_start then
+        f (Obs_slice { node = Node.id node; t_start; t_end })
+  | None -> ());
+  reschedule_or_idle t node
+
+let run ?(max_slices = max_int) t =
+  let slices = ref 0 in
+  let rec loop () =
+    match Simcore.Event_queue.pop t.events with
+    | None -> ()
+    | Some (time, ev) ->
+        t.vnow <- max t.vnow time;
+        (match ev with
+        | Wake i ->
+            incr slices;
+            if !slices > max_slices then
+              failwith "Engine.run: max_slices exceeded (livelock?)";
+            step t t.nodes.(i) ~time);
+        loop ()
+  in
+  loop ()
+
+let now t = t.vnow
+
+let elapsed t =
+  Array.fold_left (fun acc n -> max acc (Node.now n)) Simcore.Time.zero t.nodes
+
+let total_busy t =
+  Array.fold_left
+    (fun acc n -> acc + Simcore.Clock.busy_time (Node.clock n))
+    0 t.nodes
+
+let utilization t =
+  let e = elapsed t in
+  if e = 0 then 0.
+  else
+    float_of_int (total_busy t)
+    /. (float_of_int e *. float_of_int (node_count t))
+
+let packets_sent t = Network.Fabric.packets_sent t.fabric
+let bytes_sent t = Network.Fabric.bytes_sent t.fabric

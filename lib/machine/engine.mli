@@ -1,0 +1,107 @@
+(** The simulated multicomputer: nodes + torus fabric + discrete-event
+    engine + active-message handler table.
+
+    Execution model: the engine interleaves nodes one {e slice} at a time
+    in virtual-timestamp order. A slice polls the node's ready inbox
+    (dispatching each active message to its registered handler, which may
+    run whole method cascades on the OCaml stack — the paper's stack-based
+    scheduling), then runs at most one item from the node's scheduling
+    queue. Polling also happens whenever the runtime explicitly calls
+    {!poll} at method boundaries, matching the paper's polling-based
+    message delivery. *)
+
+type delivery_mode =
+  | Polling  (** CM-5 / AP1000 style: arrival noticed at poll points *)
+  | Interrupt  (** nCUBE/2 / iPSC/2 style: extra per-message overhead *)
+
+type config = {
+  cost : Cost_model.t;
+  fabric : Network.Fabric.config;
+  delivery : delivery_mode;
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> nodes:int -> unit -> t
+(** Builds a machine whose torus is [Topology.square_for nodes]. *)
+
+val config : t -> config
+val cost : t -> Cost_model.t
+val topology : t -> Network.Topology.t
+val stats : t -> Simcore.Stats.t
+val rng : t -> Simcore.Rng.t
+val node_count : t -> int
+val node : t -> int -> Node.t
+val nodes : t -> Node.t array
+
+val charge : t -> Node.t -> int -> unit
+(** [charge t n instructions] advances [n]'s clock per the cost model. *)
+
+(** {2 Active messages} *)
+
+val register_handler :
+  t -> Am.category -> name:string -> (t -> Node.t -> Am.t -> unit) -> int
+(** Registers a self-dispatching handler; returns its id to embed in
+    messages. The handler runs on the destination node when the message
+    is polled. *)
+
+val send_am :
+  t -> src:Node.t -> dst:int -> handler:int -> size_bytes:int -> Am.payload -> unit
+(** Injects a message into the fabric at the source node's current time.
+    Does {e not} charge the sender's setup instructions — the runtime
+    charges those explicitly so benches can account for them. *)
+
+val poll : t -> Node.t -> unit
+(** Dispatches every inbox message that has already arrived, charging
+    receive handling (plus interrupt overhead in [Interrupt] mode) per
+    message. *)
+
+val interrupt_point : t -> Node.t -> unit
+(** In [Interrupt] delivery mode, takes any pending message now (unless
+    interrupts are masked). The runtime places these points at user-level
+    computation and send boundaries; runtime bookkeeping between them is
+    implicitly a masked critical section. No-op under [Polling]. *)
+
+(** {2 Work scheduling} *)
+
+val post : t -> Node.t -> (unit -> unit) -> unit
+(** Pushes a thunk onto the node's scheduling queue and wakes the node.
+    This is how the runtime enqueues "(object, continuation address)"
+    items, and how programs bootstrap initial work. *)
+
+(** {2 Running} *)
+
+(** {2 Observation} *)
+
+type observation =
+  | Obs_deliver of { time : Simcore.Time.t; src : int; dst : int }
+      (** a packet reached its destination node *)
+  | Obs_slice of { node : int; t_start : Simcore.Time.t; t_end : Simcore.Time.t }
+      (** one execution slice of a node that advanced its clock *)
+
+val set_observer : t -> (observation -> unit) option -> unit
+(** Streams engine events to a callback (timeline tools, tracing).
+    [None] detaches. *)
+
+val run : ?max_slices:int -> t -> unit
+(** Processes events until the machine quiesces (no pending events).
+    Raises [Failure] if [max_slices] is exceeded — a backstop against
+    livelocked programs. *)
+
+val now : t -> Simcore.Time.t
+(** Timestamp of the most recently processed event. *)
+
+val elapsed : t -> Simcore.Time.t
+(** Makespan: the maximum node clock. *)
+
+val total_busy : t -> Simcore.Time.t
+(** Sum over nodes of busy (execution) time. *)
+
+val utilization : t -> float
+(** [total_busy / (elapsed * node_count)], in [0, 1]. *)
+
+val packets_sent : t -> int
+val bytes_sent : t -> int

@@ -1,0 +1,56 @@
+type local = ..
+type local += No_local
+
+type t = {
+  id : int;
+  clock : Simcore.Clock.t;
+  (* arrival-ordered: a message becomes visible once the clock passes its
+     arrival timestamp *)
+  inbox : Am.t Simcore.Event_queue.t;
+  runq : (unit -> unit) Queue.t;
+  mutable idle : bool;
+  mutable local : local;
+  mutable heap_words : int;
+  mutable interrupts_masked : bool;
+  mutable next_wake : Simcore.Time.t;  (** earliest scheduled Wake; max_int if none *)
+}
+
+let create ~id =
+  {
+    id;
+    clock = Simcore.Clock.create ();
+    inbox = Simcore.Event_queue.create ();
+    runq = Queue.create ();
+    idle = true;
+    local = No_local;
+    heap_words = 0;
+    interrupts_masked = false;
+    next_wake = max_int;
+  }
+
+let id t = t.id
+let clock t = t.clock
+let now t = Simcore.Clock.now t.clock
+let charge_ns t ns = Simcore.Clock.advance_by t.clock ns
+let local t = t.local
+let set_local t l = t.local <- l
+let inbox_push t ~arrival am = Simcore.Event_queue.add t.inbox ~time:arrival am
+
+let inbox_pop_ready t =
+  match Simcore.Event_queue.peek_time t.inbox with
+  | Some arrival when arrival <= now t -> Simcore.Event_queue.pop t.inbox
+  | Some _ | None -> None
+
+let inbox_next_arrival t = Simcore.Event_queue.peek_time t.inbox
+let inbox_size t = Simcore.Event_queue.size t.inbox
+let runq_push t thunk = Queue.push thunk t.runq
+let runq_pop t = Queue.take_opt t.runq
+let runq_size t = Queue.length t.runq
+let is_idle t = t.idle
+let set_idle t b = t.idle <- b
+let heap_alloc_words t w = t.heap_words <- t.heap_words + w
+let heap_words t = t.heap_words
+let interrupts_masked t = t.interrupts_masked
+let set_interrupts_masked t b = t.interrupts_masked <- b
+let next_wake t = t.next_wake
+let set_next_wake t v = t.next_wake <- v

@@ -1,0 +1,67 @@
+(** Per-node state of the simulated multicomputer.
+
+    A node owns a virtual clock, an inbox of delivered-but-unpolled active
+    messages, the node-global scheduling queue of the paper (represented
+    as thunks: "a pointer to the object and a continuation address"), and
+    an opaque [local] slot where the language runtime stores its per-node
+    structures (object table, chunk stocks, ...). *)
+
+type local = ..
+type local += No_local
+
+type t
+
+val create : id:int -> t
+
+val id : t -> int
+
+val clock : t -> Simcore.Clock.t
+
+val now : t -> Simcore.Time.t
+
+val charge_ns : t -> int -> unit
+(** Advance the node clock by a duration in nanoseconds. *)
+
+(** {2 Runtime-local state} *)
+
+val local : t -> local
+val set_local : t -> local -> unit
+
+(** {2 Inbox (network side)} *)
+
+val inbox_push : t -> arrival:Simcore.Time.t -> Am.t -> unit
+
+val inbox_pop_ready : t -> (Simcore.Time.t * Am.t) option
+(** Pops the oldest message whose arrival time is <= the node clock. *)
+
+val inbox_next_arrival : t -> Simcore.Time.t option
+
+val inbox_size : t -> int
+
+(** {2 Scheduling queue} *)
+
+val runq_push : t -> (unit -> unit) -> unit
+val runq_pop : t -> (unit -> unit) option
+val runq_size : t -> int
+
+(** {2 Engine bookkeeping} *)
+
+val is_idle : t -> bool
+val set_idle : t -> bool -> unit
+
+(** {2 Heap accounting (for memory reports)} *)
+
+val heap_alloc_words : t -> int -> unit
+val heap_words : t -> int
+
+(** {2 Interrupt masking} *)
+
+val interrupts_masked : t -> bool
+val set_interrupts_masked : t -> bool -> unit
+
+(** {2 Engine wake bookkeeping} *)
+
+val next_wake : t -> Simcore.Time.t
+(** Earliest scheduled wake-up for this node ([max_int] when none). *)
+
+val set_next_wake : t -> Simcore.Time.t -> unit

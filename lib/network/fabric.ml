@@ -1,0 +1,95 @@
+type config = {
+  hw_launch_ns : int;
+  per_hop_ns : int;
+  bytes_per_us : int;
+  contention : bool;
+}
+
+(* Calibrated so the end-to-end one-way latency of a one-word past-type
+   message between adjacent nodes lands on the paper's 8.9 us (the
+   software costs contribute ~7.3 us; the rest is "due to hardware,
+   roughly 1.5 us each way" — launch plus wire time here). *)
+let default_config =
+  { hw_launch_ns = 450; per_hop_ns = 20; bytes_per_us = 25; contention = false }
+
+type 'a t = {
+  topo : Topology.t;
+  config : config;
+  (* end of the last injection per source node: models the injection port *)
+  injection_free : Simcore.Time.t array;
+  (* last delivery time per (src, dst) channel, for FIFO enforcement *)
+  last_delivery : (int, Simcore.Time.t) Hashtbl.t;
+  (* when each directed link (from_node, to_node) becomes free *)
+  link_free : (int * int, Simcore.Time.t) Hashtbl.t;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+let create ?(config = default_config) topo =
+  if config.bytes_per_us <= 0 then invalid_arg "Fabric.create: bad bandwidth";
+  {
+    topo;
+    config;
+    injection_free = Array.make (Topology.node_count topo) 0;
+    last_delivery = Hashtbl.create 256;
+    link_free = Hashtbl.create 256;
+    packets = 0;
+    bytes = 0;
+  }
+
+let topology t = t.topo
+let config t = t.config
+
+let transmission_ns t bytes = bytes * 1_000 / t.config.bytes_per_us
+
+let transit_time t (p : _ Packet.t) =
+  let hops = Topology.hops t.topo p.src p.dst in
+  t.config.hw_launch_ns
+  + (hops * t.config.per_hop_ns)
+  + transmission_ns t (Packet.wire_bytes p)
+
+let send t ~now (p : _ Packet.t) =
+  let wire = Packet.wire_bytes p in
+  (* Injection port: the source link is busy for the transmission time. *)
+  let start = max now t.injection_free.(p.src) in
+  let tx = transmission_ns t wire in
+  t.injection_free.(p.src) <- start + tx;
+  let arrival =
+    if not t.config.contention then
+      start + tx + t.config.hw_launch_ns
+      + (Topology.hops t.topo p.src p.dst * t.config.per_hop_ns)
+    else begin
+      (* Virtual cut-through: the packet's head advances one per-hop
+         delay per link, waiting for each link to be free; each link then
+         stays busy for the transmission time behind it. *)
+      let head = ref (start + t.config.hw_launch_ns) in
+      let prev = ref p.src in
+      List.iter
+        (fun next ->
+          let link = (!prev, next) in
+          let free =
+            Option.value (Hashtbl.find_opt t.link_free link) ~default:0
+          in
+          head := max (!head + t.config.per_hop_ns) free;
+          Hashtbl.replace t.link_free link (!head + tx);
+          prev := next)
+        (Topology.route t.topo p.src p.dst);
+      !head + tx
+    end
+  in
+  (* FIFO per channel: never deliver before (or at) the previous packet on
+     the same (src, dst) pair. *)
+  let channel = (p.src * Topology.node_count t.topo) + p.dst in
+  let arrival =
+    match Hashtbl.find_opt t.last_delivery channel with
+    | Some prev when arrival <= prev -> prev + 1
+    | _ -> arrival
+  in
+  let arrival = if arrival <= now then now + 1 else arrival in
+  Hashtbl.replace t.last_delivery channel arrival;
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + wire;
+  arrival
+
+let packets_sent t = t.packets
+let bytes_sent t = t.bytes

@@ -1,0 +1,51 @@
+(** The message fabric: computes delivery times for packets on the torus.
+
+    The model captures the AP1000 characteristics the paper relies on:
+    - a fixed hardware launch/receive latency per packet,
+    - a small per-hop routing delay,
+    - finite link bandwidth (25 MB/s on the AP1000) applied to the whole
+      wire size, with the source injection port serialising back-to-back
+      sends,
+    - preservation of transmission order for each (src, dst) pair.
+
+    Cross-traffic contention inside the fabric is off by default (the
+    paper's measurements are taken on an unloaded network) but can be
+    enabled: each directed link along the dimension-order route is then a
+    resource a packet occupies for its transmission time, pipelined
+    virtual-cut-through style. *)
+
+type config = {
+  hw_launch_ns : int;  (** fixed hardware cost to launch + sink a packet *)
+  per_hop_ns : int;  (** routing delay per torus hop *)
+  bytes_per_us : int;  (** link bandwidth, bytes per microsecond *)
+  contention : bool;
+      (** model per-link occupancy along the dimension-order route
+          (virtual cut-through); off by default — the paper's
+          measurements are on an unloaded network *)
+}
+
+val default_config : config
+(** AP1000-like: 25 MB/s links, 450 ns launch, 20 ns per hop. *)
+
+type 'a t
+
+val create : ?config:config -> Topology.t -> 'a t
+
+val topology : 'a t -> Topology.t
+
+val config : 'a t -> config
+
+val transit_time : 'a t -> 'a Packet.t -> Simcore.Time.t
+(** Pure fabric time for a packet, ignoring queueing: launch + hops +
+    transmission. *)
+
+val send : 'a t -> now:Simcore.Time.t -> 'a Packet.t -> Simcore.Time.t
+(** [send t ~now p] registers the packet as injected at [now] and returns
+    its delivery time at the destination node. Guarantees:
+    - delivery > now,
+    - per-(src, dst) deliveries are strictly increasing in send order,
+    - back-to-back injections from one node serialise at link bandwidth. *)
+
+val packets_sent : 'a t -> int
+
+val bytes_sent : 'a t -> int

@@ -1,0 +1,15 @@
+type 'a t = { src : int; dst : int; size_bytes : int; payload : 'a }
+
+let make ~src ~dst ~size_bytes payload =
+  if size_bytes < 0 then invalid_arg "Packet.make: negative size";
+  { src; dst; size_bytes; payload }
+
+(* Two words of routing information plus the self-dispatching handler
+   address, as in the paper's 4-word minimal message (header + one-word
+   argument). *)
+let header_bytes = 12
+
+let wire_bytes p = header_bytes + p.size_bytes
+
+let pp ppf p =
+  Format.fprintf ppf "packet %d->%d (%dB)" p.src p.dst p.size_bytes

@@ -1,0 +1,37 @@
+(** A 2-D torus of processing nodes, as on the Fujitsu AP1000.
+
+    Nodes are numbered [0 .. node_count - 1] in row-major order. Routing
+    distance is the Manhattan distance with wrap-around on both axes. *)
+
+type t
+
+val create : x:int -> y:int -> t
+(** [create ~x ~y] is an [x] columns by [y] rows torus. Both must be >= 1. *)
+
+val square_for : int -> t
+(** [square_for p] builds a near-square torus with exactly [p] nodes: the
+    factorisation [a * b = p] with [a <= b] and [a] maximal (e.g. 512 ->
+    16 x 32, 7 -> 1 x 7). *)
+
+val node_count : t -> int
+
+val dims : t -> int * int
+
+val coords : t -> int -> int * int
+(** [coords t n] is the (x, y) position of node [n]. *)
+
+val node_at : t -> int * int -> int
+
+val hops : t -> int -> int -> int
+(** Minimal routing distance between two nodes (0 for a node to itself). *)
+
+val neighbors : t -> int -> int list
+(** The (up to 4) distinct direct torus neighbours of a node. *)
+
+val route : t -> int -> int -> int list
+(** Dimension-order (X then Y) route between two nodes, as the list of
+    intermediate+final nodes traversed (empty for [src = dst]); each
+    consecutive pair is one torus link. Always takes the shorter way
+    around each ring. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+module Value = Core.Value
+module Kernel = Core.Kernel
+
+type report = { total : int; embryos : int; exported : int; local_only : int }
+
+let rec addrs_of_value acc = function
+  | Value.Addr a -> a :: acc
+  | Value.List vs | Value.Tuple vs -> List.fold_left addrs_of_value acc vs
+  | Value.Unit | Value.Bool _ | Value.Int _ | Value.Float _ | Value.Str _ ->
+      acc
+
+let addrs_of_obj (obj : Kernel.obj) =
+  let acc = Array.fold_left addrs_of_value [] obj.state in
+  Queue.fold
+    (fun acc (m : Core.Message.t) ->
+      let acc = List.fold_left addrs_of_value acc m.args in
+      match m.reply with Some a -> a :: acc | None -> acc)
+    acc obj.mq
+
+let survey system =
+  let n = Core.System.node_count system in
+  let exported_set = Hashtbl.create 1024 in
+  let total = ref 0 and embryos = ref 0 in
+  for node = 0 to n - 1 do
+    let rt = Core.System.rt system node in
+    Hashtbl.iter
+      (fun _slot (obj : Kernel.obj) ->
+        incr total;
+        if Option.is_none obj.cls then incr embryos;
+        List.iter
+          (fun (a : Value.addr) ->
+            if a.node <> node then Hashtbl.replace exported_set (a.node, a.slot) ())
+          (addrs_of_obj obj))
+      rt.Kernel.objects
+  done;
+  let exported = ref 0 in
+  for node = 0 to n - 1 do
+    let rt = Core.System.rt system node in
+    Hashtbl.iter
+      (fun slot _obj ->
+        if Hashtbl.mem exported_set (node, slot) then incr exported)
+      rt.Kernel.objects
+  done;
+  {
+    total = !total;
+    embryos = !embryos;
+    exported = !exported;
+    local_only = !total - !exported;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "objects: %d (embryos %d) — exported %d, local-only (movable) %d" r.total
+    r.embryos r.exported r.local_only

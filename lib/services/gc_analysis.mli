@@ -1,0 +1,21 @@
+(** Export analysis for the paper's garbage collection discussion.
+
+    With [(node, pointer)] mail addresses, objects cannot be moved once a
+    reference has escaped the node; the authors note (Section 5.2) an
+    algorithm "whereby objects that are only referred to locally can be
+    freely copied" as work in progress. This module performs the
+    underlying reachability survey offline: which objects have their
+    address held outside their own node (in a state variable, a buffered
+    message, or an in-flight consideration is out of scope), and which
+    are local-only and hence movable by a copying collector. *)
+
+type report = {
+  total : int;  (** materialised objects across all nodes *)
+  embryos : int;  (** uninitialised chunks *)
+  exported : int;  (** referenced from at least one other node *)
+  local_only : int;  (** movable: referenced (if at all) only locally *)
+}
+
+val survey : Core.System.t -> report
+
+val pp_report : Format.formatter -> report -> unit

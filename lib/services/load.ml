@@ -1,0 +1,78 @@
+module Engine = Machine.Engine
+
+type Machine.Am.payload += P_load of { load : int }
+
+type t = {
+  system : Core.System.t;
+  handler : int;
+  (* tables.(n) maps peer node id -> last load heard by node n *)
+  tables : (int, int) Hashtbl.t array;
+  mutable broadcasts : int;
+}
+
+let local_load_of_node node =
+  Machine.Node.runq_size node + Machine.Node.inbox_size node
+
+let attach system =
+  let machine = Core.System.machine system in
+  let tables =
+    Array.init (Engine.node_count machine) (fun _ -> Hashtbl.create 8)
+  in
+  let handle _machine node am =
+    match am.Machine.Am.payload with
+    | P_load { load } ->
+        Hashtbl.replace tables.(Machine.Node.id node) am.Machine.Am.src load
+    | _ -> assert false
+  in
+  let handler =
+    Engine.register_handler machine Machine.Am.Service ~name:"load-gossip"
+      handle
+  in
+  { system; handler; tables; broadcasts = 0 }
+
+let local_load t ~node =
+  local_load_of_node (Engine.node (Core.System.machine t.system) node)
+
+let broadcast t ctx =
+  let machine = Core.System.machine t.system in
+  let node = Core.Ctx.node ctx in
+  let my_id = Machine.Node.id node in
+  let load = local_load_of_node node in
+  let cost = Engine.cost machine in
+  List.iter
+    (fun peer ->
+      Engine.charge machine node cost.Machine.Cost_model.msg_setup_send;
+      Engine.send_am machine ~src:node ~dst:peer ~handler:t.handler
+        ~size_bytes:4 (P_load { load }))
+    (Network.Topology.neighbors (Engine.topology machine) my_id);
+  t.broadcasts <- t.broadcasts + 1
+
+let known_load t ~node ~about =
+  if node = about then local_load t ~node
+  else Option.value (Hashtbl.find_opt t.tables.(node) about) ~default:0
+
+let pick_least_for t ~node:my_id =
+  let machine = Core.System.machine t.system in
+  let candidates =
+    my_id :: Network.Topology.neighbors (Engine.topology machine) my_id
+  in
+  let weigh candidate = (known_load t ~node:my_id ~about:candidate, candidate) in
+  let best =
+    List.fold_left
+      (fun acc candidate -> min acc (weigh candidate))
+      (weigh my_id) candidates
+  in
+  snd best
+
+let pick_least t ctx = pick_least_for t ~node:(Core.Ctx.node_id ctx)
+
+let deferred_placement () =
+  let cell = ref None in
+  let pick my_id =
+    match !cell with
+    | Some t -> pick_least_for t ~node:my_id
+    | None -> my_id
+  in
+  (Core.Kernel.Custom_policy pick, fun t -> cell := Some t)
+
+let broadcasts t = t.broadcasts

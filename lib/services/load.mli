@@ -1,0 +1,50 @@
+(** A Category-4 "other services" component (Section 5.1): load
+    monitoring by neighbour gossip.
+
+    Each node can broadcast its instantaneous load (scheduling queue plus
+    inbox depth) to its torus neighbours as a [Service] active message;
+    peers record the last value heard. {!pick_least} then implements a
+    locality-aware placement decision using only information locally
+    available — the paper's stated basis for remote-creation placement. *)
+
+type t
+
+val attach : Core.System.t -> t
+(** Registers the service handler on the system. Call once, before
+    [System.run]. *)
+
+val local_load : t -> node:int -> int
+
+val broadcast : t -> Core.Ctx.t -> unit
+(** Sends this node's load to its torus neighbours (callable from a
+    method body; charged like any message send). *)
+
+val known_load : t -> node:int -> about:int -> int
+(** The last load value node [node] heard about node [about]
+    (its own current load when [node = about]; 0 if never heard). *)
+
+val pick_least : t -> Core.Ctx.t -> int
+(** The least-loaded node among self and torus neighbours, judged from
+    the local gossip table. Ties break toward the lower node id. *)
+
+val pick_least_for : t -> node:int -> int
+(** As {!pick_least}, judged from the given node's gossip table. *)
+
+val deferred_placement : unit -> Core.Kernel.placement * (t -> unit)
+(** A load-aware placement policy and its installer. Because placement is
+    part of the boot configuration while the service attaches to the
+    booted system, usage is two-phase:
+
+    {[
+      let placement, install = Load.deferred_placement () in
+      let rt_config = { System.default_rt_config with placement } in
+      let sys = System.boot ~rt_config ... in
+      install (Load.attach sys)
+    ]}
+
+    Each creation then goes to the least-loaded of the creating node and
+    its torus neighbours (per the local gossip table); before [install]
+    the policy places locally. *)
+
+val broadcasts : t -> int
+(** Number of load broadcasts performed (for tests). *)

@@ -1,0 +1,124 @@
+module Value = Core.Value
+module Kernel = Core.Kernel
+module Message = Core.Message
+
+type result = {
+  examined : int;
+  moved : int;
+  pinned : int;
+  references_patched : int;
+}
+
+let zero = { examined = 0; moved = 0; pinned = 0; references_patched = 0 }
+
+let add a b =
+  {
+    examined = a.examined + b.examined;
+    moved = a.moved + b.moved;
+    pinned = a.pinned + b.pinned;
+    references_patched = a.references_patched + b.references_patched;
+  }
+
+(* Rewrite every local address in [v] through [remap]. *)
+let rec patch_value remap patched (v : Value.t) : Value.t =
+  match v with
+  | Value.Addr a -> (
+      match Hashtbl.find_opt remap (a.Value.node, a.Value.slot) with
+      | Some slot' ->
+          incr patched;
+          Value.Addr { a with Value.slot = slot' }
+      | None -> v)
+  | Value.List vs -> Value.List (List.map (patch_value remap patched) vs)
+  | Value.Tuple vs -> Value.Tuple (List.map (patch_value remap patched) vs)
+  | Value.Unit | Value.Bool _ | Value.Int _ | Value.Float _ | Value.Str _ -> v
+
+let patch_message remap patched (m : Message.t) =
+  {
+    m with
+    Message.args = List.map (patch_value remap patched) m.Message.args;
+    reply =
+      Option.map
+        (fun (a : Value.addr) ->
+          match Hashtbl.find_opt remap (a.Value.node, a.Value.slot) with
+          | Some slot' ->
+              incr patched;
+              { a with Value.slot = slot' }
+          | None -> a)
+        m.Message.reply;
+  }
+
+let movable (obj : Kernel.obj) =
+  (not obj.exported)
+  && Option.is_some obj.cls
+  && Option.is_none obj.blocked
+  && not obj.in_sched_q
+
+let compact sys ~node =
+  let rt = Core.System.rt sys node in
+  let machine = Core.System.machine sys in
+  let node_handle = Machine.Engine.node machine node in
+  (* Phase 1: relocate movable objects to fresh slots. *)
+  let remap = Hashtbl.create 64 in
+  let examined = ref 0 and moved = ref 0 and pinned = ref 0 in
+  let victims =
+    Hashtbl.fold
+      (fun slot obj acc ->
+        incr examined;
+        if movable obj then (slot, obj) :: acc
+        else begin
+          incr pinned;
+          acc
+        end)
+      rt.Kernel.objects []
+  in
+  List.iter
+    (fun (slot, (obj : Kernel.obj)) ->
+      let slot' = Core.Sched.alloc_slot rt in
+      Hashtbl.remove rt.Kernel.objects slot;
+      Hashtbl.replace rt.Kernel.objects slot' obj;
+      Hashtbl.replace remap (node, slot) slot';
+      (* The object's own idea of its address moves with it. *)
+      (* copy cost: proportional to its state box *)
+      Machine.Engine.charge machine node_handle
+        (8 + (2 * Array.length obj.state));
+      incr moved)
+    victims;
+  List.iter
+    (fun (_, (obj : Kernel.obj)) ->
+      match Hashtbl.find_opt remap (node, obj.self.Value.slot) with
+      | Some slot' -> obj.self <- { obj.self with Value.slot = slot' }
+      | None -> ())
+    victims;
+  (* Phase 2: patch every local reference — state boxes, buffered
+     messages, pending constructor arguments. *)
+  let patched = ref 0 in
+  Hashtbl.iter
+    (fun _slot (obj : Kernel.obj) ->
+      Array.iteri
+        (fun i v -> obj.state.(i) <- patch_value remap patched v)
+        obj.state;
+      obj.pending_ctor_args <-
+        List.map (patch_value remap patched) obj.pending_ctor_args;
+      let buffered = Queue.length obj.mq in
+      for _ = 1 to buffered do
+        let m = Queue.pop obj.mq in
+        Queue.push (patch_message remap patched m) obj.mq
+      done)
+    rt.Kernel.objects;
+  {
+    examined = !examined;
+    moved = !moved;
+    pinned = !pinned;
+    references_patched = !patched;
+  }
+
+let compact_all sys =
+  let n = Core.System.node_count sys in
+  let rec loop node acc =
+    if node = n then acc else loop (node + 1) (add acc (compact sys ~node))
+  in
+  loop 0 zero
+
+let pp_result ppf r =
+  Format.fprintf ppf "examined %d, moved %d, pinned %d, patched %d reference(s)"
+    r.examined r.moved r.pinned r.references_patched

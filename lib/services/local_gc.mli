@@ -1,0 +1,31 @@
+(** Copying/compaction of locally-referenced objects.
+
+    Section 5.2: with [(node, pointer)] mail addresses "in general it
+    would prohibit the use of a simple copying/compacting garbage
+    collector, as objects cannot be moved freely. We are now developing
+    an algorithm whereby objects that are only referred to locally can be
+    freely copied." This module implements that algorithm on top of the
+    runtime's export tracking: an object whose address never left its
+    node (see [Kernel.obj.exported]) can be relocated to a fresh slot,
+    patching every local reference — exactly what a copying collector
+    needs to be allowed to do.
+
+    Run it on a quiescent system (between [System.run]s); relocating an
+    object with a live stack frame is not meaningful in this model. *)
+
+type result = {
+  examined : int;
+  moved : int;  (** local-only objects relocated *)
+  pinned : int;  (** exported objects that had to stay put *)
+  references_patched : int;
+}
+
+val compact : Core.System.t -> node:int -> result
+(** Relocates every movable object on the node and patches local
+    references (state variables, buffered messages, pending constructor
+    arguments). Charges copying costs to the node's clock. *)
+
+val compact_all : Core.System.t -> result
+(** Runs {!compact} on every node and sums the results. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,18 @@
+module Ctx = Core.Ctx
+module Value = Core.Value
+
+let begin_wait ctx ~pending_slot ~acc_slot ~expected =
+  if expected <= 0 then invalid_arg "Termination.begin_wait: expected <= 0";
+  Ctx.set ctx pending_slot (Value.int expected);
+  Ctx.set ctx acc_slot (Value.int 0)
+
+let record_ack ctx ~pending_slot ~acc_slot ~count =
+  let pending = Value.to_int (Ctx.get ctx pending_slot) in
+  if pending <= 0 then invalid_arg "Termination.record_ack: no ack expected";
+  let acc = Value.to_int (Ctx.get ctx acc_slot) + count in
+  Ctx.set ctx acc_slot (Value.int acc);
+  let pending = pending - 1 in
+  Ctx.set ctx pending_slot (Value.int pending);
+  if pending = 0 then Some acc else None
+
+let pending ctx ~pending_slot = Value.to_int (Ctx.get ctx pending_slot)

@@ -1,0 +1,23 @@
+(** Ack-combining termination detection for diffusing computations.
+
+    The paper's parallel N-queens "uses ... acknowledgement messages
+    [that] trace back the search tree for the termination detection"
+    (Section 6.2). This module factors that pattern: an object that fans
+    work out to [expected] children records how many acknowledgements are
+    still outstanding and combines the integer payloads; when the last
+    ack arrives the combined total is handed back so the object can ack
+    its own parent — a Dijkstra–Scholten-style deficit counter distributed
+    over the application's spawn tree. *)
+
+val begin_wait :
+  Core.Ctx.t -> pending_slot:int -> acc_slot:int -> expected:int -> unit
+(** Initialises the two state slots before fanning out [expected]
+    children. [expected] must be positive. *)
+
+val record_ack :
+  Core.Ctx.t -> pending_slot:int -> acc_slot:int -> count:int -> int option
+(** Accounts one acknowledgement carrying [count]. Returns [Some total]
+    when it was the last outstanding one. *)
+
+val pending : Core.Ctx.t -> pending_slot:int -> int
+(** Outstanding acknowledgements (0 when idle or finished). *)

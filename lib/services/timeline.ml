@@ -1,0 +1,88 @@
+module Engine = Machine.Engine
+
+type t = {
+  system : Core.System.t;
+  mutable slice_log : (int * Simcore.Time.t * Simcore.Time.t) list;
+  mutable slice_count : int;
+  mutable delivery_count : int;
+  traffic : (int * int, int ref) Hashtbl.t;
+  busy : int array;  (** accumulated busy ns per node *)
+}
+
+let attach system =
+  let machine = Core.System.machine system in
+  let t =
+    {
+      system;
+      slice_log = [];
+      slice_count = 0;
+      delivery_count = 0;
+      traffic = Hashtbl.create 64;
+      busy = Array.make (Engine.node_count machine) 0;
+    }
+  in
+  Engine.set_observer machine
+    (Some
+       (function
+       | Engine.Obs_slice { node; t_start; t_end } ->
+           t.slice_log <- (node, t_start, t_end) :: t.slice_log;
+           t.slice_count <- t.slice_count + 1;
+           t.busy.(node) <- t.busy.(node) + (t_end - t_start)
+       | Engine.Obs_deliver { src; dst; _ } ->
+           t.delivery_count <- t.delivery_count + 1;
+           let key = (src, dst) in
+           (match Hashtbl.find_opt t.traffic key with
+           | Some r -> incr r
+           | None -> Hashtbl.add t.traffic key (ref 1))));
+  t
+
+let detach t = Engine.set_observer (Core.System.machine t.system) None
+let slices t = t.slice_count
+let deliveries t = t.delivery_count
+
+let busy_fraction t ~node =
+  let makespan = Core.System.elapsed t.system in
+  if makespan = 0 then 0.
+  else float_of_int t.busy.(node) /. float_of_int makespan
+
+let render ?(width = 64) ?(max_rows = 16) t =
+  let makespan = max 1 (Core.System.elapsed t.system) in
+  let nodes = min max_rows (Core.System.node_count t.system) in
+  let buckets = Array.make_matrix nodes width 0 in
+  let bucket_ns = max 1 (makespan / width) in
+  List.iter
+    (fun (node, t0, t1) ->
+      if node < nodes then begin
+        let b0 = min (width - 1) (t0 / bucket_ns) in
+        let b1 = min (width - 1) (t1 / bucket_ns) in
+        for b = b0 to b1 do
+          (* credit the overlap of [t0,t1) with bucket b *)
+          let lo = max t0 (b * bucket_ns) and hi = min t1 ((b + 1) * bucket_ns) in
+          if hi > lo then buckets.(node).(b) <- buckets.(node).(b) + (hi - lo)
+        done
+      end)
+    t.slice_log;
+  let buf = Buffer.create ((nodes + 2) * (width + 16)) in
+  Buffer.add_string buf
+    (Printf.sprintf "timeline: %s makespan, %d slices, %d deliveries\n"
+       (Format.asprintf "%a" Simcore.Time.pp makespan)
+       t.slice_count t.delivery_count);
+  for node = 0 to nodes - 1 do
+    Buffer.add_string buf (Printf.sprintf "%4d |" node);
+    for b = 0 to width - 1 do
+      let frac = float_of_int buckets.(node).(b) /. float_of_int bucket_ns in
+      Buffer.add_char buf
+        (if frac <= 0.01 then ' ' else if frac < 0.5 then '.' else '#')
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "| %3.0f%%\n" (100. *. busy_fraction t ~node));
+  done;
+  if Core.System.node_count t.system > nodes then
+    Buffer.add_string buf
+      (Printf.sprintf "(%d more nodes not shown)\n"
+         (Core.System.node_count t.system - nodes));
+  Buffer.contents buf
+
+let message_matrix t =
+  Hashtbl.fold (fun (src, dst) r acc -> (src, dst, !r) :: acc) t.traffic []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)

@@ -1,0 +1,12 @@
+type t = { mutable now : Time.t; mutable busy : Time.t }
+
+let create () = { now = Time.zero; busy = Time.zero }
+let now c = c.now
+
+let advance_by c d =
+  assert (d >= 0);
+  c.now <- c.now + d;
+  c.busy <- c.busy + d
+
+let advance_to c t = if t > c.now then c.now <- t
+let busy_time c = c.busy

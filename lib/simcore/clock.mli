@@ -1,0 +1,17 @@
+(** A per-node virtual clock. Monotonic: it only moves forward. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time.t
+
+val advance_by : t -> Time.t -> unit
+(** [advance_by c d] moves the clock forward by [d] (must be >= 0). *)
+
+val advance_to : t -> Time.t -> unit
+(** [advance_to c t] sets the clock to [max (now c) t]. *)
+
+val busy_time : t -> Time.t
+(** Total time accumulated through {!advance_by} (i.e. time spent
+    executing, as opposed to idling forward via {!advance_to}). *)

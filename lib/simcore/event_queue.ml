@@ -1,0 +1,71 @@
+(* Binary min-heap over (time, seq) keys. [seq] is a monotonically
+   increasing insertion counter, so ties in [time] break FIFO. *)
+
+type 'a entry = { time : Time.t; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array; (* [0, len) is a valid heap *)
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q =
+  let cap = Array.length q.heap in
+  let cap' = if cap = 0 then 16 else cap * 2 in
+  (* The dummy cell is never read: sift functions only touch [0, len). *)
+  let dummy = q.heap.(0) in
+  let heap' = Array.make cap' dummy in
+  Array.blit q.heap 0 heap' 0 q.len;
+  q.heap <- heap'
+
+let rec sift_up heap i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less heap.(i) heap.(parent) then begin
+      let tmp = heap.(i) in
+      heap.(i) <- heap.(parent);
+      heap.(parent) <- tmp;
+      sift_up heap parent
+    end
+  end
+
+let rec sift_down heap len i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < len && less heap.(l) heap.(i) then l else i in
+  let smallest = if r < len && less heap.(r) heap.(smallest) then r else smallest in
+  if smallest <> i then begin
+    let tmp = heap.(i) in
+    heap.(i) <- heap.(smallest);
+    heap.(smallest) <- tmp;
+    sift_down heap len smallest
+  end
+
+let add q ~time value =
+  let entry = { time; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  if q.len = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 entry;
+  if q.len = Array.length q.heap then grow q;
+  q.heap.(q.len) <- entry;
+  q.len <- q.len + 1;
+  sift_up q.heap (q.len - 1)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.heap.(0) <- q.heap.(q.len);
+      sift_down q.heap q.len 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time q = if q.len = 0 then None else Some q.heap.(0).time
+let size q = q.len
+let is_empty q = q.len = 0
+let clear q = q.len <- 0

@@ -1,0 +1,23 @@
+(** A deterministic priority queue of timestamped events.
+
+    Events with equal timestamps pop in insertion order (FIFO tie-break),
+    which makes whole-machine simulations reproducible run to run. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:Time.t -> 'a -> unit
+(** [add q ~time ev] schedules [ev] at [time]. O(log n). *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Removes and returns the earliest event, or [None] if empty. *)
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the earliest event without removing it. *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit

@@ -1,0 +1,51 @@
+type t = {
+  bucket_width : int option;
+  buckets : (int, int ref) Hashtbl.t;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create ?bucket_width () =
+  {
+    bucket_width;
+    buckets = Hashtbl.create 16;
+    count = 0;
+    sum = 0.;
+    min_v = Stdlib.max_int;
+    max_v = Stdlib.min_int;
+  }
+
+let observe t x =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. float_of_int x;
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  match t.bucket_width with
+  | None -> ()
+  | Some w -> (
+      let idx = if x >= 0 then x / w else ((x + 1) / w) - 1 in
+      match Hashtbl.find_opt t.buckets idx with
+      | Some r -> incr r
+      | None -> Hashtbl.add t.buckets idx (ref 1))
+
+let count t = t.count
+
+let min t =
+  if t.count = 0 then invalid_arg "Histogram.min: empty" else t.min_v
+
+let max t =
+  if t.count = 0 then invalid_arg "Histogram.max: empty" else t.max_v
+
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+let buckets t =
+  Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) t.buckets []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d min=%d max=%d mean=%.2f" t.count t.min_v t.max_v
+      (mean t)

@@ -1,0 +1,25 @@
+(** A simple online summary of a stream of integer samples
+    (count / min / max / mean), with optional fixed-width buckets. *)
+
+type t
+
+val create : ?bucket_width:int -> unit -> t
+(** [bucket_width] enables a bucketed frequency view (bucket [i] counts
+    samples in [[i*w, (i+1)*w)]). Without it only the scalar summary is
+    kept. *)
+
+val observe : t -> int -> unit
+
+val count : t -> int
+
+val min : t -> int
+(** Raises [Invalid_argument] when no sample was observed. *)
+
+val max : t -> int
+
+val mean : t -> float
+
+val buckets : t -> (int * int) list
+(** Sorted (bucket_index, count) pairs; empty without [bucket_width]. *)
+
+val pp : Format.formatter -> t -> unit

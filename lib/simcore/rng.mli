@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The simulator never uses the global [Random] state: every stochastic
+    component owns an [Rng.t] seeded from the run configuration, so a run
+    is a pure function of its seed. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** Derives an independent stream (e.g. one per node). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool

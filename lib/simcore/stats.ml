@@ -1,0 +1,28 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let counter t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let incr t name = incr (counter t name)
+let add t name n = counter t name := !(counter t name) + n
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let to_alist t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let names t = List.map fst (to_alist t)
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let pp ppf t =
+  let pairs = to_alist t in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-36s %d@," name v) pairs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,31 @@
+(** Named counters and summaries collected during a simulation run.
+
+    A [Stats.t] is attached to a machine; runtime layers bump counters by
+    name. Counter creation is cached, so the hot path is one hashtable
+    lookup amortised to a ref increment via {!counter}. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> int ref
+(** The counter cell registered under the given name (created at zero on
+    first use). Callers may keep the ref for repeated increments. *)
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** Current value; 0 if the counter was never touched. *)
+
+val names : t -> string list
+(** All registered counter names, sorted. *)
+
+val to_alist : t -> (string * int) list
+(** Sorted (name, value) pairs. *)
+
+val reset : t -> unit
+(** Zeroes every counter (registrations are kept). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+let flag = ref false
+let set_enabled b = flag := b
+let enabled () = !flag
+
+let emit fmt =
+  if !flag then Format.eprintf ("[trace] " ^^ fmt ^^ "@.")
+  else Format.ifprintf Format.err_formatter fmt
+
+let with_enabled b f =
+  let saved = !flag in
+  flag := b;
+  Fun.protect ~finally:(fun () -> flag := saved) f

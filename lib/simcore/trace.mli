@@ -1,0 +1,14 @@
+(** Lightweight, optional event tracing.
+
+    Disabled by default; when disabled the formatting arguments are not
+    evaluated, so leaving trace calls in hot paths costs one branch. *)
+
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+val emit : ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Writes one trace line to stderr when tracing is enabled. *)
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Runs the thunk with tracing temporarily toggled. *)

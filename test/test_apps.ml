@@ -1,0 +1,204 @@
+(* Tests for the application workloads: N-queens (sequential and
+   parallel), the token ring, fork-join Fibonacci, and the microbench
+   calibration against the paper's Table 1. *)
+
+open Core
+
+(* Known values: number of solutions and of search-tree nodes (valid
+   partial placements) for small N. *)
+let known_solutions = [ (1, 1); (2, 0); (3, 0); (4, 2); (5, 10); (6, 4); (7, 40); (8, 92); (9, 352); (10, 724) ]
+
+let test_seq_solutions () =
+  List.iter
+    (fun (n, expected) ->
+      let r = Apps.Nqueens_seq.solve ~n in
+      Alcotest.(check int) (Printf.sprintf "solutions n=%d" n) expected
+        r.Apps.Nqueens_seq.solutions)
+    known_solutions
+
+let test_seq_tree_size_n8 () =
+  let r = Apps.Nqueens_seq.solve ~n:8 in
+  (* The paper's Table 4 reports 2,056 object creations for N=8 — one per
+     valid placement. *)
+  Alcotest.(check int) "nodes = paper's creations" 2056 r.Apps.Nqueens_seq.nodes;
+  Alcotest.(check bool) "work accounted" true (r.instr > 0)
+
+let test_par_matches_seq () =
+  List.iter
+    (fun (n, p) ->
+      let seq = Apps.Nqueens_seq.solve ~n in
+      let par = Apps.Nqueens_par.run ~nodes:p ~n () in
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d P=%d" n p)
+        seq.Apps.Nqueens_seq.solutions par.Apps.Nqueens_par.solutions;
+      Alcotest.(check int)
+        (Printf.sprintf "objects n=%d (tree nodes + root)" n)
+        (seq.nodes + 1) par.objects_created)
+    [ (4, 1); (5, 2); (6, 3); (7, 16); (8, 7) ]
+
+let test_par_message_count_formula () =
+  let r = Apps.Nqueens_par.run ~nodes:4 ~n:8 () in
+  (* One expand per non-root object, one ack per non-root object, plus
+     the bootstrap expand: 2 * 2056 + 1. *)
+  Alcotest.(check int) "message census" ((2 * 2056) + 1)
+    r.Apps.Nqueens_par.messages
+
+let test_par_deterministic () =
+  let a = Apps.Nqueens_par.run ~nodes:8 ~n:7 () in
+  let b = Apps.Nqueens_par.run ~nodes:8 ~n:7 () in
+  Alcotest.(check int) "same elapsed" a.Apps.Nqueens_par.elapsed b.elapsed;
+  Alcotest.(check int) "same messages" a.messages b.messages;
+  Alcotest.(check int) "same heap" a.heap_words b.heap_words
+
+let test_par_naive_slower () =
+  let stack = Apps.Nqueens_par.run ~nodes:8 ~n:8 () in
+  let naive =
+    Apps.Nqueens_par.run ~rt_config:System.naive_rt_config ~nodes:8 ~n:8 ()
+  in
+  Alcotest.(check int) "same answer" stack.Apps.Nqueens_par.solutions
+    naive.solutions;
+  Alcotest.(check bool) "naive scheduling is slower" true
+    (naive.elapsed > stack.elapsed)
+
+let test_par_placements () =
+  List.iter
+    (fun placement ->
+      let rt_config = { System.default_rt_config with Kernel.placement } in
+      let r = Apps.Nqueens_par.run ~rt_config ~nodes:6 ~n:6 () in
+      Alcotest.(check int) "solutions under any placement" 4
+        r.Apps.Nqueens_par.solutions)
+    [ Kernel.Round_robin; Kernel.Random_node; Kernel.Self_node ]
+
+let test_par_speedup_shape () =
+  (* More processors must help substantially on a big enough problem. *)
+  let t1 = (Apps.Nqueens_par.run ~nodes:1 ~n:9 ()).Apps.Nqueens_par.elapsed in
+  let t16 = (Apps.Nqueens_par.run ~nodes:16 ~n:9 ()).Apps.Nqueens_par.elapsed in
+  Alcotest.(check bool) "16 nodes at least 5x faster than 1" true
+    (t1 > 5 * t16)
+
+let test_packed_board () =
+  let cols = [ 2; 0; 3; 1 ] in
+  let packed = Apps.Queens_board.pack cols in
+  Alcotest.(check (list int)) "roundtrip" cols (Apps.Queens_board.unpack packed);
+  Alcotest.(check int) "count" 4 (Apps.Queens_board.packed_count packed);
+  for col = 0 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "safe col=%d agrees" col)
+      (Apps.Queens_board.safe ~cols ~col)
+      (Apps.Queens_board.safe_packed ~packed ~col)
+  done
+
+let test_ring () =
+  let r = Apps.Ring.run ~nodes:8 ~laps:4 () in
+  Alcotest.(check int) "hops" 32 r.Apps.Ring.hops;
+  (* Steady-state per-hop latency should sit near the paper's 8.9 us. *)
+  Alcotest.(check bool) "latency plausible" true
+    (r.ns_per_hop > 8_000. && r.ns_per_hop < 11_000.)
+
+let fib_expected n =
+  let rec f n = if n < 2 then 1 else f (n - 1) + f (n - 2) in
+  f n
+
+let test_fib_values () =
+  List.iter
+    (fun n ->
+      let r = Apps.Fib.run ~nodes:4 ~n () in
+      Alcotest.(check int) (Printf.sprintf "fib %d" n) (fib_expected n)
+        r.Apps.Fib.value)
+    [ 0; 1; 2; 5; 8; 10 ]
+
+let test_fib_blocks () =
+  let r = Apps.Fib.run ~nodes:4 ~n:8 () in
+  Alcotest.(check bool) "selective receptions blocked" true
+    (r.Apps.Fib.blocked_waits > 0);
+  Alcotest.(check bool) "objects created" true (r.objects_created > 10)
+
+let test_sieve_known_counts () =
+  (* pi(100)=25, pi(300)=62; largest primes 97 and 293. *)
+  List.iter
+    (fun (limit, primes, largest) ->
+      let r = Apps.Sieve.run ~nodes:4 ~limit () in
+      Alcotest.(check int) (Printf.sprintf "pi(%d)" limit) primes
+        r.Apps.Sieve.primes;
+      Alcotest.(check int) "largest" largest r.largest;
+      (* one filter per prime, plus the collector *)
+      Alcotest.(check int) "filters" (primes + 1) r.filters_created)
+    [ (100, 25, 97); (300, 62, 293) ]
+
+let test_sieve_placements () =
+  List.iter
+    (fun placement ->
+      let rt_config = { System.default_rt_config with Kernel.placement } in
+      let r = Apps.Sieve.run ~rt_config ~nodes:6 ~limit:120 () in
+      Alcotest.(check int) "pi(120) under any placement" 30
+        r.Apps.Sieve.primes)
+    [ Kernel.Round_robin; Kernel.Neighbor_round_robin; Kernel.Self_node ]
+
+let close ~tol expected actual =
+  abs_float (actual -. expected) <= tol *. expected
+
+let test_table1_calibration () =
+  let m = Apps.Microbench.measure () in
+  let check name expected actual =
+    if not (close ~tol:0.15 expected actual) then
+      Alcotest.failf "%s: expected ~%.0f ns, got %.0f ns" name expected actual
+  in
+  check "intra dormant" 2300. m.Apps.Microbench.intra_dormant_ns;
+  check "intra active" 9600. m.intra_active_ns;
+  check "intra create" 2100. m.intra_create_ns;
+  check "inter latency" 8900. m.inter_latency_ns;
+  (* The fully optimised send is the paper's 8-instruction best case. *)
+  Alcotest.(check int) "lean send = 8 instructions" (8 * 92)
+    (int_of_float m.lean_send_ns)
+
+let test_microbench_deterministic () =
+  let a = Apps.Microbench.measure () in
+  let b = Apps.Microbench.measure () in
+  Alcotest.(check (float 0.)) "dormant" a.Apps.Microbench.intra_dormant_ns
+    b.Apps.Microbench.intra_dormant_ns;
+  Alcotest.(check (float 0.)) "inter" a.inter_latency_ns b.inter_latency_ns
+
+let test_seq_bad_n () =
+  Alcotest.check_raises "n = 0 rejected"
+    (Invalid_argument "Nqueens_seq.solve: n must be >= 1") (fun () ->
+      ignore (Apps.Nqueens_seq.solve ~n:0))
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "nqueens-seq",
+        [
+          Alcotest.test_case "known solutions" `Quick test_seq_solutions;
+          Alcotest.test_case "tree size n=8" `Quick test_seq_tree_size_n8;
+          Alcotest.test_case "bad n" `Quick test_seq_bad_n;
+        ] );
+      ( "nqueens-par",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_par_matches_seq;
+          Alcotest.test_case "message census" `Quick
+            test_par_message_count_formula;
+          Alcotest.test_case "deterministic" `Quick test_par_deterministic;
+          Alcotest.test_case "naive slower" `Quick test_par_naive_slower;
+          Alcotest.test_case "placements" `Quick test_par_placements;
+          Alcotest.test_case "speedup shape" `Slow test_par_speedup_shape;
+        ] );
+      ( "board",
+        [ Alcotest.test_case "packed board" `Quick test_packed_board ] );
+      ("ring", [ Alcotest.test_case "latency" `Quick test_ring ]);
+      ( "sieve",
+        [
+          Alcotest.test_case "known counts" `Quick test_sieve_known_counts;
+          Alcotest.test_case "placements" `Quick test_sieve_placements;
+        ] );
+      ( "fib",
+        [
+          Alcotest.test_case "values" `Quick test_fib_values;
+          Alcotest.test_case "blocking" `Quick test_fib_blocks;
+        ] );
+      ( "calibration",
+        [
+          Alcotest.test_case "table 1" `Quick test_table1_calibration;
+          Alcotest.test_case "deterministic" `Quick
+            test_microbench_deterministic;
+        ] );
+    ]

@@ -1,0 +1,154 @@
+(* Tests for the binary wire codec, including the codec-checked end-to-end
+   mode where every inter-node message is round-tripped. *)
+
+open Core
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let test_scalar_roundtrips () =
+  let cases =
+    [
+      Value.unit;
+      Value.bool true;
+      Value.bool false;
+      Value.int 0;
+      Value.int 42;
+      Value.int (-42);
+      Value.int max_int;
+      Value.int min_int;
+      Value.float 0.;
+      Value.float 3.14159;
+      Value.float (-1e300);
+      Value.float infinity;
+      Value.str "";
+      Value.str "hello world";
+      Value.addr { Value.node = 511; slot = 123_456_789 };
+    ]
+  in
+  List.iter
+    (fun x ->
+      Alcotest.check v
+        (Format.asprintf "%a" Value.pp x)
+        x
+        (Codec.value_of_bytes (Codec.value_to_bytes x)))
+    cases
+
+let test_nested_roundtrip () =
+  let x =
+    Value.tuple
+      [
+        Value.list [ Value.int 1; Value.str "two"; Value.list [] ];
+        Value.addr { Value.node = 3; slot = 9 };
+        Value.tuple [ Value.unit; Value.bool true ];
+      ]
+  in
+  Alcotest.check v "nested" x (Codec.value_of_bytes (Codec.value_to_bytes x))
+
+let test_encoded_size_matches () =
+  let samples =
+    [
+      Value.unit;
+      Value.int 5;
+      Value.str "abcdef";
+      Value.list [ Value.int 1; Value.float 2. ];
+    ]
+  in
+  List.iter
+    (fun x ->
+      Alcotest.(check int)
+        (Format.asprintf "size of %a" Value.pp x)
+        (Bytes.length (Codec.value_to_bytes x))
+        (Codec.encoded_size x))
+    samples
+
+let test_message_roundtrip () =
+  let pattern = Pattern.intern "tcodec_m" ~arity:2 in
+  let m =
+    Message.make ~pattern
+      ~args:[ Value.int 7; Value.list [ Value.str "x" ] ]
+      ~reply:{ Value.node = 2; slot = 77 } ~src_node:5 ()
+  in
+  let m' = Codec.decode_message (Codec.encode_message m) in
+  Alcotest.(check int) "pattern survives via keyword" m.Message.pattern
+    m'.Message.pattern;
+  Alcotest.(check bool) "args equal" true
+    (List.for_all2 Value.equal m.args m'.args);
+  Alcotest.(check bool) "reply equal" true (m.reply = m'.reply);
+  Alcotest.(check int) "src" m.src_node m'.src_node
+
+let test_malformed_rejected () =
+  let truncated = Bytes.sub (Codec.value_to_bytes (Value.int 5)) 0 4 in
+  Alcotest.(check bool) "truncated rejected" true
+    (match Codec.value_of_bytes truncated with
+    | exception Failure _ -> true
+    | _ -> false);
+  let garbage = Bytes.of_string "\255\001\002" in
+  Alcotest.(check bool) "unknown tag rejected" true
+    (match Codec.value_of_bytes garbage with
+    | exception Failure _ -> true
+    | _ -> false);
+  let padded =
+    let b = Codec.value_to_bytes Value.unit in
+    Bytes.cat b (Bytes.of_string "x")
+  in
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (match Codec.value_of_bytes padded with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* End-to-end: run the N-queens program with every inter-node message
+   round-tripped through the codec; the answer must be unchanged. *)
+let test_codec_checked_run () =
+  let rt_config = { Core.System.default_rt_config with Kernel.codec_check = true } in
+  let r = Apps.Nqueens_par.run ~rt_config ~nodes:9 ~n:7 () in
+  Alcotest.(check int) "solutions under codec check" 40
+    r.Apps.Nqueens_par.solutions
+
+let value_gen =
+  let open QCheck.Gen in
+  sized
+    (fix (fun self size ->
+         if size <= 1 then
+           oneof
+             [
+               return Value.unit;
+               map Value.bool bool;
+               map Value.int int;
+               map Value.float (float_bound_inclusive 1e9);
+               map Value.str (string_size (int_bound 20));
+               map
+                 (fun (n, s) -> Value.addr { Value.node = n; slot = s })
+                 (pair (int_bound 4095) (int_bound 1_000_000));
+             ]
+         else
+           oneof
+             [
+               map Value.list (list_size (int_bound 5) (self (size / 2)));
+               map Value.tuple (list_size (int_bound 5) (self (size / 2)));
+             ]))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip is the identity" ~count:500
+    (QCheck.make value_gen)
+    (fun x ->
+      Value.equal x (Codec.value_of_bytes (Codec.value_to_bytes x))
+      && Bytes.length (Codec.value_to_bytes x) = Codec.encoded_size x)
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "scalars" `Quick test_scalar_roundtrips;
+          Alcotest.test_case "nested" `Quick test_nested_roundtrip;
+          Alcotest.test_case "encoded size" `Quick test_encoded_size_matches;
+          Alcotest.test_case "malformed" `Quick test_malformed_rejected;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_message_roundtrip;
+          Alcotest.test_case "codec-checked N-queens" `Quick
+            test_codec_checked_run;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

@@ -1,0 +1,93 @@
+open Core
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let counter_cls () =
+  Class_def.define ~name:"counter" ~state:[| "n" |]
+    ~init:(fun _ -> [| Value.int 0 |])
+    ~methods:
+      [
+        Class_def.meth "inc" ~arity:0 (fun ctx _msg ->
+            Ctx.set ctx 0 (Value.int (Value.to_int (Ctx.get ctx 0) + 1)));
+        Class_def.meth "get" ~arity:0 (fun ctx msg -> Ctx.reply ctx msg (Ctx.get ctx 0));
+      ]
+    ()
+
+let server_cls () =
+  Class_def.define ~name:"server"
+    ~methods:
+      [
+        Class_def.meth "double" ~arity:1 (fun ctx msg ->
+            Ctx.reply ctx msg (Value.int (2 * Value.to_int (Message.arg msg 0))));
+      ]
+    ()
+
+let client_cls () =
+  Class_def.define ~name:"client" ~state:[| "result" |]
+    ~methods:
+      [
+        Class_def.meth "start" ~arity:1 (fun ctx msg ->
+            let server = Value.to_addr (Message.arg msg 0) in
+            let r = Ctx.send_now ctx server (Pattern.intern "double" ~arity:1) [ Value.int 21 ] in
+            Ctx.set ctx 0 r);
+      ]
+    ()
+
+let test_counter () =
+  let counter = counter_cls () in
+  let sys = System.boot ~nodes:4 ~classes:[ counter ] () in
+  let addr = System.create_root sys ~node:0 counter [] in
+  let inc = Pattern.intern "inc" ~arity:0 in
+  System.send_boot sys addr inc [];
+  System.send_boot sys addr inc [];
+  System.send_boot sys addr inc [];
+  System.run sys;
+  match System.lookup_obj sys addr with
+  | Some obj -> Alcotest.check v "count" (Value.int 3) obj.Kernel.state.(0)
+  | None -> Alcotest.fail "object missing"
+
+let test_now_remote () =
+  let server = server_cls () and client = client_cls () in
+  let sys = System.boot ~nodes:4 ~classes:[ server; client ] () in
+  let s = System.create_root sys ~node:3 server [] in
+  let c = System.create_root sys ~node:0 client [] in
+  System.send_boot sys c (Pattern.intern "start" ~arity:1) [ Value.addr s ];
+  System.run sys;
+  match System.lookup_obj sys c with
+  | Some obj -> Alcotest.check v "doubled" (Value.int 42) obj.Kernel.state.(0)
+  | None -> Alcotest.fail "object missing"
+
+let test_remote_create () =
+  let counter = counter_cls () in
+  let spawner =
+    Class_def.define ~name:"spawner" ~state:[| "child" |]
+      ~methods:
+        [
+          Class_def.meth "go" ~arity:0 (fun ctx _msg ->
+              let child = Ctx.create_on ctx ~target:2 counter [] in
+              Ctx.send_kw ctx child "inc" [];
+              Ctx.send_kw ctx child "inc" [];
+              Ctx.set ctx 0 (Value.addr child));
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:4 ~classes:[ counter; spawner ] () in
+  let sp = System.create_root sys ~node:0 spawner [] in
+  System.send_boot sys sp (Pattern.intern "go" ~arity:0) [];
+  System.run sys;
+  let sp_obj = Option.get (System.lookup_obj sys sp) in
+  let child = Value.to_addr sp_obj.Kernel.state.(0) in
+  Alcotest.(check int) "on node 2" 2 child.Value.node;
+  let child_obj = Option.get (System.lookup_obj sys child) in
+  Alcotest.check v "child count" (Value.int 2) child_obj.Kernel.state.(0)
+
+let () =
+  Alcotest.run "repro"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "now-type remote" `Quick test_now_remote;
+          Alcotest.test_case "remote create" `Quick test_remote_create;
+        ] );
+    ]

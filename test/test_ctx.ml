@@ -1,0 +1,178 @@
+(* API-surface tests for the method execution context (Ctx). *)
+
+open Core
+
+let p_go = Pattern.intern "tcx_go" ~arity:0
+let _p_named = Pattern.intern "tcx_named" ~arity:0
+let p_probe = Pattern.intern "tcx_probe" ~arity:0
+let p_kw = Pattern.intern "tcx_kw" ~arity:1
+
+let run_in_method ?(nodes = 2) ~state ~init body =
+  let cls =
+    Class_def.define ~name:"tcx_host" ~state ~init
+      ~methods:[ (p_go, fun ctx msg -> body ctx msg) ]
+      ()
+  in
+  let sys = System.boot ~nodes ~classes:[ cls ] () in
+  let a = System.create_root sys ~node:0 cls [] in
+  System.send_boot sys a p_go [];
+  System.run sys;
+  (sys, a)
+
+let test_named_state_access () =
+  let observed = ref None in
+  let _ =
+    run_in_method ~state:[| "alpha"; "beta" |]
+      ~init:(fun _ -> [| Value.int 1; Value.int 2 |])
+      (fun ctx _ ->
+        Ctx.set_named ctx "beta" (Value.int 20);
+        observed :=
+          Some
+            ( Value.to_int (Ctx.get_named ctx "alpha"),
+              Value.to_int (Ctx.get_named ctx "beta") ))
+  in
+  Alcotest.(check (option (pair int int))) "named access" (Some (1, 20)) !observed
+
+let test_named_state_unknown () =
+  let failure = ref None in
+  let _ =
+    run_in_method ~state:[| "x" |]
+      ~init:(fun _ -> [| Value.unit |])
+      (fun ctx _ ->
+        match Ctx.get_named ctx "zzz" with
+        | _ -> ()
+        | exception Invalid_argument m -> failure := Some m)
+  in
+  Alcotest.(check (option string)) "diagnostic"
+    (Some "Ctx: no state variable \"zzz\"") !failure
+
+let test_identity () =
+  let seen = ref None in
+  let sys, a =
+    run_in_method ~state:[||]
+      ~init:(fun _ -> [||])
+      (fun ctx _ ->
+        seen := Some (Ctx.self ctx, Ctx.node_id ctx, Ctx.node_count ctx))
+  in
+  ignore sys;
+  match !seen with
+  | Some (self, node_id, node_count) ->
+      Alcotest.(check bool) "self" true (self = a);
+      Alcotest.(check int) "node" 0 node_id;
+      Alcotest.(check int) "count" 2 node_count
+  | None -> Alcotest.fail "method never ran"
+
+let test_reply_without_destination_is_counted () =
+  let sys, _ =
+    run_in_method ~state:[||]
+      ~init:(fun _ -> [||])
+      (fun ctx msg -> Ctx.reply ctx msg (Value.int 1))
+  in
+  Alcotest.(check int) "counted, not crashed" 1
+    (Simcore.Stats.get (System.stats sys) "reply.no_dest")
+
+let test_send_kw_interns () =
+  let got = ref 0 in
+  let sink =
+    Class_def.define ~name:"tcx_sink"
+      ~methods:[ (p_kw, fun _ msg -> got := Value.to_int (Message.arg msg 0)) ]
+      ()
+  in
+  let driver =
+    Class_def.define ~name:"tcx_driver"
+      ~methods:
+        [
+          ( p_go,
+            fun ctx _ ->
+              let s = Ctx.create_local ctx sink [] in
+              Ctx.send_kw ctx s "tcx_kw" [ Value.int 9 ] );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:1 ~classes:[ sink; driver ] () in
+  let d = System.create_root sys ~node:0 driver [] in
+  System.send_boot sys d p_go [];
+  System.run sys;
+  Alcotest.(check int) "keyword send delivered" 9 !got
+
+let test_wait_for_kw_unknown () =
+  let failure = ref None in
+  let _ =
+    run_in_method ~state:[||]
+      ~init:(fun _ -> [||])
+      (fun ctx _ ->
+        match Ctx.wait_for_kw ctx [ "tcx_never_interned_kw" ] with
+        | _ -> ()
+        | exception Invalid_argument m -> failure := Some m)
+  in
+  Alcotest.(check bool) "rejects unknown keyword" true (Option.is_some !failure)
+
+let test_state_access_before_init () =
+  (* Reaching into state before lazy initialisation is a runtime error —
+     but it cannot happen from a method (init runs first); assert the
+     guard through the raw representation. *)
+  let cls =
+    Class_def.define ~name:"tcx_lazy" ~state:[| "x" |]
+      ~init:(fun _ -> [| Value.int 5 |])
+      ~methods:[ (p_probe, fun _ _ -> ()) ]
+      ()
+  in
+  let sys = System.boot ~nodes:1 ~classes:[ cls ] () in
+  let a = System.create_root sys ~node:0 cls [] in
+  let obj = Option.get (System.lookup_obj sys a) in
+  Alcotest.(check bool) "no state box yet" true (Array.length obj.Kernel.state = 0);
+  System.send_boot sys a p_probe [];
+  System.run sys;
+  Alcotest.(check int) "state box after first message" 5
+    (Value.to_int obj.Kernel.state.(0))
+
+let test_charge_advances_clock () =
+  let sys, _ =
+    run_in_method ~state:[||]
+      ~init:(fun _ -> [||])
+      (fun ctx _ -> Ctx.charge ctx 10_000)
+  in
+  Alcotest.(check bool) "10k instructions = 920 us or more" true
+    (System.elapsed sys >= 10_000 * 92)
+
+let test_named_pattern_helpers () =
+  let p = Pattern.intern "tcx_helper" ~arity:2 in
+  Alcotest.(check string) "name" "tcx_helper" (Pattern.name p);
+  let cls =
+    Class_def.define ~name:"tcx_pat"
+      ~methods:[ (p, fun _ _ -> ()) ]
+      ()
+  in
+  Alcotest.(check int) "pattern_of finds the method" p
+    (Class_def.pattern_of cls "tcx_helper");
+  Alcotest.check_raises "pattern_of rejects unknowns"
+    (Invalid_argument "Class tcx_pat has no method nope") (fun () ->
+      ignore (Class_def.pattern_of cls "nope"))
+
+let () =
+  Alcotest.run "ctx"
+    [
+      ( "state",
+        [
+          Alcotest.test_case "named access" `Quick test_named_state_access;
+          Alcotest.test_case "unknown name" `Quick test_named_state_unknown;
+          Alcotest.test_case "lazy init boundary" `Quick
+            test_state_access_before_init;
+        ] );
+      ( "identity",
+        [ Alcotest.test_case "self/node/count" `Quick test_identity ] );
+      ( "messaging",
+        [
+          Alcotest.test_case "reply without dest" `Quick
+            test_reply_without_destination_is_counted;
+          Alcotest.test_case "send_kw" `Quick test_send_kw_interns;
+          Alcotest.test_case "wait_for_kw unknown" `Quick
+            test_wait_for_kw_unknown;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "charge" `Quick test_charge_advances_clock;
+          Alcotest.test_case "pattern helpers" `Quick
+            test_named_pattern_helpers;
+        ] );
+    ]

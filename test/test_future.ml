@@ -1,0 +1,148 @@
+(* Tests for future-type message passing: asynchronous request with a
+   claimable reply handle, built on the same reply-destination objects as
+   now-type sends. *)
+
+open Core
+
+let p_work = Pattern.intern "tf_work" ~arity:1
+let p_go = Pattern.intern "tf_go" ~arity:1
+
+let worker_cls () =
+  Class_def.define ~name:"tf_worker"
+    ~methods:
+      [
+        ( p_work,
+          fun ctx msg ->
+            let n = Value.to_int (Message.arg msg 0) in
+            Ctx.charge ctx 100;
+            Ctx.reply ctx msg (Value.int (n * n)) );
+      ]
+    ()
+
+let run_driver ~nodes ~worker_node body =
+  let worker = worker_cls () in
+  let out = ref [] in
+  let driver =
+    Class_def.define ~name:"tf_driver"
+      ~methods:
+        [
+          ( p_go,
+            fun ctx msg ->
+              let w = Value.to_addr (Message.arg msg 0) in
+              body ctx w out );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes ~classes:[ worker; driver ] () in
+  let w = System.create_root sys ~node:worker_node worker [] in
+  let d = System.create_root sys ~node:0 driver [] in
+  System.send_boot sys d p_go [ Value.addr w ];
+  System.run sys;
+  (!out, System.stats sys)
+
+let test_future_overlap () =
+  (* Three requests issued before any is touched: the sender overlaps
+     all three remote round trips instead of serialising them. *)
+  let results, stats =
+    run_driver ~nodes:2 ~worker_node:1 (fun ctx w out ->
+        let futures =
+          List.map
+            (fun n -> Ctx.send_future ctx w p_work [ Value.int n ])
+            [ 2; 3; 4 ]
+        in
+        List.iter
+          (fun f -> out := Value.to_int (Ctx.touch ctx f) :: !out)
+          futures)
+  in
+  Alcotest.(check (list int)) "all replies claimed in order" [ 4; 9; 16 ]
+    (List.rev results);
+  (* At least the first touch must block (remote round trip). *)
+  Alcotest.(check bool) "first touch blocked" true
+    (Simcore.Stats.get stats "reply.blocked" >= 1)
+
+let test_future_ready_local () =
+  let results, stats =
+    run_driver ~nodes:1 ~worker_node:0 (fun ctx w out ->
+        let f = Ctx.send_future ctx w p_work [ Value.int 5 ] in
+        (* Local + stack scheduling: the worker ran during the send, so
+           the future is already resolved. *)
+        if Ctx.future_ready ctx f then
+          out := Value.to_int (Ctx.touch ctx f) :: !out)
+  in
+  Alcotest.(check (list int)) "resolved without blocking" [ 25 ] results;
+  Alcotest.(check int) "no block" 0 (Simcore.Stats.get stats "reply.blocked")
+
+let test_future_double_touch () =
+  let failure = ref None in
+  let _, _ =
+    run_driver ~nodes:1 ~worker_node:0 (fun ctx w _out ->
+        let f = Ctx.send_future ctx w p_work [ Value.int 1 ] in
+        ignore (Ctx.touch ctx f);
+        match Ctx.touch ctx f with
+        | _ -> ()
+        | exception Invalid_argument m -> failure := Some m)
+  in
+  Alcotest.(check (option string)) "double touch rejected"
+    (Some "Ctx.touch: future already claimed") !failure
+
+let test_future_addr_forwardable () =
+  (* The future's reply destination can be shipped to a third object,
+     which replies on the original worker's behalf. *)
+  let p_assist = Pattern.intern "tf_assist" ~arity:1 in
+  let helper =
+    Class_def.define ~name:"tf_helper"
+      ~methods:
+        [
+          ( p_assist,
+            fun ctx msg ->
+              let dest = Value.to_addr (Message.arg msg 0) in
+              Ctx.send ctx dest Pattern.reply [ Value.int 77 ] );
+        ]
+      ()
+  in
+  let out = ref [] in
+  let p_go2 = Pattern.intern "tf_go2" ~arity:1 in
+  let lazy_worker =
+    (* Never replies itself; the driver routes the future's destination
+       to the helper instead. *)
+    Class_def.define ~name:"tf_lazy" ~methods:[ (p_work, fun _ _ -> ()) ] ()
+  in
+  let helper_addr = ref Value.unit in
+  let driver =
+    Class_def.define ~name:"tf_driver2"
+      ~methods:
+        [
+          ( p_go2,
+            fun ctx msg ->
+              let w = Value.to_addr (Message.arg msg 0) in
+              let f = Ctx.send_future ctx w p_work [ Value.int 0 ] in
+              Ctx.send ctx
+                (Value.to_addr !helper_addr)
+                p_assist
+                [ Value.addr (Ctx.future_addr f) ];
+              out := Value.to_int (Ctx.touch ctx f) :: !out );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:3 ~classes:[ helper; lazy_worker; driver ] () in
+  let h = System.create_root sys ~node:2 helper [] in
+  helper_addr := Value.addr h;
+  let w = System.create_root sys ~node:1 lazy_worker [] in
+  let d = System.create_root sys ~node:0 driver [] in
+  System.send_boot sys d p_go2 [ Value.addr w ];
+  System.run sys;
+  Alcotest.(check (list int)) "reply delivered by the helper" [ 77 ] !out
+
+let () =
+  Alcotest.run "future"
+    [
+      ( "future-type",
+        [
+          Alcotest.test_case "overlapped requests" `Quick test_future_overlap;
+          Alcotest.test_case "ready without blocking" `Quick
+            test_future_ready_local;
+          Alcotest.test_case "double touch" `Quick test_future_double_touch;
+          Alcotest.test_case "forwardable destination" `Quick
+            test_future_addr_forwardable;
+        ] );
+    ]

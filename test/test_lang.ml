@@ -1,0 +1,365 @@
+(* Tests for the surface language: lexer, parser, compile errors, and
+   end-to-end script execution. *)
+
+let run ?nodes src = Lang.Compile.run_source ?nodes src
+let output ?nodes src = fst (run ?nodes src)
+
+let read_script_early name =
+  let path =
+    List.find Sys.file_exists
+      [ "../examples/abcl/" ^ name; "examples/abcl/" ^ name ]
+  in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- lexer --- *)
+
+let test_lexer_basics () =
+  let tokens = List.map fst (Lang.Lexer.tokenize "class x_1 := <- <= [ ] ;; comment\n 42 \"hi\\n\"") in
+  Alcotest.(check bool) "shape" true
+    (tokens
+    = [
+        Lang.Lexer.KW "class";
+        Lang.Lexer.IDENT "x_1";
+        Lang.Lexer.ASSIGN;
+        Lang.Lexer.ARROW;
+        Lang.Lexer.OP "<=";
+        Lang.Lexer.LBRACKET;
+        Lang.Lexer.RBRACKET;
+        Lang.Lexer.INT 42;
+        Lang.Lexer.STRING "hi\n";
+        Lang.Lexer.EOF;
+      ])
+
+let test_lexer_lines () =
+  let tokens = Lang.Lexer.tokenize "a\nb\n\nc" in
+  let lines = List.map snd tokens in
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 4; 4 ] lines
+
+let test_lexer_error () =
+  Alcotest.(check bool) "bad char rejected" true
+    (match Lang.Lexer.tokenize "a ~ b" with
+    | exception Lang.Lexer.Error { line = 1; _ } -> true
+    | _ -> false)
+
+(* --- parser --- *)
+
+let test_parser_precedence () =
+  let open Lang.Ast in
+  Alcotest.(check bool) "mul binds tighter" true
+    (Lang.Parser.parse_expr "1 + 2 * 3"
+    = E_binop (Add, E_int 1, E_binop (Mul, E_int 2, E_int 3)));
+  Alcotest.(check bool) "comparison above arithmetic" true
+    (Lang.Parser.parse_expr "1 + 2 < 3 * 4"
+    = E_binop
+        (Lt, E_binop (Add, E_int 1, E_int 2), E_binop (Mul, E_int 3, E_int 4)));
+  Alcotest.(check bool) "parens override" true
+    (Lang.Parser.parse_expr "(1 + 2) * 3"
+    = E_binop (Mul, E_binop (Add, E_int 1, E_int 2), E_int 3))
+
+let test_parser_new_and_sends () =
+  let open Lang.Ast in
+  Alcotest.(check bool) "new with placement" true
+    (Lang.Parser.parse_expr "new foo(1) on 3"
+    = E_new { cls = "foo"; args = [ E_int 1 ]; where = W_on (E_int 3) });
+  Alcotest.(check bool) "now send" true
+    (Lang.Parser.parse_expr "now self.get()"
+    = E_send_now { target = E_self; pattern = "get"; args = [] })
+
+let test_parser_errors () =
+  let syntax_error src =
+    match Lang.Parser.parse_program src with
+    | exception Lang.Parser.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing boot" true
+    (syntax_error "class a method m() { } end");
+  Alcotest.(check bool) "stray token" true (syntax_error "42");
+  Alcotest.(check bool) "empty wait" true
+    (syntax_error
+       "class a method m() { wait { } } end boot a() on 0 <- m()")
+
+(* --- compile-time errors --- *)
+
+let script_error src =
+  match run src with
+  | exception Lang.Compile.Script_error _ -> true
+  | _ -> false
+
+let test_compile_errors () =
+  Alcotest.(check bool) "duplicate class" true
+    (script_error
+       "class a method m() { } end class a method m() { } end boot a() on 0 <- m()");
+  Alcotest.(check bool) "unknown class in new" true
+    (script_error
+       "class a method m() { let x = new ghost() remote; } end boot a() on 0 <- m()");
+  Alcotest.(check bool) "unbound variable" true
+    (script_error "class a method m() { print zzz; } end boot a() on 0 <- m()");
+  Alcotest.(check bool) "division by zero" true
+    (script_error "class a method m() { print 1 / 0; } end boot a() on 0 <- m()")
+
+(* --- end-to-end scripts --- *)
+
+let test_counter_script () =
+  let out =
+    output
+      {| class counter(start)
+           state n = start
+           method inc() { n := n + 1; }
+           method get() { reply n; }
+         end
+         class main
+           method go() {
+             let c = new counter(40) remote;
+             send c.inc();
+             send c.inc();
+             print now c.get();
+           }
+         end
+         boot main() on 0 <- go() |}
+  in
+  Alcotest.(check string) "output" "42\n" out
+
+let test_control_flow_script () =
+  let out =
+    output
+      {| class main
+           method go() {
+             let total = 0;
+             for i = 1 to 10 { total := total + i; }
+             if total = 55 { print "sum ok"; } else { print "sum bad"; }
+             let k = 3;
+             while k > 0 { print k; k := k - 1; }
+             print len([1, 2, 3]) + hd([41]) - nth([1, 1], 1);
+           }
+         end
+         boot main() on 0 <- go() |}
+  in
+  Alcotest.(check string) "output" "\"sum ok\"\n3\n2\n1\n43\n" out
+
+let test_wait_script () =
+  let out =
+    output ~nodes:2
+      {| class gate
+           method open() {
+             wait {
+               key(v) { print v; }
+               other() { print "wrong"; }
+             }
+           }
+         end
+         class sender
+           method go(g) { send g.key(7); }
+         end
+         class main
+           method go() {
+             let g = new gate() on 0;
+             send g.open();
+             let s = new sender() on 1;
+             send s.go(g);
+           }
+         end
+         boot main() on 0 <- go() |}
+  in
+  Alcotest.(check string) "awaited arm ran" "7\n" out
+
+let test_future_script () =
+  let out =
+    output ~nodes:2
+      {| class worker
+           method sq(x) { charge 50; reply x * x; }
+         end
+         class main
+           method go() {
+             let w = new worker() on 1;
+             let f1 = future w.sq(3);
+             let f2 = future w.sq(4);
+             print touch f1 + touch f2;
+           }
+         end
+         boot main() on 0 <- go() |}
+  in
+  Alcotest.(check string) "overlapped futures" "25\n" out
+
+let test_queens_script_matches () =
+  (* Works both under `dune runtest` (cwd = test dir, deps materialised
+     one level up) and `dune exec` (cwd = workspace root). *)
+  let path =
+    List.find Sys.file_exists
+      [ "../examples/abcl/queens.abcl"; "examples/abcl/queens.abcl" ]
+  in
+  let source =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* The bundled script solves N=8: 92 solutions. *)
+  let out, sys = Lang.Compile.run_source ~nodes:9 source in
+  Alcotest.(check string) "92 solutions" "92\n" out;
+  Alcotest.(check bool) "thousands of objects" true
+    (Simcore.Stats.get (Core.System.stats sys) "create.remote" > 1000)
+
+let test_script_virtual_time_advances () =
+  let _, sys =
+    run
+      {| class main
+           method go() { charge 25000; }
+         end
+         boot main() on 0 <- go() |}
+  in
+  (* 25_000 instructions at 92 ns each, plus small runtime overheads. *)
+  Alcotest.(check bool) "clock advanced by the charge" true
+    (Core.System.elapsed sys >= 25_000 * 92)
+
+let test_boot_placement_wraps () =
+  let out = output ~nodes:2 {|
+    class main
+      method go() { print node; }
+    end
+    boot main() on 5 <- go() |} in
+  (* node 5 wraps to 5 mod 2 = 1 *)
+  Alcotest.(check string) "wrapped boot node" "1\n" out
+
+let test_arity_overloading () =
+  (* The same keyword with different arities names different patterns. *)
+  let out =
+    output
+      {| class multi
+           method m() { print "zero"; }
+           method m(x) { print x; }
+         end
+         class main
+           method go() {
+             let o = new multi() local;
+             send o.m();
+             send o.m(7);
+           }
+         end
+         boot main() on 0 <- go() |}
+  in
+  Alcotest.(check string) "both arities dispatched" "\"zero\"\n7\n" out
+
+let test_fib_script () =
+  let out, _ = Lang.Compile.run_source ~nodes:4 (read_script_early "fib.abcl") in
+  Alcotest.(check string) "fib(12)" "233\n" out
+
+let test_sieve_script () =
+  let out, _ = Lang.Compile.run_source ~nodes:4 (read_script_early "sieve.abcl") in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  (* pi(50) = 15 primes; arrival order of found-messages is not globally
+     ordered, so compare as a set. *)
+  Alcotest.(check int) "pi(50)" 15 (List.length lines);
+  let sorted = List.sort compare (List.map int_of_string lines) in
+  Alcotest.(check (list int)) "the primes up to 50"
+    [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47 ]
+    sorted
+
+let test_operators_and_prims () =
+  let out =
+    output
+      {| class main
+           method go() {
+             print 7 % 3;
+             print (1 < 2) && (2 <= 2) && (3 > 2) && (3 >= 3) && (1 <> 2);
+             print not false || false;
+             print - (3 - 5);
+             print abs(0 - 9) + min(2, 5) + max(2, 5);
+             print cons(1, [2, 3]);
+             print null([]);
+             print tl([1, 2]);
+           }
+         end
+         boot main() on 0 <- go() |}
+  in
+  Alcotest.(check string) "output"
+    "1\ntrue\ntrue\n2\n16\n[1; 2; 3]\ntrue\n[2]\n" out
+
+let test_prim_errors () =
+  Alcotest.(check bool) "hd of empty" true
+    (script_error
+       "class a method m() { print hd([]); } end boot a() on 0 <- m()");
+  Alcotest.(check bool) "unknown prim" true
+    (script_error
+       "class a method m() { print frobnicate(1); } end boot a() on 0 <- m()");
+  Alcotest.(check bool) "ctor arity" true
+    (script_error
+       "class a(x) state y = x method m() { } end boot a() on 0 <- m()")
+
+(* --- pretty-printer round trip --- *)
+
+let read_script name =
+  let path =
+    List.find Sys.file_exists
+      [ "../examples/abcl/" ^ name; "examples/abcl/" ^ name ]
+  in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_pretty_roundtrip () =
+  List.iter
+    (fun script ->
+      let ast = Lang.Parser.parse_program (read_script script) in
+      let printed = Lang.Pretty.program_to_string ast in
+      let reparsed =
+        try Lang.Parser.parse_program printed
+        with Lang.Parser.Error { line; message } ->
+          Alcotest.failf "%s: reprint does not parse (line %d: %s):\n%s"
+            script line message printed
+      in
+      if reparsed <> ast then
+        Alcotest.failf "%s: print/parse round trip changed the AST" script)
+    [ "counter.abcl"; "pingpong.abcl"; "queens.abcl"; "sieve.abcl"; "fib.abcl" ]
+
+let test_pretty_behaviour_preserved () =
+  (* The reprinted queens program still computes 92 solutions. *)
+  let ast = Lang.Parser.parse_program (read_script "queens.abcl") in
+  let printed = Lang.Pretty.program_to_string ast in
+  let out, _ = Lang.Compile.run_source ~nodes:9 printed in
+  Alcotest.(check string) "92 solutions after reprint" "92\n" out
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "lines" `Quick test_lexer_lines;
+          Alcotest.test_case "errors" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "new and sends" `Quick test_parser_new_and_sends;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ( "compile",
+        [ Alcotest.test_case "errors" `Quick test_compile_errors ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pretty_roundtrip;
+          Alcotest.test_case "behaviour preserved" `Quick
+            test_pretty_behaviour_preserved;
+        ] );
+      ( "scripts",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_script;
+          Alcotest.test_case "control flow" `Quick test_control_flow_script;
+          Alcotest.test_case "selective wait" `Quick test_wait_script;
+          Alcotest.test_case "futures" `Quick test_future_script;
+          Alcotest.test_case "queens matches" `Quick test_queens_script_matches;
+          Alcotest.test_case "virtual time" `Quick
+            test_script_virtual_time_advances;
+          Alcotest.test_case "boot wraps" `Quick test_boot_placement_wraps;
+          Alcotest.test_case "sieve script" `Quick test_sieve_script;
+          Alcotest.test_case "fib script" `Quick test_fib_script;
+          Alcotest.test_case "arity overloading" `Quick test_arity_overloading;
+          Alcotest.test_case "operators and prims" `Quick
+            test_operators_and_prims;
+          Alcotest.test_case "prim errors" `Quick test_prim_errors;
+        ] );
+    ]

@@ -1,0 +1,321 @@
+(* Tests for now-type message passing (reply destinations) and selective
+   message reception (waiting mode). *)
+
+open Core
+
+let p_ask = Pattern.intern "nw_ask" ~arity:1
+let p_echo2 = Pattern.intern "nw_echo" ~arity:1
+let p_go = Pattern.intern "nw_go" ~arity:0
+let p_hint = Pattern.intern "nw_hint" ~arity:1
+let p_noise = Pattern.intern "nw_noise" ~arity:1
+
+let echo_cls () =
+  Class_def.define ~name:"nw_echo_cls"
+    ~methods:
+      [ (p_echo2, fun ctx msg -> Ctx.reply ctx msg (Message.arg msg 0)) ]
+    ()
+
+(* --- Local now-type: with stack scheduling the reply has usually
+   arrived by the time the sender checks (paper Section 4.3). --- *)
+
+let test_now_local_immediate () =
+  let echo = echo_cls () in
+  let client =
+    Class_def.define ~name:"nw_client" ~state:[| "r" |]
+      ~init:(fun _ -> [| Value.unit |])
+      ~methods:
+        [
+          ( p_ask,
+            fun ctx msg ->
+              let target = Value.to_addr (Message.arg msg 0) in
+              let r = Ctx.send_now ctx target p_echo2 [ Value.int 5 ] in
+              Ctx.set ctx 0 r );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:1 ~classes:[ echo; client ] () in
+  let e = System.create_root sys ~node:0 echo [] in
+  let c = System.create_root sys ~node:0 client [] in
+  System.send_boot sys c p_ask [ Value.addr e ];
+  System.run sys;
+  let st = System.stats sys in
+  Alcotest.(check int) "reply was immediate" 1
+    (Simcore.Stats.get st "reply.immediate");
+  Alcotest.(check int) "sender never blocked" 0
+    (Simcore.Stats.get st "reply.blocked");
+  let obj = Option.get (System.lookup_obj sys c) in
+  Alcotest.(check int) "result" 5 (Value.to_int obj.Kernel.state.(0))
+
+(* --- Remote now-type always blocks (the reply needs a round trip). --- *)
+
+let test_now_remote_blocks () =
+  let echo = echo_cls () in
+  let client =
+    Class_def.define ~name:"nw_client2" ~state:[| "r" |]
+      ~init:(fun _ -> [| Value.unit |])
+      ~methods:
+        [
+          ( p_ask,
+            fun ctx msg ->
+              let target = Value.to_addr (Message.arg msg 0) in
+              let r = Ctx.send_now ctx target p_echo2 [ Value.int 7 ] in
+              Ctx.set ctx 0 r );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:2 ~classes:[ echo; client ] () in
+  let e = System.create_root sys ~node:1 echo [] in
+  let c = System.create_root sys ~node:0 client [] in
+  System.send_boot sys c p_ask [ Value.addr e ];
+  System.run sys;
+  let st = System.stats sys in
+  Alcotest.(check int) "sender blocked" 1 (Simcore.Stats.get st "reply.blocked");
+  let obj = Option.get (System.lookup_obj sys c) in
+  Alcotest.(check int) "result" 7 (Value.to_int obj.Kernel.state.(0))
+
+(* --- Reply destinations are first-class: the receiver may delegate the
+   reply to a third object (paper Section 2.2). --- *)
+
+let p_delegate = Pattern.intern "nw_delegate" ~arity:2
+
+let test_reply_delegation () =
+  let helper =
+    Class_def.define ~name:"nw_helper"
+      ~methods:
+        [
+          ( p_delegate,
+            fun ctx msg ->
+              (* arg 0: the original reply destination; arg 1: payload. *)
+              let dest = Value.to_addr (Message.arg msg 0) in
+              Ctx.send ctx dest Pattern.reply [ Message.arg msg 1 ] );
+        ]
+      ()
+  in
+  let helper_ref = ref Value.unit in
+  let frontend =
+    Class_def.define ~name:"nw_frontend"
+      ~methods:
+        [
+          ( p_echo2,
+            fun ctx msg ->
+              (* Do not answer; forward the reply destination. *)
+              match msg.Message.reply with
+              | Some dest ->
+                  Ctx.send ctx
+                    (Value.to_addr !helper_ref)
+                    p_delegate
+                    [ Value.addr dest; Value.int 11 ]
+              | None -> Alcotest.fail "expected a reply destination" );
+        ]
+      ()
+  in
+  let client =
+    Class_def.define ~name:"nw_client3" ~state:[| "r" |]
+      ~init:(fun _ -> [| Value.unit |])
+      ~methods:
+        [
+          ( p_ask,
+            fun ctx msg ->
+              let target = Value.to_addr (Message.arg msg 0) in
+              let r = Ctx.send_now ctx target p_echo2 [ Value.int 0 ] in
+              Ctx.set ctx 0 r );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:3 ~classes:[ helper; frontend; client ] () in
+  let h = System.create_root sys ~node:2 helper [] in
+  helper_ref := Value.addr h;
+  let f = System.create_root sys ~node:1 frontend [] in
+  let c = System.create_root sys ~node:0 client [] in
+  System.send_boot sys c p_ask [ Value.addr f ];
+  System.run sys;
+  let obj = Option.get (System.lookup_obj sys c) in
+  Alcotest.(check int) "reply came from the delegate" 11
+    (Value.to_int obj.Kernel.state.(0))
+
+(* --- Selective reception: an already-buffered awaited message is taken
+   without blocking. --- *)
+
+let test_wait_immediate () =
+  let cls =
+    Class_def.define ~name:"nw_waiter" ~state:[| "got" |]
+      ~init:(fun _ -> [| Value.unit |])
+      ~methods:
+        [
+          ( p_go,
+            fun ctx _msg ->
+              (* Send the hint to self first: it is buffered (self is
+                 active), so the wait finds it in the queue. *)
+              Ctx.send ctx (Ctx.self ctx) p_hint [ Value.int 3 ];
+              let m = Ctx.wait_for ctx [ p_hint ] in
+              Ctx.set ctx 0 (Message.arg m 0) );
+          (p_hint, fun _ _ -> Alcotest.fail "hint must be consumed by wait");
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:1 ~classes:[ cls ] () in
+  let a = System.create_root sys ~node:0 cls [] in
+  System.send_boot sys a p_go [];
+  System.run sys;
+  let st = System.stats sys in
+  Alcotest.(check int) "no block" 0 (Simcore.Stats.get st "wait.blocked");
+  Alcotest.(check int) "immediate" 1 (Simcore.Stats.get st "wait.immediate");
+  let obj = Option.get (System.lookup_obj sys a) in
+  Alcotest.(check int) "value" 3 (Value.to_int obj.Kernel.state.(0))
+
+(* --- Selective reception: non-awaited messages are buffered and served
+   after the method completes, in arrival order. --- *)
+
+let test_wait_buffers_unacceptable () =
+  let log = ref [] in
+  let cls =
+    Class_def.define ~name:"nw_selective"
+      ~methods:
+        [
+          ( p_go,
+            fun ctx _msg ->
+              log := "waiting" :: !log;
+              let m = Ctx.wait_for ctx [ p_hint ] in
+              log :=
+                Printf.sprintf "hint:%d" (Value.to_int (Message.arg m 0))
+                :: !log );
+          ( p_noise,
+            fun _ctx msg ->
+              log :=
+                Printf.sprintf "noise:%d" (Value.to_int (Message.arg msg 0))
+                :: !log );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:1 ~classes:[ cls ] () in
+  let a = System.create_root sys ~node:0 cls [] in
+  System.send_boot sys a p_go [];
+  (* Two noise messages arrive while the object waits; then the hint. *)
+  System.send_boot sys a p_noise [ Value.int 1 ];
+  System.send_boot sys a p_noise [ Value.int 2 ];
+  System.send_boot sys a p_hint [ Value.int 9 ];
+  System.run sys;
+  Alcotest.(check (list string))
+    "hint consumed first, noise buffered then served in order"
+    [ "waiting"; "hint:9"; "noise:1"; "noise:2" ]
+    (List.rev !log)
+
+(* --- Alternative semantics: discard unacceptable messages. --- *)
+
+let test_wait_discard_semantics () =
+  let noise_ran = ref 0 in
+  let cls =
+    Class_def.define ~name:"nw_discard" ~state:[| "got" |]
+      ~init:(fun _ -> [| Value.unit |])
+      ~methods:
+        [
+          ( p_go,
+            fun ctx _msg ->
+              let m = Ctx.wait_for ctx [ p_hint ] in
+              Ctx.set ctx 0 (Message.arg m 0) );
+          (p_noise, fun _ _ -> incr noise_ran);
+        ]
+      ()
+  in
+  let rt_config =
+    { System.default_rt_config with Kernel.discard_unacceptable = true }
+  in
+  let sys = System.boot ~rt_config ~nodes:1 ~classes:[ cls ] () in
+  let a = System.create_root sys ~node:0 cls [] in
+  System.send_boot sys a p_go [];
+  System.send_boot sys a p_noise [ Value.int 1 ];
+  System.send_boot sys a p_hint [ Value.int 4 ];
+  System.run sys;
+  Alcotest.(check int) "noise discarded, never ran" 0 !noise_ran;
+  Alcotest.(check int) "discarded counted" 1
+    (Simcore.Stats.get (System.stats sys) "send.local.discarded");
+  let obj = Option.get (System.lookup_obj sys a) in
+  Alcotest.(check int) "hint received" 4 (Value.to_int obj.Kernel.state.(0))
+
+(* --- Waiting across nodes: awaited message arrives remotely. --- *)
+
+let test_wait_remote_restore () =
+  let cls =
+    Class_def.define ~name:"nw_remote_wait" ~state:[| "got" |]
+      ~init:(fun _ -> [| Value.unit |])
+      ~methods:
+        [
+          ( p_go,
+            fun ctx _msg ->
+              let m = Ctx.wait_for ctx [ p_hint ] in
+              Ctx.set ctx 0 (Message.arg m 0) );
+        ]
+      ()
+  in
+  let pinger =
+    Class_def.define ~name:"nw_pinger"
+      ~methods:
+        [
+          ( p_ask,
+            fun ctx msg ->
+              let target = Value.to_addr (Message.arg msg 0) in
+              Ctx.send ctx target p_hint [ Value.int 21 ] );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:2 ~classes:[ cls; pinger ] () in
+  let w = System.create_root sys ~node:0 cls [] in
+  let p = System.create_root sys ~node:1 pinger [] in
+  System.send_boot sys w p_go [];
+  System.send_boot sys p p_ask [ Value.addr w ];
+  System.run sys;
+  let st = System.stats sys in
+  Alcotest.(check int) "blocked once" 1 (Simcore.Stats.get st "wait.blocked");
+  Alcotest.(check int) "restored by remote receipt" 1
+    (Simcore.Stats.get st "recv.remote.restore");
+  let obj = Option.get (System.lookup_obj sys w) in
+  Alcotest.(check int) "value" 21 (Value.to_int obj.Kernel.state.(0))
+
+(* --- Two successive waits in one method. --- *)
+
+let test_double_wait () =
+  let cls =
+    Class_def.define ~name:"nw_double" ~state:[| "sum" |]
+      ~init:(fun _ -> [| Value.int 0 |])
+      ~methods:
+        [
+          ( p_go,
+            fun ctx _msg ->
+              let m1 = Ctx.wait_for ctx [ p_hint ] in
+              let m2 = Ctx.wait_for ctx [ p_hint ] in
+              Ctx.set ctx 0
+                (Value.int
+                   (Value.to_int (Message.arg m1 0)
+                   + Value.to_int (Message.arg m2 0))) );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:1 ~classes:[ cls ] () in
+  let a = System.create_root sys ~node:0 cls [] in
+  System.send_boot sys a p_go [];
+  System.send_boot sys a p_hint [ Value.int 10 ];
+  System.send_boot sys a p_hint [ Value.int 32 ];
+  System.run sys;
+  let obj = Option.get (System.lookup_obj sys a) in
+  Alcotest.(check int) "both received" 42 (Value.to_int obj.Kernel.state.(0))
+
+let () =
+  Alcotest.run "now_wait"
+    [
+      ( "now-type",
+        [
+          Alcotest.test_case "local immediate" `Quick test_now_local_immediate;
+          Alcotest.test_case "remote blocks" `Quick test_now_remote_blocks;
+          Alcotest.test_case "reply delegation" `Quick test_reply_delegation;
+        ] );
+      ( "selective reception",
+        [
+          Alcotest.test_case "immediate from queue" `Quick test_wait_immediate;
+          Alcotest.test_case "buffers unacceptable" `Quick
+            test_wait_buffers_unacceptable;
+          Alcotest.test_case "discard semantics" `Quick
+            test_wait_discard_semantics;
+          Alcotest.test_case "remote restore" `Quick test_wait_remote_restore;
+          Alcotest.test_case "double wait" `Quick test_double_wait;
+        ] );
+    ]

@@ -1,0 +1,89 @@
+(* Exact-output tests for the pretty-printers used in reports and
+   debugging. *)
+
+open Core
+
+let s fmt v = Format.asprintf fmt v
+
+let test_value_pp () =
+  Alcotest.(check string) "unit" "()" (s "%a" Value.pp Value.unit);
+  Alcotest.(check string) "bool" "true" (s "%a" Value.pp (Value.bool true));
+  Alcotest.(check string) "int" "-3" (s "%a" Value.pp (Value.int (-3)));
+  Alcotest.(check string) "str" "\"hi\"" (s "%a" Value.pp (Value.str "hi"));
+  Alcotest.(check string) "addr" "<2:9>"
+    (s "%a" Value.pp (Value.addr { Value.node = 2; slot = 9 }));
+  Alcotest.(check string) "list" "[1; 2]"
+    (s "%a" Value.pp (Value.list [ Value.int 1; Value.int 2 ]));
+  Alcotest.(check string) "tuple" "((), \"x\")"
+    (s "%a" Value.pp (Value.tuple [ Value.unit; Value.str "x" ]))
+
+let test_pattern_pp () =
+  let p = Pattern.intern "tpp_msg" ~arity:3 in
+  Alcotest.(check string) "keyword/arity" "tpp_msg/3" (s "%a" Pattern.pp p)
+
+let test_message_pp () =
+  let p = Pattern.intern "tpp_m" ~arity:2 in
+  let m =
+    Message.make ~pattern:p
+      ~args:[ Value.int 1; Value.str "a" ]
+      ~reply:{ Value.node = 0; slot = 4 } ~src_node:1 ()
+  in
+  Alcotest.(check string) "rendering" "tpp_m(1, \"a\") -><0:4>"
+    (s "%a" Message.pp m)
+
+let test_topology_pp () =
+  Alcotest.(check string) "torus" "torus 4x3 (12 nodes)"
+    (s "%a" Network.Topology.pp (Network.Topology.create ~x:4 ~y:3))
+
+let test_cost_model_pp () =
+  let rendered = s "%a" Machine.Cost_model.pp Machine.Cost_model.default in
+  Alcotest.(check bool) "mentions the fast path" true
+    (String.length rendered > 0)
+
+let test_am_category_names () =
+  Alcotest.(check string) "obj" "object-message"
+    (Machine.Am.category_name Machine.Am.Object_message);
+  Alcotest.(check string) "create" "create-request"
+    (Machine.Am.category_name Machine.Am.Create_request);
+  Alcotest.(check string) "chunk" "chunk-reply"
+    (Machine.Am.category_name Machine.Am.Chunk_reply);
+  Alcotest.(check string) "service" "service"
+    (Machine.Am.category_name Machine.Am.Service)
+
+let test_vft_kind_names () =
+  Alcotest.(check string) "dormant" "dormant" (Vft.kind_name Kernel.Vft_dormant);
+  Alcotest.(check string) "init" "init" (Vft.kind_name Kernel.Vft_init);
+  Alcotest.(check string) "waiting" "waiting"
+    (Vft.kind_name (Kernel.Vft_waiting []))
+
+let test_stats_pp () =
+  let st = Simcore.Stats.create () in
+  Simcore.Stats.add st "zz" 3;
+  Simcore.Stats.incr st "aa";
+  let rendered = s "%a" Simcore.Stats.pp st in
+  (* sorted: aa before zz *)
+  let idx needle =
+    let rec scan i =
+      if i + String.length needle > String.length rendered then -1
+      else if String.sub rendered i (String.length needle) = needle then i
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "sorted output" true (idx "aa" >= 0 && idx "aa" < idx "zz")
+
+let () =
+  Alcotest.run "pp"
+    [
+      ( "printers",
+        [
+          Alcotest.test_case "value" `Quick test_value_pp;
+          Alcotest.test_case "pattern" `Quick test_pattern_pp;
+          Alcotest.test_case "message" `Quick test_message_pp;
+          Alcotest.test_case "topology" `Quick test_topology_pp;
+          Alcotest.test_case "cost model" `Quick test_cost_model_pp;
+          Alcotest.test_case "am categories" `Quick test_am_category_names;
+          Alcotest.test_case "vft kinds" `Quick test_vft_kind_names;
+          Alcotest.test_case "stats" `Quick test_stats_pp;
+        ] );
+    ]

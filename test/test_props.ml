@@ -1,0 +1,261 @@
+(* Property-based tests (qcheck) for core data structures and runtime
+   invariants. *)
+
+open Core
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --- Event queue behaves like a stable sort --- *)
+
+let prop_event_queue_sorts =
+  QCheck.Test.make ~name:"event_queue sorts stably" ~count:200
+    QCheck.(list (pair (int_bound 1000) small_int))
+    (fun events ->
+      let q = Simcore.Event_queue.create () in
+      List.iter (fun (t, v) -> Simcore.Event_queue.add q ~time:t v) events;
+      let rec drain acc =
+        match Simcore.Event_queue.pop q with
+        | Some (t, v) -> drain ((t, v) :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      (* Stable sort on time: equal-time events keep insertion order. *)
+      let expected =
+        List.stable_sort (fun (a, _) (b, _) -> compare a b) events
+      in
+      popped = expected)
+
+(* --- Torus metric properties --- *)
+
+let topo_gen =
+  QCheck.Gen.(
+    pair (int_range 1 8) (int_range 1 8) >>= fun (x, y) ->
+    pair (return (x, y)) (pair (int_bound ((x * y) - 1)) (int_bound ((x * y) - 1))))
+
+let prop_hops_metric =
+  QCheck.Test.make ~name:"torus hops is a symmetric bounded metric" ~count:300
+    (QCheck.make topo_gen)
+    (fun ((dims, (a, b))) ->
+      let x, y = dims in
+      let t = Network.Topology.create ~x ~y in
+      let d = Network.Topology.hops t a b in
+      d = Network.Topology.hops t b a
+      && d <= (x / 2) + (y / 2)
+      && (d = 0) = (a = b))
+
+let prop_neighbors_distance_one =
+  QCheck.Test.make ~name:"neighbors are exactly one hop away" ~count:100
+    QCheck.(pair (int_range 2 8) (int_range 2 8))
+    (fun (x, y) ->
+      let t = Network.Topology.create ~x ~y in
+      List.for_all
+        (fun n ->
+          List.for_all
+            (fun m -> Network.Topology.hops t n m = 1)
+            (Network.Topology.neighbors t n))
+        (List.init (x * y) Fun.id))
+
+(* --- Fabric preserves transmission order per channel --- *)
+
+let prop_fabric_fifo =
+  QCheck.Test.make ~name:"fabric delivers per-channel FIFO" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_bound 2000))
+    (fun sizes ->
+      let t = Network.Topology.create ~x:4 ~y:4 in
+      let f = Network.Fabric.create t in
+      let deliveries =
+        List.map
+          (fun size ->
+            Network.Fabric.send f ~now:0
+              (Network.Packet.make ~src:0 ~dst:9 ~size_bytes:size ()))
+          sizes
+      in
+      let rec strictly_increasing = function
+        | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+        | _ -> true
+      in
+      strictly_increasing deliveries)
+
+let prop_contention_floor =
+  QCheck.Test.make ~name:"contended delivery never beats the uncontended floor"
+    ~count:100
+    QCheck.(
+      list_of_size
+        (Gen.int_range 1 20)
+        (triple (int_bound 15) (int_bound 15) (int_bound 2000)))
+    (fun sends ->
+      let topo = Network.Topology.create ~x:4 ~y:4 in
+      let config =
+        { Network.Fabric.default_config with Network.Fabric.contention = true }
+      in
+      let f = Network.Fabric.create ~config topo in
+      List.for_all
+        (fun (src, dst, size) ->
+          let p = Network.Packet.make ~src ~dst ~size_bytes:size () in
+          let arrival = Network.Fabric.send f ~now:0 p in
+          src = dst || arrival >= Network.Fabric.transit_time f p)
+        sends)
+
+(* --- Packed boards agree with list boards --- *)
+
+let board_gen =
+  QCheck.Gen.(
+    int_range 1 13 >>= fun n ->
+    list_size (int_range 0 (min n 13)) (int_bound (n - 1)) >>= fun cols ->
+    return (n, cols))
+
+let prop_pack_roundtrip =
+  QCheck.Test.make ~name:"packed board roundtrips" ~count:500
+    (QCheck.make board_gen)
+    (fun (_n, cols) ->
+      Apps.Queens_board.unpack (Apps.Queens_board.pack cols) = cols)
+
+let prop_safe_agrees =
+  QCheck.Test.make ~name:"safe_packed agrees with safe" ~count:500
+    (QCheck.make QCheck.Gen.(pair board_gen (int_bound 12)))
+    (fun ((_n, cols), col) ->
+      Apps.Queens_board.safe ~cols ~col
+      = Apps.Queens_board.safe_packed
+          ~packed:(Apps.Queens_board.pack cols)
+          ~col)
+
+let prop_safe_cols_agree =
+  QCheck.Test.make ~name:"safe_cols_packed agrees with safe_cols" ~count:300
+    (QCheck.make board_gen)
+    (fun (n, cols) ->
+      Apps.Queens_board.safe_cols ~n ~cols
+      = Apps.Queens_board.safe_cols_packed ~n
+          ~packed:(Apps.Queens_board.pack cols))
+
+(* --- Parallel N-queens equals sequential for any machine shape --- *)
+
+let prop_par_eq_seq =
+  QCheck.Test.make ~name:"parallel N-queens = sequential" ~count:12
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 4 7) (pair (int_range 1 17) (int_range 0 2))))
+    (fun (n, (p, policy_idx)) ->
+      let placement =
+        match policy_idx with
+        | 0 -> Kernel.Round_robin
+        | 1 -> Kernel.Random_node
+        | _ -> Kernel.Self_node
+      in
+      let rt_config = { System.default_rt_config with Kernel.placement } in
+      let seq = Apps.Nqueens_seq.solve ~n in
+      let par = Apps.Nqueens_par.run ~rt_config ~nodes:p ~n () in
+      seq.Apps.Nqueens_seq.solutions = par.Apps.Nqueens_par.solutions
+      && seq.nodes + 1 = par.objects_created)
+
+(* --- Message conservation: every inter-node object message sent is
+   dispatched exactly once at its destination --- *)
+
+let prop_message_conservation =
+  QCheck.Test.make ~name:"inter-node messages conserved" ~count:10
+    (QCheck.make QCheck.Gen.(pair (int_range 4 7) (int_range 2 9)))
+    (fun (n, p) ->
+      let cls = Apps.Nqueens_par.solver_cls () in
+      let sys = System.boot ~nodes:p ~classes:[ cls ] () in
+      let root =
+        System.create_root sys ~node:0 cls
+          [ Value.int n; Value.int Apps.Queens_board.empty_packed; Value.unit ]
+      in
+      System.send_boot sys root (Pattern.intern "expand" ~arity:0) [];
+      System.run sys;
+      let st = System.stats sys in
+      let get = Simcore.Stats.get st in
+      let recv =
+        get "recv.remote.dormant" + get "recv.remote.active"
+        + get "recv.remote.fault" + get "recv.remote.restore"
+        + get "recv.remote.naive_buffered" + get "recv.remote.depth_limited"
+      in
+      get "send.remote" = recv
+      && get "am.sent.object-message" = get "send.remote"
+      && get "create.remote" = get "create.remote.applied"
+      && get "create.remote" = get "chunk.refill")
+
+(* --- Determinism: identical configurations give identical runs --- *)
+
+let prop_determinism =
+  QCheck.Test.make ~name:"same seed, same virtual history" ~count:8
+    (QCheck.make QCheck.Gen.(pair (int_range 4 7) (int_range 1 9)))
+    (fun (n, p) ->
+      let run () =
+        let r = Apps.Nqueens_par.run ~nodes:p ~n () in
+        (r.Apps.Nqueens_par.elapsed, r.messages, r.heap_words)
+      in
+      run () = run ())
+
+(* --- Value sizes --- *)
+
+let value_gen =
+  let open QCheck.Gen in
+  sized (fix (fun self size ->
+      if size <= 1 then
+        oneof
+          [
+            return Value.unit;
+            map Value.bool bool;
+            map Value.int small_int;
+            map Value.float (float_bound_inclusive 10.);
+            map Value.str (string_size (int_bound 12));
+          ]
+      else
+        oneof
+          [
+            map Value.list (list_size (int_bound 4) (self (size / 2)));
+            map Value.tuple (list_size (int_bound 4) (self (size / 2)));
+          ]))
+
+let prop_value_size_positive =
+  QCheck.Test.make ~name:"value wire size is positive and additive" ~count:300
+    (QCheck.make value_gen)
+    (fun v ->
+      let w = Value.size_words v in
+      w >= 1
+      && Value.size_bytes v = 4 * w
+      && Value.size_words (Value.list [ v; v ]) = 1 + (2 * w))
+
+(* --- Pattern interning is a bijection on names --- *)
+
+let prop_pattern_intern =
+  QCheck.Test.make ~name:"pattern interning stable" ~count:100
+    QCheck.(string_gen_of_size (Gen.int_range 1 8) Gen.printable)
+    (fun s ->
+      let name = "prop_" ^ s in
+      let arity =
+        match Pattern.lookup name with
+        | Some existing -> Pattern.arity existing
+        | None -> String.length s mod 3
+      in
+      let p1 = Pattern.intern name ~arity in
+      let p2 = Pattern.intern name ~arity in
+      p1 = p2 && Pattern.name p1 = name && Pattern.arity p1 = arity)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "simcore",
+        [ to_alcotest prop_event_queue_sorts ] );
+      ( "network",
+        [
+          to_alcotest prop_hops_metric;
+          to_alcotest prop_neighbors_distance_one;
+          to_alcotest prop_fabric_fifo;
+          to_alcotest prop_contention_floor;
+        ] );
+      ( "board",
+        [
+          to_alcotest prop_pack_roundtrip;
+          to_alcotest prop_safe_agrees;
+          to_alcotest prop_safe_cols_agree;
+        ] );
+      ( "runtime",
+        [
+          to_alcotest prop_par_eq_seq;
+          to_alcotest prop_message_conservation;
+          to_alcotest prop_determinism;
+        ] );
+      ( "values",
+        [ to_alcotest prop_value_size_positive; to_alcotest prop_pattern_intern ] );
+    ]

@@ -1,0 +1,111 @@
+(* Lifecycle tests for reply-destination objects. *)
+
+open Core
+
+let p_ask = Pattern.intern "tr_ask" ~arity:1
+let p_echo = Pattern.intern "tr_echo" ~arity:1
+
+let echo_cls () =
+  Class_def.define ~name:"tr_echo_cls"
+    ~methods:[ (p_echo, fun ctx msg -> Ctx.reply ctx msg (Message.arg msg 0)) ]
+    ()
+
+let count_objects sys node =
+  Hashtbl.length (System.rt sys node).Kernel.objects
+
+let test_dest_disposed_after_immediate_take () =
+  let echo = echo_cls () in
+  let client =
+    Class_def.define ~name:"tr_client"
+      ~methods:
+        [
+          ( p_ask,
+            fun ctx msg ->
+              let target = Value.to_addr (Message.arg msg 0) in
+              ignore (Ctx.send_now ctx target p_echo [ Value.int 1 ]) );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:1 ~classes:[ echo; client ] () in
+  let e = System.create_root sys ~node:0 echo [] in
+  let c = System.create_root sys ~node:0 client [] in
+  let before = count_objects sys 0 in
+  System.send_boot sys c p_ask [ Value.addr e ];
+  System.run sys;
+  (* The reply destination was created and then retired: no net growth. *)
+  Alcotest.(check int) "no leaked reply destinations" before
+    (count_objects sys 0);
+  Alcotest.(check int) "immediate" 1
+    (Simcore.Stats.get (System.stats sys) "reply.immediate")
+
+let test_dest_disposed_after_blocked_resume () =
+  let echo = echo_cls () in
+  let client =
+    Class_def.define ~name:"tr_client2"
+      ~methods:
+        [
+          ( p_ask,
+            fun ctx msg ->
+              let target = Value.to_addr (Message.arg msg 0) in
+              ignore (Ctx.send_now ctx target p_echo [ Value.int 2 ]) );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:2 ~classes:[ echo; client ] () in
+  let e = System.create_root sys ~node:1 echo [] in
+  let c = System.create_root sys ~node:0 client [] in
+  let before = count_objects sys 0 in
+  System.send_boot sys c p_ask [ Value.addr e ];
+  System.run sys;
+  Alcotest.(check int) "destination retired after resuming the sender"
+    before (count_objects sys 0);
+  Alcotest.(check int) "blocked" 1
+    (Simcore.Stats.get (System.stats sys) "reply.blocked")
+
+let test_forged_second_reply_is_residue () =
+  (* A reply destination is single-use; a second reply to a consumed one
+     lands in a fault-table embryo and shows up as diagnosable residue
+     rather than corrupting anything. *)
+  let echo = echo_cls () in
+  let dest = ref None in
+  let client =
+    Class_def.define ~name:"tr_client3"
+      ~methods:
+        [
+          ( p_ask,
+            fun ctx msg ->
+              let target = Value.to_addr (Message.arg msg 0) in
+              let f = Ctx.send_future ctx target p_echo [ Value.int 3 ] in
+              dest := Some (Ctx.future_addr f);
+              ignore (Ctx.touch ctx f) );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:1 ~classes:[ echo; client ] () in
+  let e = System.create_root sys ~node:0 echo [] in
+  let c = System.create_root sys ~node:0 client [] in
+  System.send_boot sys c p_ask [ Value.addr e ];
+  System.run sys;
+  let stale = Option.get !dest in
+  System.send_boot sys stale Pattern.reply [ Value.int 99 ];
+  System.run sys;
+  let r = Diagnostics.survey sys in
+  Alcotest.(check bool) "forged reply is visible residue" false
+    (Diagnostics.is_clean r);
+  match r.Diagnostics.buffered with
+  | [ stuck ] -> Alcotest.(check string) "embryo" "<chunk>" stuck.Diagnostics.cls_name
+  | _ -> Alcotest.fail "expected exactly the forged message as residue"
+
+let () =
+  Alcotest.run "reply"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "disposed after take" `Quick
+            test_dest_disposed_after_immediate_take;
+          Alcotest.test_case "disposed after resume" `Quick
+            test_dest_disposed_after_blocked_resume;
+          Alcotest.test_case "forged second reply" `Quick
+            test_forged_second_reply_is_residue;
+        ] );
+    ]

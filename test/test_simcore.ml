@@ -1,0 +1,179 @@
+(* Unit tests for the simulation substrate: event queue, clock, RNG,
+   statistics, histogram, tracing. *)
+
+module EQ = Simcore.Event_queue
+module Clock = Simcore.Clock
+module Rng = Simcore.Rng
+module Stats = Simcore.Stats
+module Histogram = Simcore.Histogram
+module Time = Simcore.Time
+
+let test_eq_ordering () =
+  let q = EQ.create () in
+  EQ.add q ~time:30 "c";
+  EQ.add q ~time:10 "a";
+  EQ.add q ~time:20 "b";
+  Alcotest.(check (option (pair int string))) "pop a" (Some (10, "a")) (EQ.pop q);
+  Alcotest.(check (option (pair int string))) "pop b" (Some (20, "b")) (EQ.pop q);
+  Alcotest.(check (option (pair int string))) "pop c" (Some (30, "c")) (EQ.pop q);
+  Alcotest.(check (option (pair int string))) "empty" None (EQ.pop q)
+
+let test_eq_fifo_ties () =
+  let q = EQ.create () in
+  List.iter (fun s -> EQ.add q ~time:5 s) [ "x"; "y"; "z" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (EQ.pop q))) in
+  Alcotest.(check (list string)) "insertion order on ties" [ "x"; "y"; "z" ] order
+
+let test_eq_interleaved () =
+  let q = EQ.create () in
+  EQ.add q ~time:2 2;
+  EQ.add q ~time:1 1;
+  Alcotest.(check (option (pair int int))) "min" (Some (1, 1)) (EQ.pop q);
+  EQ.add q ~time:0 0;
+  Alcotest.(check (option (pair int int))) "new min" (Some (0, 0)) (EQ.pop q);
+  Alcotest.(check (option int)) "peek" (Some 2) (EQ.peek_time q);
+  Alcotest.(check int) "size" 1 (EQ.size q);
+  EQ.clear q;
+  Alcotest.(check bool) "cleared" true (EQ.is_empty q)
+
+let test_eq_large_sorted () =
+  let q = EQ.create () in
+  let rng = Rng.create ~seed:7 in
+  let times = List.init 1000 (fun _ -> Rng.int rng 10_000) in
+  List.iter (fun t -> EQ.add q ~time:t ()) times;
+  let rec drain acc =
+    match EQ.pop q with Some (t, ()) -> drain (t :: acc) | None -> List.rev acc
+  in
+  let popped = drain [] in
+  Alcotest.(check (list int)) "heap sorts" (List.sort compare times) popped
+
+let test_clock () =
+  let c = Clock.create () in
+  Clock.advance_by c 100;
+  Clock.advance_to c 50;
+  Alcotest.(check int) "monotonic" 100 (Clock.now c);
+  Clock.advance_to c 250;
+  Alcotest.(check int) "advanced" 250 (Clock.now c);
+  Alcotest.(check int) "busy counts only advance_by" 100 (Clock.busy_time c)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  let sa = List.init 32 (fun _ -> Rng.int a 1000) in
+  let sb = List.init 32 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" sa sb;
+  let c = Rng.create ~seed:43 in
+  let sc = List.init 32 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (sa <> sc)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r 2.5 in
+    if f < 0. || f >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_rng_split () =
+  let parent = Rng.create ~seed:5 in
+  let child = Rng.split parent in
+  let s1 = List.init 16 (fun _ -> Rng.int parent 100) in
+  let s2 = List.init 16 (fun _ -> Rng.int child 100) in
+  Alcotest.(check bool) "split streams differ" true (s1 <> s2)
+
+let test_stats () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.incr s "a";
+  Stats.add s "b" 5;
+  Alcotest.(check int) "a" 2 (Stats.get s "a");
+  Alcotest.(check int) "b" 5 (Stats.get s "b");
+  Alcotest.(check int) "missing" 0 (Stats.get s "nope");
+  Alcotest.(check (list string)) "names sorted" [ "a"; "b" ] (Stats.names s);
+  let cell = Stats.counter s "a" in
+  incr cell;
+  Alcotest.(check int) "ref shared" 3 (Stats.get s "a");
+  Stats.reset s;
+  Alcotest.(check int) "reset" 0 (Stats.get s "a")
+
+let test_histogram () =
+  let h = Histogram.create ~bucket_width:10 () in
+  List.iter (Histogram.observe h) [ 1; 5; 15; 25; 25 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check int) "min" 1 (Histogram.min h);
+  Alcotest.(check int) "max" 25 (Histogram.max h);
+  Alcotest.(check (float 0.001)) "mean" 14.2 (Histogram.mean h);
+  Alcotest.(check (list (pair int int)))
+    "buckets" [ (0, 2); (1, 1); (2, 2) ] (Histogram.buckets h);
+  let empty = Histogram.create () in
+  Alcotest.check_raises "min of empty" (Invalid_argument "Histogram.min: empty")
+    (fun () -> ignore (Histogram.min empty))
+
+let test_time () =
+  Alcotest.(check int) "of_us rounds" 1500 (Time.of_us 1.5);
+  Alcotest.(check (float 0.0001)) "to_us" 1.5 (Time.to_us 1500);
+  Alcotest.(check (float 0.0001)) "to_ms" 0.0015 (Time.to_ms 1500);
+  Alcotest.(check string) "pp ns" "42ns" (Format.asprintf "%a" Time.pp 42);
+  Alcotest.(check string) "pp us" "42.00us"
+    (Format.asprintf "%a" Time.pp 42_000)
+
+let test_time_pp_units () =
+  Alcotest.(check string) "ms" "42.00ms" (Format.asprintf "%a" Time.pp 42_000_000);
+  Alcotest.(check string) "s" "42.000s"
+    (Format.asprintf "%a" Time.pp 42_000_000_000)
+
+let test_rng_bool_mixes () =
+  let r = Rng.create ~seed:9 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool r then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 400 && !trues < 600)
+
+let test_histogram_no_buckets () =
+  let h = Histogram.create () in
+  Histogram.observe h 5;
+  Alcotest.(check (list (pair int int))) "no bucket view" [] (Histogram.buckets h);
+  Alcotest.(check string) "pp" "n=1 min=5 max=5 mean=5.00"
+    (Format.asprintf "%a" Histogram.pp h);
+  Alcotest.(check string) "pp empty" "(empty)"
+    (Format.asprintf "%a" Histogram.pp (Histogram.create ()))
+
+let test_trace () =
+  Alcotest.(check bool) "disabled by default" false (Simcore.Trace.enabled ());
+  Simcore.Trace.with_enabled true (fun () ->
+      Alcotest.(check bool) "enabled inside" true (Simcore.Trace.enabled ()));
+  Alcotest.(check bool) "restored" false (Simcore.Trace.enabled ())
+
+let () =
+  Alcotest.run "simcore"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_eq_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_eq_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_eq_interleaved;
+          Alcotest.test_case "large sorted" `Quick test_eq_large_sorted;
+        ] );
+      ("clock", [ Alcotest.test_case "monotonic+busy" `Quick test_clock ]);
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split;
+        ] );
+      ("stats", [ Alcotest.test_case "counters" `Quick test_stats ]);
+      ("histogram", [ Alcotest.test_case "summary" `Quick test_histogram ]);
+      ( "time",
+        [
+          Alcotest.test_case "conversions" `Quick test_time;
+          Alcotest.test_case "pp units" `Quick test_time_pp_units;
+        ] );
+      ( "rng-extra",
+        [ Alcotest.test_case "bool mixes" `Quick test_rng_bool_mixes ] );
+      ( "histogram-extra",
+        [ Alcotest.test_case "no buckets" `Quick test_histogram_no_buckets ] );
+      ("trace", [ Alcotest.test_case "toggle" `Quick test_trace ]);
+    ]

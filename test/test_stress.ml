@@ -1,0 +1,174 @@
+(* Randomised integration scenarios: token storms over random actor
+   graphs, and a kitchen-sink program combining every messaging mode.
+   All randomness is the simulator's own (seeded), so runs are
+   reproducible. *)
+
+open Core
+
+let p_link = Pattern.intern "st_link" ~arity:1
+let p_token = Pattern.intern "st_token" ~arity:1
+let p_go = Pattern.intern "st_go" ~arity:0
+
+(* --- token storms: each token carries a TTL and hops across a random
+   peer graph; conservation: total observed hops = sum of initial TTLs --- *)
+
+let router_cls () =
+  Class_def.define ~name:"st_router" ~state:[| "peers" |]
+    ~init:(fun _ -> [| Value.list [] |])
+    ~methods:
+      [
+        (p_link, fun ctx msg -> Ctx.set ctx 0 (Message.arg msg 0));
+        ( p_token,
+          fun ctx msg ->
+            let ttl = Value.to_int (Message.arg msg 0) in
+            Ctx.bump ctx "st.hops";
+            Ctx.charge ctx 20;
+            if ttl > 1 then begin
+              let peers = Value.to_list (Ctx.get ctx 0) in
+              let pick = Ctx.random ctx (List.length peers) in
+              let peer = Value.to_addr (List.nth peers pick) in
+              Ctx.send ctx peer p_token [ Value.int (ttl - 1) ]
+            end );
+      ]
+    ()
+
+let run_storm ~nodes ~routers ~tokens ~ttl =
+  let cls = router_cls () in
+  let sys = System.boot ~nodes ~classes:[ cls ] () in
+  let addrs =
+    Array.init routers (fun i ->
+        System.create_root sys ~node:(i mod nodes) cls [])
+  in
+  Array.iter
+    (fun a ->
+      let peers = Array.to_list (Array.map Value.addr addrs) in
+      System.send_boot sys a p_link [ Value.list peers ])
+    addrs;
+  for t = 0 to tokens - 1 do
+    System.send_boot sys addrs.(t mod routers) p_token [ Value.int ttl ]
+  done;
+  System.run sys;
+  sys
+
+let test_token_conservation () =
+  let sys = run_storm ~nodes:6 ~routers:12 ~tokens:10 ~ttl:50 in
+  Alcotest.(check int) "every hop accounted" (10 * 50)
+    (Simcore.Stats.get (System.stats sys) "app.st.hops");
+  Alcotest.(check bool) "no residue" true
+    (Diagnostics.is_clean (Diagnostics.survey sys))
+
+let test_storm_deterministic () =
+  let run () =
+    let sys = run_storm ~nodes:5 ~routers:9 ~tokens:6 ~ttl:40 in
+    (System.elapsed sys, Simcore.Stats.get (System.stats sys) "send.remote")
+  in
+  Alcotest.(check (pair int int)) "identical histories" (run ()) (run ())
+
+let test_storm_under_naive_and_interrupt () =
+  (* The same storm under every scheduler/delivery combination conserves
+     hops. *)
+  let combos =
+    [
+      (System.default_rt_config, Machine.Engine.Polling);
+      (System.naive_rt_config, Machine.Engine.Polling);
+      (System.default_rt_config, Machine.Engine.Interrupt);
+    ]
+  in
+  List.iter
+    (fun (rt_config, delivery) ->
+      let machine_config = { Machine.Engine.default_config with Machine.Engine.delivery } in
+      let cls = router_cls () in
+      let sys =
+        System.boot ~machine_config ~rt_config ~nodes:4 ~classes:[ cls ] ()
+      in
+      let addrs =
+        Array.init 8 (fun i -> System.create_root sys ~node:(i mod 4) cls [])
+      in
+      Array.iter
+        (fun a ->
+          System.send_boot sys a p_link
+            [ Value.list (Array.to_list (Array.map Value.addr addrs)) ])
+        addrs;
+      for t = 0 to 4 do
+        System.send_boot sys addrs.(t mod 8) p_token [ Value.int 30 ]
+      done;
+      System.run sys;
+      Alcotest.(check int) "hops conserved" (5 * 30)
+        (Simcore.Stats.get (System.stats sys) "app.st.hops"))
+    combos
+
+(* --- kitchen sink: every messaging mode in one program --- *)
+
+let p_compute = Pattern.intern "st_compute" ~arity:1
+let p_part = Pattern.intern "st_part" ~arity:1
+
+let test_kitchen_sink () =
+  let worker_ref = ref Value.unit in
+  let worker =
+    Class_def.define ~name:"st_worker"
+      ~methods:
+        [
+          ( p_compute,
+            fun ctx msg ->
+              let n = Value.to_int (Message.arg msg 0) in
+              Ctx.charge ctx 100;
+              Ctx.reply ctx msg (Value.int (n * n));
+              Ctx.retire ctx );
+        ]
+      ()
+  in
+  let result = ref 0 in
+  let main =
+    Class_def.define ~name:"st_main" ~state:[| "acc" |]
+      ~init:(fun _ -> [| Value.int 0 |])
+      ~methods:
+        [
+          ( p_go,
+            fun ctx _ ->
+              (* futures for the squares of 1..4, one worker each *)
+              let futures =
+                List.init 4 (fun i ->
+                    let w = Ctx.create_remote ctx worker [] in
+                    Ctx.send_future ctx w p_compute [ Value.int (i + 1) ])
+              in
+              (* a now-type call in the middle of outstanding futures *)
+              let w = Ctx.create_on ctx ~target:1 worker [] in
+              ignore !worker_ref;
+              let five = Ctx.send_now ctx w p_compute [ Value.int 5 ] in
+              (* selective reception interleaved: ask self for parts *)
+              let self = Ctx.self ctx in
+              Ctx.send ctx self p_part [ Value.int 100 ];
+              let part = Ctx.wait_for ctx [ p_part ] in
+              let total =
+                List.fold_left
+                  (fun acc f -> acc + Value.to_int (Ctx.touch ctx f))
+                  (Value.to_int five + Value.to_int (Message.arg part 0))
+                  futures
+              in
+              result := total );
+          (p_part, fun _ _ -> Alcotest.fail "part must be selected, not invoked");
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:4 ~classes:[ worker; main ] () in
+  let m = System.create_root sys ~node:0 main [] in
+  System.send_boot sys m p_go [];
+  System.run sys;
+  (* 1 + 4 + 9 + 16 (futures) + 25 (now) + 100 (selective part) *)
+  Alcotest.(check int) "all modes combined" 155 !result;
+  Alcotest.(check bool) "no residue" true
+    (Diagnostics.is_clean (Diagnostics.survey sys))
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "token storms",
+        [
+          Alcotest.test_case "conservation" `Quick test_token_conservation;
+          Alcotest.test_case "deterministic" `Quick test_storm_deterministic;
+          Alcotest.test_case "all configurations" `Quick
+            test_storm_under_naive_and_interrupt;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "kitchen sink" `Quick test_kitchen_sink ] );
+    ]

@@ -1,0 +1,145 @@
+(* Tests for system boot, configuration validation and whole-system
+   accounting. *)
+
+open Core
+
+let p_ping = Pattern.intern "tsys_ping" ~arity:0
+
+let ping_cls () =
+  Class_def.define ~name:"tsys_ping_cls"
+    ~methods:[ (p_ping, fun ctx _ -> Ctx.bump ctx "tsys.ping") ]
+    ()
+
+let test_boot_validation () =
+  let bad config msg =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (System.boot ~rt_config:config ~nodes:2 ~classes:[] ()))
+  in
+  bad
+    { System.default_rt_config with Kernel.stock_size = 0 }
+    "System.boot: stock_size must be >= 1 (remote creation would deadlock)";
+  bad
+    { System.default_rt_config with Kernel.max_stack_depth = 0 }
+    "System.boot: max_stack_depth must be >= 1";
+  bad
+    { System.default_rt_config with Kernel.quantum_instr = 0 }
+    "System.boot: quantum_instr must be >= 1"
+
+let test_rt_bounds () =
+  let sys = System.boot ~nodes:2 ~classes:[] () in
+  Alcotest.check_raises "bad node id" (Invalid_argument "System.rt: bad node id")
+    (fun () -> ignore (System.rt sys 2))
+
+let test_create_root_registers_class () =
+  (* A class omitted from [classes] but used for a root object must still
+     be found by the remote-creation handler afterwards. *)
+  let cls = ping_cls () in
+  let spawner_p = Pattern.intern "tsys_spawn" ~arity:0 in
+  let spawner =
+    Class_def.define ~name:"tsys_spawner"
+      ~methods:
+        [
+          ( spawner_p,
+            fun ctx _ ->
+              let child = Ctx.create_on ctx ~target:1 cls [] in
+              Ctx.send ctx child p_ping [] );
+        ]
+      ()
+  in
+  let sys = System.boot ~nodes:2 ~classes:[ spawner ] () in
+  (* create_root with the unregistered ping class registers it. *)
+  let _root_ping = System.create_root sys ~node:0 cls [] in
+  let sp = System.create_root sys ~node:0 spawner [] in
+  System.send_boot sys sp spawner_p [];
+  System.run sys;
+  Alcotest.(check int) "remote child of late-registered class ran" 1
+    (Simcore.Stats.get (System.stats sys) "app.tsys.ping")
+
+let test_duplicate_creation_rejected () =
+  let cls = ping_cls () in
+  let sys = System.boot ~nodes:2 ~classes:[ cls ] () in
+  let machine = System.machine sys in
+  let rt0 = System.rt sys 0 in
+  let node0 = Machine.Engine.node machine 0 in
+  let slot = Queue.take rt0.Kernel.stocks.(1) in
+  let send_create () =
+    Machine.Engine.send_am machine ~src:node0 ~dst:1
+      ~handler:rt0.Kernel.shared.Kernel.h_create ~size_bytes:12
+      (Protocol.P_create { slot; cls_id = cls.Kernel.cls_id; args = [] })
+  in
+  Machine.Engine.post machine node0 (fun () ->
+      send_create ();
+      send_create ());
+  Alcotest.check_raises "second creation on one chunk rejected"
+    (Invalid_argument "System: duplicate creation request") (fun () ->
+      System.run sys)
+
+let test_unregistered_class_rejected () =
+  let cls = ping_cls () in
+  let sys = System.boot ~nodes:2 ~classes:[] () in
+  let machine = System.machine sys in
+  let rt0 = System.rt sys 0 in
+  let node0 = Machine.Engine.node machine 0 in
+  let slot = Queue.take rt0.Kernel.stocks.(1) in
+  Machine.Engine.post machine node0 (fun () ->
+      Machine.Engine.send_am machine ~src:node0 ~dst:1
+        ~handler:rt0.Kernel.shared.Kernel.h_create ~size_bytes:12
+        (Protocol.P_create { slot; cls_id = cls.Kernel.cls_id; args = [] }));
+  Alcotest.check_raises "unknown class id"
+    (Invalid_argument "System: remote creation of unregistered class")
+    (fun () -> System.run sys)
+
+let test_heap_accounting_grows () =
+  let cls = ping_cls () in
+  let sys = System.boot ~nodes:1 ~classes:[ cls ] () in
+  let before = System.total_heap_words sys in
+  let a = System.create_root sys ~node:0 cls [] in
+  System.send_boot sys a p_ping [];
+  System.run sys;
+  Alcotest.(check bool) "heap words grew" true
+    (System.total_heap_words sys > before)
+
+let test_pp_summary_smoke () =
+  let cls = ping_cls () in
+  let sys = System.boot ~nodes:4 ~classes:[ cls ] () in
+  let a = System.create_root sys ~node:0 cls [] in
+  System.send_boot sys a p_ping [];
+  System.run sys;
+  let s = Format.asprintf "%a" System.pp_summary sys in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "summary mentions nodes" true (contains "nodes: 4" s)
+
+let test_lookup_obj_out_of_range () =
+  let sys = System.boot ~nodes:2 ~classes:[] () in
+  Alcotest.(check bool) "bad node gives None" true
+    (Option.is_none (System.lookup_obj sys { Value.node = 7; slot = 0 }))
+
+let () =
+  Alcotest.run "system"
+    [
+      ( "boot",
+        [
+          Alcotest.test_case "config validation" `Quick test_boot_validation;
+          Alcotest.test_case "rt bounds" `Quick test_rt_bounds;
+          Alcotest.test_case "late class registration" `Quick
+            test_create_root_registers_class;
+        ] );
+      ( "protocol errors",
+        [
+          Alcotest.test_case "duplicate creation" `Quick
+            test_duplicate_creation_rejected;
+          Alcotest.test_case "unregistered class" `Quick
+            test_unregistered_class_rejected;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "heap grows" `Quick test_heap_accounting_grows;
+          Alcotest.test_case "summary smoke" `Quick test_pp_summary_smoke;
+          Alcotest.test_case "lookup out of range" `Quick
+            test_lookup_obj_out_of_range;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+(* Unit tests for values, message patterns and messages. *)
+
+open Core
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let test_projections () =
+  Alcotest.(check bool) "bool" true Value.(to_bool (bool true));
+  Alcotest.(check int) "int" 7 Value.(to_int (int 7));
+  Alcotest.(check (float 0.)) "float" 1.5 Value.(to_float (float 1.5));
+  Alcotest.(check string) "str" "hi" Value.(to_str (str "hi"));
+  let a = { Value.node = 2; slot = 9 } in
+  Alcotest.(check bool) "addr" true (Value.to_addr (Value.addr a) = a);
+  Alcotest.check v "list" (Value.list [ Value.int 1 ])
+    (Value.list [ Value.int 1 ])
+
+let test_projection_errors () =
+  Alcotest.check_raises "int of bool"
+    (Invalid_argument "Value: expected int, got bool") (fun () ->
+      ignore (Value.to_int (Value.bool true)));
+  Alcotest.check_raises "addr of list"
+    (Invalid_argument "Value: expected addr, got list") (fun () ->
+      ignore (Value.to_addr (Value.list [])))
+
+let test_size_words () =
+  Alcotest.(check int) "int" 1 (Value.size_words (Value.int 3));
+  Alcotest.(check int) "float" 2 (Value.size_words (Value.float 3.));
+  Alcotest.(check int) "addr" 2
+    (Value.size_words (Value.addr { Value.node = 0; slot = 0 }));
+  Alcotest.(check int) "string rounds up" (1 + 2)
+    (Value.size_words (Value.str "hello"));
+  Alcotest.(check int) "nested" (1 + 1 + 2)
+    (Value.size_words (Value.tuple [ Value.int 1; Value.float 2. ]));
+  Alcotest.(check int) "bytes" 4 (Value.size_bytes (Value.int 1))
+
+let test_pattern_intern () =
+  let p1 = Pattern.intern "tv_msg_a" ~arity:2 in
+  let p2 = Pattern.intern "tv_msg_a" ~arity:2 in
+  Alcotest.(check int) "idempotent" p1 p2;
+  Alcotest.(check string) "name" "tv_msg_a" (Pattern.name p1);
+  Alcotest.(check int) "arity" 2 (Pattern.arity p1);
+  Alcotest.(check bool) "lookup" true (Pattern.lookup "tv_msg_a" = Some p1);
+  Alcotest.(check bool) "lookup missing" true
+    (Pattern.lookup "tv_never_interned" = None);
+  Alcotest.(check bool) "ids dense" true (p1 < Pattern.count ())
+
+let test_pattern_arity_conflict () =
+  let _ = Pattern.intern "tv_conflict" ~arity:1 in
+  Alcotest.check_raises "conflicting arity"
+    (Invalid_argument
+       "Pattern.intern: \"tv_conflict\" already interned with arity 1 (got 3)")
+    (fun () -> ignore (Pattern.intern "tv_conflict" ~arity:3))
+
+let test_message_make () =
+  let p = Pattern.intern "tv_two" ~arity:2 in
+  let m =
+    Message.make ~pattern:p ~args:[ Value.int 1; Value.int 2 ] ~src_node:0 ()
+  in
+  Alcotest.check v "arg 0" (Value.int 1) (Message.arg m 0);
+  Alcotest.check v "arg 1" (Value.int 2) (Message.arg m 1);
+  (* pattern word + 2 args *)
+  Alcotest.(check int) "size" 3 (Message.size_words m);
+  let with_reply =
+    Message.make ~pattern:p ~args:[ Value.int 1; Value.int 2 ]
+      ~reply:{ Value.node = 0; slot = 1 } ~src_node:0 ()
+  in
+  Alcotest.(check int) "reply adds 2 words" 5 (Message.size_words with_reply)
+
+let test_message_arity_mismatch () =
+  let p = Pattern.intern "tv_two" ~arity:2 in
+  Alcotest.check_raises "wrong arg count"
+    (Invalid_argument "Message.make: pattern tv_two expects 2 args, got 1")
+    (fun () ->
+      ignore (Message.make ~pattern:p ~args:[ Value.int 1 ] ~src_node:0 ()))
+
+let test_message_arg_range () =
+  let p = Pattern.intern "tv_one" ~arity:1 in
+  let m = Message.make ~pattern:p ~args:[ Value.int 1 ] ~src_node:0 () in
+  Alcotest.check_raises "arg out of range"
+    (Invalid_argument "Message.arg: index 3 out of range for tv_one")
+    (fun () -> ignore (Message.arg m 3))
+
+let test_pp_smoke () =
+  (* Pretty-printers should not raise on any constructor. *)
+  let all =
+    [
+      Value.unit;
+      Value.bool false;
+      Value.int 42;
+      Value.float 3.14;
+      Value.str "s";
+      Value.addr { Value.node = 1; slot = 2 };
+      Value.list [ Value.int 1; Value.int 2 ];
+      Value.tuple [ Value.unit; Value.str "x" ];
+    ]
+  in
+  List.iter (fun x -> ignore (Format.asprintf "%a" Value.pp x)) all
+
+let () =
+  Alcotest.run "values"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "projections" `Quick test_projections;
+          Alcotest.test_case "projection errors" `Quick test_projection_errors;
+          Alcotest.test_case "size words" `Quick test_size_words;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "intern" `Quick test_pattern_intern;
+          Alcotest.test_case "arity conflict" `Quick test_pattern_arity_conflict;
+        ] );
+      ( "message",
+        [
+          Alcotest.test_case "make+size" `Quick test_message_make;
+          Alcotest.test_case "arity mismatch" `Quick test_message_arity_mismatch;
+          Alcotest.test_case "arg range" `Quick test_message_arg_range;
+        ] );
+    ]

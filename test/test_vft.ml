@@ -1,0 +1,151 @@
+(* Unit tests for multiple virtual function table construction and the
+   mode transitions observable through an object's VFTP. *)
+
+open Core
+
+let p_foo = Pattern.intern "vft_foo" ~arity:0
+let p_bar = Pattern.intern "vft_bar" ~arity:0
+let p_other = Pattern.intern "vft_other" ~arity:0
+
+let make_cls () =
+  Class_def.define ~name:"vft_test"
+    ~methods:
+      [ (p_foo, fun _ _ -> ()); (p_bar, fun _ _ -> ()) ]
+    ()
+
+let is_invoke = function Kernel.Invoke _ -> true | _ -> false
+let is_invoke_init = function Kernel.Invoke_init _ -> true | _ -> false
+
+let test_dormant_table () =
+  let cls = make_cls () in
+  let t = Vft.dormant cls in
+  Alcotest.(check bool) "foo is a method" true (is_invoke (Kernel.entry_at t p_foo));
+  Alcotest.(check bool) "bar is a method" true (is_invoke (Kernel.entry_at t p_bar));
+  Alcotest.(check bool) "other is No_method" true
+    (Kernel.entry_at t p_other = Kernel.No_method);
+  Alcotest.(check bool) "cached" true (Vft.dormant cls == t)
+
+let test_init_table () =
+  let cls = make_cls () in
+  let t = Vft.init cls in
+  Alcotest.(check bool) "foo wraps init" true
+    (is_invoke_init (Kernel.entry_at t p_foo));
+  Alcotest.(check bool) "cached" true (Vft.init cls == t);
+  Alcotest.(check bool) "distinct from dormant" true (Vft.dormant cls != t)
+
+let test_waiting_table () =
+  let cls = make_cls () in
+  let t = Vft.waiting cls [ p_bar ] in
+  Alcotest.(check bool) "awaited restores" true
+    (Kernel.entry_at t p_bar = Kernel.Restore);
+  Alcotest.(check bool) "non-awaited queues" true
+    (Kernel.entry_at t p_foo = Kernel.Enqueue);
+  Alcotest.(check bool) "unknown queues too" true
+    (Kernel.entry_at t p_other = Kernel.Enqueue);
+  (* Cache normalises order and duplicates. *)
+  let t2 = Vft.waiting cls [ p_bar; p_bar ] in
+  Alcotest.(check bool) "normalised cache hit" true (t == t2)
+
+let test_entry_beyond_table () =
+  (* A pattern interned after a table was built indexes past its array;
+     the table's default entry applies. *)
+  let cls = make_cls () in
+  let dormant = Vft.dormant cls in
+  let late = Pattern.intern "vft_interned_later" ~arity:0 in
+  Alcotest.(check bool) "dormant default: not understood" true
+    (Kernel.entry_at dormant late = Kernel.No_method);
+  let active = Vft.make_enqueue_all () in
+  Alcotest.(check bool) "active default: queue" true
+    (Kernel.entry_at active late = Kernel.Enqueue)
+
+let test_shared_tables () =
+  let active = Vft.make_enqueue_all () in
+  let fault = Vft.make_fault () in
+  Alcotest.(check bool) "active queues everything" true
+    (Kernel.entry_at active p_foo = Kernel.Enqueue);
+  Alcotest.(check bool) "fault queues everything" true
+    (Kernel.entry_at fault p_other = Kernel.Enqueue);
+  Alcotest.(check string) "kinds" "active" (Vft.kind_name active.Kernel.vft_kind);
+  Alcotest.(check string) "fault kind" "fault" (Vft.kind_name fault.Kernel.vft_kind)
+
+let test_duplicate_method_rejected () =
+  Alcotest.check_raises "duplicate method"
+    (Invalid_argument "Class_def.define vft_dup: duplicate method vft_foo")
+    (fun () ->
+      ignore
+        (Class_def.define ~name:"vft_dup"
+           ~methods:[ (p_foo, fun _ _ -> ()); (p_foo, fun _ _ -> ()) ]
+           ()))
+
+(* Mode transitions on a live object. *)
+
+let p_run = Pattern.intern "vft_run" ~arity:0
+let p_wait4 = Pattern.intern "vft_wait4" ~arity:0
+let p_waited = Pattern.intern "vft_waited" ~arity:0
+
+let test_mode_transitions () =
+  let observed = ref [] in
+  let cls_ref = ref None in
+  let record ctx tag =
+    let obj = Ctx.rt ctx |> fun _ -> ctx in
+    ignore obj;
+    observed := tag :: !observed
+  in
+  let cls =
+    Class_def.define ~name:"vft_live"
+      ~methods:
+        [
+          (p_run, fun ctx _ -> record ctx "ran");
+          ( p_wait4,
+            fun ctx _ ->
+              let _ = Ctx.wait_for ctx [ p_waited ] in
+              record ctx "resumed" );
+        ]
+      ()
+  in
+  cls_ref := Some cls;
+  let sys = System.boot ~nodes:1 ~classes:[ cls ] () in
+  let a = System.create_root sys ~node:0 cls [] in
+  System.send_boot sys a p_run [];
+  System.run sys;
+  let obj = Option.get (System.lookup_obj sys a) in
+  Alcotest.(check string) "dormant after run" "dormant" (Sched.mode_of obj);
+  (* Now drive it into waiting mode. *)
+  System.send_boot sys a p_wait4 [];
+  System.run sys;
+  Alcotest.(check string) "waiting while blocked" "waiting" (Sched.mode_of obj);
+  Alcotest.(check bool) "context saved" true (Option.is_some obj.Kernel.blocked);
+  System.send_boot sys a p_waited [];
+  System.run sys;
+  Alcotest.(check string) "dormant after resume" "dormant" (Sched.mode_of obj);
+  Alcotest.(check (list string)) "order" [ "resumed"; "ran" ] !observed
+
+let test_embryo_fault_mode () =
+  let cls = make_cls () in
+  let sys = System.boot ~nodes:2 ~classes:[ cls ] () in
+  let rt1 = System.rt sys 1 in
+  (* Slot 0 of node 1 is stock-reserved for requester node 0; looking it
+     up materialises the fault-table embryo. *)
+  let embryo = Sched.lookup_or_embryo rt1 0 in
+  Alcotest.(check string) "fault mode" "fault" (Sched.mode_of embryo);
+  Alcotest.(check bool) "no class yet" true (Option.is_none embryo.Kernel.cls)
+
+let () =
+  Alcotest.run "vft"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "dormant" `Quick test_dormant_table;
+          Alcotest.test_case "init" `Quick test_init_table;
+          Alcotest.test_case "waiting" `Quick test_waiting_table;
+          Alcotest.test_case "shared" `Quick test_shared_tables;
+          Alcotest.test_case "beyond table" `Quick test_entry_beyond_table;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_duplicate_method_rejected;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "transitions" `Quick test_mode_transitions;
+          Alcotest.test_case "embryo fault" `Quick test_embryo_fault_mode;
+        ] );
+    ]
