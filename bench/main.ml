@@ -1,12 +1,13 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section 6), plus the ablations listed in DESIGN.md.
 
-     dune exec bench/main.exe -- [sections] [--full]
+     dune exec bench/main.exe -- [sections] [--full] [--smoke]
 
-   Sections: table1 table2 table3 table4 fig5 fig6 ablations bechamel all
-   (default: all). --full runs the paper-scale N=13 / 512-node
-   configurations; without it the harness caps at N<=11 so a full pass
-   stays around a minute. *)
+   Sections: table1 table2 table3 table4 fig5 fig6 ablations faults
+   bechamel all (default: all). --full runs the paper-scale N=13 /
+   512-node configurations; without it the harness caps at N<=11 so a
+   full pass stays around a minute. --smoke shrinks the fault sweep to
+   two drop rates for CI. *)
 
 open Core
 
@@ -270,6 +271,80 @@ let ablations () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Degradation: fault injection + reliable delivery                    *)
+(* ------------------------------------------------------------------ *)
+
+let fault_config plan =
+  {
+    Machine.Engine.default_config with
+    Machine.Engine.faults = (if Network.Faults.is_fault_free plan then None else Some plan);
+  }
+
+let faults ~smoke () =
+  header "Degradation: N-queens (N=8, 16 nodes) under fault injection";
+  let nodes = 16 and n = 8 in
+  let run_plan plan =
+    Apps.Nqueens_par.run_sys ~machine_config:(fault_config plan) ~nodes ~n ()
+  in
+  let rates = if smoke then [ 0.0; 0.05 ] else [ 0.0; 0.01; 0.02; 0.05; 0.10 ] in
+  let base = ref 0 in
+  Format.printf "%6s %10s %12s %9s %8s %6s %8s %6s %8s %6s@." "drop"
+    "solutions" "elapsed(ms)" "slowdown" "dropped" "dup" "rexmit" "dupdis"
+    "acks" "clean";
+  List.iter
+    (fun rate ->
+      let plan =
+        Network.Faults.plan ~seed:42 ~drop:rate ~duplicate:(rate /. 2.)
+          ~jitter_ns:2_000 ()
+      in
+      let r, sys = run_plan plan in
+      if rate = 0.0 then base := r.Apps.Nqueens_par.elapsed;
+      let clean = Diagnostics.is_clean (Diagnostics.survey sys) in
+      let drops, dups, rexmit, dupdis, acks =
+        match Services.Faultstats.survey sys with
+        | None -> (0, 0, 0, 0, 0)
+        | Some f ->
+            Services.Faultstats.
+              ( f.total_drops,
+                f.total_dups,
+                f.total_retransmits,
+                f.total_dup_discards,
+                f.total_acks )
+      in
+      Format.printf "%5.0f%% %10d %12.2f %8.2fx %8d %6d %8d %6d %8d %6s@."
+        (100. *. rate) r.Apps.Nqueens_par.solutions
+        (Simcore.Time.to_ms r.elapsed)
+        (float_of_int r.elapsed /. float_of_int !base)
+        drops dups rexmit dupdis acks
+        (if clean then "yes" else "NO");
+      if not clean then begin
+        Format.printf "  diagnostics:@.";
+        Format.printf "  %a@." Diagnostics.pp (Diagnostics.survey sys)
+      end)
+    rates;
+
+  header "Crash/recover: node 3 NIC down for 2 ms mid-run (plus 1% drop)";
+  let plan =
+    Network.Faults.plan ~seed:7 ~drop:0.01
+      ~crashes:
+        [ { Network.Faults.node = 3; from_ns = 100_000; until_ns = 2_100_000 } ]
+      ()
+  in
+  let r, sys = run_plan plan in
+  let clean = Diagnostics.is_clean (Diagnostics.survey sys) in
+  Format.printf
+    "solutions %d (expect 92), elapsed %.2f ms, quiescence %s@."
+    r.Apps.Nqueens_par.solutions
+    (Simcore.Time.to_ms r.elapsed)
+    (if clean then "clean" else "DIRTY");
+  (match Services.Faultstats.survey sys with
+  | Some f -> Format.printf "%a@." Services.Faultstats.pp f
+  | None -> ());
+  Format.printf
+    "chunk-stall wait while partitioned: %d ns total@."
+    (Simcore.Stats.get (System.stats sys) "chunk.stall.wait_ns")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock cost of the simulator itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -321,7 +396,8 @@ let () =
   Format.set_margin 200;
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let sections = List.filter (fun a -> a <> "--full") args in
+  let smoke = List.mem "--smoke" args in
+  let sections = List.filter (fun a -> a <> "--full" && a <> "--smoke") args in
   let sections = if sections = [] then [ "all" ] else sections in
   let want s = List.mem s sections || List.mem "all" sections in
   if want "table1" then table1 ();
@@ -331,5 +407,6 @@ let () =
   if want "fig5" then fig5 ~full ();
   if want "fig6" then fig6 ~full ();
   if want "ablations" then ablations ();
+  if want "faults" then faults ~smoke ();
   if want "bechamel" then bechamel ();
   Format.printf "@."

@@ -103,7 +103,7 @@ let creation_count stats =
   let get = Simcore.Stats.get stats in
   get "create.local" + get "create.remote"
 
-let run ?machine_config ?rt_config ~nodes ~n () =
+let run_sys ?machine_config ?rt_config ~nodes ~n () =
   let cls = solver_cls () in
   let sys = System.boot ?machine_config ?rt_config ~nodes ~classes:[ cls ] () in
   if n > Queens_board.max_packed_n then
@@ -145,4 +145,8 @@ let run ?machine_config ?rt_config ~nodes ~n () =
     local_fraction =
       (let all = local_total + get "send.remote" in
        if all = 0 then 0. else float_of_int local_total /. float_of_int all);
-  }
+  },
+  sys
+
+let run ?machine_config ?rt_config ~nodes ~n () =
+  fst (run_sys ?machine_config ?rt_config ~nodes ~n ())

@@ -37,6 +37,16 @@ val run :
 (** Boots a [nodes]-processor system, solves the [n]-queens problem and
     reports the paper's Table 4 columns. *)
 
+val run_sys :
+  ?machine_config:Machine.Engine.config ->
+  ?rt_config:Core.Kernel.rt_config ->
+  nodes:int ->
+  n:int ->
+  unit ->
+  result * Core.System.t
+(** As {!run}, but also returns the quiesced system so callers can
+    inspect it further (diagnostics, fault statistics, raw stats). *)
+
 val message_count : Simcore.Stats.t -> int
 (** Total object-to-object message sends recorded in a run's stats. *)
 

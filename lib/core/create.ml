@@ -29,9 +29,18 @@ let rec take_chunk rt target =
   | Some slot -> slot
   | None -> (
       (* The stock is empty: only now does remote creation block, to be
-         resumed by the next replenishing chunk reply (Section 5.2). *)
+         resumed by the next replenishing chunk reply (Section 5.2).
+         Under a fault plan a lost creation request or Chunk_reply is
+         retransmitted by the machine's reliable-delivery layer, so the
+         stock is replenished (and this context resumed) rather than
+         wedged forever; the stall duration below is how degradation
+         shows up in the fault benches. *)
+      let t0 = Machine.Node.now rt.node in
       match Sched.block rt (Wait_chunk target) with
-      | R_go -> take_chunk rt target
+      | R_go ->
+          Simcore.Stats.add (stats rt) "chunk.stall.wait_ns"
+            (Machine.Node.now rt.node - t0);
+          take_chunk rt target
       | R_reply _ | R_msg _ -> assert false)
 
 let on rt ~target cls args =

@@ -10,6 +10,8 @@ type report = {
   blocked : stuck list;
   buffered : stuck list;
   chunk_waiters : int;
+  in_flight : int;
+  packets_dropped : int;
 }
 
 let reason_string = function
@@ -56,13 +58,17 @@ let survey sys =
           buffered := stuck_of_obj obj :: !buffered)
       rt.Kernel.objects
   done;
+  let machine = System.machine sys in
   {
     blocked = List.sort by_addr !blocked;
     buffered = List.sort by_addr !buffered;
     chunk_waiters = !chunk_waiters;
+    in_flight = Machine.Engine.reliable_in_flight machine;
+    packets_dropped = Machine.Engine.packets_dropped machine;
   }
 
-let is_clean r = r.blocked = [] && r.buffered = [] && r.chunk_waiters = 0
+let is_clean r =
+  r.blocked = [] && r.buffered = [] && r.chunk_waiters = 0 && r.in_flight = 0
 
 let pp_stuck ppf s =
   Format.fprintf ppf "%a %s [%s]%s%s" Value.pp_addr s.addr s.cls_name s.mode
@@ -74,7 +80,13 @@ let pp_stuck ppf s =
      else "")
 
 let pp ppf r =
-  if is_clean r then Format.fprintf ppf "clean: no residual work"
+  if is_clean r then
+    if r.packets_dropped = 0 then Format.fprintf ppf "clean: no residual work"
+    else
+      Format.fprintf ppf
+        "clean: no residual work (%d dropped packet(s), all repaired by \
+         retransmission)"
+        r.packets_dropped
   else begin
     Format.fprintf ppf "@[<v>";
     if r.blocked <> [] then begin
@@ -88,5 +100,9 @@ let pp ppf r =
     if r.chunk_waiters > 0 then
       Format.fprintf ppf "%d context(s) stalled on chunk stocks@,"
         r.chunk_waiters;
+    if r.in_flight > 0 then
+      Format.fprintf ppf
+        "%d message(s) lost in flight (unacknowledged at quiescence)@,"
+        r.in_flight;
     Format.fprintf ppf "@]"
   end

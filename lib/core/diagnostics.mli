@@ -18,11 +18,20 @@ type report = {
   blocked : stuck list;  (** objects holding a suspended context *)
   buffered : stuck list;  (** quiescent objects with unconsumed messages *)
   chunk_waiters : int;  (** contexts stalled on empty chunk stocks *)
+  in_flight : int;
+      (** messages sent but never acknowledged by the reliable-delivery
+          layer (always 0 without a fault plan). Nonzero at quiescence
+          means the network lost messages for good — retransmission gave
+          up or the run was cut short. *)
+  packets_dropped : int;
+      (** packets the fault layer destroyed during the run (these were
+          all repaired by retransmission iff [in_flight] is 0) *)
 }
 
 val survey : System.t -> report
 
 val is_clean : report -> bool
-(** No suspended contexts, no buffered messages, no stalled requesters. *)
+(** No suspended contexts, no buffered messages, no stalled requesters,
+    and no message still unacknowledged by the reliable layer. *)
 
 val pp : Format.formatter -> report -> unit

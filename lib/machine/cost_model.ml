@@ -22,6 +22,9 @@ type t = {
   msg_receive_handling : int;
   interrupt_overhead : int;
   reply_check : int;
+  reliable_frame : int;
+  reliable_ack : int;
+  reliable_retransmit : int;
 }
 
 let default =
@@ -54,6 +57,12 @@ let default =
     msg_receive_handling = 50;
     interrupt_overhead = 30;
     reply_check = 4;
+    (* Reliable-delivery layer (charged only when a fault plan is live):
+       sequence/ack bookkeeping per frame, a standalone ack send, and a
+       timer-driven retransmission (lookup + re-send). *)
+    reliable_frame = 6;
+    reliable_ack = 12;
+    reliable_retransmit = 28;
   }
 
 let time c instructions = instructions * c.ns_per_instr

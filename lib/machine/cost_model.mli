@@ -36,6 +36,11 @@ type t = {
       (** paper: ~50 instructions: polling, extraction, buffer management *)
   interrupt_overhead : int;  (** extra cost per message in interrupt mode *)
   reply_check : int;  (** sender checking its reply destination *)
+  (* --- reliable delivery (only charged when a fault plan is live) --- *)
+  reliable_frame : int;
+      (** receiver-side sequence/ack bookkeeping per protocol frame *)
+  reliable_ack : int;  (** building and sending a standalone ack frame *)
+  reliable_retransmit : int;  (** timer-driven retransmission of a frame *)
 }
 
 val default : t

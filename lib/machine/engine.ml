@@ -5,6 +5,8 @@ type config = {
   fabric : Network.Fabric.config;
   delivery : delivery_mode;
   seed : int;
+  faults : Network.Faults.plan option;
+  reliable : Reliable.config;
 }
 
 let default_config =
@@ -13,9 +15,19 @@ let default_config =
     fabric = Network.Fabric.default_config;
     delivery = Polling;
     seed = 42;
+    faults = None;
+    reliable = Reliable.default_config;
   }
 
-type event = Wake of int
+(* What actually travels through the fabric: bare AMs on a perfect
+   network, protocol frames under a fault plan. *)
+type wire = Data of Am.t | Framed of Reliable.frame
+
+type event =
+  | Wake of int
+  | Frame_rx of { src : int; dst : int; frame : Reliable.frame }
+  | Rel_tick of { src : int; dst : int }  (** retransmit timer *)
+  | Ack_tick of { me : int; peer : int }  (** delayed standalone ack *)
 
 type handler = {
   h_category : Am.category;
@@ -27,7 +39,7 @@ type handler = {
 and t = {
   config : config;
   topo : Network.Topology.t;
-  fabric : Am.t Network.Fabric.t;
+  fabric : wire Network.Fabric.t;
   nodes : Node.t array;
   events : event Simcore.Event_queue.t;
   mutable handlers : handler array;
@@ -36,6 +48,12 @@ and t = {
   rng : Simcore.Rng.t;
   mutable vnow : Simcore.Time.t;
   mutable observer : (observation -> unit) option;
+  rel : Reliable.t option;  (** live iff the fault plan is non-trivial *)
+  c_drop : int ref;
+  c_dup : int ref;
+  c_retransmit : int ref;
+  c_dup_discard : int ref;
+  c_ack : int ref;
 }
 
 and observation =
@@ -45,18 +63,35 @@ and observation =
 let create ?(config = default_config) ~nodes:n () =
   if n < 1 then invalid_arg "Engine.create: need at least one node";
   let topo = Network.Topology.square_for n in
+  (* An all-zero plan is the same as no plan at all: the fabric and the
+     delivery path below stay bit-identical to the fault-free build. *)
+  let faults =
+    match config.faults with
+    | Some p when not (Network.Faults.is_fault_free p) -> Some p
+    | Some _ | None -> None
+  in
+  let stats = Simcore.Stats.create () in
   {
     config;
     topo;
-    fabric = Network.Fabric.create ~config:config.fabric topo;
+    fabric = Network.Fabric.create ~config:config.fabric ?faults topo;
     nodes = Array.init n (fun id -> Node.create ~id);
     events = Simcore.Event_queue.create ();
     handlers = [||];
     handler_count = 0;
-    stats = Simcore.Stats.create ();
+    stats;
     rng = Simcore.Rng.create ~seed:config.seed;
     vnow = Simcore.Time.zero;
     observer = None;
+    rel =
+      (match faults with
+      | Some _ -> Some (Reliable.create ~config:config.reliable ~nodes:n ())
+      | None -> None);
+    c_drop = Simcore.Stats.counter stats "fault.drop";
+    c_dup = Simcore.Stats.counter stats "fault.dup";
+    c_retransmit = Simcore.Stats.counter stats "reliable.retransmit";
+    c_dup_discard = Simcore.Stats.counter stats "reliable.dup_discard";
+    c_ack = Simcore.Stats.counter stats "reliable.ack";
   }
 
 let config t = t.config
@@ -67,6 +102,17 @@ let rng t = t.rng
 let node_count t = Array.length t.nodes
 let node t i = t.nodes.(i)
 let nodes t = t.nodes
+let reliable t = t.rel
+let faults_active t = Option.is_some t.rel
+
+let reliable_in_flight t =
+  match t.rel with Some rel -> Reliable.in_flight rel | None -> 0
+
+let packets_dropped t = Network.Fabric.packets_dropped t.fabric
+let packets_duplicated t = Network.Fabric.packets_duplicated t.fabric
+let dropped_by_src t src = Network.Fabric.dropped_by_src t.fabric src
+let duplicated_by_src t src = Network.Fabric.duplicated_by_src t.fabric src
+
 let charge t n instructions =
   Node.charge_ns n (Cost_model.time t.config.cost instructions)
 
@@ -96,23 +142,9 @@ let wake t node ~time =
     Simcore.Event_queue.add t.events ~time (Wake (Node.id node))
   end
 
-let send_am t ~src ~dst ~handler:hid ~size_bytes payload =
-  let h = handler t hid in
-  incr h.h_sent;
-  let am = { Am.handler = hid; src = Node.id src; size_bytes; payload } in
-  let now = Node.now src in
-  let arrival =
-    if dst = Node.id src then now + 1 (* loopback bypasses the fabric *)
-    else
-      Network.Fabric.send t.fabric ~now
-        (Network.Packet.make ~src:(Node.id src) ~dst ~size_bytes am)
-  in
-  (match t.observer with
-  | Some f -> f (Obs_deliver { time = arrival; src = Node.id src; dst })
-  | None -> ());
-  (* The message sits in the destination's arrival-ordered inbox at once
-     (it only becomes *visible* when the clock passes its arrival), so
-     interrupt-mode delivery can notice it mid-computation. *)
+(* Hand a message to the destination node's inbox, waking it if needed.
+   The tail of both delivery paths (direct and reliable). *)
+let deliver_local t ~dst ~arrival am =
   let dst_node = t.nodes.(dst) in
   Node.inbox_push dst_node ~arrival am;
   let wake_time = max arrival (Node.now dst_node) in
@@ -127,6 +159,129 @@ let send_am t ~src ~dst ~handler:hid ~size_bytes payload =
     Node.set_next_wake dst_node wake_time;
     Simcore.Event_queue.add t.events ~time:wake_time (Wake dst)
   end
+
+(* --- reliable-delivery path (fault plan active) --- *)
+
+(* [control] marks frames the interface emits at engine-event times
+   (acks, retransmissions, window-released backlog): they bypass the
+   fabric's call-order injection/FIFO clamps, which would serialise them
+   behind data that an optimistic node slice already stamped with
+   virtual-future times. First sends from a node slice are ordinary
+   clamped traffic. *)
+let transmit_frame t ~control ~now ~src ~dst (frame : Reliable.frame) =
+  let size_bytes =
+    Reliable.frame_bytes
+    + (match frame.Reliable.fr_data with Some am -> am.Am.size_bytes | None -> 0)
+  in
+  let p = Network.Packet.make ~src ~dst ~size_bytes (Framed frame) in
+  let eta, arrivals =
+    if control then Network.Fabric.send_control t.fabric ~now p
+    else Network.Fabric.send_flaky t.fabric ~now p
+  in
+  (* Anchor the frame's retransmission deadline at its fault-free
+     arrival estimate, so injection queueing is not mistaken for loss. *)
+  if frame.Reliable.fr_seq >= 0 then
+    Reliable.note_eta (Option.get t.rel) ~src ~dst ~seq:frame.Reliable.fr_seq
+      ~eta;
+  (match arrivals with
+  | [] -> incr t.c_drop
+  | [ _ ] -> ()
+  | _ -> incr t.c_dup);
+  List.iter
+    (fun arrival ->
+      (match t.observer with
+      | Some f -> f (Obs_deliver { time = arrival; src; dst })
+      | None -> ());
+      Simcore.Event_queue.add t.events ~time:arrival (Frame_rx { src; dst; frame }))
+    arrivals
+
+let arm_rel_tick t rel ~src ~dst ~now =
+  match Reliable.timer_request rel ~src ~dst ~now with
+  | Some at -> Simcore.Event_queue.add t.events ~time:at (Rel_tick { src; dst })
+  | None -> ()
+
+let rel_send t rel ~src ~dst am =
+  let now = Node.now t.nodes.(src) in
+  (match Reliable.push rel ~src ~dst ~now am with
+  | `Send frame -> transmit_frame t ~control:false ~now ~src ~dst frame
+  | `Queued -> Simcore.Stats.incr t.stats "reliable.backlogged");
+  arm_rel_tick t rel ~src ~dst ~now
+
+let handle_frame t rel ~time ~src ~dst (frame : Reliable.frame) =
+  let c = t.config.cost in
+  let dst_node = t.nodes.(dst) in
+  (* Per-frame protocol bookkeeping runs on the receiving CPU. *)
+  charge t dst_node c.Cost_model.reliable_frame;
+  (* The piggybacked (or pure) ack serves the reverse channel. *)
+  let released = Reliable.on_ack rel ~src:dst ~dst:src ~ack:frame.Reliable.fr_ack ~now:time in
+  List.iter
+    (fun fr -> transmit_frame t ~control:true ~now:time ~src:dst ~dst:src fr)
+    released;
+  if released <> [] then arm_rel_tick t rel ~src:dst ~dst:src ~now:time;
+  match frame.Reliable.fr_data with
+  | None -> ()
+  | Some am ->
+      (match Reliable.on_data rel ~src ~dst ~seq:frame.Reliable.fr_seq am with
+      | `Deliver ams ->
+          List.iter (fun am -> deliver_local t ~dst ~arrival:time am) ams
+      | `Duplicate -> incr t.c_dup_discard
+      | `Reordered -> ());
+      (* Data owes an acknowledgement: piggybacked on reverse traffic if
+         any leaves soon, otherwise by the delayed-ack timer. Duplicates
+         re-ack too — the previous ack may have been lost. *)
+      (match Reliable.ack_needed rel ~me:dst ~peer:src ~now:time with
+      | Some at ->
+          Simcore.Event_queue.add t.events ~time:at (Ack_tick { me = dst; peer = src })
+      | None -> ())
+
+let handle_rel_tick t rel ~time ~src ~dst =
+  match Reliable.on_timer rel ~src ~dst ~now:time with
+  | `Idle -> ()
+  | `Wait at -> Simcore.Event_queue.add t.events ~time:at (Rel_tick { src; dst })
+  | `Retransmit (frame, next_at) ->
+      incr t.c_retransmit;
+      charge t t.nodes.(src) t.config.cost.Cost_model.reliable_retransmit;
+      transmit_frame t ~control:true ~now:time ~src ~dst frame;
+      Simcore.Event_queue.add t.events ~time:next_at (Rel_tick { src; dst })
+
+let handle_ack_tick t rel ~time ~me ~peer =
+  match Reliable.on_ack_timer rel ~me ~peer with
+  | None -> () (* piggybacked in the meantime *)
+  | Some frame ->
+      incr t.c_ack;
+      charge t t.nodes.(me) t.config.cost.Cost_model.reliable_ack;
+      transmit_frame t ~control:true ~now:time ~src:me ~dst:peer frame
+
+(* --- the active-message entry point --- *)
+
+let send_am t ~src ~dst ~handler:hid ~size_bytes payload =
+  let h = handler t hid in
+  incr h.h_sent;
+  let am = { Am.handler = hid; src = Node.id src; size_bytes; payload } in
+  let now = Node.now src in
+  if dst = Node.id src then begin
+    (* Loopback bypasses the fabric (and with it the fault layer). *)
+    (match t.observer with
+    | Some f -> f (Obs_deliver { time = now + 1; src = Node.id src; dst })
+    | None -> ());
+    deliver_local t ~dst ~arrival:(now + 1) am
+  end
+  else
+    match t.rel with
+    | Some rel -> rel_send t rel ~src:(Node.id src) ~dst am
+    | None ->
+        let arrival =
+          Network.Fabric.send t.fabric ~now
+            (Network.Packet.make ~src:(Node.id src) ~dst ~size_bytes (Data am))
+        in
+        (match t.observer with
+        | Some f -> f (Obs_deliver { time = arrival; src = Node.id src; dst })
+        | None -> ());
+        (* The message sits in the destination's arrival-ordered inbox at
+           once (it only becomes *visible* when the clock passes its
+           arrival), so interrupt-mode delivery can notice it
+           mid-computation. *)
+        deliver_local t ~dst ~arrival am
 
 let dispatch t node am =
   let c = t.config.cost in
@@ -215,7 +370,13 @@ let run ?(max_slices = max_int) t =
             incr slices;
             if !slices > max_slices then
               failwith "Engine.run: max_slices exceeded (livelock?)";
-            step t t.nodes.(i) ~time);
+            step t t.nodes.(i) ~time
+        | Frame_rx { src; dst; frame } ->
+            handle_frame t (Option.get t.rel) ~time ~src ~dst frame
+        | Rel_tick { src; dst } ->
+            handle_rel_tick t (Option.get t.rel) ~time ~src ~dst
+        | Ack_tick { me; peer } ->
+            handle_ack_tick t (Option.get t.rel) ~time ~me ~peer);
         loop ()
   in
   loop ()

@@ -19,6 +19,12 @@ type config = {
   fabric : Network.Fabric.config;
   delivery : delivery_mode;
   seed : int;
+  faults : Network.Faults.plan option;
+      (** fault plan for the fabric. [None], or a plan for which
+          {!Network.Faults.is_fault_free} holds, leaves the machine
+          bit-identical to the fault-free build; any real fault activates
+          the {!Reliable} delivery layer underneath the AM handlers. *)
+  reliable : Reliable.config;  (** protocol tuning; used only with faults *)
 }
 
 val default_config : config
@@ -105,3 +111,24 @@ val utilization : t -> float
 
 val packets_sent : t -> int
 val bytes_sent : t -> int
+
+(** {2 Fault model} *)
+
+val faults_active : t -> bool
+(** True iff a non-trivial fault plan (and with it the reliable-delivery
+    layer) is live on this machine. *)
+
+val reliable : t -> Reliable.t option
+(** The reliable-delivery protocol state, for degradation reports. *)
+
+val reliable_in_flight : t -> int
+(** Messages sent but not yet acknowledged (0 when faults are off). A
+    quiescent machine with a nonzero count lost messages for good. *)
+
+val packets_dropped : t -> int
+(** Packets the fault layer destroyed (including crash-window losses). *)
+
+val packets_duplicated : t -> int
+
+val dropped_by_src : t -> int -> int
+val duplicated_by_src : t -> int -> int

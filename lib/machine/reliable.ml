@@ -1,0 +1,347 @@
+type config = {
+  window : int;
+  ack_delay_ns : int;
+  rto_ns : int;
+  backoff : int;
+  max_rto_ns : int;
+  max_retries : int;
+}
+
+let default_config =
+  {
+    window = 64;
+    ack_delay_ns = 20_000;
+    (* Initial value and floor of the adaptive estimate; the estimator
+       learns the real ack round trip per channel — including
+       injection-port queueing behind send bursts, which can reach
+       millisecond scale — so a retransmission means the network actually
+       lost something. *)
+    rto_ns = 200_000;
+    backoff = 2;
+    max_rto_ns = 5_000_000;
+    max_retries = 64;
+  }
+
+type frame = { fr_seq : int; fr_ack : int; fr_data : Am.t option }
+
+(* One word of sequence number, one of cumulative ack. *)
+let frame_bytes = 8
+
+type tx = {
+  mutable next_seq : int;
+  mutable base : int;  (** lowest unacknowledged sequence number *)
+  inflight : (int, Am.t * Simcore.Time.t * bool) Hashtbl.t;
+      (** seq -> (message, eta, sample_ok). [eta] is the frame's
+          estimated fault-free arrival at the peer — the push instant
+          until {!note_eta} refines it with the fabric's answer, which
+          accounts for injection-queueing behind send bursts. The
+          retransmission deadline and RTT samples are anchored on it.
+          [sample_ok] goes false once the frame is retransmitted: its
+          ack is then ambiguous and yields no sample (Karn). *)
+  backlog : Am.t Queue.t;
+  mutable rto : int;
+  mutable deadline : Simcore.Time.t;  (** when the base frame times out *)
+  mutable timer_armed : bool;  (** a timer event is in the engine queue *)
+  mutable retries : int;  (** consecutive retransmissions of [base] *)
+  mutable srtt : int;  (** smoothed RTT estimate; -1 before any sample *)
+  mutable rttvar : int;
+}
+
+type rx = {
+  mutable expected : int;  (** next in-order sequence number *)
+  reorder : (int, Am.t) Hashtbl.t;
+  mutable ack_due : Simcore.Time.t;  (** pending standalone ack; max_int = none *)
+}
+
+type t = {
+  cfg : config;
+  nodes : int;
+  txs : (int, tx) Hashtbl.t;  (** keyed by src * nodes + dst *)
+  rxs : (int, rx) Hashtbl.t;  (** keyed by src * nodes + dst *)
+  retransmits : int array;  (** per sending node *)
+  dup_discards : int array;  (** per receiving node *)
+  acks_sent : int array;  (** standalone acks, per sending node *)
+  rto_hist : Simcore.Histogram.t array;
+}
+
+let create ?(config = default_config) ~nodes () =
+  if config.window < 1 then invalid_arg "Reliable.create: window must be >= 1";
+  if config.backoff < 1 then invalid_arg "Reliable.create: backoff must be >= 1";
+  {
+    cfg = config;
+    nodes;
+    txs = Hashtbl.create 64;
+    rxs = Hashtbl.create 64;
+    retransmits = Array.make nodes 0;
+    dup_discards = Array.make nodes 0;
+    acks_sent = Array.make nodes 0;
+    rto_hist = Array.init nodes (fun _ -> Simcore.Histogram.create ());
+  }
+
+let config t = t.cfg
+
+let key t src dst = (src * t.nodes) + dst
+
+let tx_of t ~src ~dst =
+  let k = key t src dst in
+  match Hashtbl.find_opt t.txs k with
+  | Some tx -> tx
+  | None ->
+      let tx =
+        {
+          next_seq = 0;
+          base = 0;
+          inflight = Hashtbl.create 8;
+          backlog = Queue.create ();
+          rto = t.cfg.rto_ns;
+          deadline = max_int;
+          timer_armed = false;
+          retries = 0;
+          srtt = -1;
+          rttvar = 0;
+        }
+      in
+      Hashtbl.add t.txs k tx;
+      tx
+
+let rx_of t ~src ~dst =
+  let k = key t src dst in
+  match Hashtbl.find_opt t.rxs k with
+  | Some rx -> rx
+  | None ->
+      let rx =
+        { expected = 0; reorder = Hashtbl.create 8; ack_due = max_int }
+      in
+      Hashtbl.add t.rxs k rx;
+      rx
+
+(* Cumulative ack the [me] side owes for traffic arriving from [peer].
+   A pending standalone ack is suppressed only when the carrying frame
+   reaches the wire no later than the ack deadline: a sending slice may
+   run with its node clock far ahead of the frames it is acknowledging
+   (optimistic per-node time), and cancelling the prompt standalone ack
+   in favour of a far-future data frame would stall the peer's window
+   into a spurious retransmission. *)
+let take_piggyback t ~me ~peer ~now =
+  let rx = rx_of t ~src:peer ~dst:me in
+  if now <= rx.ack_due then rx.ack_due <- max_int;
+  rx.expected - 1
+
+(* --- sender side --- *)
+
+(* Adaptive retransmission timeout (RFC 6298 shape): smoothed RTT plus
+   four deviations, floored at the configured initial RTO and capped at
+   the backoff ceiling. Channels whose acks queue behind send bursts
+   learn a proportionally lazier timer instead of retransmitting data
+   the network never lost. *)
+let current_rto t tx =
+  if tx.srtt < 0 then t.cfg.rto_ns
+  else
+    min t.cfg.max_rto_ns (max t.cfg.rto_ns (tx.srtt + (4 * tx.rttvar)))
+
+(* Observes the ack turnaround beyond the acked frame's arrival estimate
+   (delayed-ack wait + return transit + jitter — the part the timeout
+   must out-wait once the deadline is anchored on the eta). Returns
+   whether a valid sample was taken: retransmitted frames are ambiguous
+   and yield none (Karn). *)
+let observe_rtt tx ~ack ~now =
+  match Hashtbl.find_opt tx.inflight ack with
+  | Some (_, eta, true) when now >= eta ->
+      let rtt = now - eta in
+      if tx.srtt < 0 then begin
+        tx.srtt <- rtt;
+        tx.rttvar <- rtt / 2
+      end
+      else begin
+        tx.rttvar <- ((3 * tx.rttvar) + abs (tx.srtt - rtt)) / 4;
+        tx.srtt <- ((7 * tx.srtt) + rtt) / 8
+      end;
+      true
+  | _ -> false
+
+(* Restart the timeout clock for the (new) base frame: its eta plus the
+   current timeout, so time spent queueing at the source NIC is never
+   counted against the network. *)
+let rearm_for_base tx ~now =
+  if Hashtbl.length tx.inflight = 0 then tx.deadline <- max_int
+  else
+    match Hashtbl.find_opt tx.inflight tx.base with
+    | Some (_, eta, _) -> tx.deadline <- max eta now + tx.rto
+    | None -> tx.deadline <- now + tx.rto
+
+let push t ~src ~dst ~now am =
+  let tx = tx_of t ~src ~dst in
+  if Hashtbl.length tx.inflight >= t.cfg.window then begin
+    Queue.push am tx.backlog;
+    `Queued
+  end
+  else begin
+    let seq = tx.next_seq in
+    tx.next_seq <- seq + 1;
+    Hashtbl.replace tx.inflight seq (am, now, true);
+    (* First frame of an idle period: (re)start the timeout clock. The
+       push instant stands in for the eta until {!note_eta} refines it. *)
+    if tx.deadline = max_int then tx.deadline <- now + tx.rto;
+    `Send { fr_seq = seq; fr_ack = take_piggyback t ~me:src ~peer:dst ~now; fr_data = Some am }
+  end
+
+let note_eta t ~src ~dst ~seq ~eta =
+  let tx = tx_of t ~src ~dst in
+  match Hashtbl.find_opt tx.inflight seq with
+  | None -> () (* acked in the meantime — nothing left to time out *)
+  | Some (am, _, ok) ->
+      Hashtbl.replace tx.inflight seq (am, eta, ok);
+      if seq = tx.base then begin
+        let d = eta + tx.rto in
+        if tx.deadline = max_int || d > tx.deadline then tx.deadline <- d
+      end
+
+let on_ack t ~src ~dst ~ack ~now =
+  let tx = tx_of t ~src ~dst in
+  if ack < tx.base then []
+  else begin
+    let sampled = observe_rtt tx ~ack ~now in
+    for seq = tx.base to ack do
+      Hashtbl.remove tx.inflight seq
+    done;
+    tx.base <- ack + 1;
+    tx.retries <- 0;
+    (* Progress restarts the timeout for the new oldest frame — but only
+       a valid sample may relax a backed-off RTO (the second half of
+       Karn's algorithm). While the floor sits below the channel's true
+       round trip, every frame is retransmitted exactly once and every
+       ack is ambiguous; keeping the doubled RTO lets a later frame
+       survive to an unambiguous ack, which re-seeds the estimator. *)
+    if sampled then tx.rto <- current_rto t tx;
+    rearm_for_base tx ~now;
+    (* Release backlog into the freed window, in order. *)
+    let rec drain acc =
+      if Queue.is_empty tx.backlog || Hashtbl.length tx.inflight >= t.cfg.window
+      then List.rev acc
+      else begin
+        let am = Queue.pop tx.backlog in
+        let seq = tx.next_seq in
+        tx.next_seq <- seq + 1;
+        Hashtbl.replace tx.inflight seq (am, now, true);
+        if tx.deadline = max_int then tx.deadline <- now + tx.rto;
+        drain
+          ({ fr_seq = seq; fr_ack = take_piggyback t ~me:src ~peer:dst ~now; fr_data = Some am }
+          :: acc)
+      end
+    in
+    drain []
+  end
+
+let timer_request t ~src ~dst ~now =
+  let tx = tx_of t ~src ~dst in
+  if tx.timer_armed || Hashtbl.length tx.inflight = 0 then None
+  else begin
+    tx.timer_armed <- true;
+    if tx.deadline = max_int then tx.deadline <- now + tx.rto;
+    Some tx.deadline
+  end
+
+let on_timer t ~src ~dst ~now =
+  let tx = tx_of t ~src ~dst in
+  tx.timer_armed <- false;
+  if Hashtbl.length tx.inflight = 0 then `Idle
+  else if tx.deadline = max_int then begin
+    (* Should not happen (push always stamps a deadline), but never
+       schedule a timer at infinity. *)
+    tx.deadline <- now + tx.rto;
+    tx.timer_armed <- true;
+    `Wait tx.deadline
+  end
+  else if now < tx.deadline then begin
+    tx.timer_armed <- true;
+    `Wait tx.deadline
+  end
+  else begin
+    tx.retries <- tx.retries + 1;
+    if tx.retries > t.cfg.max_retries then
+      failwith
+        (Printf.sprintf
+           "Reliable: channel %d->%d gave up after %d retransmissions (seq %d)"
+           src dst t.cfg.max_retries tx.base);
+    let am =
+      match Hashtbl.find_opt tx.inflight tx.base with
+      | Some (am, _, _) -> am
+      | None -> assert false (* base is unacked by definition *)
+    in
+    (* Karn's rule: a retransmitted frame can never yield an RTT sample
+       (an eventual ack is ambiguous about which copy it answers). The
+       caller's note_eta for the new copy re-anchors the deadline. *)
+    Hashtbl.replace tx.inflight tx.base (am, now, false);
+    t.retransmits.(src) <- t.retransmits.(src) + 1;
+    Simcore.Histogram.observe t.rto_hist.(src) tx.rto;
+    tx.rto <- min (tx.rto * t.cfg.backoff) t.cfg.max_rto_ns;
+    tx.deadline <- now + tx.rto;
+    tx.timer_armed <- true;
+    ( `Retransmit
+        ( {
+            fr_seq = tx.base;
+            fr_ack = take_piggyback t ~me:src ~peer:dst ~now;
+            fr_data = Some am;
+          },
+          tx.deadline ) )
+  end
+
+(* --- receiver side --- *)
+
+let on_data t ~src ~dst ~seq am =
+  let rx = rx_of t ~src ~dst in
+  if seq < rx.expected then begin
+    t.dup_discards.(dst) <- t.dup_discards.(dst) + 1;
+    `Duplicate
+  end
+  else if seq > rx.expected then
+    if Hashtbl.mem rx.reorder seq then begin
+      (* A duplicate of a frame already waiting in the reorder buffer. *)
+      t.dup_discards.(dst) <- t.dup_discards.(dst) + 1;
+      `Duplicate
+    end
+    else begin
+      Hashtbl.add rx.reorder seq am;
+      `Reordered
+    end
+  else begin
+    rx.expected <- rx.expected + 1;
+    let rec release acc =
+      match Hashtbl.find_opt rx.reorder rx.expected with
+      | Some am' ->
+          Hashtbl.remove rx.reorder rx.expected;
+          rx.expected <- rx.expected + 1;
+          release (am' :: acc)
+      | None -> List.rev acc
+    in
+    `Deliver (am :: release [])
+  end
+
+let ack_needed t ~me ~peer ~now =
+  let rx = rx_of t ~src:peer ~dst:me in
+  if rx.ack_due <> max_int then None
+  else begin
+    rx.ack_due <- now + t.cfg.ack_delay_ns;
+    Some rx.ack_due
+  end
+
+let on_ack_timer t ~me ~peer =
+  let rx = rx_of t ~src:peer ~dst:me in
+  if rx.ack_due = max_int then None
+  else begin
+    rx.ack_due <- max_int;
+    t.acks_sent.(me) <- t.acks_sent.(me) + 1;
+    Some { fr_seq = -1; fr_ack = rx.expected - 1; fr_data = None }
+  end
+
+(* --- introspection --- *)
+
+let in_flight t =
+  Hashtbl.fold
+    (fun _ tx acc -> acc + Hashtbl.length tx.inflight + Queue.length tx.backlog)
+    t.txs 0
+
+let node_retransmits t node = t.retransmits.(node)
+let node_dup_discards t node = t.dup_discards.(node)
+let node_acks_sent t node = t.acks_sent.(node)
+let rto_histogram t node = t.rto_hist.(node)

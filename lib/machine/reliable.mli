@@ -1,0 +1,138 @@
+(** Reliable-delivery protocol state, sitting between the Active-Message
+    layer and a faulty fabric.
+
+    Every ordered (src, dst) node pair is a {e channel}. The sender side
+    stamps each outgoing AM with a per-channel sequence number, keeps it
+    buffered until acknowledged, and retransmits on a timer with
+    exponential backoff (capped). The receiver side discards duplicates,
+    holds out-of-order frames in a reorder buffer, and releases messages
+    in sequence order — re-establishing the exactly-once per-channel FIFO
+    dispatch that the rest of the runtime (mode VFTs, chunk stocks,
+    termination detection) silently depends on. Acknowledgements are
+    cumulative and piggybacked on reverse-direction data frames; a
+    delayed-ack timer covers one-way traffic.
+
+    This module is a passive state machine: {!Engine} owns the event
+    queue and the fabric, and drives it by calling these transitions in
+    virtual-time order. All state is deterministic — no clocks, no
+    randomness — so seeded runs replay exactly. *)
+
+type config = {
+  window : int;  (** max unacknowledged frames per channel *)
+  ack_delay_ns : int;  (** delayed standalone-ack timeout *)
+  rto_ns : int;
+      (** retransmission timeout before any RTT sample, and the floor of
+          the per-channel adaptive estimate (smoothed RTT plus four
+          deviations, RFC 6298 shape; retransmitted frames never yield
+          samples, per Karn's rule) *)
+  backoff : int;  (** RTO multiplier applied per retransmission *)
+  max_rto_ns : int;  (** RTO ceiling *)
+  max_retries : int;
+      (** consecutive retransmissions of one frame before the channel is
+          declared broken (raises [Failure] — silently losing a message
+          would violate every invariant above) *)
+}
+
+val default_config : config
+(** window 64, 20 us delayed ack, 200 us initial/minimum RTO doubling to
+    a 5 ms cap on consecutive losses, 64 retries (several seconds of a
+    fully-partitioned channel). The adaptive estimator tracks each
+    channel's real ack round trip — including injection-port queueing
+    behind send bursts — so retransmissions mean actual loss. *)
+
+type frame = {
+  fr_seq : int;  (** data sequence number; [-1] on pure-ack frames *)
+  fr_ack : int;  (** cumulative ack for the reverse channel *)
+  fr_data : Am.t option;  (** [None] on pure-ack frames *)
+}
+
+val frame_bytes : int
+(** Wire overhead of the protocol header (sequence + ack words). *)
+
+type t
+
+val create : ?config:config -> nodes:int -> unit -> t
+
+val config : t -> config
+
+(** {2 Sender side} *)
+
+val push :
+  t -> src:int -> dst:int -> now:Simcore.Time.t -> Am.t -> [ `Send of frame | `Queued ]
+(** Accepts a message for transmission. If the channel window has room
+    the message is sequenced, buffered for retransmission and returned
+    as a frame (with the current piggybacked ack — any pending standalone
+    ack for the reverse channel is suppressed); otherwise it joins the
+    channel backlog and is released by future acks. *)
+
+val note_eta :
+  t -> src:int -> dst:int -> seq:int -> eta:Simcore.Time.t -> unit
+(** Refines a buffered frame's arrival estimate with the fabric's answer
+    (which includes injection-port queueing behind a send burst). The
+    retransmission deadline counts from this estimate, and RTT samples
+    measure the ack turnaround beyond it, so source-side queueing is
+    never mistaken for loss. Call after transmitting a data frame; a
+    no-op if the frame was acked in the meantime. *)
+
+val on_ack : t -> src:int -> dst:int -> ack:int -> now:Simcore.Time.t -> frame list
+(** Processes a cumulative ack received by [src] for its channel towards
+    [dst]: forgets acknowledged frames, resets the RTO (progress), and
+    returns backlog messages that now fit the window, already sequenced
+    and buffered — the caller must transmit them. *)
+
+val timer_request : t -> src:int -> dst:int -> now:Simcore.Time.t -> Simcore.Time.t option
+(** After {!push} or {!on_ack}, asks whether a retransmit-timer event
+    must be scheduled for the channel. Returns the deadline at most once
+    per armed period — while the returned event is pending, subsequent
+    calls return [None]. *)
+
+val on_timer :
+  t ->
+  src:int ->
+  dst:int ->
+  now:Simcore.Time.t ->
+  [ `Idle | `Wait of Simcore.Time.t | `Retransmit of frame * Simcore.Time.t ]
+(** Fires the channel's retransmit timer. [`Idle]: nothing unacked, stop.
+    [`Wait t]: an ack moved the deadline; re-schedule at [t].
+    [`Retransmit (f, t)]: resend [f] (the oldest unacked frame, carrying
+    a fresh piggybacked ack) and re-schedule at [t]; the RTO has been
+    backed off. Raises [Failure] after [max_retries] consecutive
+    retransmissions of the same frame. *)
+
+(** {2 Receiver side} *)
+
+val on_data :
+  t -> src:int -> dst:int -> seq:int -> Am.t -> [ `Deliver of Am.t list | `Duplicate | `Reordered ]
+(** Accepts data frame [seq] on channel (src, dst). [`Deliver ams]: the
+    frame was in order; dispatch [ams] (it plus any directly following
+    frames released from the reorder buffer), in list order.
+    [`Duplicate]: already delivered; discard (but re-ack — the previous
+    ack may have been lost). [`Reordered]: buffered until the gap
+    fills. *)
+
+val ack_needed :
+  t -> me:int -> peer:int -> now:Simcore.Time.t -> Simcore.Time.t option
+(** Notes that channel (peer, me) owes an acknowledgement. Returns
+    [Some t] if a standalone-ack timer should be scheduled at [t] (none
+    was pending); reverse data before [t] will piggyback the ack and
+    cancel it. *)
+
+val on_ack_timer : t -> me:int -> peer:int -> frame option
+(** Fires the delayed-ack timer: [Some frame] is the pure-ack frame to
+    transmit, [None] if the ack was piggybacked in the meantime. *)
+
+(** {2 Introspection} *)
+
+val in_flight : t -> int
+(** Messages accepted by {!push} and not yet acknowledged (buffered,
+    backlogged or on the wire) across all channels. Zero at clean
+    quiescence: every message the runtime sent was delivered and
+    acknowledged despite the faults. *)
+
+val node_retransmits : t -> int -> int
+val node_dup_discards : t -> int -> int
+val node_acks_sent : t -> int -> int
+
+val rto_histogram : t -> int -> Simcore.Histogram.t
+(** Per sending node: the distribution of RTO values in force at each
+    retransmission — the tail shows how deep the backoff had to go. *)

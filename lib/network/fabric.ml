@@ -15,6 +15,7 @@ let default_config =
 type 'a t = {
   topo : Topology.t;
   config : config;
+  faults : Faults.t option;
   (* end of the last injection per source node: models the injection port *)
   injection_free : Simcore.Time.t array;
   (* last delivery time per (src, dst) channel, for FIFO enforcement *)
@@ -23,24 +24,40 @@ type 'a t = {
   link_free : (int * int, Simcore.Time.t) Hashtbl.t;
   mutable packets : int;
   mutable bytes : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  (* per source node, for degradation reports *)
+  dropped_by_src : int array;
+  duplicated_by_src : int array;
 }
 
-let create ?(config = default_config) topo =
+let create ?(config = default_config) ?faults topo =
   if config.bytes_per_us <= 0 then invalid_arg "Fabric.create: bad bandwidth";
+  let n = Topology.node_count topo in
   {
     topo;
     config;
-    injection_free = Array.make (Topology.node_count topo) 0;
+    faults = Option.map Faults.create faults;
+    injection_free = Array.make n 0;
     last_delivery = Hashtbl.create 256;
     link_free = Hashtbl.create 256;
     packets = 0;
     bytes = 0;
+    dropped = 0;
+    duplicated = 0;
+    dropped_by_src = Array.make n 0;
+    duplicated_by_src = Array.make n 0;
   }
 
 let topology t = t.topo
 let config t = t.config
+let fault_plan t = Option.map Faults.plan_of t.faults
 
-let transmission_ns t bytes = bytes * 1_000 / t.config.bytes_per_us
+(* Round up: a partial flit still occupies the link for a whole cycle, so
+   truncating would under-charge small packets on slow links (with the
+   default 25 B/us the division is exact and this changes nothing). *)
+let transmission_ns t bytes =
+  (bytes * 1_000 + t.config.bytes_per_us - 1) / t.config.bytes_per_us
 
 let transit_time t (p : _ Packet.t) =
   let hops = Topology.hops t.topo p.src p.dst in
@@ -91,5 +108,77 @@ let send t ~now (p : _ Packet.t) =
   t.bytes <- t.bytes + wire;
   arrival
 
+(* Applies a fault fate to a packet whose fault-free arrival would be
+   [base]. Jitter lands after any FIFO clamp the caller applied: a faulty
+   network may reorder, and re-serialising is the reliable layer's job. *)
+let faulty_arrivals t f ~now ~base (p : _ Packet.t) =
+  let fate = Faults.fate f ~src:p.src ~dst:p.dst in
+  let lost at =
+    Faults.crashed f ~node:p.src ~at:now || Faults.crashed f ~node:p.dst ~at
+  in
+  let drop_one () =
+    t.dropped <- t.dropped + 1;
+    t.dropped_by_src.(p.src) <- t.dropped_by_src.(p.src) + 1
+  in
+  let first = base + fate.Faults.f_jitter in
+  let arrivals =
+    if fate.Faults.f_drop || lost first then begin
+      drop_one ();
+      []
+    end
+    else [ first ]
+  in
+  if fate.Faults.f_duplicate then begin
+    let copy = first + fate.Faults.f_dup_jitter in
+    if lost copy then begin
+      drop_one ();
+      arrivals
+    end
+    else begin
+      t.duplicated <- t.duplicated + 1;
+      t.duplicated_by_src.(p.src) <- t.duplicated_by_src.(p.src) + 1;
+      arrivals @ [ copy ]
+    end
+  end
+  else arrivals
+
+let send_flaky t ~now (p : _ Packet.t) =
+  match t.faults with
+  | None ->
+      let base = send t ~now p in
+      (base, [ base ])
+  | Some f ->
+      (* The packet is injected (and occupies the port / links / channel
+         FIFO slot) whether or not it survives: losses happen downstream. *)
+      let base = send t ~now p in
+      (base, faulty_arrivals t f ~now ~base p)
+
+let send_control t ~now (p : _ Packet.t) =
+  let wire = Packet.wire_bytes p in
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + wire;
+  let base = now + transit_time t p in
+  match t.faults with
+  | None -> (base, [ base ])
+  | Some f -> (base, faulty_arrivals t f ~now ~base p)
+
 let packets_sent t = t.packets
 let bytes_sent t = t.bytes
+let packets_dropped t = t.dropped
+let packets_duplicated t = t.duplicated
+let dropped_by_src t src = t.dropped_by_src.(src)
+let duplicated_by_src t src = t.duplicated_by_src.(src)
+
+let channel_entries t =
+  Hashtbl.length t.last_delivery + Hashtbl.length t.link_free
+
+let reset t =
+  Hashtbl.reset t.last_delivery;
+  Hashtbl.reset t.link_free;
+  Array.fill t.injection_free 0 (Array.length t.injection_free) 0;
+  t.packets <- 0;
+  t.bytes <- 0;
+  t.dropped <- 0;
+  t.duplicated <- 0;
+  Array.fill t.dropped_by_src 0 (Array.length t.dropped_by_src) 0;
+  Array.fill t.duplicated_by_src 0 (Array.length t.duplicated_by_src) 0

@@ -1,0 +1,94 @@
+type window = {
+  node : int;
+  from_ns : Simcore.Time.t;
+  until_ns : Simcore.Time.t;
+}
+
+type plan = {
+  seed : int;
+  drop : float;
+  duplicate : float;
+  jitter_ns : int;
+  crashes : window list;
+}
+
+let check_prob name p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Faults.plan: %s must be in [0, 1]" name)
+
+let plan ?(seed = 1) ?(drop = 0.) ?(duplicate = 0.) ?(jitter_ns = 0)
+    ?(crashes = []) () =
+  check_prob "drop" drop;
+  check_prob "duplicate" duplicate;
+  if jitter_ns < 0 then invalid_arg "Faults.plan: negative jitter";
+  List.iter
+    (fun w ->
+      if w.until_ns <= w.from_ns then
+        invalid_arg "Faults.plan: empty crash window";
+      if w.node < 0 then invalid_arg "Faults.plan: bad crash node")
+    crashes;
+  { seed; drop; duplicate; jitter_ns; crashes }
+
+let none = { seed = 1; drop = 0.; duplicate = 0.; jitter_ns = 0; crashes = [] }
+
+let is_fault_free p =
+  p.drop = 0. && p.duplicate = 0. && p.jitter_ns = 0 && p.crashes = []
+
+type t = {
+  t_plan : plan;
+  (* per-(src, dst) channel streams, created lazily; the seed of each is a
+     pure function of (plan seed, src, dst) so creation order is
+     irrelevant to the draws *)
+  channels : (int * int, Simcore.Rng.t) Hashtbl.t;
+}
+
+let create p = { t_plan = p; channels = Hashtbl.create 64 }
+
+let plan_of t = t.t_plan
+
+let crashed t ~node ~at =
+  List.exists
+    (fun w -> w.node = node && at >= w.from_ns && at < w.until_ns)
+    t.t_plan.crashes
+
+type fate = {
+  f_drop : bool;
+  f_duplicate : bool;
+  f_jitter : int;
+  f_dup_jitter : int;
+}
+
+let channel_rng t ~src ~dst =
+  match Hashtbl.find_opt t.channels (src, dst) with
+  | Some rng -> rng
+  | None ->
+      let seed = t.t_plan.seed + (src * 2_000_003) + (dst * 7_919) in
+      let rng = Simcore.Rng.create ~seed in
+      Hashtbl.add t.channels (src, dst) rng;
+      rng
+
+let fate t ~src ~dst =
+  let p = t.t_plan in
+  let rng = channel_rng t ~src ~dst in
+  (* Draw every component unconditionally so the channel stream advances
+     by a fixed amount per packet: fates stay aligned even if the plan's
+     rates differ between otherwise-identical runs. *)
+  let d = Simcore.Rng.float rng 1.0 in
+  let dup = Simcore.Rng.float rng 1.0 in
+  let draw_jitter () =
+    let j = Simcore.Rng.int rng (p.jitter_ns + 1) in
+    if p.jitter_ns > 0 then j else 0
+  in
+  let jit = draw_jitter () in
+  let dup_jit = 1 + draw_jitter () in
+  {
+    f_drop = d < p.drop;
+    f_duplicate = dup < p.duplicate;
+    f_jitter = jit;
+    f_dup_jitter = dup_jit;
+  }
+
+let pp_plan ppf p =
+  Format.fprintf ppf
+    "faults{seed=%d drop=%.3f dup=%.3f jitter=%dns crashes=%d}" p.seed p.drop
+    p.duplicate p.jitter_ns (List.length p.crashes)

@@ -1,0 +1,74 @@
+(** Deterministic fault injection for the message fabric.
+
+    The paper assumes the AP1000's network "preserves transmission order"
+    and never loses a message. This module describes what happens when
+    that assumption is dropped: a {e fault plan} gives per-packet drop and
+    duplication probabilities, an extra-delay jitter bound (applied {e
+    after} the fabric's FIFO clamp, so jittered packets may genuinely
+    reorder), and scripted per-node crash/recover windows during which a
+    node's network interface is down (every packet to or from it is
+    lost — its CPU keeps running, as the faults model the network, not
+    the processor state).
+
+    All randomness is drawn from per-(src, dst)-channel splitmix64
+    streams derived arithmetically from the plan seed, so a run is a pure
+    function of (plan, send sequence): the same seed gives the same fault
+    pattern regardless of hashtable iteration order or unrelated
+    traffic. *)
+
+type window = {
+  node : int;  (** the crashed node *)
+  from_ns : Simcore.Time.t;  (** crash instant (inclusive) *)
+  until_ns : Simcore.Time.t;  (** recovery instant (exclusive) *)
+}
+
+type plan = {
+  seed : int;
+  drop : float;  (** per-packet loss probability, in [0, 1] *)
+  duplicate : float;  (** per-packet duplication probability, in [0, 1] *)
+  jitter_ns : int;  (** extra delivery delay, uniform in [0, jitter_ns] *)
+  crashes : window list;
+}
+
+val plan :
+  ?seed:int ->
+  ?drop:float ->
+  ?duplicate:float ->
+  ?jitter_ns:int ->
+  ?crashes:window list ->
+  unit ->
+  plan
+(** Builds a plan; every fault defaults to off and [seed] to 1.
+    Raises [Invalid_argument] on probabilities outside [0, 1], negative
+    jitter, or an empty crash window. *)
+
+val none : plan
+(** The all-zero plan: no drops, no duplicates, no jitter, no crashes.
+    Layers treat it exactly like "no fault plan at all", so configuring
+    it leaves runs bit-identical to the fault-free build. *)
+
+val is_fault_free : plan -> bool
+
+type t
+(** Instantiated plan state: the per-channel random streams. *)
+
+val create : plan -> t
+
+val plan_of : t -> plan
+
+val crashed : t -> node:int -> at:Simcore.Time.t -> bool
+(** Is [node]'s network interface down at time [at]? *)
+
+type fate = {
+  f_drop : bool;
+  f_duplicate : bool;
+  f_jitter : int;  (** extra delay for the (first) delivered copy *)
+  f_dup_jitter : int;  (** extra delay of the duplicate beyond the first *)
+}
+
+val fate : t -> src:int -> dst:int -> fate
+(** Draws the next per-packet fate from the (src, dst) channel stream.
+    Crash windows are {e not} consulted here — they depend on the send
+    and arrival times, which only the fabric knows. *)
+
+val pp_plan : Format.formatter -> plan -> unit

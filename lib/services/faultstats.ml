@@ -1,0 +1,76 @@
+module Engine = Machine.Engine
+
+type node_row = {
+  node : int;
+  drops : int;
+  dups : int;
+  retransmits : int;
+  dup_discards : int;
+  acks_sent : int;
+  rto : Simcore.Histogram.t;
+}
+
+type report = {
+  per_node : node_row array;
+  total_drops : int;
+  total_dups : int;
+  total_retransmits : int;
+  total_dup_discards : int;
+  total_acks : int;
+  in_flight : int;
+}
+
+let survey sys =
+  let machine = Core.System.machine sys in
+  match Engine.reliable machine with
+  | None -> None
+  | Some rel ->
+      let n = Engine.node_count machine in
+      let per_node =
+        Array.init n (fun node ->
+            {
+              node;
+              drops = Engine.dropped_by_src machine node;
+              dups = Engine.duplicated_by_src machine node;
+              retransmits = Machine.Reliable.node_retransmits rel node;
+              dup_discards = Machine.Reliable.node_dup_discards rel node;
+              acks_sent = Machine.Reliable.node_acks_sent rel node;
+              rto = Machine.Reliable.rto_histogram rel node;
+            })
+      in
+      let sum f = Array.fold_left (fun acc r -> acc + f r) 0 per_node in
+      Some
+        {
+          per_node;
+          total_drops = sum (fun r -> r.drops);
+          total_dups = sum (fun r -> r.dups);
+          total_retransmits = sum (fun r -> r.retransmits);
+          total_dup_discards = sum (fun r -> r.dup_discards);
+          total_acks = sum (fun r -> r.acks_sent);
+          in_flight = Engine.reliable_in_flight machine;
+        }
+
+let row_is_boring r =
+  r.drops = 0 && r.dups = 0 && r.retransmits = 0 && r.dup_discards = 0
+  && r.acks_sent = 0
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "faults: %d dropped, %d duplicated; repair: %d retransmit(s), %d dup \
+     discard(s), %d standalone ack(s); %d still in flight@,"
+    r.total_drops r.total_dups r.total_retransmits r.total_dup_discards
+    r.total_acks r.in_flight;
+  Array.iter
+    (fun row ->
+      if not (row_is_boring row) then begin
+        Format.fprintf ppf
+          "  node %2d: drop %d dup %d rexmit %d dup-discard %d ack %d"
+          row.node row.drops row.dups row.retransmits row.dup_discards
+          row.acks_sent;
+        if Simcore.Histogram.count row.rto > 0 then
+          Format.fprintf ppf " (rto %a)" Simcore.Histogram.pp row.rto;
+        Format.fprintf ppf "@,"
+      end)
+    r.per_node;
+  Format.fprintf ppf "@]"

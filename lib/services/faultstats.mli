@@ -1,0 +1,38 @@
+(** Degradation report for runs under a fault plan.
+
+    Aggregates, per node, what the fault layer did to the fabric (packets
+    destroyed or duplicated at injection) and what the {!Machine.Reliable}
+    protocol had to do about it (retransmissions and the RTO backoff depth
+    they reached, duplicate discards, standalone acks). The totals are the
+    headline of a degradation bench: how much repair traffic a given drop
+    rate costs, and whether anything was lost for good ([in_flight]). *)
+
+type node_row = {
+  node : int;
+  drops : int;  (** packets from this node destroyed by the fault layer *)
+  dups : int;  (** packets from this node duplicated by the fault layer *)
+  retransmits : int;  (** frames this node had to resend on timeout *)
+  dup_discards : int;  (** duplicate frames this node received and dropped *)
+  acks_sent : int;  (** standalone (non-piggybacked) acks this node sent *)
+  rto : Simcore.Histogram.t;
+      (** RTO in force at each of this node's retransmissions *)
+}
+
+type report = {
+  per_node : node_row array;
+  total_drops : int;
+  total_dups : int;
+  total_retransmits : int;
+  total_dup_discards : int;
+  total_acks : int;
+  in_flight : int;
+      (** unacknowledged messages at survey time; nonzero at quiescence
+          means messages were lost for good *)
+}
+
+val survey : Core.System.t -> report option
+(** [None] when the machine runs without a (non-trivial) fault plan. *)
+
+val pp : Format.formatter -> report -> unit
+(** Totals line plus a per-node table (nodes with nothing to report are
+    elided). *)

@@ -82,6 +82,66 @@ let test_transit_components () =
     (1000 * 1000 / cfg.Fabric.bytes_per_us)
     (big - small)
 
+let test_transmission_roundup () =
+  (* Regression: with a bandwidth that does not divide the wire size
+     evenly, the transmission term must round up (a partial flit occupies
+     the link for a whole cycle), never truncate to zero or under-charge. *)
+  let topo = Topology.create ~x:2 ~y:1 in
+  let config = { Fabric.default_config with Fabric.bytes_per_us = 7 } in
+  let f = Fabric.create ~config topo in
+  let fixed = config.Fabric.hw_launch_ns + config.Fabric.per_hop_ns in
+  for size = 0 to 20 do
+    let wire = size + Packet.header_bytes in
+    let tx =
+      Fabric.transit_time f (Packet.make ~src:0 ~dst:1 ~size_bytes:size ())
+      - fixed
+    in
+    Alcotest.(check bool) "never under-charges" true (tx * 7 >= wire * 1000);
+    Alcotest.(check bool) "tightest ceiling" true ((tx - 1) * 7 < wire * 1000)
+  done
+
+let test_reset_and_channel_entries () =
+  let topo = Topology.create ~x:4 ~y:4 in
+  let config = { Fabric.default_config with Fabric.contention = true } in
+  let f = Fabric.create ~config topo in
+  let probe () =
+    Fabric.send f ~now:0 (Packet.make ~src:3 ~dst:12 ~size_bytes:64 ())
+  in
+  let fresh = probe () in
+  Alcotest.(check bool) "entries accumulate" true (Fabric.channel_entries f > 0);
+  for dst = 1 to 15 do
+    ignore (Fabric.send f ~now:0 (Packet.make ~src:0 ~dst ~size_bytes:256 ()))
+  done;
+  let grown = Fabric.channel_entries f in
+  Alcotest.(check bool) "entries grow with channels used" true
+    (grown > Fabric.channel_entries (Fabric.create ~config topo));
+  Fabric.reset f;
+  Alcotest.(check int) "reset reclaims bookkeeping" 0 (Fabric.channel_entries f);
+  Alcotest.(check int) "packets zeroed" 0 (Fabric.packets_sent f);
+  Alcotest.(check int) "bytes zeroed" 0 (Fabric.bytes_sent f);
+  Alcotest.(check int) "reset restores just-created timing" fresh (probe ())
+
+let test_contention_fifo_monotone () =
+  (* Under contention the per-link occupancy adds delays, but each
+     (src, dst) channel must still deliver in send order, strictly after
+     the send instant. *)
+  let topo = Topology.create ~x:4 ~y:1 in
+  let config = { Fabric.default_config with Fabric.contention = true } in
+  let f = Fabric.create ~config topo in
+  let last = ref 0 and now = ref 0 in
+  List.iter
+    (fun size ->
+      (* Cross traffic sharing link (2,3) between the channel's packets. *)
+      ignore (Fabric.send f ~now:!now (Packet.make ~src:2 ~dst:3 ~size_bytes:800 ()));
+      let t =
+        Fabric.send f ~now:!now (Packet.make ~src:0 ~dst:3 ~size_bytes:size ())
+      in
+      Alcotest.(check bool) "FIFO preserved under contention" true (t > !last);
+      Alcotest.(check bool) "arrival after send" true (t > !now);
+      last := t;
+      now := !now + 100)
+    [ 4000; 1000; 2000; 100; 4 ]
+
 let test_fifo_per_channel () =
   let topo = Topology.create ~x:4 ~y:4 in
   let f = Fabric.create topo in
@@ -195,7 +255,13 @@ let () =
       ( "fabric",
         [
           Alcotest.test_case "transit components" `Quick test_transit_components;
+          Alcotest.test_case "transmission rounds up" `Quick
+            test_transmission_roundup;
           Alcotest.test_case "fifo per channel" `Quick test_fifo_per_channel;
+          Alcotest.test_case "reset + channel entries" `Quick
+            test_reset_and_channel_entries;
+          Alcotest.test_case "contention fifo monotone" `Quick
+            test_contention_fifo_monotone;
           Alcotest.test_case "injection serialization" `Quick
             test_injection_serialization;
           Alcotest.test_case "delivery after now" `Quick test_delivery_after_now;

@@ -186,6 +186,53 @@ let prop_determinism =
       in
       run () = run ())
 
+(* --- Fault tolerance: any fault plan leaves the answer intact --- *)
+
+let prop_faulty_runs_exact =
+  QCheck.Test.make
+    ~name:"any fault plan: exactly-once delivery, deterministic, same answer"
+    ~count:8
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (pair (int_range 4 6) (int_range 2 8))
+           (pair
+              (pair (int_range 1 1_000_000) (int_bound 5_000))
+              (pair (float_bound_inclusive 0.12) (float_bound_inclusive 0.12)))))
+    (fun ((n, p), ((seed, jitter_ns), (drop, duplicate))) ->
+      let plan = Network.Faults.plan ~seed ~drop ~duplicate ~jitter_ns () in
+      let machine_config =
+        { Machine.Engine.default_config with Machine.Engine.faults = Some plan }
+      in
+      let run () =
+        let r, sys =
+          Apps.Nqueens_par.run_sys ~machine_config ~nodes:p ~n ()
+        in
+        (r, Diagnostics.is_clean (Diagnostics.survey sys))
+      in
+      let r, clean = run () in
+      let r2, _ = run () in
+      let seq = Apps.Nqueens_seq.solve ~n in
+      (* Clean quiescence: every loss was repaired, nothing left buffered
+         or unacknowledged. The answer matches the sequential solver, and
+         the whole run (times, counts) replays exactly from the seed. *)
+      clean
+      && r.Apps.Nqueens_par.solutions = seq.Apps.Nqueens_seq.solutions
+      && r = r2)
+
+let prop_fault_free_plan_identical =
+  QCheck.Test.make ~name:"fault-free plan is bit-identical to no plan" ~count:6
+    (QCheck.make QCheck.Gen.(pair (int_range 4 6) (int_range 1 9)))
+    (fun (n, p) ->
+      let machine_config =
+        {
+          Machine.Engine.default_config with
+          Machine.Engine.faults = Some (Network.Faults.plan ~seed:123 ());
+        }
+      in
+      Apps.Nqueens_par.run ~machine_config ~nodes:p ~n ()
+      = Apps.Nqueens_par.run ~nodes:p ~n ())
+
 (* --- Value sizes --- *)
 
 let value_gen =
@@ -255,6 +302,11 @@ let () =
           to_alcotest prop_par_eq_seq;
           to_alcotest prop_message_conservation;
           to_alcotest prop_determinism;
+        ] );
+      ( "faults",
+        [
+          to_alcotest prop_faulty_runs_exact;
+          to_alcotest prop_fault_free_plan_identical;
         ] );
       ( "values",
         [ to_alcotest prop_value_size_positive; to_alcotest prop_pattern_intern ] );
