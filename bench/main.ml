@@ -4,10 +4,10 @@
      dune exec bench/main.exe -- [sections] [--full] [--smoke]
 
    Sections: table1 table2 table3 table4 fig5 fig6 ablations faults
-   bechamel all (default: all). --full runs the paper-scale N=13 /
-   512-node configurations; without it the harness caps at N<=11 so a
-   full pass stays around a minute. --smoke shrinks the fault sweep to
-   two drop rates for CI. *)
+   migrate bechamel all (default: all). --full runs the paper-scale
+   N=13 / 512-node configurations; without it the harness caps at N<=11
+   so a full pass stays around a minute. --smoke shrinks the fault
+   sweep to two drop rates and the migration bench to N=7 for CI. *)
 
 open Core
 
@@ -345,6 +345,206 @@ let faults ~smoke () =
     (Simcore.Stats.get (System.stats sys) "chunk.stall.wait_ns")
 
 (* ------------------------------------------------------------------ *)
+(* Migration: hot-spot rebalancing and affinity                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Root solutions after a migration run: the root itself may have moved,
+   so scan every node for its non-stub record. *)
+let migrated_root_solutions sys ~nodes root =
+  let rec scan node =
+    if node >= nodes then -1
+    else
+      let rt = System.rt sys node in
+      let found =
+        Hashtbl.fold
+          (fun _ (o : Kernel.obj) acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if
+                  o.Kernel.self = root
+                  &&
+                  match o.Kernel.vftp.Kernel.vft_kind with
+                  | Kernel.Vft_forward _ -> false
+                  | _ -> true
+                then Some o
+                else None)
+          rt.Kernel.objects None
+      in
+      match found with
+      | Some o -> Value.to_int o.Kernel.state.(4)
+      | None -> scan (node + 1)
+  in
+  scan 0
+
+let migrate_queens ?policy ?(gossip_ns = 0) ~rt_config ~nodes ~n () =
+  let cls = Apps.Nqueens_par.solver_cls () in
+  let rt_config =
+    { rt_config with Kernel.gossip_interval_ns = gossip_ns }
+  in
+  let sys = System.boot ~rt_config ~nodes ~classes:[ cls ] () in
+  let m =
+    match policy with
+    | None -> None
+    | Some policy ->
+        let load = Services.Load.attach sys in
+        Some (Migrate.attach ~policy ~interval_ns:100_000 ~load sys)
+  in
+  let root =
+    System.create_root sys ~node:0 cls
+      [ Value.int n; Value.int Apps.Queens_board.empty_packed; Value.unit ]
+  in
+  System.send_boot sys root (Pattern.intern "expand" ~arity:0) [];
+  System.run sys;
+  (sys, m, migrated_root_solutions sys ~nodes root)
+
+let migrate_bench ~smoke () =
+  header "Migration: hot-spot rebalancing (N-queens, all work born on node 0)";
+  let nodes = 16 in
+  let n = if smoke then 7 else 8 in
+  let expected = [| 1; 1; 0; 0; 2; 10; 4; 40; 92 |].(n) in
+  (* Self-placement under the naive scheduler concentrates the whole
+     solver tree on node 0 and makes queued work visible as load — the
+     worst case a load policy must dig itself out of. *)
+  let skewed =
+    {
+      System.default_rt_config with
+      Kernel.placement = Kernel.Self_node;
+      sched_kind = Kernel.Naive;
+    }
+  in
+  let balanced = { skewed with Kernel.placement = Kernel.Round_robin } in
+  Format.printf "%-28s %12s %8s %7s %9s %6s %6s %10s@." "configuration"
+    "elapsed(ms)" "speedup" "moves" "forwarded" "chain" "sol" "ok";
+  let baseline = ref 0 in
+  let row name ?policy ?gossip_ns rt_config =
+    let sys, m, solutions =
+      migrate_queens ?policy ?gossip_ns ~rt_config ~nodes ~n ()
+    in
+    let elapsed = System.elapsed sys in
+    if !baseline = 0 then baseline := elapsed;
+    let speedup = float_of_int !baseline /. float_of_int elapsed in
+    let moves, fwd, chain, conserved =
+      match m with
+      | None -> (0, 0, 0, true)
+      | Some m ->
+          ( Migrate.migrations m,
+            Migrate.forwarded m,
+            Migrate.max_stub_chain m,
+            Migrate.residual m = (0, 0) )
+    in
+    let ok =
+      solutions = expected && conserved
+      && Diagnostics.is_clean (Diagnostics.survey sys)
+    in
+    Format.printf "%-28s %12.2f %7.2fx %7d %9d %6d %6d %10s@." name
+      (Simcore.Time.to_ms elapsed) speedup moves fwd chain solutions
+      (if ok then "yes" else "NO");
+    (speedup, chain)
+  in
+  let _ = row "skewed, no migration" skewed in
+  let speedup, chain =
+    row "skewed + load-threshold"
+      ~policy:
+        (Migrate.Policy.Load_threshold
+           { factor = 6.0; min_queue = 1; max_moves = 8 })
+      ~gossip_ns:100_000 skewed
+  in
+  let _ =
+    row "skewed + affinity-pull"
+      ~policy:(Migrate.Policy.Affinity_pull { min_msgs = 4; max_moves = 4 })
+      ~gossip_ns:100_000 skewed
+  in
+  let _ = row "balanced placement (ref)" balanced in
+  Format.printf
+    "load-threshold speedup %.2fx over the skewed baseline (gate: >= 2x), steady-state chain %d (gate: <= 1)@."
+    speedup chain;
+  if speedup < 2.0 || chain > 1 then begin
+    Format.printf "FAILED hot-spot gate@.";
+    exit 1
+  end;
+
+  header "Migration: affinity payoff (8 ping-pong pairs, 16 nodes)";
+  (* Eight latency-bound request/reply pairs, each split across the
+     torus. A worker's messages all come from its partner's node, so
+     the affinity policy co-locates every pair (the partner stays put:
+     co-located traffic reads as self-sent, never a majority from a
+     remote node); the remaining rounds run at intra-node cost instead
+     of crossing the fabric. Pulling correspondents together only pays
+     while the pair is latency-bound — co-locating onto a saturated
+     node would trade fabric latency for compute contention. *)
+  let rounds = if smoke then 64 else 256 in
+  let p_ping = Pattern.intern "ping" ~arity:1 in
+  let p_pong = Pattern.intern "pong" ~arity:0 in
+  let hub_cls =
+    Class_def.define ~name:"hub" ~state:[||]
+      ~init:(fun _ -> [||])
+      ~methods:
+        [
+          ( p_ping,
+            fun ctx msg ->
+              Ctx.send ctx (Value.to_addr (Message.arg msg 0)) p_pong [] );
+        ]
+      ()
+  in
+  let worker_cls =
+    Class_def.define ~name:"spoke" ~state:[| "hub"; "left" |]
+      ~init:(fun args ->
+        match args with
+        | [ hub; left ] -> [| hub; left |]
+        | _ -> invalid_arg "spoke")
+      ~methods:
+        [
+          ( p_pong,
+            fun ctx _ ->
+              let left = Value.to_int (Ctx.get ctx 1) in
+              if left > 0 then begin
+                Ctx.set ctx 1 (Value.int (left - 1));
+                Ctx.send ctx
+                  (Value.to_addr (Ctx.get ctx 0))
+                  p_ping
+                  [ Value.addr (Ctx.self ctx) ]
+              end );
+        ]
+      ()
+  in
+  let hub_row name ~policy =
+    let sys =
+      System.boot ~nodes ~classes:[ hub_cls; worker_cls ] ()
+    in
+    let m =
+      Option.map (fun policy -> Migrate.attach ~policy ~interval_ns:100_000 sys)
+        policy
+    in
+    for i = 0 to (nodes / 2) - 1 do
+      let hub = System.create_root sys ~node:i hub_cls [] in
+      let w =
+        System.create_root sys ~node:(i + (nodes / 2)) worker_cls
+          [ Value.addr hub; Value.int rounds ]
+      in
+      System.send_boot sys w p_pong []
+    done;
+    System.run sys;
+    let moves, colocated =
+      match m with
+      | None -> (0, 0)
+      | Some m -> (Migrate.migrations m, Migrate.colocated_sends m)
+    in
+    Format.printf "%-28s %9.2f ms %6d moves %9d colocated sends@." name
+      (Simcore.Time.to_ms (System.elapsed sys))
+      moves colocated;
+    System.elapsed sys
+  in
+  let base = hub_row "pairs, no migration" ~policy:None in
+  let aff =
+    hub_row "pairs + affinity-pull"
+      ~policy:
+        (Some (Migrate.Policy.Affinity_pull { min_msgs = 4; max_moves = 4 }))
+  in
+  Format.printf "affinity cut elapsed by %.1f%%@."
+    (100. *. float_of_int (base - aff) /. float_of_int base)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock cost of the simulator itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -408,5 +608,6 @@ let () =
   if want "fig6" then fig6 ~full ();
   if want "ablations" then ablations ();
   if want "faults" then faults ~smoke ();
+  if want "migrate" then migrate_bench ~smoke ();
   if want "bechamel" then bechamel ();
   Format.printf "@."

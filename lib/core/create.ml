@@ -9,6 +9,7 @@ let local rt cls args =
   let obj =
     {
       self = { Value.node = Machine.Node.id rt.node; slot };
+      phys_slot = slot;
       cls = Some cls;
       state = [||];
       vftp = Vft.init cls;

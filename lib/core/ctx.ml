@@ -127,7 +127,13 @@ let charge ctx n =
 
 let random ctx bound = Simcore.Rng.int ctx.rt.rng bound
 let bump ctx name = Simcore.Stats.incr (stats ctx.rt) ("app." ^ name)
-let retire ctx = Hashtbl.remove ctx.rt.objects ctx.self_obj.self.Value.slot
+let retire ctx =
+  let rt = ctx.rt in
+  let obj = ctx.self_obj in
+  Hashtbl.remove rt.objects obj.phys_slot;
+  match rt.shared.migration with
+  | Some m -> m.mig_retire rt obj
+  | None -> ()
 let node ctx = ctx.rt.node
 let engine ctx = machine ctx.rt
 let rt ctx = ctx.rt

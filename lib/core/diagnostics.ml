@@ -12,6 +12,8 @@ type report = {
   chunk_waiters : int;
   in_flight : int;
   packets_dropped : int;
+  forwarding_stubs : (int * int) list;
+  forwarded_hops : (int * int) list;
 }
 
 let reason_string = function
@@ -47,24 +49,41 @@ let by_addr a b =
   compare (a.addr.Value.node, a.addr.Value.slot) (b.addr.Value.node, b.addr.Value.slot)
 
 let survey sys =
+  let machine = System.machine sys in
+  let stats = Machine.Engine.stats machine in
   let blocked = ref [] and buffered = ref [] and chunk_waiters = ref 0 in
+  let stubs = ref [] and hops = ref [] in
   for node = 0 to System.node_count sys - 1 do
     let rt = System.rt sys node in
     chunk_waiters := !chunk_waiters + List.length rt.Kernel.chunk_waiters;
+    let node_stubs = ref 0 in
     Hashtbl.iter
       (fun _slot (obj : Kernel.obj) ->
-        if Option.is_some obj.blocked then blocked := stuck_of_obj obj :: !blocked
-        else if (not (Queue.is_empty obj.mq)) && not obj.in_sched_q then
-          buffered := stuck_of_obj obj :: !buffered)
-      rt.Kernel.objects
+        match obj.Kernel.vftp.Kernel.vft_kind with
+        | Kernel.Vft_forward _ ->
+            (* A forwarding stub is healthy residue of migration, not
+               stuck work: its queue was carried to the new home. *)
+            incr node_stubs
+        | _ ->
+            if Option.is_some obj.blocked then
+              blocked := stuck_of_obj obj :: !blocked
+            else if (not (Queue.is_empty obj.mq)) && not obj.in_sched_q then
+              buffered := stuck_of_obj obj :: !buffered)
+      rt.Kernel.objects;
+    if !node_stubs > 0 then stubs := (node, !node_stubs) :: !stubs;
+    let h =
+      Simcore.Stats.get stats (Printf.sprintf "migrate.forward.node%d" node)
+    in
+    if h > 0 then hops := (node, h) :: !hops
   done;
-  let machine = System.machine sys in
   {
     blocked = List.sort by_addr !blocked;
     buffered = List.sort by_addr !buffered;
     chunk_waiters = !chunk_waiters;
     in_flight = Machine.Engine.reliable_in_flight machine;
     packets_dropped = Machine.Engine.packets_dropped machine;
+    forwarding_stubs = List.rev !stubs;
+    forwarded_hops = List.rev !hops;
   }
 
 let is_clean r =
@@ -79,14 +98,31 @@ let pp_stuck ppf s =
        Printf.sprintf ", %d buffered message(s)" s.queued_messages
      else "")
 
+let pp_migration ppf r =
+  if r.forwarding_stubs <> [] then
+    Format.fprintf ppf "@,forwarding stubs: %s"
+      (String.concat ", "
+         (List.map
+            (fun (n, c) -> Printf.sprintf "node %d: %d" n c)
+            r.forwarding_stubs));
+  if r.forwarded_hops <> [] then
+    Format.fprintf ppf "@,forwarded hops: %s"
+      (String.concat ", "
+         (List.map
+            (fun (n, c) -> Printf.sprintf "node %d: %d" n c)
+            r.forwarded_hops))
+
 let pp ppf r =
-  if is_clean r then
-    if r.packets_dropped = 0 then Format.fprintf ppf "clean: no residual work"
-    else
-      Format.fprintf ppf
-        "clean: no residual work (%d dropped packet(s), all repaired by \
-         retransmission)"
-        r.packets_dropped
+  if is_clean r then begin
+    (if r.packets_dropped = 0 then
+       Format.fprintf ppf "clean: no residual work"
+     else
+       Format.fprintf ppf
+         "clean: no residual work (%d dropped packet(s), all repaired by \
+          retransmission)"
+         r.packets_dropped);
+    Format.fprintf ppf "@[<v>%a@]" pp_migration r
+  end
   else begin
     Format.fprintf ppf "@[<v>";
     if r.blocked <> [] then begin
@@ -104,5 +140,6 @@ let pp ppf r =
       Format.fprintf ppf
         "%d message(s) lost in flight (unacknowledged at quiescence)@,"
         r.in_flight;
+    pp_migration ppf r;
     Format.fprintf ppf "@]"
   end

@@ -26,6 +26,14 @@ type report = {
   packets_dropped : int;
       (** packets the fault layer destroyed during the run (these were
           all repaired by retransmission iff [in_flight] is 0) *)
+  forwarding_stubs : (int * int) list;
+      (** (node, live forwarding stubs) — objects that migrated away and
+          left a re-posting VFT behind. Healthy residue, not counted
+          against {!is_clean}; nonzero entries only. *)
+  forwarded_hops : (int * int) list;
+      (** (node, messages re-posted by stubs on that node) over the run —
+          from the "migrate.forward.node<i>" counters. Chain-compression
+          checks assert this stays near the migration count. *)
 }
 
 val survey : System.t -> report

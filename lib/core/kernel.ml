@@ -19,6 +19,10 @@ type entry =
           initialisation routine, then the body (Section 4.2) *)
   | Enqueue  (** active / fault / non-awaited: buffer into the queue *)
   | Restore  (** waiting mode, awaited pattern: restore saved context *)
+  | Forward
+      (** forwarding-stub mode: the object migrated away; re-post the
+          message to its new home. Reuses the multiple-VFT trick so the
+          sender never tests for "moved" — dispatch just does it. *)
   | No_method  (** pattern not understood by this class *)
 
 and vft = {
@@ -33,6 +37,19 @@ and vft_kind =
   | Vft_active
   | Vft_waiting of Pattern.t list
   | Vft_fault  (** generic fault table of uninitialised remote chunks *)
+  | Vft_forward of fwd
+      (** forwarding mail address left behind by object migration *)
+
+(** The forwarding state of a migrated-away object. [fwd_canon] is the
+    object's mail address (immutable, Section 5.2 — the identity every
+    sender holds); [fwd_to] is the best-known current physical address
+    and is retargeted by migration updates so chains compress to one
+    hop; [fwd_epoch] orders updates (one migration = one epoch). *)
+and fwd = {
+  fwd_canon : Value.addr;
+  mutable fwd_to : Value.addr;
+  mutable fwd_epoch : int;
+}
 
 and methd = ctx -> Message.t -> unit
 
@@ -50,6 +67,10 @@ and cls = {
 
 and obj = {
   mutable self : Value.addr;  (** mutable only for local-GC relocation *)
+  mutable phys_slot : int;
+      (** slot in the hosting node's object table. Equal to [self.slot]
+          until the object migrates; after migration [self] stays the
+          birth mail address while [phys_slot] tracks the current home. *)
   mutable cls : cls option;  (** [None] while an uninitialised chunk *)
   mutable state : Value.t array;
   mutable vftp : vft;
@@ -121,6 +142,29 @@ and rt_config = {
   codec_check : bool;
       (** round-trip every inter-node message through the binary wire
           codec, verifying serialisability (testing aid) *)
+  gossip_interval_ns : int;
+      (** when > 0, every node broadcasts its load to its torus
+          neighbours on this period (virtual ns) without application
+          cooperation, so placement/migration policies see fresh load.
+          0 (the default) keeps gossip strictly hand-driven. *)
+}
+
+(** Hooks installed by the object-migration subsystem ([lib/migrate]).
+    [None] (the default) keeps every send/dispatch path bit-identical to
+    the migration-free runtime; the hooks take over only the cases
+    migration introduces. *)
+and migration = {
+  mig_send : node_rt -> Value.addr -> Message.t -> unit;
+      (** takes over a remote send: location-cache resolution, per
+          (sender node, object) FIFO sequencing, transmission *)
+  mig_forward : node_rt -> obj -> Message.t -> unit;
+      (** a local dispatch reached a forwarding stub *)
+  mig_gate_local : node_rt -> obj -> Message.t -> bool;
+      (** local delivery to a physically present object: returns [true]
+          iff the message was captured by the FIFO reorder gate (earlier
+          sequenced messages from this node are still in flight) *)
+  mig_retire : node_rt -> obj -> unit;
+      (** the object retired; drop migration-side state *)
 }
 
 and shared = {
@@ -134,6 +178,9 @@ and shared = {
   config : rt_config;
   reply_cls : cls;
   ctrs : counters;  (** cached statistics cells (hot path) *)
+  mutable migration : migration option;
+      (** installed by [Migrate.attach]; [None] means no object ever
+          moves and all migration branches are dead *)
 }
 
 (** Statistics counters resolved once at boot, so hot paths increment a

@@ -30,6 +30,7 @@ let create_dest rt =
   let obj =
     {
       self = { Value.node = Machine.Node.id rt.node; slot };
+      phys_slot = slot;
       cls = Some cls;
       state = [||];
       vftp = Vft.init cls;

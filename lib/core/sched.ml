@@ -6,7 +6,7 @@ let alloc_slot rt =
   rt.next_slot <- slot + 1;
   slot
 
-let register_obj rt obj = Hashtbl.replace rt.objects obj.self.Value.slot obj
+let register_obj rt obj = Hashtbl.replace rt.objects obj.phys_slot obj
 
 let make_embryo rt slot =
   (* A chunk pre-initialised as in Section 5.2: empty message queue and
@@ -15,6 +15,7 @@ let make_embryo rt slot =
   let obj =
     {
       self = { Value.node = Machine.Node.id rt.node; slot };
+      phys_slot = slot;
       cls = None;
       state = [||];
       vftp = rt.shared.fault_tbl;
@@ -85,6 +86,12 @@ let rec schedule_pending rt obj =
    queue: process the next buffered message through the method table. *)
 and run_pending rt obj =
   obj.in_sched_q <- false;
+  (* The object may have migrated away between enqueue and this dequeue;
+     its record is now a forwarding stub (empty queue, frames carried to
+     the new home) and the stale scheduling entry must not clobber it. *)
+  match obj.vftp.vft_kind with
+  | Vft_forward _ -> ()
+  | _ -> (
   assert (Option.is_none obj.blocked);
   match Queue.take_opt obj.mq with
   | None ->
@@ -102,9 +109,9 @@ and run_pending rt obj =
           raise
             (Not_understood
                { cls_name = (obj_class obj).cls_name; pattern = msg.pattern })
-      | Enqueue | Restore ->
+      | Enqueue | Restore | Forward ->
           (* method tables contain only Invoke*/No_method entries *)
-          assert false)
+          assert false))
 
 and run_invoke rt obj impl msg ~init_first =
   rt.depth <- rt.depth + 1;
@@ -219,6 +226,12 @@ and local_deliver ?(origin = `Local) rt obj msg =
                 resume rt b (R_msg msg))
           else resume rt b (R_msg msg)
       | None -> assert false)
+  | Forward -> (
+      (* Forwarding-stub table: the object migrated away. The entry
+         itself is the re-posting procedure — senders never test. *)
+      match rt.shared.migration with
+      | Some m -> m.mig_forward rt obj msg
+      | None -> assert false)
   | No_method ->
       raise
         (Not_understood
@@ -276,24 +289,39 @@ let send rt ~target ~pattern ~args ?reply () =
   maybe_preempt rt;
   let my_id = Machine.Node.id rt.node in
   let msg = Message.make ~pattern ~args ?reply ~src_node:my_id () in
-  if target.Value.node = my_id then
-    local_deliver rt (lookup_or_embryo rt target.Value.slot) msg
-  else begin
-    charge rt c.Cost_model.msg_setup_send;
-    bump (ctrs rt).c_send_remote;
-    mark_exports rt args reply;
-    let msg =
-      (* Optionally prove the message serialisable by shipping its codec
-         round trip instead of the original. *)
-      if rt.shared.config.codec_check then
-        Codec.decode_message (Codec.encode_message msg)
-      else msg
-    in
-    Machine.Engine.send_am (machine rt) ~src:rt.node ~dst:target.Value.node
-      ~handler:rt.shared.h_obj_msg
-      ~size_bytes:(Protocol.obj_msg_bytes msg)
-      (Protocol.P_obj_msg { slot = target.Value.slot; msg })
+  if target.Value.node = my_id then begin
+    let obj = lookup_or_embryo rt target.Value.slot in
+    match rt.shared.migration with
+    | None -> local_deliver rt obj msg
+    | Some m -> (
+        match obj.vftp.vft_kind with
+        | Vft_forward _ -> m.mig_forward rt obj msg
+        | _ ->
+            (* The FIFO reorder gate may need to hold this message until
+               earlier-sequenced in-flight messages land; [false] means
+               the ungated fast path is safe. *)
+            if not (m.mig_gate_local rt obj msg) then local_deliver rt obj msg)
   end
+  else
+    match rt.shared.migration with
+    | Some m ->
+        mark_exports rt args reply;
+        m.mig_send rt target msg
+    | None ->
+        charge rt c.Cost_model.msg_setup_send;
+        bump (ctrs rt).c_send_remote;
+        mark_exports rt args reply;
+        let msg =
+          (* Optionally prove the message serialisable by shipping its
+             codec round trip instead of the original. *)
+          if rt.shared.config.codec_check then
+            Codec.decode_message (Codec.encode_message msg)
+          else msg
+        in
+        Machine.Engine.send_am (machine rt) ~src:rt.node ~dst:target.Value.node
+          ~handler:rt.shared.h_obj_msg
+          ~size_bytes:(Protocol.obj_msg_bytes msg)
+          (Protocol.P_obj_msg { slot = target.Value.slot; msg })
 
 let send_inlined rt cls ~target ~pattern ~args () =
   let c = cost rt in
@@ -302,6 +330,9 @@ let send_inlined rt cls ~target ~pattern ~args () =
     rt.shared.config.inline_sends
     && target.Value.node = my_id
     && rt.shared.config.sched_kind = Hybrid
+    (* With migration attached the receiver may be a forwarding stub or
+       gated; the generic path knows how to handle both. *)
+    && Option.is_none rt.shared.migration
   then begin
     (* Inlined fast path (Section 8.2): locality check + VFTP comparison
        against the statically known dormant table. *)
@@ -317,7 +348,7 @@ let send_inlined rt cls ~target ~pattern ~args () =
       | Invoke_init impl ->
           bump (ctrs rt).sent_local.o_inlined;
           run_invoke rt obj impl msg ~init_first:true
-      | Enqueue | Restore | No_method ->
+      | Enqueue | Restore | Forward | No_method ->
           raise (Not_understood { cls_name = cls.cls_name; pattern })
     end
     else
@@ -338,6 +369,7 @@ let send_optimized rt cls ~target ~pattern ~args ~known_local ~leaf ~stateless
     fallback ()
   end
   else if rt.shared.config.sched_kind <> Hybrid then fallback ()
+  else if Option.is_some rt.shared.migration then fallback ()
   else begin
     if not known_local then charge_work rt c.Cost_model.check_locality;
     let obj = lookup_or_embryo rt target.Value.slot in
@@ -350,7 +382,7 @@ let send_optimized rt cls ~target ~pattern ~args ~known_local ~leaf ~stateless
       let impl =
         match entry_at dormant pattern with
         | Invoke impl | Invoke_init impl -> impl
-        | Enqueue | Restore | No_method ->
+        | Enqueue | Restore | Forward | No_method ->
             raise (Not_understood { cls_name = cls.cls_name; pattern })
       in
       bump (ctrs rt).sent_local.o_inlined;

@@ -22,6 +22,7 @@ let default_rt_config =
     discard_unacceptable = false;
     inline_sends = true;
     codec_check = false;
+    gossip_interval_ns = 0;
   }
 
 let naive_rt_config = { default_rt_config with sched_kind = Naive }
@@ -126,6 +127,7 @@ let boot ?(machine_config = Engine.default_config)
       config = rt_config;
       reply_cls;
       ctrs = make_counters (Engine.stats machine);
+      migration = None;
     }
   in
   let p = Engine.node_count machine in

@@ -57,9 +57,15 @@ let make_enqueue_all () =
 
 let make_fault () = { entries = [||]; default = Enqueue; vft_kind = Vft_fault }
 
+let forward fwd = { entries = [||]; default = Forward; vft_kind = Vft_forward fwd }
+
+let forward_info vft =
+  match vft.vft_kind with Vft_forward f -> Some f | _ -> None
+
 let kind_name = function
   | Vft_dormant -> "dormant"
   | Vft_init -> "init"
   | Vft_active -> "active"
   | Vft_waiting _ -> "waiting"
   | Vft_fault -> "fault"
+  | Vft_forward _ -> "forward"

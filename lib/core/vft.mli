@@ -19,4 +19,13 @@ val waiting : Kernel.cls -> Pattern.t list -> Kernel.vft
 val make_enqueue_all : unit -> Kernel.vft
 val make_fault : unit -> Kernel.vft
 
+val forward : Kernel.fwd -> Kernel.vft
+(** The per-stub forwarding table left behind by object migration: every
+    entry re-posts the message to the object's new home, so senders
+    never test for "moved" (the paper's multiple-VFT trick applied to
+    its Section 5.2 future work). *)
+
+val forward_info : Kernel.vft -> Kernel.fwd option
+(** The forwarding state iff the table is a migration stub. *)
+
 val kind_name : Kernel.vft_kind -> string

@@ -25,6 +25,10 @@ type t = {
   reliable_frame : int;
   reliable_ack : int;
   reliable_retransmit : int;
+  migrate_freeze : int;
+  migrate_install : int;
+  migrate_forward : int;
+  migrate_update : int;
 }
 
 let default =
@@ -63,6 +67,16 @@ let default =
     reliable_frame = 6;
     reliable_ack = 12;
     reliable_retransmit = 28;
+    (* Object migration (charged only when the subsystem is attached):
+       freeze = safe-point check + state/frame serialisation setup (the
+       per-word copy is charged separately, like frame_store_per_word);
+       install = unpack + table swap on the target; forward = stub
+       dispatch re-posting one message; update = retargeting a stub or
+       location-cache entry from a migration notice. *)
+    migrate_freeze = 40;
+    migrate_install = 30;
+    migrate_forward = 12;
+    migrate_update = 6;
   }
 
 let time c instructions = instructions * c.ns_per_instr

@@ -41,6 +41,14 @@ type t = {
       (** receiver-side sequence/ack bookkeeping per protocol frame *)
   reliable_ack : int;  (** building and sending a standalone ack frame *)
   reliable_retransmit : int;  (** timer-driven retransmission of a frame *)
+  (* --- object migration (charged only when [lib/migrate] is attached) --- *)
+  migrate_freeze : int;
+      (** source-side safe-point freeze + serialisation setup; the
+          per-word state copy is charged via [frame_store_per_word] *)
+  migrate_install : int;  (** target-side unpack + VFT installation *)
+  migrate_forward : int;  (** stub dispatch re-posting one message *)
+  migrate_update : int;
+      (** retargeting a stub / location-cache entry on a migration notice *)
 }
 
 val default : t

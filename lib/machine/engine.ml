@@ -28,6 +28,9 @@ type event =
   | Frame_rx of { src : int; dst : int; frame : Reliable.frame }
   | Rel_tick of { src : int; dst : int }  (** retransmit timer *)
   | Ack_tick of { me : int; peer : int }  (** delayed standalone ack *)
+  | Timer of (unit -> unit)
+      (** engine-level timer (periodic services: gossip, migration
+          policies); the thunk decides for itself whether to re-arm *)
 
 type handler = {
   h_category : Am.category;
@@ -107,6 +110,12 @@ let faults_active t = Option.is_some t.rel
 
 let reliable_in_flight t =
   match t.rel with Some rel -> Reliable.in_flight rel | None -> 0
+
+let quiescent t =
+  Array.for_all Node.is_idle t.nodes && reliable_in_flight t = 0
+
+let schedule_at t ~time fn =
+  Simcore.Event_queue.add t.events ~time:(max time t.vnow) (Timer fn)
 
 let packets_dropped t = Network.Fabric.packets_dropped t.fabric
 let packets_duplicated t = Network.Fabric.packets_duplicated t.fabric
@@ -376,7 +385,8 @@ let run ?(max_slices = max_int) t =
         | Rel_tick { src; dst } ->
             handle_rel_tick t (Option.get t.rel) ~time ~src ~dst
         | Ack_tick { me; peer } ->
-            handle_ack_tick t (Option.get t.rel) ~time ~me ~peer);
+            handle_ack_tick t (Option.get t.rel) ~time ~me ~peer
+        | Timer fn -> fn ());
         loop ()
   in
   loop ()

@@ -78,6 +78,16 @@ val post : t -> Node.t -> (unit -> unit) -> unit
     This is how the runtime enqueues "(object, continuation address)"
     items, and how programs bootstrap initial work. *)
 
+val schedule_at : t -> time:Simcore.Time.t -> (unit -> unit) -> unit
+(** Arms an engine-level timer: the thunk runs when the virtual clock
+    reaches [time] (clamped to now). Periodic services re-arm from
+    inside the thunk — but should first consult {!quiescent} so a
+    finished run still drains its event queue and {!run} returns. *)
+
+val quiescent : t -> bool
+(** Every node idle and no reliable-delivery traffic outstanding: the
+    machine would stop if no timer re-armed. *)
+
 (** {2 Running} *)
 
 (** {2 Observation} *)

@@ -1,0 +1,88 @@
+(** Runtime object migration with forwarding mail addresses (the
+    paper's Section 5.2 future work).
+
+    A mail address stays the object's immutable canonical identity; the
+    physical record moves. Migration is a three-phase protocol over
+    Category-4 Service active messages — freeze at a safe point,
+    serialise state + pending frames through {!Core.Codec}, reinstall on
+    the target — leaving behind a forwarding-stub VFT whose every entry
+    re-posts toward the new home. Per-node location caches learn new
+    addresses from piggybacked updates; at install the new home
+    proactively retargets every older stub, so steady-state forwarding
+    chains have length at most 1.
+
+    Guarantees (with or without a fault plan underneath): every sent
+    message is dispatched exactly once at the object's final home, and
+    FIFO is preserved per sender-receiver pair — enforced by
+    per-[(sender node, object)] sequence stamping with a reorder gate
+    that travels with the object. *)
+
+module Policy = Policy
+(** Re-export: the library's main module hides its siblings, so this is
+    the public path to the policy types. *)
+
+type t
+
+val attach :
+  ?policy:Policy.t ->
+  ?interval_ns:int ->
+  ?load:Services.Load.t ->
+  Core.System.t ->
+  t
+(** Installs the migration hooks on a booted system and registers the
+    three Service handlers. With [policy] and a positive [interval_ns],
+    every node runs the policy once per synchronized round on that
+    period (paced on the busiest node's clock; rounds stop re-arming
+    once the application stops making progress). [load] supplies
+    gossip-observed neighbour loads to [Load_threshold] policies —
+    attach a {!Services.Load.t} (ideally with auto-gossip, see
+    [rt_config.gossip_interval_ns]) and pass it here. Without it,
+    neighbour loads read as unknown and load-threshold never fires.
+
+    Attaching changes scheduling of inter-node sends (they travel as
+    sequenced [M_msg] Service messages); a system without an attached
+    migration subsystem is bit-identical to the seed runtime. *)
+
+val move : t -> canon:Core.Value.addr -> to_:int -> bool
+(** Manually migrate the object with the given mail address to node
+    [to_]. Locates the current host by following stubs, then freezes at
+    a safe point. Returns [false] when the object is already there, is
+    mid-method, has a suspended context, or cannot be found. Call at
+    engine level (e.g. from {!Machine.Engine.schedule_at}), never from
+    inside a running method of the object itself. *)
+
+val locate : t -> Core.Value.addr -> int
+(** Current host node of the object (its canonical node if unknown). *)
+
+(** {2 Introspection} *)
+
+val migrations : t -> int
+(** Completed freezes ("migrate.out"). *)
+
+val forwarded : t -> int
+(** Messages re-posted by forwarding stubs ("migrate.forward"). *)
+
+val colocated_sends : t -> int
+(** Sends whose remote-looking target was physically local — the
+    payoff of affinity migration. *)
+
+val max_hop_seen : t -> int
+(** Largest forwarding hop count observed on any delivered message. *)
+
+val stub_count : t -> node:int -> int
+(** Live forwarding stubs resident on the node. *)
+
+val max_stub_chain : t -> int
+(** Structural forwarding-chain length: from every live stub, hops to
+    the node actually hosting its object. The install-time update
+    broadcast keeps this at <= 1 once the machine quiesces. *)
+
+val residual : t -> int * int
+(** [(held, limbo)] messages still parked in reorder gates / limbo
+    buffers. Both must be 0 at quiescence — anything else is a lost
+    message (conservation check for tests). *)
+
+(** {2 Internals exposed for tests} *)
+
+val policy_tick : t -> node:int -> int
+(** Runs the attached policy once on the node; returns moves made. *)

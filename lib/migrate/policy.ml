@@ -1,0 +1,93 @@
+(** Pure decision logic of the migration policies. The driver in
+    {!Migrate} builds a {!view} of one node per policy tick and applies
+    the decisions it gets back; nothing here touches the runtime. *)
+
+type candidate = {
+  cand_canon : Core.Value.addr;  (** the object's (immutable) mail address *)
+  cand_queued : int;  (** buffered frames waiting in its message queue *)
+  cand_dominant_peer : int option;
+      (** node that sent it the most sequenced messages, if any *)
+  cand_dominant_count : int;
+  cand_total_recv : int;
+}
+
+type view = {
+  v_node : int;
+  v_load : int;  (** this node's instantaneous load (runq + inbox) *)
+  v_neighbors : (int * int option) list;
+      (** torus neighbours with their last gossiped load ([None] =
+          never heard — unknown, not zero) *)
+  v_candidates : candidate list;  (** safe-point residents, movable now *)
+}
+
+type decision = { d_canon : Core.Value.addr; d_to : int }
+
+type t =
+  | Load_threshold of { factor : float; min_queue : int; max_moves : int }
+      (** push work away when our load exceeds the least-loaded known
+          neighbour by [factor]; only objects with at least [min_queue]
+          buffered frames are worth the freight *)
+  | Affinity_pull of { min_msgs : int; max_moves : int }
+      (** co-locate an object with its dominant correspondent once that
+          peer accounts for a strict majority of at least [min_msgs]
+          received messages *)
+  | Custom of (view -> decision list)
+
+let take n xs =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n xs
+
+let decide policy view =
+  match policy with
+  | Custom f -> f view
+  | Load_threshold { factor; min_queue; max_moves } -> (
+      let known =
+        List.filter_map
+          (fun (n, l) -> Option.map (fun l -> (l, n)) l)
+          view.v_neighbors
+      in
+      match List.sort compare known with
+      | [] -> []  (* no neighbour load known: stay put *)
+      | (least_load, _) :: _ as sorted ->
+          if float_of_int view.v_load > factor *. float_of_int least_load
+          then
+            (* Scatter round-robin over every neighbour light enough to
+               justify the freight (least-loaded first). Sending the
+               whole batch to the single least-loaded node just makes it
+               the next hot spot and the work sloshes back and forth. *)
+            let targets =
+              List.filter_map
+                (fun (l, n) ->
+                  if float_of_int view.v_load > factor *. float_of_int l
+                  then Some n
+                  else None)
+                sorted
+            in
+            let k = List.length targets in
+            view.v_candidates
+            |> List.filter (fun c -> c.cand_queued >= min_queue)
+            |> List.sort (fun a b -> compare b.cand_queued a.cand_queued)
+            |> take max_moves
+            |> List.mapi (fun i c ->
+                   { d_canon = c.cand_canon; d_to = List.nth targets (i mod k) })
+          else [])
+  | Affinity_pull { min_msgs; max_moves } ->
+      view.v_candidates
+      |> List.filter_map (fun c ->
+             match c.cand_dominant_peer with
+             | Some peer
+               when peer < view.v_node
+                    && c.cand_dominant_count >= min_msgs
+                    && 2 * c.cand_dominant_count > c.cand_total_recv ->
+                 (* [peer < v_node], not just [<>]: mutual (or circular)
+                    affinity would otherwise have both correspondents
+                    move toward each other in the same window and swap
+                    places forever. Pulling only toward lower node ids
+                    is the usual global-order symmetry breaker — any
+                    pursuit chain terminates at its minimum node. *)
+                 Some { d_canon = c.cand_canon; d_to = peer }
+             | _ -> None)
+      |> take max_moves

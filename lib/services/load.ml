@@ -13,6 +13,87 @@ type t = {
 let local_load_of_node node =
   Machine.Node.runq_size node + Machine.Node.inbox_size node
 
+let local_load t ~node =
+  local_load_of_node (Engine.node (Core.System.machine t.system) node)
+
+let broadcast_node t ~node:my_id =
+  let machine = Core.System.machine t.system in
+  let node = Engine.node machine my_id in
+  let load = local_load_of_node node in
+  let cost = Engine.cost machine in
+  List.iter
+    (fun peer ->
+      Engine.charge machine node cost.Machine.Cost_model.msg_setup_send;
+      Engine.send_am machine ~src:node ~dst:peer ~handler:t.handler
+        ~size_bytes:4 (P_load { load }))
+    (Network.Topology.neighbors (Engine.topology machine) my_id);
+  t.broadcasts <- t.broadcasts + 1
+
+let broadcast t ctx = broadcast_node t ~node:(Core.Ctx.node_id ctx)
+
+(* Application progress, measured positively: object sends and creations
+   the program itself performed. Gossip traffic never bumps these
+   counters, so the timer cannot keep itself alive. Any machine-level
+   "busy" test (runnable thunks, inbox depth, reliable-layer in-flight
+   frames) reads the gossip's own messages and lagging acks as activity
+   and ticks forever; this test can only err towards stopping early
+   (app frames in the fabric with no new sends yet), which merely
+   leaves load views stale. *)
+let app_progress t =
+  let get = Simcore.Stats.get (Core.System.stats t.system) in
+  get "send.remote" + get "send.local.dormant" + get "send.local.active"
+  + get "send.local.inlined"
+  + get "send.local.naive_buffered"
+  + get "send.local.depth_limited"
+  + get "send.local.restore" + get "send.local.fault" + get "create.local"
+  + get "create.remote"
+
+(* Rounds with a zero progress delta before the timer gives up. One
+   quiet round is not enough — a retransmission gap can stall the
+   application across a round. *)
+let max_quiet_rounds = 4
+
+(* Periodic auto-gossip (rt_config.gossip_interval_ns): one synchronized
+   round per interval, every node re-broadcasting its load. Once rounds
+   stop observing application progress they stop re-arming, so
+   [Engine.run] terminates once the application drains.
+
+   The rounds are paced on the *busiest node's clock*, not on the
+   engine's event clock: a hybrid-scheduled cascade advances one node's
+   clock by milliseconds inside a single event, during which the event
+   clock barely moves. Pacing on the event clock would run thousands of
+   gossip rounds per application slice — flooding the busy node's inbox
+   and charging it send overhead each round while it makes no progress.
+   Re-arming at [max node clock + interval] yields one round per
+   interval of actual computational progress. *)
+let arm_auto_gossip t =
+  let machine = Core.System.machine t.system in
+  let interval =
+    (Core.System.config t.system).Core.Kernel.gossip_interval_ns
+  in
+  if interval > 0 then begin
+    let p = Engine.node_count machine in
+    let rec tick last_progress quiet () =
+      let progress = app_progress t in
+      let quiet = if progress = last_progress then quiet + 1 else 0 in
+      if quiet < max_quiet_rounds then begin
+        let round = ref (Engine.now machine) in
+        for i = 0 to p - 1 do
+          round := max !round (Machine.Node.now (Engine.node machine i))
+        done;
+        for i = 0 to p - 1 do
+          Simcore.Clock.advance_to
+            (Machine.Node.clock (Engine.node machine i))
+            !round;
+          broadcast_node t ~node:i
+        done;
+        Engine.schedule_at machine ~time:(!round + interval)
+          (tick progress quiet)
+      end
+    in
+    Engine.schedule_at machine ~time:interval (tick 0 0)
+  end
+
 let attach system =
   let machine = Core.System.machine system in
   let tables =
@@ -28,39 +109,33 @@ let attach system =
     Engine.register_handler machine Machine.Am.Service ~name:"load-gossip"
       handle
   in
-  { system; handler; tables; broadcasts = 0 }
+  let t = { system; handler; tables; broadcasts = 0 } in
+  arm_auto_gossip t;
+  t
 
-let local_load t ~node =
-  local_load_of_node (Engine.node (Core.System.machine t.system) node)
-
-let broadcast t ctx =
-  let machine = Core.System.machine t.system in
-  let node = Core.Ctx.node ctx in
-  let my_id = Machine.Node.id node in
-  let load = local_load_of_node node in
-  let cost = Engine.cost machine in
-  List.iter
-    (fun peer ->
-      Engine.charge machine node cost.Machine.Cost_model.msg_setup_send;
-      Engine.send_am machine ~src:node ~dst:peer ~handler:t.handler
-        ~size_bytes:4 (P_load { load }))
-    (Network.Topology.neighbors (Engine.topology machine) my_id);
-  t.broadcasts <- t.broadcasts + 1
+let known_load_opt t ~node ~about =
+  if node = about then Some (local_load t ~node)
+  else Hashtbl.find_opt t.tables.(node) about
 
 let known_load t ~node ~about =
-  if node = about then local_load t ~node
-  else Option.value (Hashtbl.find_opt t.tables.(node) about) ~default:0
+  Option.value (known_load_opt t ~node ~about) ~default:0
 
 let pick_least_for t ~node:my_id =
   let machine = Core.System.machine t.system in
   let candidates =
     my_id :: Network.Topology.neighbors (Engine.topology machine) my_id
   in
-  let weigh candidate = (known_load t ~node:my_id ~about:candidate, candidate) in
+  (* A neighbour we never heard from is *unknown*, not load 0 — reading
+     it as 0 would make every cold node a magnet for all placements. The
+     fold falls back to self when no neighbour has gossiped yet. *)
   let best =
     List.fold_left
-      (fun acc candidate -> min acc (weigh candidate))
-      (weigh my_id) candidates
+      (fun acc candidate ->
+        match known_load_opt t ~node:my_id ~about:candidate with
+        | None -> acc
+        | Some load -> min acc (load, candidate))
+      (local_load t ~node:my_id, my_id)
+      candidates
   in
   snd best
 

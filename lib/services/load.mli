@@ -11,7 +11,10 @@ type t
 
 val attach : Core.System.t -> t
 (** Registers the service handler on the system. Call once, before
-    [System.run]. *)
+    [System.run]. If the system's [rt_config.gossip_interval_ns] is
+    positive, also arms periodic auto-gossip: every node re-broadcasts
+    its load on that interval (staggered across nodes) without
+    application cooperation, stopping when the machine quiesces. *)
 
 val local_load : t -> node:int -> int
 
@@ -19,13 +22,23 @@ val broadcast : t -> Core.Ctx.t -> unit
 (** Sends this node's load to its torus neighbours (callable from a
     method body; charged like any message send). *)
 
+val broadcast_node : t -> node:int -> unit
+(** As {!broadcast}, addressed by node id — usable outside any method
+    body (timers, policies). *)
+
 val known_load : t -> node:int -> about:int -> int
 (** The last load value node [node] heard about node [about]
-    (its own current load when [node = about]; 0 if never heard). *)
+    (its own current load when [node = about]; 0 if never heard —
+    prefer {!known_load_opt}, which keeps "never heard" distinct). *)
+
+val known_load_opt : t -> node:int -> about:int -> int option
+(** As {!known_load}, but [None] when [node] never heard from [about]. *)
 
 val pick_least : t -> Core.Ctx.t -> int
 (** The least-loaded node among self and torus neighbours, judged from
-    the local gossip table. Ties break toward the lower node id. *)
+    the local gossip table. Never-heard neighbours are excluded (unknown
+    is not load 0), so before any gossip arrives the pick falls back to
+    self. Ties break toward the lower node id. *)
 
 val pick_least_for : t -> node:int -> int
 (** As {!pick_least}, judged from the given node's gossip table. *)

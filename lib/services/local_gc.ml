@@ -47,11 +47,19 @@ let patch_message remap patched (m : Message.t) =
         m.Message.reply;
   }
 
-let movable (obj : Kernel.obj) =
+let movable ~node (obj : Kernel.obj) =
   (not obj.exported)
   && Option.is_some obj.cls
   && Option.is_none obj.blocked
-  && not obj.in_sched_q
+  && (not obj.in_sched_q)
+  (* Migration artefacts are pinned: a forwarding stub must keep its
+     canonical slot (remote senders resolve it), and an immigrant's
+     [self] names its birth node, so the (node, slot) remap below would
+     not describe it. *)
+  && obj.self.Value.node = node
+  && match obj.vftp.Kernel.vft_kind with
+     | Kernel.Vft_forward _ -> false
+     | _ -> true
 
 let compact sys ~node =
   let rt = Core.System.rt sys node in
@@ -64,7 +72,7 @@ let compact sys ~node =
     Hashtbl.fold
       (fun slot obj acc ->
         incr examined;
-        if movable obj then (slot, obj) :: acc
+        if movable ~node obj then (slot, obj) :: acc
         else begin
           incr pinned;
           acc
@@ -86,7 +94,9 @@ let compact sys ~node =
   List.iter
     (fun (_, (obj : Kernel.obj)) ->
       match Hashtbl.find_opt remap (node, obj.self.Value.slot) with
-      | Some slot' -> obj.self <- { obj.self with Value.slot = slot' }
+      | Some slot' ->
+          obj.self <- { obj.self with Value.slot = slot' };
+          obj.phys_slot <- slot'
       | None -> ())
     victims;
   (* Phase 2: patch every local reference — state boxes, buffered

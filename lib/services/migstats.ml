@@ -1,0 +1,75 @@
+module Engine = Machine.Engine
+module Kernel = Core.Kernel
+
+type node_row = {
+  node : int;
+  stubs : int;
+  forwards : int;
+}
+
+type report = {
+  per_node : node_row array;
+  migrations : int;
+  installs : int;
+  total_forwards : int;
+  updates : int;
+  held : int;
+  limbo : int;
+  dup_drops : int;
+  colocated : int;
+}
+
+let live_stubs rt =
+  Hashtbl.fold
+    (fun _ (obj : Kernel.obj) acc ->
+      match obj.Kernel.vftp.Kernel.vft_kind with
+      | Kernel.Vft_forward _ -> acc + 1
+      | _ -> acc)
+    rt.Kernel.objects 0
+
+let survey sys =
+  let machine = Core.System.machine sys in
+  let stats = Engine.stats machine in
+  let get name = Simcore.Stats.get stats name in
+  let migrations = get "migrate.out" in
+  if migrations = 0 && get "migrate.in" = 0 then None
+  else
+    let n = Engine.node_count machine in
+    let per_node =
+      Array.init n (fun node ->
+          {
+            node;
+            stubs = live_stubs (Core.System.rt sys node);
+            forwards = get (Printf.sprintf "migrate.forward.node%d" node);
+          })
+    in
+    Some
+      {
+        per_node;
+        migrations;
+        installs = get "migrate.in";
+        total_forwards = get "migrate.forward";
+        updates = get "migrate.update";
+        held = get "migrate.held";
+        limbo = get "migrate.limbo";
+        dup_drops = get "migrate.dup_drop";
+        colocated = get "migrate.colocated";
+      }
+
+let row_is_boring r = r.stubs = 0 && r.forwards = 0
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "migration: %d move(s), %d install(s); %d forwarded hop(s), %d cache \
+     update(s); gate: %d held, %d limbo'd, %d dup(s) dropped; %d co-located \
+     send(s)@,"
+    r.migrations r.installs r.total_forwards r.updates r.held r.limbo
+    r.dup_drops r.colocated;
+  Array.iter
+    (fun row ->
+      if not (row_is_boring row) then
+        Format.fprintf ppf "  node %2d: %d live stub(s), %d forward(s)@,"
+          row.node row.stubs row.forwards)
+    r.per_node;
+  Format.fprintf ppf "@]"

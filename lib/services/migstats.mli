@@ -1,0 +1,33 @@
+(** Migration report, the {!Faultstats} counterpart for the object
+    migration subsystem.
+
+    Reads only the machine's global statistics counters ("migrate.*",
+    maintained by [lib/migrate]) and the per-node object tables (live
+    forwarding stubs), so this module does not depend on the migration
+    library itself and can be attached to any run. *)
+
+type node_row = {
+  node : int;
+  stubs : int;  (** forwarding stubs still resident on this node *)
+  forwards : int;  (** messages this node's stubs re-posted over the run *)
+}
+
+type report = {
+  per_node : node_row array;
+  migrations : int;  (** freezes shipped ("migrate.out") *)
+  installs : int;  (** records materialised ("migrate.in") *)
+  total_forwards : int;
+  updates : int;  (** stub / location-cache retargetings applied *)
+  held : int;  (** messages the reorder gate had to hold for FIFO *)
+  limbo : int;  (** messages that beat their install to a new home *)
+  dup_drops : int;
+  colocated : int;
+      (** remote-addressed sends that found their object physically
+          local — the payoff of affinity migration *)
+}
+
+val survey : Core.System.t -> report option
+(** [None] when no migration ever happened on this system. *)
+
+val pp : Format.formatter -> report -> unit
+(** Totals line plus a per-node table (boring nodes elided). *)

@@ -118,9 +118,17 @@ let test_load_gossip () =
 
 let test_load_aware_placement () =
   (* Queens under the gossip-backed placement still computes correctly
-     and keeps a larger share of messages local than global round-robin. *)
+     and keeps a larger share of messages local than global round-robin.
+     Auto-gossip is required: a neighbour that never gossiped reads as
+     unknown, so without it every placement would fall back to self. *)
   let placement, install = Services.Load.deferred_placement () in
-  let rt_config = { System.default_rt_config with Kernel.placement } in
+  let rt_config =
+    {
+      System.default_rt_config with
+      Kernel.placement;
+      gossip_interval_ns = 20_000;
+    }
+  in
   let cls = Apps.Nqueens_par.solver_cls () in
   let sys = System.boot ~rt_config ~nodes:16 ~classes:[ cls ] () in
   install (Services.Load.attach sys);
@@ -141,6 +149,90 @@ let test_load_aware_placement () =
   let frac_local = float_of_int local /. float_of_int (local + remote) in
   Alcotest.(check bool) "locality beats 1/16 round robin" true
     (frac_local > 1.2 /. 16.)
+
+let test_pick_least_unknown_fallback () =
+  (* Neighbours that never gossiped are unknown, not load 0: even a
+     loaded node keeps work local rather than dumping it on a node it
+     knows nothing about. *)
+  let sys = System.boot ~nodes:9 ~classes:[] () in
+  let load = Services.Load.attach sys in
+  let machine = System.machine sys in
+  Machine.Engine.post machine (Machine.Engine.node machine 0) (fun () -> ());
+  Machine.Engine.post machine (Machine.Engine.node machine 0) (fun () -> ());
+  Alcotest.(check int) "self is loaded" 2 (Services.Load.local_load load ~node:0);
+  Alcotest.(check (option int)) "neighbor 1 unknown" None
+    (Services.Load.known_load_opt load ~node:0 ~about:1);
+  Alcotest.(check int) "falls back to self" 0
+    (Services.Load.pick_least_for load ~node:0)
+
+let test_pick_least_tiebreak () =
+  (* Node 0's torus neighbours on 9 nodes are 1, 2, 3 and 6. Nodes 1 and
+     3 gossip load 0; with node 0 itself at load 2 the pick must be the
+     lowest-id tied neighbour. *)
+  let sys = System.boot ~nodes:9 ~classes:[] () in
+  let load = Services.Load.attach sys in
+  Services.Load.broadcast_node load ~node:1;
+  Services.Load.broadcast_node load ~node:3;
+  System.run sys;
+  let machine = System.machine sys in
+  Machine.Engine.post machine (Machine.Engine.node machine 0) (fun () -> ());
+  Machine.Engine.post machine (Machine.Engine.node machine 0) (fun () -> ());
+  Alcotest.(check (option int)) "heard 1" (Some 0)
+    (Services.Load.known_load_opt load ~node:0 ~about:1);
+  Alcotest.(check (option int)) "heard 3" (Some 0)
+    (Services.Load.known_load_opt load ~node:0 ~about:3);
+  Alcotest.(check int) "lowest-id tied neighbor wins" 1
+    (Services.Load.pick_least_for load ~node:0)
+
+let test_auto_gossip_torus () =
+  (* With gossip_interval_ns set, load information propagates across the
+     whole torus without any application cooperation: after a busy run,
+     every node has heard from each of its neighbours. *)
+  let rt_config =
+    { System.default_rt_config with Kernel.gossip_interval_ns = 10_000 }
+  in
+  let cls = Apps.Nqueens_par.solver_cls () in
+  let sys = System.boot ~rt_config ~nodes:9 ~classes:[ cls ] () in
+  let load = Services.Load.attach sys in
+  let root =
+    System.create_root sys ~node:0 cls
+      [ Value.int 6; Value.int Apps.Queens_board.empty_packed; Value.unit ]
+  in
+  System.send_boot sys root (Pattern.intern "expand" ~arity:0) [];
+  System.run sys;
+  Alcotest.(check bool) "every node gossiped at least once" true
+    (Services.Load.broadcasts load >= 9);
+  let topo = Machine.Engine.topology (System.machine sys) in
+  for node = 0 to 8 do
+    List.iter
+      (fun nb ->
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d heard neighbor %d" node nb)
+          true
+          (Services.Load.known_load_opt load ~node ~about:nb <> None))
+      (Network.Topology.neighbors topo node)
+  done
+
+let test_deferred_placement_two_phase () =
+  (* Phase 1 (before install): the policy has no service yet and must
+     place locally. Phase 2 (after install): it consults gossiped
+     loads. *)
+  let placement, install = Services.Load.deferred_placement () in
+  let pick =
+    match placement with
+    | Kernel.Custom_policy f -> f
+    | _ -> Alcotest.fail "deferred_placement must be a custom policy"
+  in
+  Alcotest.(check int) "pre-install places on self" 2 (pick 2);
+  let sys = System.boot ~nodes:4 ~classes:[] () in
+  let load = Services.Load.attach sys in
+  install load;
+  Services.Load.broadcast_node load ~node:1;
+  System.run sys;
+  let machine = System.machine sys in
+  Machine.Engine.post machine (Machine.Engine.node machine 0) (fun () -> ());
+  Machine.Engine.post machine (Machine.Engine.node machine 0) (fun () -> ());
+  Alcotest.(check int) "post-install picks gossiped idle neighbor" 1 (pick 0)
 
 let p_hold = Pattern.intern "tsv_hold" ~arity:1
 
@@ -215,6 +307,14 @@ let () =
           Alcotest.test_case "gossip" `Quick test_load_gossip;
           Alcotest.test_case "load-aware placement" `Quick
             test_load_aware_placement;
+          Alcotest.test_case "unknown falls back to self" `Quick
+            test_pick_least_unknown_fallback;
+          Alcotest.test_case "tie-break to lowest id" `Quick
+            test_pick_least_tiebreak;
+          Alcotest.test_case "auto-gossip over torus" `Quick
+            test_auto_gossip_torus;
+          Alcotest.test_case "deferred placement two-phase" `Quick
+            test_deferred_placement_two_phase;
         ] );
       ( "gc_analysis",
         [
