@@ -545,6 +545,204 @@ let migrate_bench ~smoke () =
     (100. *. float_of_int (base - aff) /. float_of_int base)
 
 (* ------------------------------------------------------------------ *)
+(* Distributed GC: churn steady state and migrated-object reclamation  *)
+(* ------------------------------------------------------------------ *)
+
+let dgc_total_records sys =
+  let n = System.node_count sys in
+  let total = ref 0 in
+  for node = 0 to n - 1 do
+    total := !total + Hashtbl.length (System.rt sys node).Kernel.objects
+  done;
+  !total
+
+let dgc_bench ~smoke () =
+  header "Distributed GC: churn steady-state memory";
+  let nodes = if smoke then 4 else 16 in
+  let per_node = if smoke then 80 else 640 in
+  let keep = 4 in
+  let p_cycle = Pattern.intern "dgcb_cycle" ~arity:0 in
+  let p_poke = Pattern.intern "dgcb_poke" ~arity:1 in
+  let p_spawn = Pattern.intern "dgcb_spawn" ~arity:1 in
+  let p_drop = Pattern.intern "dgcb_drop" ~arity:0 in
+  let cell_cls =
+    Class_def.define ~name:"dgcb_cell" ~state:[| "v" |]
+      ~init:(fun _ -> [| Value.int 0 |])
+      ~methods:[ (p_poke, fun ctx msg -> Ctx.set ctx 0 (Message.arg msg 0)) ]
+      ()
+  in
+  (* Each cycle creates a cell on another node, pokes it, and keeps only
+     the [keep] newest references: one create + one drop per cycle, a
+     constant live set, and linear garbage for the collector to chase. *)
+  let churn_cls =
+    Class_def.define ~name:"dgcb_churner" ~state:[| "refs"; "i" |]
+      ~init:(fun _ -> [| Value.List []; Value.int 0 |])
+      ~methods:
+        [
+          ( p_cycle,
+            fun ctx _ ->
+              let i = Value.to_int (Ctx.get ctx 1) in
+              if i < per_node then begin
+                let p = Ctx.node_count ctx in
+                let target = (Ctx.node_id ctx + 1 + (i mod (p - 1))) mod p in
+                let a = Ctx.create_on ctx ~target cell_cls [] in
+                Ctx.send ctx a p_poke [ Value.int i ];
+                let refs =
+                  match Ctx.get ctx 0 with Value.List l -> l | _ -> []
+                in
+                let kept = List.filteri (fun j _ -> j < keep - 1) refs in
+                Ctx.set ctx 0 (Value.List (Value.Addr a :: kept));
+                Ctx.set ctx 1 (Value.int (i + 1));
+                Ctx.send ctx (Ctx.self ctx) p_cycle []
+              end );
+          ( p_spawn,
+            fun ctx msg ->
+              let target = Value.to_int (Message.arg msg 0) in
+              let a = Ctx.create_on ctx ~target cell_cls [] in
+              Ctx.send ctx a p_poke [ Value.int 1 ];
+              let refs =
+                match Ctx.get ctx 0 with Value.List l -> l | _ -> []
+              in
+              Ctx.set ctx 0 (Value.List (Value.Addr a :: refs)) );
+          (p_drop, fun ctx _ -> Ctx.set ctx 0 (Value.List []));
+        ]
+      ()
+  in
+  let boot_churn ~with_gc =
+    let sys = System.boot ~nodes ~classes:[ cell_cls; churn_cls ] () in
+    let g =
+      if with_gc then Some (Dgc.attach ~interval_ns:200_000 sys) else None
+    in
+    for node = 0 to nodes - 1 do
+      let d = System.create_root sys ~node churn_cls [] in
+      System.send_boot sys d p_cycle []
+    done;
+    (sys, g)
+  in
+  let cycles = nodes * per_node in
+  let live = nodes * (1 + keep) in
+
+  (* Recycling on: the collector rides a periodic timer during the run,
+     then settles the reclamation cascade. *)
+  let sys, g = boot_churn ~with_gc:true in
+  let g = Option.get g in
+  System.run sys;
+  Dgc.settle g;
+  let resident = dgc_total_records sys in
+  let recycled =
+    Simcore.Stats.get (System.stats sys) "slot.recycled"
+  in
+  Format.printf
+    "with dgc:    %6d create/drop cycles, live set %4d -> resident %6d \
+     record(s); %d reclaimed, %d restocked, %d slot(s) recycled@."
+    cycles live resident (Dgc.reclaimed g) (Dgc.restocked g) recycled;
+  (match Services.Gcstats.survey sys with
+  | Some r -> Format.printf "%a@." Services.Gcstats.pp r
+  | None -> ());
+
+  (* Recycling off: same workload, collector never attached — memory
+     can only grow. Probe events at fractions of the managed run's
+     elapsed time sample the growth curve to show it is monotone. *)
+  let t_end = System.elapsed sys in
+  let sys_off, _ = boot_churn ~with_gc:false in
+  let samples = ref [] in
+  let machine_off = System.machine sys_off in
+  for k = 1 to 8 do
+    Machine.Engine.schedule_at machine_off ~time:(k * t_end / 8) (fun () ->
+        samples := dgc_total_records sys_off :: !samples)
+  done;
+  System.run sys_off;
+  samples := dgc_total_records sys_off :: !samples;
+  let samples = List.rev !samples in
+  let monotonic =
+    fst
+      (List.fold_left
+         (fun (ok, prev) s -> (ok && s >= prev, s))
+         (true, 0) samples)
+  in
+  let resident_off = List.fold_left max 0 samples in
+  Format.printf
+    "without dgc: %6d create/drop cycles, live set %4d -> resident %6d \
+     record(s), growth monotone: %b@."
+    cycles live resident_off monotonic;
+  Format.printf
+    "steady-state gate: resident %d <= 2x live %d; unmanaged growth %d >= \
+     cycles %d@."
+    resident (2 * live) resident_off cycles;
+  if resident > 2 * live then begin
+    Format.printf "FAILED steady-state memory gate@.";
+    exit 1
+  end;
+  if (not monotonic) || resident_off < cycles then begin
+    Format.printf "FAILED unmanaged-growth control gate@.";
+    exit 1
+  end;
+  if recycled = 0 || Dgc.restocked g = 0 then begin
+    Format.printf "FAILED slot-recycling gate@.";
+    exit 1
+  end;
+
+  header "Distributed GC: migrated-then-dropped reclamation";
+  let cells = if smoke then 12 else 48 in
+  let sys = System.boot ~nodes ~classes:[ cell_cls; churn_cls ] () in
+  let m = Migrate.attach sys in
+  let g = Dgc.attach ~migrate:m sys in
+  let h = System.create_root sys ~node:0 churn_cls [] in
+  for i = 1 to cells do
+    System.send_boot sys h p_spawn [ Value.int (i mod nodes) ];
+    System.run sys
+  done;
+  (* scatter every cell away from its birth node, then drop the lot *)
+  let refs =
+    match (Option.get (System.lookup_obj sys h)).Kernel.state.(0) with
+    | Value.List vs ->
+        List.filter_map (function Value.Addr a -> Some a | _ -> None) vs
+    | _ -> []
+  in
+  let moved = ref 0 in
+  List.iteri
+    (fun i a ->
+      if Migrate.move m ~canon:a ~to_:((a.Value.node + 3 + i) mod nodes) then
+        incr moved;
+      System.run sys)
+    refs;
+  System.send_boot sys h p_drop [];
+  System.run sys;
+  Dgc.settle g;
+  let stubs_left = ref 0 in
+  for node = 0 to nodes - 1 do
+    stubs_left := !stubs_left + Migrate.stub_count m ~node
+  done;
+  let live_stubs_in_report =
+    match Services.Migstats.survey sys with
+    | Some r ->
+        Array.fold_left
+          (fun acc (row : Services.Migstats.node_row) ->
+            acc + row.Services.Migstats.stubs)
+          0 r.Services.Migstats.per_node
+    | None -> -1
+  in
+  Format.printf
+    "%d cell(s) spawned, %d migrated, then dropped: %d recall(s), %d \
+     unstub(s), %d forwarding stub(s) left (migstats sees %d)@."
+    cells !moved (Dgc.recalls g) (Dgc.unstubs g) !stubs_left
+    live_stubs_in_report;
+  if !stubs_left <> 0 || live_stubs_in_report <> 0 then begin
+    Format.printf "FAILED forwarding-stub reclamation gate@.";
+    exit 1
+  end;
+  if !moved = 0 || Dgc.unstubs g = 0 then begin
+    Format.printf "FAILED migration coverage gate (workload too tame)@.";
+    exit 1
+  end;
+  match Dgc.audit g with
+  | [] -> Format.printf "weight audit: balanced@."
+  | problems ->
+      List.iter (fun p -> Format.printf "audit: %s@." p) problems;
+      Format.printf "FAILED weight-conservation audit@.";
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock cost of the simulator itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -609,5 +807,6 @@ let () =
   if want "ablations" then ablations ();
   if want "faults" then faults ~smoke ();
   if want "migrate" then migrate_bench ~smoke ();
+  if want "dgc" then dgc_bench ~smoke ();
   if want "bechamel" then bechamel ();
   Format.printf "@."

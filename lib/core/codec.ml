@@ -150,6 +150,16 @@ let encode_message (m : Message.t) =
       add_int64 buf slot);
   add_len buf (List.length m.args);
   List.iter (encode_value buf) m.args;
+  add_len buf (List.length m.gc_refs);
+  List.iter
+    (fun (r : Message.gc_ref) ->
+      add_len buf r.Message.gr_addr.Value.node;
+      add_int64 buf r.Message.gr_addr.Value.slot;
+      add_len buf r.Message.gr_weight;
+      (* backer is -1 (no indirection) or a node id; biased to stay
+         non-negative on the wire *)
+      add_len buf (r.Message.gr_backer + 1))
+    m.gc_refs;
   Buffer.to_bytes buf
 
 let decode_message bytes =
@@ -176,6 +186,26 @@ let decode_message bytes =
       args (n - 1) pos (v :: acc)
   in
   let args, pos = args argc pos [] in
+  let refc, pos = read_len bytes ~pos in
+  let rec refs n pos acc =
+    if n = 0 then (List.rev acc, pos)
+    else
+      let node, pos = read_len bytes ~pos in
+      let slot, pos = read_int64 bytes ~pos in
+      let weight, pos = read_len bytes ~pos in
+      let backer, pos = read_len bytes ~pos in
+      let r =
+        {
+          Message.gr_addr = { Value.node; slot };
+          gr_weight = weight;
+          gr_backer = backer - 1;
+        }
+      in
+      refs (n - 1) pos (r :: acc)
+  in
+  let gc_refs, pos = refs refc pos [] in
   if pos <> Bytes.length bytes then failwith "Codec: trailing garbage";
   let pattern = Pattern.intern keyword ~arity in
-  Message.make ~pattern ~args ?reply ~src_node ()
+  let m = Message.make ~pattern ~args ?reply ~src_node () in
+  m.Message.gc_refs <- gc_refs;
+  m

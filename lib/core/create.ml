@@ -19,6 +19,7 @@ let local rt cls args =
       initialized = false;
       pending_ctor_args = args;
       exported = false;
+      gc_pinned = false;
     }
   in
   Sched.register_obj rt obj;
@@ -27,8 +28,12 @@ let local rt cls args =
 
 let rec take_chunk rt target =
   match Queue.take_opt rt.stocks.(target) with
-  | Some slot -> slot
+  | Some slot ->
+      let remaining = Queue.length rt.stocks.(target) in
+      if remaining < rt.stock_low_water then rt.stock_low_water <- remaining;
+      slot
   | None -> (
+      rt.stock_low_water <- 0;
       (* The stock is empty: only now does remote creation block, to be
          resumed by the next replenishing chunk reply (Section 5.2).
          Under a fault plan a lost creation request or Chunk_reply is
@@ -54,11 +59,24 @@ let on rt ~target cls args =
     charge rt c.Cost_model.msg_setup_send;
     bump (ctrs rt).c_create_remote;
     Sched.mark_exports rt args None;
+    let gc_refs =
+      match rt.shared.gc with
+      | Some g -> g.gc_grant rt args None
+      | None -> []
+    in
     Machine.Engine.send_am (machine rt) ~src:rt.node ~dst:target
       ~handler:rt.shared.h_create
       ~size_bytes:(Protocol.create_bytes args)
-      (Protocol.P_create { slot; cls_id = cls.cls_id; args });
-    { Value.node = target; slot }
+      (Protocol.P_create { slot; cls_id = cls.cls_id; args; gc_refs });
+    let a = { Value.node = target; slot } in
+    (* The creator now holds a remote address nobody minted weight for:
+       the object was conjured at a pre-reserved chunk, not imported.
+       Grant-and-accept against ourselves puts a counted claim behind
+       the reference (the owner's side arrives as a debit). *)
+    (match rt.shared.gc with
+    | Some g -> g.gc_accept rt (g.gc_grant rt [ Value.Addr a ] None)
+    | None -> ());
+    a
   end
 
 let pick_node rt =

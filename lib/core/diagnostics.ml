@@ -10,6 +10,8 @@ type report = {
   blocked : stuck list;
   buffered : stuck list;
   chunk_waiters : int;
+  stock_refills : int;
+  stock_low_water : int;
   in_flight : int;
   packets_dropped : int;
   forwarding_stubs : (int * int) list;
@@ -53,9 +55,12 @@ let survey sys =
   let stats = Machine.Engine.stats machine in
   let blocked = ref [] and buffered = ref [] and chunk_waiters = ref 0 in
   let stubs = ref [] and hops = ref [] in
+  let low_water = ref max_int in
   for node = 0 to System.node_count sys - 1 do
     let rt = System.rt sys node in
     chunk_waiters := !chunk_waiters + List.length rt.Kernel.chunk_waiters;
+    if rt.Kernel.stock_low_water < !low_water then
+      low_water := rt.Kernel.stock_low_water;
     let node_stubs = ref 0 in
     Hashtbl.iter
       (fun _slot (obj : Kernel.obj) ->
@@ -80,6 +85,8 @@ let survey sys =
     blocked = List.sort by_addr !blocked;
     buffered = List.sort by_addr !buffered;
     chunk_waiters = !chunk_waiters;
+    stock_refills = Simcore.Stats.get stats "chunk.refill";
+    stock_low_water = (if !low_water = max_int then 0 else !low_water);
     in_flight = Machine.Engine.reliable_in_flight machine;
     packets_dropped = Machine.Engine.packets_dropped machine;
     forwarding_stubs = List.rev !stubs;
@@ -134,8 +141,9 @@ let pp ppf r =
       List.iter (fun s -> Format.fprintf ppf "  %a@," pp_stuck s) r.buffered
     end;
     if r.chunk_waiters > 0 then
-      Format.fprintf ppf "%d context(s) stalled on chunk stocks@,"
-        r.chunk_waiters;
+      Format.fprintf ppf
+        "%d context(s) stalled on chunk stocks (%d refill(s), low water %d)@,"
+        r.chunk_waiters r.stock_refills r.stock_low_water;
     if r.in_flight > 0 then
       Format.fprintf ppf
         "%d message(s) lost in flight (unacknowledged at quiescence)@,"

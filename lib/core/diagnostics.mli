@@ -18,6 +18,12 @@ type report = {
   blocked : stuck list;  (** objects holding a suspended context *)
   buffered : stuck list;  (** quiescent objects with unconsumed messages *)
   chunk_waiters : int;  (** contexts stalled on empty chunk stocks *)
+  stock_refills : int;
+      (** chunk replies that replenished a requester's stock over the run
+          (the "chunk.refill" counter, summed over nodes) *)
+  stock_low_water : int;
+      (** smallest per-target stock size any requester ever observed — 0
+          means some stock drained completely at least once *)
   in_flight : int;
       (** messages sent but never acknowledged by the reliable-delivery
           layer (always 0 without a fault plan). Nonzero at quiescence

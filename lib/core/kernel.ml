@@ -87,6 +87,9 @@ and obj = {
       (** its address has left this node (in a remote message, creation
           argument or reply destination); a [(node, pointer)] mail
           address pins such an object in place — Section 5.2 *)
+  mutable gc_pinned : bool;
+      (** a GC root: bootstrap objects and anything the embedding holds
+          an address to outside the heap (test drivers). Never swept. *)
 }
 
 and blocked = {
@@ -167,6 +170,18 @@ and migration = {
       (** the object retired; drop migration-side state *)
 }
 
+(** Hooks installed by the distributed garbage collector ([lib/dgc]).
+    [None] (the default) keeps messages manifest-free and every send
+    path bit-identical to the GC-free runtime. *)
+and gc = {
+  gc_grant : node_rt -> Value.t list -> Value.addr option -> Message.gc_ref list;
+      (** addresses in a payload are leaving this node: split reference
+          weights (owner-side: mint them) and build the wire manifest *)
+  gc_accept : node_rt -> Message.gc_ref list -> unit;
+      (** a manifest arrived with a message this node takes custody of:
+          credit the local stub/scion tables *)
+}
+
 and shared = {
   machine : Machine.Engine.t;
   classes : (int, cls) Hashtbl.t;  (** registry keyed by [cls_id] *)
@@ -181,6 +196,9 @@ and shared = {
   mutable migration : migration option;
       (** installed by [Migrate.attach]; [None] means no object ever
           moves and all migration branches are dead *)
+  mutable gc : gc option;
+      (** installed by [Dgc.attach]; [None] means no reference weights
+          are ever tracked and exported objects are immortal *)
 }
 
 (** Statistics counters resolved once at boot, so hot paths increment a
@@ -195,6 +213,7 @@ and counters = {
   c_create_remote_applied : int ref;
   c_chunk_refill : int ref;
   c_chunk_stall : int ref;
+  c_slot_recycled : int ref;
   c_preempt : int ref;
   c_wait_blocked : int ref;
   c_wait_immediate : int ref;
@@ -219,9 +238,20 @@ and node_rt = {
   node : Machine.Node.t;
   objects : (int, obj) Hashtbl.t;
   mutable next_slot : int;  (** watermark of allocated/reserved slots *)
+  free_slots : int Queue.t;
+      (** slots reclaimed by the GC, preferred by {!Sched.alloc_slot}
+          over bumping the watermark — reclamation feeds both local
+          creation and the chunk-stock replenishment path *)
+  mutable slots_recycled : int;  (** free-list pops (allocation reuse) *)
   stocks : int Queue.t array;  (** per target node: pre-delivered slots *)
+  mutable stock_low_water : int;
+      (** smallest stock depth ever observed for any target on this
+          node; [stock_size] until the first take *)
   mutable chunk_waiters : (int * blocked) list;
       (** (target node, parked requester context) *)
+  mutable preempt_pending : int;
+      (** preemption resumes posted but not yet run; their captured
+          continuations hold stack references no sweep can trace *)
   mutable rr_cursor : int;  (** round-robin placement cursor *)
   mutable depth : int;  (** current stack-invocation depth *)
   mutable leaf_depth : int;
@@ -284,6 +314,7 @@ let make_counters stats =
     c_create_remote_applied = cell "create.remote.applied";
     c_chunk_refill = cell "chunk.refill";
     c_chunk_stall = cell "chunk.stall";
+    c_slot_recycled = cell "slot.recycled";
     c_preempt = cell "preempt";
     c_wait_blocked = cell "wait.blocked";
     c_wait_immediate = cell "wait.immediate";

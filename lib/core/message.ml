@@ -1,8 +1,11 @@
+type gc_ref = { gr_addr : Value.addr; gr_weight : int; gr_backer : int }
+
 type t = {
   pattern : Pattern.t;
   args : Value.t list;
   reply : Value.addr option;
   src_node : int;
+  mutable gc_refs : gc_ref list;
 }
 
 let make ~pattern ~args ?reply ~src_node () =
@@ -12,11 +15,12 @@ let make ~pattern ~args ?reply ~src_node () =
     invalid_arg
       (Printf.sprintf "Message.make: pattern %s expects %d args, got %d"
          (Pattern.name pattern) expected got);
-  { pattern; args; reply; src_node }
+  { pattern; args; reply; src_node; gc_refs = [] }
 
 let size_words m =
   1
   + List.fold_left (fun acc v -> acc + Value.size_words v) 0 m.args
+  + (3 * List.length m.gc_refs)
   + match m.reply with Some _ -> 2 | None -> 0
 
 let size_bytes m = 4 * size_words m

@@ -1,5 +1,14 @@
 (** A message in flight or buffered in an object's message queue. *)
 
+type gc_ref = { gr_addr : Value.addr; gr_weight : int; gr_backer : int }
+(** One entry of a message's reference manifest, written by the
+    distributed GC when the message leaves a node: [gr_addr] occurs in
+    the payload, [gr_weight] is the portion of reference weight
+    travelling with it (split locally from the sender's stub, or minted
+    by the owner), and [gr_backer] is the node backing a weight-0
+    indirection entry ([-1] when the weight is positive). Empty unless
+    a distributed GC is attached. *)
+
 type t = {
   pattern : Pattern.t;
   args : Value.t list;
@@ -7,6 +16,10 @@ type t = {
       (** reply destination for now-type sends; forwardable like any
           other mail address *)
   src_node : int;  (** node that performed the send (for statistics) *)
+  mutable gc_refs : gc_ref list;
+      (** reference manifest; mutable so the importing node can strip it
+          after crediting its tables (a message in custody carries no
+          weight — it travels only while the message is in flight) *)
 }
 
 val make :

@@ -4,7 +4,14 @@
 type Machine.Am.payload +=
   | P_obj_msg of { slot : int; msg : Message.t }
       (** Category 1: normal message transmission between objects. *)
-  | P_create of { slot : int; cls_id : int; args : Value.t list }
+  | P_create of {
+      slot : int;
+      cls_id : int;
+      args : Value.t list;
+      gc_refs : Message.gc_ref list;
+          (** reference manifest for addresses among the constructor
+              arguments (empty unless a distributed GC is attached) *)
+    }
       (** Category 2: request for remote object creation at a chunk the
           requester obtained from its stock. *)
   | P_chunk of { slot : int }

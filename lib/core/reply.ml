@@ -1,7 +1,13 @@
 open Kernel
 module Cost_model = Machine.Cost_model
 
-let dispose rt rd = Hashtbl.remove rt.objects rd.self.Value.slot
+(* A consumed reply destination is the one object the runtime can free
+   without any protocol: it is single-use by construction. Its slot is
+   recycled only when its address never left the node — an exported
+   destination may still be referenced by an in-flight reply. *)
+let dispose rt rd =
+  Hashtbl.remove rt.objects rd.self.Value.slot;
+  if not rd.exported then Sched.recycle_slot rt rd.self.Value.slot
 
 (* state.(0): has the reply arrived; state.(1): the value. *)
 let impl ctx msg =
@@ -40,6 +46,7 @@ let create_dest rt =
       initialized = false;
       pending_ctor_args = [];
       exported = false;
+      gc_pinned = false;
     }
   in
   Sched.register_obj rt obj;

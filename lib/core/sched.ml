@@ -2,9 +2,19 @@ open Kernel
 module Cost_model = Machine.Cost_model
 
 let alloc_slot rt =
-  let slot = rt.next_slot in
-  rt.next_slot <- slot + 1;
-  slot
+  (* Reclaimed slots are reused before the watermark grows: garbage
+     collection is the allocation (and chunk-stock refill) path. *)
+  match Queue.take_opt rt.free_slots with
+  | Some slot ->
+      rt.slots_recycled <- rt.slots_recycled + 1;
+      bump (ctrs rt).c_slot_recycled;
+      slot
+  | None ->
+      let slot = rt.next_slot in
+      rt.next_slot <- slot + 1;
+      slot
+
+let recycle_slot rt slot = Queue.push slot rt.free_slots
 
 let register_obj rt obj = Hashtbl.replace rt.objects obj.phys_slot obj
 
@@ -25,6 +35,7 @@ let make_embryo rt slot =
       initialized = false;
       pending_ctor_args = [];
       exported = false;
+      gc_pinned = false;
     }
   in
   Hashtbl.add rt.objects slot obj;
@@ -182,7 +193,10 @@ and handle_block :
       rt.work_since_yield <- 0;
       charge rt c.Cost_model.sched_enqueue;
       bump (ctrs rt).c_preempt;
-      Machine.Engine.post (machine rt) rt.node (fun () -> resume rt b R_go)
+      rt.preempt_pending <- rt.preempt_pending + 1;
+      Machine.Engine.post (machine rt) rt.node (fun () ->
+          rt.preempt_pending <- rt.preempt_pending - 1;
+          resume rt b R_go)
 
 and resume rt b r =
   charge rt (cost rt).Cost_model.context_restore;
@@ -311,6 +325,9 @@ let send rt ~target ~pattern ~args ?reply () =
         charge rt c.Cost_model.msg_setup_send;
         bump (ctrs rt).c_send_remote;
         mark_exports rt args reply;
+        (match rt.shared.gc with
+        | Some g -> msg.Message.gc_refs <- g.gc_grant rt args reply
+        | None -> ());
         let msg =
           (* Optionally prove the message serialisable by shipping its
              codec round trip instead of the original. *)

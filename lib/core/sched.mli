@@ -13,7 +13,12 @@
 open Kernel
 
 val alloc_slot : node_rt -> int
-(** Reserves a fresh object slot on this node (bumps the watermark). *)
+(** Reserves an object slot on this node: pops the GC free list when a
+    reclaimed slot is available, else bumps the watermark. *)
+
+val recycle_slot : node_rt -> int -> unit
+(** Returns a freed slot to the node's allocation pool. The caller (the
+    GC) guarantees no reference to the slot survives anywhere. *)
 
 val register_obj : node_rt -> obj -> unit
 

@@ -33,15 +33,25 @@ let obj_msg_handler _machine node am =
   match am.Am.payload with
   | Protocol.P_obj_msg { slot; msg } ->
       let rt = rt_of node in
+      (* Custody transfer: credit the reference manifest exactly once,
+         then strip it — a buffered message carries no weight. *)
+      (match rt.shared.gc with
+      | Some g when msg.Message.gc_refs <> [] ->
+          g.gc_accept rt msg.Message.gc_refs;
+          msg.Message.gc_refs <- []
+      | _ -> ());
       Sched.local_deliver ~origin:`Remote rt (Sched.lookup_or_embryo rt slot) msg
   | _ -> assert false
 
 let create_handler _machine node am =
   match am.Am.payload with
-  | Protocol.P_create { slot; cls_id; args } ->
+  | Protocol.P_create { slot; cls_id; args; gc_refs } ->
       let rt = rt_of node in
       let c = cost rt in
       charge rt c.Cost_model.create_init_handler;
+      (match rt.shared.gc with
+      | Some g when gc_refs <> [] -> g.gc_accept rt gc_refs
+      | _ -> ());
       let obj = Sched.lookup_or_embryo rt slot in
       (match obj.cls with
       | Some _ -> invalid_arg "System: duplicate creation request"
@@ -128,6 +138,7 @@ let boot ?(machine_config = Engine.default_config)
       reply_cls;
       ctrs = make_counters (Engine.stats machine);
       migration = None;
+      gc = None;
     }
   in
   let p = Engine.node_count machine in
@@ -142,8 +153,12 @@ let boot ?(machine_config = Engine.default_config)
         (* Slots [0, p * stock) are pre-reserved for the stocks of every
            requester; dynamic allocation starts above the watermark. *)
         next_slot = p * stock;
+        free_slots = Queue.create ();
+        slots_recycled = 0;
         stocks = Array.init p (fun _ -> Queue.create ());
+        stock_low_water = stock;
         chunk_waiters = [];
+        preempt_pending = 0;
         rr_cursor = i + 1;
         depth = 0;
         leaf_depth = 0;
@@ -183,7 +198,13 @@ let config t = t.shared.config
 let create_root t ~node cls args =
   if not (Hashtbl.mem t.shared.classes cls.cls_id) then
     Hashtbl.replace t.shared.classes cls.cls_id cls;
-  Create.local (rt t node) cls args
+  let addr = Create.local (rt t node) cls args in
+  (* The embedding holds this address outside the heap (driver code,
+     boot messages); it must never be swept. *)
+  (match Hashtbl.find_opt (rt t node).objects addr.Value.slot with
+  | Some obj -> obj.gc_pinned <- true
+  | None -> ());
+  addr
 
 let send_boot t ?from target pattern args =
   let from = Option.value from ~default:target.Value.node in

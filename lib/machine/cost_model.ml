@@ -29,6 +29,9 @@ type t = {
   migrate_install : int;
   migrate_forward : int;
   migrate_update : int;
+  gc_sweep_obj : int;
+  gc_reclaim : int;
+  gc_dec_entry : int;
 }
 
 let default =
@@ -77,6 +80,9 @@ let default =
     migrate_install = 30;
     migrate_forward = 12;
     migrate_update = 6;
+    gc_sweep_obj = 4;
+    gc_reclaim = 10;
+    gc_dec_entry = 3;
   }
 
 let time c instructions = instructions * c.ns_per_instr

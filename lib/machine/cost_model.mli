@@ -49,6 +49,13 @@ type t = {
   migrate_forward : int;  (** stub dispatch re-posting one message *)
   migrate_update : int;
       (** retargeting a stub / location-cache entry on a migration notice *)
+  (* --- distributed GC (charged only when [lib/dgc] is attached) --- *)
+  gc_sweep_obj : int;
+      (** mark/sweep visit of one resident object (table scan + mode test) *)
+  gc_reclaim : int;  (** freeing one object record and recycling its slot *)
+  gc_dec_entry : int;
+      (** appending one weight-decrement entry to a batched decrement
+          message, or applying one at the owner *)
 }
 
 val default : t

@@ -43,12 +43,14 @@ let inbox_pop_ready t =
 
 let inbox_next_arrival t = Simcore.Event_queue.peek_time t.inbox
 let inbox_size t = Simcore.Event_queue.size t.inbox
+let inbox_iter f t = Simcore.Event_queue.iter (fun _ am -> f am) t.inbox
 let runq_push t thunk = Queue.push thunk t.runq
 let runq_pop t = Queue.take_opt t.runq
 let runq_size t = Queue.length t.runq
 let is_idle t = t.idle
 let set_idle t b = t.idle <- b
 let heap_alloc_words t w = t.heap_words <- t.heap_words + w
+let heap_free_words t w = t.heap_words <- max 0 (t.heap_words - w)
 let heap_words t = t.heap_words
 let interrupts_masked t = t.interrupts_masked
 let set_interrupts_masked t b = t.interrupts_masked <- b

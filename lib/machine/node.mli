@@ -38,6 +38,10 @@ val inbox_next_arrival : t -> Simcore.Time.t option
 
 val inbox_size : t -> int
 
+val inbox_iter : (Am.t -> unit) -> t -> unit
+(** Visits every delivered-but-unpolled message, in unspecified order,
+    without removing anything. For inspection passes (GC analysis). *)
+
 (** {2 Scheduling queue} *)
 
 val runq_push : t -> (unit -> unit) -> unit
@@ -52,6 +56,11 @@ val set_idle : t -> bool -> unit
 (** {2 Heap accounting (for memory reports)} *)
 
 val heap_alloc_words : t -> int -> unit
+
+val heap_free_words : t -> int -> unit
+(** Returns words to the heap accounting (clamped at zero); the GC calls
+    this when objects are reclaimed. *)
+
 val heap_words : t -> int
 
 (** {2 Interrupt masking} *)

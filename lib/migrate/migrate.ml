@@ -61,6 +61,9 @@ type Machine.Am.payload +=
       frames : Bytes.t list;  (** codec-encoded buffered frames, in order *)
       expected : (int * int) list;  (** reorder-gate positions per sender *)
       history : int list;  (** all previous hosts still holding stubs *)
+      gc_refs : Message.gc_ref list;
+          (** reference manifest for addresses in the state box and
+              constructor arguments (empty without a distributed GC) *)
     }
   | M_update of { canon : Value.addr; phys : Value.addr; epoch : int }
 
@@ -230,6 +233,27 @@ let send_update t rt ~dst ~canon ~phys ~epoch =
     ~size_bytes:24
     (M_update { canon; phys; epoch })
 
+(* Reference-manifest custody (distributed GC). A message's [gc_refs]
+   carry weight for the addresses it contains while in flight; custody
+   is taken (credited and stripped) exactly once when a node accepts the
+   message — on gate submission, limbo parking or install — and a fresh
+   manifest is minted whenever the message leaves custody again. A stub
+   forward keeps the embedded manifest untouched: the message only
+   passes through. *)
+let grant_out rt (msg : Message.t) =
+  match rt.Kernel.shared.Kernel.gc with
+  | Some g ->
+      msg.Message.gc_refs <-
+        g.Kernel.gc_grant rt msg.Message.args msg.Message.reply
+  | None -> ()
+
+let accept_in rt (msg : Message.t) =
+  match rt.Kernel.shared.Kernel.gc with
+  | Some g when msg.Message.gc_refs <> [] ->
+      g.Kernel.gc_accept rt msg.Message.gc_refs;
+      msg.Message.gc_refs <- []
+  | _ -> ()
+
 let cache_learn ns canon phys epoch =
   match Hashtbl.find_opt ns.ns_cache (key canon) with
   | Some (_, e) when e >= epoch -> ()
@@ -269,6 +293,7 @@ let mig_send t rt (canon : Value.addr) msg =
       match Vft.forward_info obj.Kernel.vftp with
       | Some f ->
           Kernel.charge rt c.Cost_model.msg_setup_send;
+          grant_out rt msg;
           forward_via_stub t rt f ~sender:my_id ~seq ~hop:1 msg
       | None ->
           (* Physically co-located despite the remote mail address: the
@@ -285,6 +310,7 @@ let mig_send t rt (canon : Value.addr) msg =
         | Some (phys, _) when phys.Value.node <> my_id -> phys.Value.node
         | _ -> canon.Value.node
       in
+      grant_out rt msg;
       send_m_msg t rt ~dst ~canon ~sender:my_id ~seq ~hop:0 msg
 
 (* Local dispatch reached a stub (the object's canonical node after it
@@ -294,6 +320,7 @@ let mig_forward t rt (obj : Kernel.obj) msg =
   match Vft.forward_info obj.Kernel.vftp with
   | Some f ->
       let seq = next_seq t my_id f.Kernel.fwd_canon in
+      grant_out rt msg;
       forward_via_stub t rt f ~sender:my_id ~seq ~hop:1 msg
   | None -> assert false
 
@@ -350,8 +377,23 @@ let do_move t rt (obj : Kernel.obj) ~to_ =
        shippable and gives the install message its wire size. *)
     let state = Codec.value_to_bytes (Value.Tuple (Array.to_list obj.Kernel.state)) in
     let ctor = Codec.value_to_bytes (Value.Tuple obj.Kernel.pending_ctor_args) in
+    (* Every address leaving in the state box, constructor arguments or
+       buffered frames gets a fresh manifest: the records travel with
+       their own weight, so a crash of this stub cannot strand counts. *)
+    let gc_refs =
+      match rt.Kernel.shared.Kernel.gc with
+      | Some g ->
+          g.Kernel.gc_grant rt
+            (Array.to_list obj.Kernel.state @ obj.Kernel.pending_ctor_args)
+            None
+      | None -> []
+    in
     let frames =
-      Queue.fold (fun acc m -> Codec.encode_message m :: acc) [] obj.Kernel.mq
+      Queue.fold
+        (fun acc m ->
+          grant_out rt m;
+          Codec.encode_message m :: acc)
+        [] obj.Kernel.mq
       |> List.rev
     in
     let words = Array.length obj.Kernel.state + Queue.length obj.Kernel.mq in
@@ -403,12 +445,16 @@ let do_move t rt (obj : Kernel.obj) ~to_ =
            frames;
            expected;
            history;
+           gc_refs;
          });
     (* Held (out-of-order) messages chase the install on the same FIFO
        channel, keeping their original stamps; the new gate re-holds
-       them until their predecessors arrive. *)
+       them until their predecessors arrive. They were in this node's
+       custody since the gate accepted them, so they leave with fresh
+       manifests. *)
     List.iter
       (fun (sender, seq, m) ->
+        grant_out rt m;
         send_m_msg t rt ~dst:to_ ~canon ~sender ~seq ~hop:1 m)
       held;
     true
@@ -422,10 +468,13 @@ let unpack_tuple bytes =
   | _ -> failwith "Migrate: malformed install payload"
 
 let install t rt ~canon ~cls_id ~epoch ~initialized ~state ~ctor ~frames
-    ~expected ~history =
+    ~expected ~history ~gc_refs =
   let my_id = Machine.Node.id rt.Kernel.node in
   let ns = nstate_of t my_id in
   let c = Engine.cost t.machine in
+  (match rt.Kernel.shared.Kernel.gc with
+  | Some g when gc_refs <> [] -> g.Kernel.gc_accept rt gc_refs
+  | _ -> ());
   let cls =
     match Hashtbl.find_opt rt.Kernel.shared.Kernel.classes cls_id with
     | Some cls -> cls
@@ -460,6 +509,7 @@ let install t rt ~canon ~cls_id ~epoch ~initialized ~state ~ctor ~frames
               initialized = false;
               pending_ctor_args = [];
               exported = true;
+              gc_pinned = false;
             }
           in
           Hashtbl.replace rt.Kernel.objects slot o;
@@ -473,7 +523,12 @@ let install t rt ~canon ~cls_id ~epoch ~initialized ~state ~ctor ~frames
   obj.Kernel.exported <- true;
   obj.Kernel.vftp <- Sched.rest_table obj;
   Queue.clear obj.Kernel.mq;
-  List.iter (fun b -> Queue.push (Codec.decode_message b) obj.Kernel.mq) frames;
+  List.iter
+    (fun b ->
+      let m = Codec.decode_message b in
+      accept_in rt m;
+      Queue.push m obj.Kernel.mq)
+    frames;
   if not (Queue.is_empty obj.Kernel.mq) then Sched.schedule_pending rt obj;
   (* The reorder gate travels with the object. *)
   Hashtbl.remove ns.ns_gates (key canon);
@@ -520,10 +575,13 @@ let on_m_msg t rt ~canon ~sender ~seq ~hop msg =
   | Some obj -> (
       match Vft.forward_info obj.Kernel.vftp with
       | Some f -> forward_via_stub t rt f ~sender ~seq ~hop:(hop + 1) msg
-      | None -> gate_submit t rt obj ~sender ~seq msg)
+      | None ->
+          accept_in rt msg;
+          gate_submit t rt obj ~sender ~seq msg)
   | None ->
       (* We were taught this home but the install is still in flight on
-         another channel: park until it lands. *)
+         another channel: park until it lands. Parking takes custody. *)
+      accept_in rt msg;
       incr t.c_limbo;
       let cell =
         match Hashtbl.find_opt ns.ns_limbo (key canon) with
@@ -739,9 +797,10 @@ let attach ?policy ?(interval_ns = 0) ?load sys =
                  frames;
                  expected;
                  history;
+                 gc_refs;
                } ->
                install t (rt_of t node) ~canon ~cls_id ~epoch ~initialized
-                 ~state ~ctor ~frames ~expected ~history
+                 ~state ~ctor ~frames ~expected ~history ~gc_refs
            | _ -> assert false))
   in
   let h_update =
@@ -867,6 +926,97 @@ let max_stub_chain t =
       rt.Kernel.objects
   done;
   !longest
+
+(* --- distributed-GC integration ----------------------------------- *)
+
+let resident_info t canon =
+  let host = locate t canon in
+  Hashtbl.find_opt (nstate_of t host).ns_res (key canon)
+
+let history t ~canon =
+  match resident_info t canon with Some r -> r.r_history | None -> []
+
+let resident_epoch t ~canon =
+  match resident_info t canon with Some r -> r.r_epoch | None -> 0
+
+(* One step of a recall: push the object on this node a hop toward its
+   canonical home (or report where to chase next). *)
+let evict t ~node:my_id ~canon =
+  let rt = Core.System.rt t.sys my_id in
+  match find_local_record t rt canon with
+  | None -> `Absent
+  | Some obj -> (
+      match Vft.forward_info obj.Kernel.vftp with
+      | Some f -> `Stub f.Kernel.fwd_to.Value.node
+      | None ->
+          if canon.Value.node = my_id then `Moved (* already home *)
+          else if do_move t rt obj ~to_:canon.Value.node then `Moved
+          else `Busy)
+
+(* Epoch-guarded stub removal: a stub whose epoch exceeds the guard
+   belongs to a *newer* life of the object (it migrated again after the
+   reclaim decision was taken) and must stay. Returns the removed record
+   so the caller can recycle its physical slot. *)
+let drop_stub t ~node:my_id ~canon ~epoch =
+  let rt = Core.System.rt t.sys my_id in
+  match find_local_record t rt canon with
+  | None -> None
+  | Some obj -> (
+      match Vft.forward_info obj.Kernel.vftp with
+      | Some f when f.Kernel.fwd_epoch <= epoch ->
+          Hashtbl.remove rt.Kernel.objects obj.Kernel.phys_slot;
+          let ns = nstate_of t my_id in
+          Hashtbl.remove ns.ns_homes (key canon);
+          Hashtbl.remove ns.ns_cache (key canon);
+          Some obj
+      | _ -> None)
+
+(* Scrub every trace of a reclaimed object from the subsystem's tables
+   on all nodes, so a recycled slot starts with virgin sequence spaces
+   (a stale [ns_seq_out] at some sender against a fresh gate would hold
+   the new object's messages forever). Sound because the caller frees
+   the object only at scion zero — no reference survives anywhere, so no
+   node can ever stamp another message for this address. On a real
+   machine this is a broadcast in the reclaim protocol; the simulator
+   scrubs directly. *)
+let forget t ~canon =
+  let k = key canon in
+  Array.iter
+    (fun ns ->
+      Hashtbl.remove ns.ns_seq_out k;
+      Hashtbl.remove ns.ns_cache k;
+      Hashtbl.remove ns.ns_gates k;
+      Hashtbl.remove ns.ns_res k;
+      Hashtbl.remove ns.ns_limbo k)
+    t.states
+
+(* Root values for a local GC trace: messages parked in reorder gates or
+   limbo buffers live outside any object's queue, and the object a
+   non-empty gate or limbo belongs to must survive until they drain. *)
+let parked_refs t ~node:my_id =
+  let ns = nstate_of t my_id in
+  let acc = ref [] in
+  let add_msg (m : Message.t) =
+    acc := Value.List m.Message.args :: !acc;
+    (match m.Message.reply with
+    | Some a -> acc := Value.Addr a :: !acc
+    | None -> ());
+    List.iter
+      (fun (r : Message.gc_ref) -> acc := Value.Addr r.Message.gr_addr :: !acc)
+      m.Message.gc_refs
+  in
+  Hashtbl.iter
+    (fun (n, s) g ->
+      if Hashtbl.length g.g_held > 0 then
+        acc := Value.Addr { Value.node = n; slot = s } :: !acc;
+      Hashtbl.iter (fun _ m -> add_msg m) g.g_held)
+    ns.ns_gates;
+  Hashtbl.iter
+    (fun (n, s) r ->
+      acc := Value.Addr { Value.node = n; slot = s } :: !acc;
+      List.iter (fun (_, _, _, m) -> add_msg m) !r)
+    ns.ns_limbo;
+  !acc
 
 (* Conservation residue: anything still parked in a reorder gate or a
    limbo buffer at quiescence is a lost message. *)

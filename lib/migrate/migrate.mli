@@ -82,6 +82,48 @@ val residual : t -> int * int
     buffers. Both must be 0 at quiescence — anything else is a lost
     message (conservation check for tests). *)
 
+(** {2 Distributed-GC integration}
+
+    The collector (lib/dgc) reclaims objects whose remote-reference
+    count drained. For an object that migrated, that means recalling the
+    record home hop by hop, then dismantling the forwarding chain it
+    left behind. These entry points give the collector exactly the
+    handles it needs without exposing the subsystem's tables. *)
+
+val evict :
+  t -> node:int -> canon:Core.Value.addr -> [ `Moved | `Stub of int | `Absent | `Busy ]
+(** One recall step on the given node: migrate the resident object one
+    hop toward its canonical home. [`Stub next] — only a forwarding stub
+    lives here, chase [next]; [`Moved] — the object is now home (or the
+    freeze was issued); [`Busy] — present but not at a safe point, retry
+    on a later sweep; [`Absent] — no trace here. *)
+
+val history : t -> canon:Core.Value.addr -> int list
+(** Previous hosts still holding forwarding stubs for the object, read
+    at its current residence. *)
+
+val resident_epoch : t -> canon:Core.Value.addr -> int
+(** The object's current migration epoch (0 if it never moved). *)
+
+val drop_stub :
+  t -> node:int -> canon:Core.Value.addr -> epoch:int -> Core.Kernel.obj option
+(** Removes the node's forwarding stub for [canon], but only while its
+    epoch is at most [epoch] — a newer stub belongs to a later life of
+    the object and survives. Returns the removed record so the caller
+    can recycle its physical slot. *)
+
+val forget : t -> canon:Core.Value.addr -> unit
+(** Erases the address from every node's sequence, cache, gate, residency
+    and limbo tables. Only sound at scion zero (no surviving reference
+    can stamp another message); required before the slot is reused, or
+    stale sequence counters would wedge the next tenant's reorder gate.
+    Stands in for the reclaim protocol's forget broadcast. *)
+
+val parked_refs : t -> node:int -> Core.Value.t list
+(** GC roots parked inside the subsystem on this node: messages held in
+    reorder gates or limbo buffers (plus the addresses of the objects
+    they await), invisible to an object-table trace. *)
+
 (** {2 Internals exposed for tests} *)
 
 val policy_tick : t -> node:int -> int

@@ -1,7 +1,14 @@
 module Value = Core.Value
 module Kernel = Core.Kernel
 
-type report = { total : int; embryos : int; exported : int; local_only : int }
+type report = {
+  total : int;
+  embryos : int;
+  forwarding_stubs : int;
+  exported : int;
+  local_only : int;
+  in_flight_refs : int;
+}
 
 let rec addrs_of_value acc = function
   | Value.Addr a -> a :: acc
@@ -9,46 +16,104 @@ let rec addrs_of_value acc = function
   | Value.Unit | Value.Bool _ | Value.Int _ | Value.Float _ | Value.Str _ ->
       acc
 
+let addrs_of_msg acc (m : Core.Message.t) =
+  let acc = List.fold_left addrs_of_value acc m.args in
+  let acc =
+    List.fold_left
+      (fun acc (r : Core.Message.gc_ref) -> r.Core.Message.gr_addr :: acc)
+      acc m.gc_refs
+  in
+  match m.reply with Some a -> a :: acc | None -> acc
+
 let addrs_of_obj (obj : Kernel.obj) =
   let acc = Array.fold_left addrs_of_value [] obj.state in
-  Queue.fold
-    (fun acc (m : Core.Message.t) ->
-      let acc = List.fold_left addrs_of_value acc m.args in
-      match m.reply with Some a -> a :: acc | None -> acc)
-    acc obj.mq
+  let acc = List.fold_left addrs_of_value acc obj.pending_ctor_args in
+  Queue.fold addrs_of_msg acc obj.mq
+
+(* Addresses riding in not-yet-dispatched active messages. A reference
+   in flight pins its object exactly like one held on another node: a
+   compactor that moved the object could not patch it. Covers the
+   runtime's own payloads (object messages, creation requests); service
+   payloads registered by other subsystems are opaque here but carry
+   their references as manifests once a distributed GC is attached. *)
+let addrs_in_flight machine node =
+  let acc = ref [] in
+  Machine.Node.inbox_iter
+    (fun (am : Machine.Am.t) ->
+      match am.Machine.Am.payload with
+      | Core.Protocol.P_obj_msg { msg; _ } -> acc := addrs_of_msg !acc msg
+      | Core.Protocol.P_create { args; gc_refs; _ } ->
+          acc := List.fold_left addrs_of_value !acc args;
+          acc :=
+            List.fold_left
+              (fun acc (r : Core.Message.gc_ref) ->
+                r.Core.Message.gr_addr :: acc)
+              !acc gc_refs
+      | _ -> ())
+    (Machine.Engine.node machine node);
+  !acc
+
+let is_forwarding_stub (obj : Kernel.obj) =
+  match obj.vftp.Kernel.vft_kind with
+  | Kernel.Vft_forward _ -> true
+  | _ -> false
 
 let survey system =
   let n = Core.System.node_count system in
+  let machine = Core.System.machine system in
   let exported_set = Hashtbl.create 1024 in
-  let total = ref 0 and embryos = ref 0 in
+  let total = ref 0 and embryos = ref 0 and stubs = ref 0 in
+  let in_flight = ref 0 in
   for node = 0 to n - 1 do
     let rt = Core.System.rt system node in
     Hashtbl.iter
       (fun _slot (obj : Kernel.obj) ->
         incr total;
         if Option.is_none obj.cls then incr embryos;
+        if is_forwarding_stub obj then incr stubs;
         List.iter
           (fun (a : Value.addr) ->
-            if a.node <> node then Hashtbl.replace exported_set (a.node, a.slot) ())
+            if a.node <> node then
+              Hashtbl.replace exported_set (a.node, a.slot) ())
           (addrs_of_obj obj))
-      rt.Kernel.objects
+      rt.Kernel.objects;
+    List.iter
+      (fun (a : Value.addr) ->
+        incr in_flight;
+        Hashtbl.replace exported_set (a.node, a.slot) ())
+      (addrs_in_flight machine node)
   done;
   let exported = ref 0 in
   for node = 0 to n - 1 do
     let rt = Core.System.rt system node in
     Hashtbl.iter
-      (fun slot _obj ->
-        if Hashtbl.mem exported_set (node, slot) then incr exported)
+      (fun _slot (obj : Kernel.obj) ->
+        (* Membership goes by the object's canonical mail address, not
+           its table slot: an immigrant is keyed by a physical slot that
+           means nothing to the holders of its address. Forwarding stubs
+           are a category of their own — "exported" would be vacuous
+           (they exist only because the address escaped) and
+           "local-only/movable" would be wrong (they must keep their
+           canonical slot). *)
+        if not (is_forwarding_stub obj) then
+          if
+            Hashtbl.mem exported_set
+              (obj.Kernel.self.Value.node, obj.Kernel.self.Value.slot)
+          then incr exported)
       rt.Kernel.objects
   done;
   {
     total = !total;
     embryos = !embryos;
+    forwarding_stubs = !stubs;
     exported = !exported;
-    local_only = !total - !exported;
+    local_only = !total - !stubs - !exported;
+    in_flight_refs = !in_flight;
   }
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "objects: %d (embryos %d) — exported %d, local-only (movable) %d" r.total
-    r.embryos r.exported r.local_only
+    "objects: %d (embryos %d, forwarding stubs %d) — exported %d, local-only \
+     (movable) %d; %d in-flight reference(s)"
+    r.total r.embryos r.forwarding_stubs r.exported r.local_only
+    r.in_flight_refs

@@ -5,15 +5,28 @@
     algorithm "whereby objects that are only referred to locally can be
     freely copied" as work in progress. This module performs the
     underlying reachability survey offline: which objects have their
-    address held outside their own node (in a state variable, a buffered
-    message, or an in-flight consideration is out of scope), and which
-    are local-only and hence movable by a copying collector. *)
+    address held outside their own node — in a state variable, a buffered
+    message, or an active message still in flight — and which are
+    local-only and hence movable by a copying collector.
+
+    Objects are identified by their canonical mail address ([obj.self]),
+    so immigrants (resident away from home under lib/migrate) are
+    classified correctly, and migration forwarding stubs are counted as
+    their own category rather than polluting the exported/movable
+    split. *)
 
 type report = {
-  total : int;  (** materialised objects across all nodes *)
+  total : int;  (** materialised records across all nodes *)
   embryos : int;  (** uninitialised chunks *)
-  exported : int;  (** referenced from at least one other node *)
+  forwarding_stubs : int;
+      (** migration forwarding records — neither exported nor movable;
+          they pin their canonical slot by construction *)
+  exported : int;  (** referenced from another node or from in-flight
+          messages *)
   local_only : int;  (** movable: referenced (if at all) only locally *)
+  in_flight_refs : int;
+      (** address references found inside not-yet-dispatched active
+          messages; each pins its target like a remote holder would *)
 }
 
 val survey : Core.System.t -> report

@@ -1,0 +1,92 @@
+module Engine = Machine.Engine
+module Kernel = Core.Kernel
+
+type node_row = {
+  node : int;
+  reclaimed : int;
+  stubs_freed : int;
+  restocked : int;
+  dec_entries : int;
+  slots_recycled : int;
+}
+
+type report = {
+  per_node : node_row array;
+  sweeps : int;
+  sweeps_skipped : int;
+  total_reclaimed : int;
+  total_stubs_freed : int;
+  total_restocked : int;
+  dec_msgs : int;
+  total_dec_entries : int;
+  grants : int;
+  splits : int;
+  indirections : int;
+  debits : int;
+  recalls : int;
+  unstubs : int;
+}
+
+let survey sys =
+  let machine = Core.System.machine sys in
+  let stats = Engine.stats machine in
+  let get name = Simcore.Stats.get stats name in
+  let sweeps = get "dgc.sweeps" and skipped = get "dgc.sweeps_skipped" in
+  if sweeps = 0 && skipped = 0 then None
+  else
+    let n = Engine.node_count machine in
+    let per_node =
+      Array.init n (fun node ->
+          let rt = Core.System.rt sys node in
+          {
+            node;
+            reclaimed = get (Printf.sprintf "dgc.reclaimed.node%d" node);
+            stubs_freed = get (Printf.sprintf "dgc.stubs_freed.node%d" node);
+            restocked = get (Printf.sprintf "dgc.restocked.node%d" node);
+            dec_entries = get (Printf.sprintf "dgc.dec.entries.node%d" node);
+            slots_recycled = rt.Kernel.slots_recycled;
+          })
+    in
+    Some
+      {
+        per_node;
+        sweeps;
+        sweeps_skipped = skipped;
+        total_reclaimed = get "dgc.reclaimed";
+        total_stubs_freed = get "dgc.stubs_freed";
+        total_restocked = get "dgc.restocked";
+        dec_msgs = get "dgc.dec.msgs";
+        total_dec_entries = get "dgc.dec.entries";
+        grants = get "dgc.grants";
+        splits = get "dgc.splits";
+        indirections = get "dgc.indirections";
+        debits = get "dgc.debits";
+        recalls = get "dgc.recalls";
+        unstubs = get "dgc.unstubs";
+      }
+
+let row_is_boring r =
+  r.reclaimed = 0 && r.stubs_freed = 0 && r.restocked = 0 && r.dec_entries = 0
+  && r.slots_recycled = 0
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "dgc: %d sweep(s) (%d skipped); %d reclaimed, %d stub(s) freed, %d slot(s) \
+     restocked; %d decrement(s) in %d message(s)@,"
+    r.sweeps r.sweeps_skipped r.total_reclaimed r.total_stubs_freed
+    r.total_restocked r.total_dec_entries r.dec_msgs;
+  Format.fprintf ppf
+    "     weights: %d grant(s), %d split(s), %d indirection(s), %d debit(s); \
+     %d recall(s), %d unstub(s)@,"
+    r.grants r.splits r.indirections r.debits r.recalls r.unstubs;
+  Array.iter
+    (fun row ->
+      if not (row_is_boring row) then
+        Format.fprintf ppf
+          "  node %2d: %d reclaimed, %d stub(s) freed, %d restocked, %d \
+           decrement(s), %d slot(s) recycled@,"
+          row.node row.reclaimed row.stubs_freed row.restocked row.dec_entries
+          row.slots_recycled)
+    r.per_node;
+  Format.fprintf ppf "@]"

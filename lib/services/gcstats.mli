@@ -1,0 +1,43 @@
+(** Distributed-GC report, the {!Migstats} counterpart for the
+    collector.
+
+    Reads only the machine's global statistics counters ("dgc.*",
+    maintained by [lib/dgc]) and the per-node kernel state
+    ([slots_recycled]), so this module does not depend on the collector
+    library itself and can summarise any run. *)
+
+type node_row = {
+  node : int;
+  reclaimed : int;  (** objects freed on this node *)
+  stubs_freed : int;  (** remote-reference stub entries reclaimed *)
+  restocked : int;  (** freed slots returned to the allocation pool *)
+  dec_entries : int;  (** decrements this node batched outward *)
+  slots_recycled : int;
+      (** allocations served from the recycled pool (kernel counter —
+          includes reply-slot reuse, not just collector restocks) *)
+}
+
+type report = {
+  per_node : node_row array;
+  sweeps : int;
+  sweeps_skipped : int;  (** rounds refused by the sweep safety gate *)
+  total_reclaimed : int;
+  total_stubs_freed : int;
+  total_restocked : int;
+  dec_msgs : int;  (** batched decrement messages on the wire *)
+  total_dec_entries : int;
+      (** decrements those messages carried; the ratio to [dec_msgs] is
+          the batching (piggyback) factor *)
+  grants : int;  (** owner-side weight mints *)
+  splits : int;  (** exports served by halving a local stub's weight *)
+  indirections : int;  (** exports served by an indirection entry *)
+  debits : int;  (** asynchronous owner-weight mints (weightless export) *)
+  recalls : int;  (** recall-home requests for drained migrated objects *)
+  unstubs : int;  (** forwarding stubs dismantled after reclaim *)
+}
+
+val survey : Core.System.t -> report option
+(** [None] when no collector ever swept on this system. *)
+
+val pp : Format.formatter -> report -> unit
+(** Totals lines plus a per-node table (boring nodes elided). *)

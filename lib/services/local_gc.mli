@@ -29,3 +29,64 @@ val compact_all : Core.System.t -> result
 (** Runs {!compact} on every node and sums the results. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {2 Sweep}
+
+    Beyond compaction, a node can free objects outright: anything not
+    reachable from the local root set and not remote-referenced is
+    garbage. The trace covers state variables, buffered messages (args,
+    reply destinations, reference manifests) and pending constructor
+    arguments; what counts as "remote-referenced" is a policy hook, so
+    the distributed collector can refine the conservative [exported] bit
+    into an exact scion count. *)
+
+type skip_reason =
+  | In_dispatch  (** called from inside message dispatch *)
+  | Preempt_pending of int
+      (** preempted methods waiting to resume hold untraceable frames *)
+  | Blocked_contexts of int
+      (** suspended contexts close over stack addresses the trace cannot
+          see *)
+  | Chunk_waiters of int  (** creation contexts parked on empty stocks *)
+
+type sweep_report = {
+  swept_examined : int;
+  freed : int;
+  retained : int;
+  marked : (int, unit) Hashtbl.t;
+      (** table slots proven reachable — callers use this to decide about
+          objects the sweep itself never frees (e.g. forwarding stubs) *)
+}
+
+type sweep_outcome = Swept of sweep_report | Skipped of skip_reason
+
+type sweep_hooks = {
+  remote_live : Core.Kernel.obj -> bool;
+      (** is this object possibly referenced from off-node? (root) *)
+  on_remote_ref : Core.Value.addr -> unit;
+      (** called once per traced reference to a remote address *)
+  on_local_ref : Core.Value.addr -> unit;
+      (** called once per traced reference to a local canonical address —
+          lets a caller tell a root-retained record (e.g. a forwarding
+          stub, always a root) apart from one some live object actually
+          points at *)
+  extra_roots : unit -> Core.Value.t list;
+      (** additional root values (e.g. messages parked in migration
+          gates, which live outside any object's queue) *)
+  on_free : Core.Kernel.obj -> unit;
+      (** called for each freed object before its record is removed *)
+  recycle : bool;
+      (** return freed table slots to the allocator immediately; a
+          distributed GC sets this false and quarantines slots instead *)
+}
+
+val default_hooks : sweep_hooks
+(** [exported] as the remote-liveness test, no callbacks, immediate slot
+    recycling: a purely local sweep. *)
+
+val sweep : ?hooks:sweep_hooks -> Core.System.t -> node:int -> sweep_outcome
+(** Mark/sweep over one node's object table. Refuses to run (returning
+    [Skipped]) whenever a suspended or preempted context could hold
+    references invisible to the trace; run it on a quiescent system or
+    between scheduling slices. Embryos, pinned and scheduled objects,
+    immigrants and forwarding stubs are never freed. *)

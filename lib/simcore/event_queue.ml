@@ -65,6 +65,12 @@ let pop q =
     Some (top.time, top.value)
   end
 
+let iter f q =
+  for i = 0 to q.len - 1 do
+    let e = q.heap.(i) in
+    f e.time e.value
+  done
+
 let peek_time q = if q.len = 0 then None else Some q.heap.(0).time
 let size q = q.len
 let is_empty q = q.len = 0

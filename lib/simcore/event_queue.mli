@@ -16,6 +16,10 @@ val pop : 'a t -> (Time.t * 'a) option
 val peek_time : 'a t -> Time.t option
 (** Timestamp of the earliest event without removing it. *)
 
+val iter : (Time.t -> 'a -> unit) -> 'a t -> unit
+(** Visits every queued event in unspecified (heap) order, without
+    removing anything. For inspection passes only. *)
+
 val size : 'a t -> int
 
 val is_empty : 'a t -> bool

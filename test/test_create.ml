@@ -130,7 +130,12 @@ let test_figure4_race () =
         ~handler:rt0.Kernel.shared.Kernel.h_create
         ~size_bytes:(Protocol.create_bytes [ Value.int 5 ])
         (Protocol.P_create
-           { slot; cls_id = counter.Kernel.cls_id; args = [ Value.int 5 ] }));
+           {
+             slot;
+             cls_id = counter.Kernel.cls_id;
+             args = [ Value.int 5 ];
+             gc_refs = [];
+           }));
   System.run sys;
   let st = System.stats sys in
   Alcotest.(check int) "early message hit the fault table" 1

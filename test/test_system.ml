@@ -65,7 +65,7 @@ let test_duplicate_creation_rejected () =
   let send_create () =
     Machine.Engine.send_am machine ~src:node0 ~dst:1
       ~handler:rt0.Kernel.shared.Kernel.h_create ~size_bytes:12
-      (Protocol.P_create { slot; cls_id = cls.Kernel.cls_id; args = [] })
+      (Protocol.P_create { slot; cls_id = cls.Kernel.cls_id; args = []; gc_refs = [] })
   in
   Machine.Engine.post machine node0 (fun () ->
       send_create ();
@@ -84,7 +84,7 @@ let test_unregistered_class_rejected () =
   Machine.Engine.post machine node0 (fun () ->
       Machine.Engine.send_am machine ~src:node0 ~dst:1
         ~handler:rt0.Kernel.shared.Kernel.h_create ~size_bytes:12
-        (Protocol.P_create { slot; cls_id = cls.Kernel.cls_id; args = [] }));
+        (Protocol.P_create { slot; cls_id = cls.Kernel.cls_id; args = []; gc_refs = [] }));
   Alcotest.check_raises "unknown class id"
     (Invalid_argument "System: remote creation of unregistered class")
     (fun () -> System.run sys)
