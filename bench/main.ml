@@ -4,7 +4,7 @@
      dune exec bench/main.exe -- [sections] [--full] [--smoke]
 
    Sections: table1 table2 table3 table4 fig5 fig6 ablations faults
-   migrate bechamel all (default: all). --full runs the paper-scale
+   migrate dgc coalesce bechamel all (default: all). --full runs the paper-scale
    N=13 / 512-node configurations; without it the harness caps at N<=11
    so a full pass stays around a minute. --smoke shrinks the fault
    sweep to two drop rates and the migration bench to N=7 for CI. *)
@@ -743,6 +743,171 @@ let dgc_bench ~smoke () =
       exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Aggregation: per-destination batching of bursty traffic             *)
+(* ------------------------------------------------------------------ *)
+
+type Machine.Am.payload += B_stamp of int
+
+(* Bursty sender: each round, a few nodes enqueue a back-to-back burst
+   of small messages to a few destinations — the pattern of the
+   runtime's control services (DGC decrement flushes, load gossip),
+   where the processor queues a sweep's worth of sends and moves on.
+   The sends are gap-0 on purpose: spaced sends never outrun the
+   injection port and always take the bypass path (that invariance is
+   what the Table-1 gate below checks). Receive handling is made cheap
+   (and identical in both configs) so the row measures the transport,
+   not the receiver's dispatch loop. *)
+let coalesce_burst ~coal ~faults ~rounds ~senders ~dests ~burst =
+  let nodes = 16 in
+  let msg_bytes = 8 in
+  let round_gap = 50_000 in
+  let config =
+    {
+      Machine.Engine.default_config with
+      Machine.Engine.cost =
+        { Machine.Cost_model.default with msg_receive_handling = 2 };
+      coalesce = (if coal then Some Machine.Coalesce.default_config else None);
+      faults;
+    }
+  in
+  let m = Machine.Engine.create ~config ~nodes () in
+  let count = ref 0 and lat_sum = ref 0 in
+  let h =
+    Machine.Engine.register_handler m Machine.Am.Service ~name:"coal-stamp"
+      (fun _ node am ->
+        match am.Machine.Am.payload with
+        | B_stamp t0 ->
+            incr count;
+            lat_sum := !lat_sum + (Machine.Node.now node - t0)
+        | _ -> ())
+  in
+  for r = 0 to rounds - 1 do
+    Machine.Engine.schedule_at m ~time:(r * round_gap) (fun () ->
+        for s = 0 to senders - 1 do
+          let src = Machine.Engine.node m s in
+          Machine.Engine.post m src (fun () ->
+              for d = 1 to dests do
+                let dst = (s + (d * 4) + 1) mod nodes in
+                for _ = 1 to burst do
+                  Machine.Engine.send_am m ~src ~dst ~handler:h
+                    ~size_bytes:msg_bytes
+                    (B_stamp (Machine.Node.now src))
+                done
+              done)
+        done)
+  done;
+  Machine.Engine.run m;
+  (m, !count, float_of_int !lat_sum /. float_of_int (max 1 !count))
+
+let coalesce_bench ~smoke () =
+  header "Aggregation: per-destination batching under bursty control traffic";
+  let rounds = if smoke then 8 else 32 in
+  let senders = 4 and dests = 3 and burst = 16 in
+  let expected = rounds * senders * dests * burst in
+  let row name (m, count, mean) =
+    Format.printf
+      "%-18s %6d msgs %8d packet(s) %10d bytes  mean latency %8.0f ns@." name
+      count
+      (Machine.Engine.packets_sent m)
+      (Machine.Engine.bytes_sent m) mean;
+    (m, count, mean)
+  in
+  let off =
+    row "batching off" (coalesce_burst ~coal:false ~faults:None ~rounds ~senders ~dests ~burst)
+  in
+  let on =
+    row "batching on" (coalesce_burst ~coal:true ~faults:None ~rounds ~senders ~dests ~burst)
+  in
+  let m_off, n_off, lat_off = off and m_on, n_on, lat_on = on in
+  if n_off <> expected || n_on <> expected then begin
+    Format.printf "FAILED delivery-count gate (expected %d)@." expected;
+    exit 1
+  end;
+  let p_off = Machine.Engine.packets_sent m_off
+  and p_on = Machine.Engine.packets_sent m_on in
+  (match Machine.Engine.coalesce_stats m_on with
+  | Some s ->
+      Format.printf
+        "flush causes: size %d idle %d deadline %d ack %d credit %d; frames \
+         per batch %a@."
+        s.Machine.Coalesce.s_flush_size s.Machine.Coalesce.s_flush_idle
+        s.Machine.Coalesce.s_flush_deadline s.Machine.Coalesce.s_flush_ack
+        s.Machine.Coalesce.s_flush_credit Simcore.Histogram.pp
+        s.Machine.Coalesce.s_occupancy
+  | None -> ());
+  Format.printf
+    "packet reduction %.1fx (gate: >= 2x), mean latency %.0f -> %.0f ns \
+     (gate: lower)@."
+    (float_of_int p_off /. float_of_int (max 1 p_on))
+    lat_off lat_on;
+  if p_off < 2 * p_on then begin
+    Format.printf "FAILED packet-reduction gate@.";
+    exit 1
+  end;
+  if lat_on >= lat_off then begin
+    Format.printf "FAILED mean-latency gate@.";
+    exit 1
+  end;
+
+  (* Same burst under a lossy fabric: whole batches share a fate, the
+     reliable layer re-sequences their frames, and delivery must still
+     be exactly-once. *)
+  let plan = Network.Faults.plan ~seed:11 ~drop:0.05 ~duplicate:0.02 () in
+  let m_f, n_f, lat_f =
+    coalesce_burst ~coal:true ~faults:(Some plan) ~rounds ~senders ~dests
+      ~burst
+  in
+  let rel = Option.get (Machine.Engine.reliable m_f) in
+  let acks_piggy = ref 0 in
+  for node = 0 to Machine.Engine.node_count m_f - 1 do
+    acks_piggy := !acks_piggy + Machine.Reliable.node_acks_piggybacked rel node
+  done;
+  Format.printf
+    "with 5%% drop: %6d msgs %8d packet(s), mean latency %8.0f ns, %d \
+     dropped, %d ack(s) piggybacked on batches, in flight %d@."
+    n_f
+    (Machine.Engine.packets_sent m_f)
+    lat_f
+    (Machine.Engine.packets_dropped m_f)
+    !acks_piggy
+    (Machine.Engine.reliable_in_flight m_f);
+  if n_f <> expected || Machine.Engine.reliable_in_flight m_f <> 0 then begin
+    Format.printf "FAILED exactly-once-under-faults gate@.";
+    exit 1
+  end;
+
+  (* The bypass invariant: with aggregation enabled but traffic spaced
+     (every app workload — sends cost setup instructions that outpace
+     the injection port), Table 1 must not move. *)
+  let coal_cfg =
+    {
+      Machine.Engine.default_config with
+      Machine.Engine.coalesce = Some Machine.Coalesce.default_config;
+    }
+  in
+  let base = Apps.Microbench.measure () in
+  let with_coal = Apps.Microbench.measure ~machine_config:coal_cfg () in
+  let dev a b = 100. *. (b -. a) /. a in
+  let d_dorm =
+    dev base.Apps.Microbench.intra_dormant_ns
+      with_coal.Apps.Microbench.intra_dormant_ns
+  and d_inter =
+    dev base.Apps.Microbench.inter_latency_ns
+      with_coal.Apps.Microbench.inter_latency_ns
+  in
+  Format.printf
+    "Table 1 with aggregation on: dormant send %.2f us (%+.1f%%), inter-node \
+     latency %.2f us (%+.1f%%)  (gate: within 5%%)@."
+    (with_coal.intra_dormant_ns /. 1000.)
+    d_dorm
+    (with_coal.inter_latency_ns /. 1000.)
+    d_inter;
+  if Float.abs d_dorm > 5. || Float.abs d_inter > 5. then begin
+    Format.printf "FAILED Table-1 preservation gate@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock cost of the simulator itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -808,5 +973,6 @@ let () =
   if want "faults" then faults ~smoke ();
   if want "migrate" then migrate_bench ~smoke ();
   if want "dgc" then dgc_bench ~smoke ();
+  if want "coalesce" then coalesce_bench ~smoke ();
   if want "bechamel" then bechamel ();
   Format.printf "@."

@@ -135,8 +135,20 @@ let rec encoded_size (v : Value.t) =
   | Value.List vs | Value.Tuple vs ->
       4 + List.fold_left (fun acc v -> acc + encoded_size v) 0 vs
 
-let encode_message (m : Message.t) =
-  let buf = Buffer.create 64 in
+(* Exact encoded length of a message, so send paths can pre-size a
+   buffer and encode in a single pass with no intermediate growth. Keep
+   in lockstep with [encode_message_into]. *)
+let encoded_message_size (m : Message.t) =
+  3
+  + String.length (Pattern.name m.pattern)
+  + 3 (* arity *) + 3 (* src_node *) + 1
+  + (match m.reply with None -> 0 | Some _ -> 11)
+  + 3
+  + List.fold_left (fun acc v -> acc + encoded_size v) 0 m.args
+  + 3
+  + (17 * List.length m.gc_refs)
+
+let encode_message_into buf (m : Message.t) =
   let keyword = Pattern.name m.pattern in
   add_len buf (String.length keyword);
   Buffer.add_string buf keyword;
@@ -159,11 +171,14 @@ let encode_message (m : Message.t) =
       (* backer is -1 (no indirection) or a node id; biased to stay
          non-negative on the wire *)
       add_len buf (r.Message.gr_backer + 1))
-    m.gc_refs;
+    m.gc_refs
+
+let encode_message (m : Message.t) =
+  let buf = Buffer.create (encoded_message_size m) in
+  encode_message_into buf m;
   Buffer.to_bytes buf
 
-let decode_message bytes =
-  let pos = 0 in
+let decode_message_at bytes ~pos =
   let len, pos = read_len bytes ~pos in
   if pos + len > Bytes.length bytes then failwith "Codec: truncated keyword";
   let keyword = Bytes.sub_string bytes pos len in
@@ -204,8 +219,38 @@ let decode_message bytes =
       refs (n - 1) pos (r :: acc)
   in
   let gc_refs, pos = refs refc pos [] in
-  if pos <> Bytes.length bytes then failwith "Codec: trailing garbage";
   let pattern = Pattern.intern keyword ~arity in
   let m = Message.make ~pattern ~args ?reply ~src_node () in
   m.Message.gc_refs <- gc_refs;
+  (m, pos)
+
+let decode_message bytes =
+  let m, pos = decode_message_at bytes ~pos:0 in
+  if pos <> Bytes.length bytes then failwith "Codec: trailing garbage";
   m
+
+(* Batches: a count followed by the messages back to back. Messages are
+   self-delimiting, so no per-message length word is needed — the
+   receiver walks the buffer with [decode_message_at]. The whole batch
+   is one allocation; no per-message [Bytes.sub] copies on either
+   side. *)
+let encode_batch (ms : Message.t list) =
+  let size =
+    List.fold_left (fun acc m -> acc + encoded_message_size m) 3 ms
+  in
+  let buf = Buffer.create size in
+  add_len buf (List.length ms);
+  List.iter (encode_message_into buf) ms;
+  Buffer.to_bytes buf
+
+let decode_batch bytes =
+  let count, pos = read_len bytes ~pos:0 in
+  let rec go n pos acc =
+    if n = 0 then
+      if pos <> Bytes.length bytes then failwith "Codec: trailing garbage"
+      else List.rev acc
+    else
+      let m, pos = decode_message_at bytes ~pos in
+      go (n - 1) pos (m :: acc)
+  in
+  go count pos []

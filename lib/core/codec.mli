@@ -22,5 +22,25 @@ val decode_message : Bytes.t -> Message.t
 (** Patterns are encoded by keyword + arity so the decoder re-interns
     them; ids therefore survive across address spaces. *)
 
+val encode_message_into : Buffer.t -> Message.t -> unit
+(** Appends the encoding of a message to [buf] — the zero-copy fast
+    path: a send loop reuses one scratch buffer instead of allocating a
+    fresh [Bytes.t] per message. *)
+
+val decode_message_at : Bytes.t -> pos:int -> Message.t * int
+(** Decodes one message starting at [pos]; returns it and the position
+    after it (messages are self-delimiting). No trailing-garbage check —
+    that is the caller's business when walking a shared buffer. *)
+
+val encode_batch : Message.t list -> Bytes.t
+val decode_batch : Bytes.t -> Message.t list
+(** An aggregated packet body: a count followed by the messages back to
+    back, encoded into one exactly-sized allocation with no per-message
+    copies on either side. *)
+
 val encoded_size : Value.t -> int
 (** Length of [value_to_bytes] without materialising it. *)
+
+val encoded_message_size : Message.t -> int
+(** Exact length of [encode_message] without materialising it — lets
+    send paths pre-size buffers for a single-pass encode. *)

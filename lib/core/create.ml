@@ -71,10 +71,11 @@ let on rt ~target cls args =
     let a = { Value.node = target; slot } in
     (* The creator now holds a remote address nobody minted weight for:
        the object was conjured at a pre-reserved chunk, not imported.
-       Grant-and-accept against ourselves puts a counted claim behind
-       the reference (the owner's side arrives as a debit). *)
+       Conjure a counted claim; the owner's matching mint is applied
+       when the creation request is processed ([gc_conjured]), so the
+       FIFO channel orders it before any decrement we later send. *)
     (match rt.shared.gc with
-    | Some g -> g.gc_accept rt (g.gc_grant rt [ Value.Addr a ] None)
+    | Some g -> g.gc_accept rt [ g.gc_conjure rt a ]
     | None -> ());
     a
   end

@@ -14,6 +14,8 @@ type report = {
   stock_low_water : int;
   in_flight : int;
   packets_dropped : int;
+  batches_sent : int;
+  coalesce_buffered : int;
   forwarding_stubs : (int * int) list;
   forwarded_hops : (int * int) list;
 }
@@ -89,12 +91,15 @@ let survey sys =
     stock_low_water = (if !low_water = max_int then 0 else !low_water);
     in_flight = Machine.Engine.reliable_in_flight machine;
     packets_dropped = Machine.Engine.packets_dropped machine;
+    batches_sent = Simcore.Stats.get stats "coalesce.batch";
+    coalesce_buffered = Machine.Engine.coalesce_buffered machine;
     forwarding_stubs = List.rev !stubs;
     forwarded_hops = List.rev !hops;
   }
 
 let is_clean r =
   r.blocked = [] && r.buffered = [] && r.chunk_waiters = 0 && r.in_flight = 0
+  && r.coalesce_buffered = 0
 
 let pp_stuck ppf s =
   Format.fprintf ppf "%a %s [%s]%s%s" Value.pp_addr s.addr s.cls_name s.mode
@@ -117,7 +122,9 @@ let pp_migration ppf r =
       (String.concat ", "
          (List.map
             (fun (n, c) -> Printf.sprintf "node %d: %d" n c)
-            r.forwarded_hops))
+            r.forwarded_hops));
+  if r.batches_sent > 0 then
+    Format.fprintf ppf "@,aggregated batches: %d" r.batches_sent
 
 let pp ppf r =
   if is_clean r then begin
@@ -148,6 +155,11 @@ let pp ppf r =
       Format.fprintf ppf
         "%d message(s) lost in flight (unacknowledged at quiescence)@,"
         r.in_flight;
+    if r.coalesce_buffered > 0 then
+      Format.fprintf ppf
+        "%d message(s) still parked in aggregation buffers (no idle or \
+         deadline flush reached them)@,"
+        r.coalesce_buffered;
     pp_migration ppf r;
     Format.fprintf ppf "@]"
   end

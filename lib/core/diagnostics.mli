@@ -32,6 +32,13 @@ type report = {
   packets_dropped : int;
       (** packets the fault layer destroyed during the run (these were
           all repaired by retransmission iff [in_flight] is 0) *)
+  batches_sent : int;
+      (** aggregated multi-frame packets shipped over the run (the
+          "coalesce.batch" counter; 0 with coalescing off) *)
+  coalesce_buffered : int;
+      (** messages still sitting in open aggregation buffers at survey
+          time — nonzero at quiescence means a flush trigger never
+          fired, and counts against {!is_clean} *)
   forwarding_stubs : (int * int) list;
       (** (node, live forwarding stubs) — objects that migrated away and
           left a re-posting VFT behind. Healthy residue, not counted
@@ -46,6 +53,7 @@ val survey : System.t -> report
 
 val is_clean : report -> bool
 (** No suspended contexts, no buffered messages, no stalled requesters,
-    and no message still unacknowledged by the reliable layer. *)
+    no message still unacknowledged by the reliable layer, and no
+    message stranded in an aggregation buffer. *)
 
 val pp : Format.formatter -> report -> unit

@@ -180,6 +180,16 @@ and gc = {
   gc_accept : node_rt -> Message.gc_ref list -> unit;
       (** a manifest arrived with a message this node takes custody of:
           credit the local stub/scion tables *)
+  gc_conjure : node_rt -> Value.addr -> Message.gc_ref;
+      (** remote creation conjured [addr] at a pre-reserved chunk: build
+          the creator's counted claim. The owner's matching mint is
+          applied by [gc_conjured] when the creation request itself is
+          processed — the mint must ride the (FIFO) creation message,
+          not a separate debit, or a sweep landing between the two
+          frees the newborn under its creator's reference *)
+  gc_conjured : node_rt -> int -> unit;
+      (** the owner-side mint for a conjured chunk: credit [slot]'s
+          scion with the weight [gc_conjure] claimed *)
 }
 
 and shared = {
@@ -257,6 +267,9 @@ and node_rt = {
   mutable leaf_depth : int;
       (** >0 while a [leaf]-optimised method runs (blocking forbidden) *)
   mutable work_since_yield : int;  (** instructions since last yield *)
+  scratch : Buffer.t;
+      (** per-node codec scratch: the send path encodes into this one
+          reused buffer instead of allocating per message *)
   rng : Simcore.Rng.t;
 }
 

@@ -330,9 +330,14 @@ let send rt ~target ~pattern ~args ?reply () =
         | None -> ());
         let msg =
           (* Optionally prove the message serialisable by shipping its
-             codec round trip instead of the original. *)
-          if rt.shared.config.codec_check then
-            Codec.decode_message (Codec.encode_message msg)
+             codec round trip instead of the original. Encodes into the
+             node's reused scratch buffer (cleared, pre-sized by
+             [encoded_message_size]) rather than allocating per send. *)
+          if rt.shared.config.codec_check then begin
+            Buffer.clear rt.Kernel.scratch;
+            Codec.encode_message_into rt.Kernel.scratch msg;
+            Codec.decode_message (Buffer.to_bytes rt.Kernel.scratch)
+          end
           else msg
         in
         Machine.Engine.send_am (machine rt) ~src:rt.node ~dst:target.Value.node

@@ -52,6 +52,12 @@ let create_handler _machine node am =
       (match rt.shared.gc with
       | Some g when gc_refs <> [] -> g.gc_accept rt gc_refs
       | _ -> ());
+      (* The creator's conjured claim: mint the owner-side weight now,
+         while the FIFO channel still guarantees no decrement for this
+         incarnation has been processed. *)
+      (match rt.shared.gc with
+      | Some g -> g.gc_conjured rt slot
+      | None -> ());
       let obj = Sched.lookup_or_embryo rt slot in
       (match obj.cls with
       | Some _ -> invalid_arg "System: duplicate creation request"
@@ -163,6 +169,7 @@ let boot ?(machine_config = Engine.default_config)
         depth = 0;
         leaf_depth = 0;
         work_since_yield = 0;
+        scratch = Buffer.create 256;
         rng =
           Simcore.Rng.create
             ~seed:(((Engine.config machine).Engine.seed * 1_000_003) + i);

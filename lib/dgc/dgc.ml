@@ -118,12 +118,14 @@ type t = {
   c_restocked : int ref;
   c_restocked_node : int ref array;
   c_dec_msgs : int ref;
+  c_dec_piggybacked : int ref;
   c_dec_entries : int ref;
   c_dec_entries_node : int ref array;
   c_grants : int ref;
   c_splits : int ref;
   c_indirections : int ref;
   c_debits : int ref;
+  c_conjures : int ref;
   c_recalls : int ref;
   c_unstubs : int ref;
 }
@@ -235,6 +237,25 @@ let gc_grant t rt values reply =
             { Message.gr_addr = a; gr_weight = t.grant; gr_backer = -1 })
     (collect_addrs values reply)
 
+(* --- the conjure pair (Kernel.gc.gc_conjure / gc_conjured) --------- *)
+
+(* Remote creation: the creator claims [grant] weight for the address it
+   conjured; the owner mints the matching scion credit while processing
+   the creation request itself. Because mint and claim travel inside the
+   (FIFO-ordered) creation message, no decrement for this incarnation
+   can be applied before the mint — the asynchronous-debit variant left
+   a window in which a sweep saw no scion entry and freed the newborn
+   under its creator's live reference. *)
+let gc_conjure t rt (a : Value.addr) =
+  Kernel.charge rt (Engine.cost t.machine).Cost_model.gc_dec_entry;
+  incr t.c_conjures;
+  { Message.gr_addr = a; gr_weight = t.grant; gr_backer = -1 }
+
+let gc_conjured t rt slot =
+  let d = t.nodes.(Machine.Node.id rt.Kernel.node) in
+  let cell = scion_cell d slot in
+  cell := !cell + t.grant
+
 (* --- the import hook (Kernel.gc.gc_accept) ------------------------ *)
 
 let gc_accept t rt refs =
@@ -267,21 +288,54 @@ let gc_accept t rt refs =
 
 (* --- decrement delivery ------------------------------------------- *)
 
+let note_dec_entries t node n =
+  t.c_dec_entries := !(t.c_dec_entries) + n;
+  let cn = t.c_dec_entries_node.(node) in
+  cn := !cn + n
+
+(* Snapshot the pending table before sending: with aggregation live,
+   send_am can flush a batch, which re-enters this module through the
+   piggyback hook below — mutating [d_out] mid-[Hashtbl.iter] would be
+   undefined. After the reset the hook just finds the table empty. *)
 let flush t node rt d =
-  Hashtbl.iter
-    (fun dst b ->
+  let pending = Hashtbl.fold (fun dst b acc -> (dst, b) :: acc) d.d_out [] in
+  Hashtbl.reset d.d_out;
+  List.iter
+    (fun (dst, b) ->
       if b.b_decs <> [] || b.b_inds <> [] then begin
         let n = List.length b.b_decs + List.length b.b_inds in
         incr t.c_dec_msgs;
-        t.c_dec_entries := !(t.c_dec_entries) + n;
-        let cn = t.c_dec_entries_node.(node) in
-        cn := !cn + n;
+        note_dec_entries t node n;
         Engine.send_am t.machine ~src:rt.Kernel.node ~dst ~handler:t.h_dec
           ~size_bytes:(8 + (8 * n))
           (G_dec { decs = b.b_decs; ind_decs = b.b_inds })
       end)
-    d.d_out;
-  Hashtbl.reset d.d_out
+    pending
+
+(* Flush-time piggyback: a batch from [src] to [dst] is leaving anyway,
+   so any decrements parked for that destination ride it — the refund
+   traffic the paper worries about stops costing packets of its own. *)
+let piggyback_riders t ~src ~dst =
+  let d = t.nodes.(src) in
+  match Hashtbl.find_opt d.d_out dst with
+  | None -> []
+  | Some b ->
+      Hashtbl.remove d.d_out dst;
+      if b.b_decs = [] && b.b_inds = [] then []
+      else begin
+        let n = List.length b.b_decs + List.length b.b_inds in
+        incr t.c_dec_msgs;
+        incr t.c_dec_piggybacked;
+        note_dec_entries t src n;
+        [
+          {
+            Machine.Am.handler = t.h_dec;
+            src;
+            size_bytes = 8 + (8 * n);
+            payload = G_dec { decs = b.b_decs; ind_decs = b.b_inds };
+          };
+        ]
+      end
 
 let on_dec t node_id rt ~decs ~ind_decs =
   let d = t.nodes.(node_id) in
@@ -624,28 +678,35 @@ let attach ?migrate ?(interval_ns = 0) ?(grant_weight = 64) sys =
       c_restocked = ctr "dgc.restocked";
       c_restocked_node = per_node "dgc.restocked.node%d";
       c_dec_msgs = ctr "dgc.dec.msgs";
+      c_dec_piggybacked = ctr "dgc.dec.piggybacked";
       c_dec_entries = ctr "dgc.dec.entries";
       c_dec_entries_node = per_node "dgc.dec.entries.node%d";
       c_grants = ctr "dgc.grants";
       c_splits = ctr "dgc.splits";
       c_indirections = ctr "dgc.indirections";
       c_debits = ctr "dgc.debits";
+      c_conjures = ctr "dgc.conjures";
       c_recalls = ctr "dgc.recalls";
       c_unstubs = ctr "dgc.unstubs";
     }
   in
   tref := Some t;
+  Engine.set_piggyback_source machine
+    (Some (fun ~src ~dst -> piggyback_riders t ~src ~dst));
   let shared = (Core.System.rt sys 0).Kernel.shared in
   shared.Kernel.gc <-
     Some
       {
         Kernel.gc_grant = (fun rt values reply -> gc_grant t rt values reply);
         gc_accept = (fun rt refs -> gc_accept t rt refs);
+        gc_conjure = (fun rt a -> gc_conjure t rt a);
+        gc_conjured = (fun rt slot -> gc_conjured t rt slot);
       };
   arm_timers t;
   t
 
 let detach t =
+  Engine.set_piggyback_source t.machine None;
   let shared = (Core.System.rt t.sys 0).Kernel.shared in
   shared.Kernel.gc <- None
 
@@ -657,6 +718,7 @@ let restocked t = !(t.c_restocked)
 let recalls t = !(t.c_recalls)
 let unstubs t = !(t.c_unstubs)
 let dec_entries t = !(t.c_dec_entries)
+let dec_piggybacked t = !(t.c_dec_piggybacked)
 
 let scion_weight t ~node ~slot =
   match Hashtbl.find_opt t.nodes.(node).d_scion slot with

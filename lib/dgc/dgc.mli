@@ -85,6 +85,10 @@ val dec_entries : t -> int
     ("dgc.dec.entries"); compare with "dgc.dec.msgs" for the batching
     ratio. *)
 
+val dec_piggybacked : t -> int
+(** [G_dec] messages that travelled as riders on departing aggregation
+    batches instead of as packets of their own (coalescing only). *)
+
 val scion_weight : t -> node:int -> slot:int -> int
 (** Net weight the owner believes is outstanding for its local [slot]
     (0 when never exported; transiently negative under a debit race). *)

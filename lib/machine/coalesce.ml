@@ -1,0 +1,285 @@
+(* Per-destination aggregation of outgoing frames (the batching half of
+   the paper's overhead-amortisation story, applied to the inter-node
+   path). The module is a passive, deterministic state machine: the
+   engine asks it what to do with each outgoing frame and tells it when
+   flush triggers fire; all fabric and clock work stays in the engine.
+
+   One buffer per (src, dst) channel. A frame offered to an empty buffer
+   while the source injection port is idle *bypasses* aggregation — the
+   wire is free, waiting could only add latency, and the single-message
+   path stays bit-identical to the unbatched build (the Table-1 numbers).
+   Aggregation engages exactly when frames are produced faster than the
+   port drains them (send bursts, control-plane fan-out): the excess
+   accumulates and leaves as one packet, paying one header and one
+   hardware launch.
+
+   Flush triggers, in the order they usually fire:
+   - size: the buffer reached the byte or frame threshold (checked on
+     append, so a threshold flush adds no waiting at all);
+   - idle: the sending node ran out of work (the paper's poll-when-
+     dormant moment — anything still buffered leaves before the node
+     sleeps, so a batch of one flushes with zero added delay);
+   - deadline: an age limit for buffers opened mid-slice on a node that
+     keeps computing (bounds worst-case added latency);
+   - ack: the reliable layer owed the peer a standalone ack and an open
+     batch can carry it instead;
+   - credit: a flush was blocked by flow control and a credit returned.
+
+   Credits are per-channel: at most [credits] batches (or bypass
+   singles) may be outstanding — flushed but not yet landed — per
+   destination, so one hot channel cannot monopolise the injection port
+   while others starve. A blocked flush parks ([starved]) and fires on
+   the next credit return. *)
+
+type config = {
+  max_batch_bytes : int;
+  max_batch_frames : int;
+  max_delay_ns : int;
+  credits : int;
+}
+
+let default_config =
+  {
+    max_batch_bytes = 512;
+    max_batch_frames = 16;
+    max_delay_ns = 5_000;
+    credits = 4;
+  }
+
+type cause = Size | Idle | Deadline | Ack | Credit
+
+let cause_name = function
+  | Size -> "size"
+  | Idle -> "idle"
+  | Deadline -> "deadline"
+  | Ack -> "ack"
+  | Credit -> "credit"
+
+type 'a chan = {
+  mutable buf : 'a list;  (** newest first; reversed on take *)
+  mutable frames : int;
+  mutable bytes : int;  (** wire bytes incl. per-frame batch headers *)
+  mutable opened : Simcore.Time.t;  (** first append of the current buffer *)
+  mutable newest : Simcore.Time.t;  (** latest append (causality floor) *)
+  mutable armed : bool;  (** a deadline event is in the engine queue *)
+  mutable credit : int;
+  mutable starved : bool;  (** a flush is waiting for a credit *)
+  mutable listed : bool;  (** dst present in the per-src open list *)
+}
+
+type 'a t = {
+  cfg : config;
+  nodes : int;
+  chans : (int, 'a chan) Hashtbl.t;  (** keyed by src * nodes + dst *)
+  open_dsts_by_src : int list array;  (** dsts with (possibly) open buffers *)
+  mutable total_buffered : int;
+  (* statistics *)
+  mutable batches : int;
+  mutable singles : int;  (** bypass sends (batches of one, no waiting) *)
+  mutable frames_sent : int;  (** frames shipped inside batches *)
+  mutable riders : int;  (** piggybacked control AMs appended at flush *)
+  mutable flush_size : int;
+  mutable flush_idle : int;
+  mutable flush_deadline : int;
+  mutable flush_ack : int;
+  mutable flush_credit : int;
+  occupancy : Simcore.Histogram.t;  (** frames per batch *)
+  node_batches : int array;
+  node_singles : int array;
+}
+
+type stats = {
+  s_batches : int;
+  s_singles : int;
+  s_frames : int;
+  s_riders : int;
+  s_flush_size : int;
+  s_flush_idle : int;
+  s_flush_deadline : int;
+  s_flush_ack : int;
+  s_flush_credit : int;
+  s_buffered : int;
+  s_occupancy : Simcore.Histogram.t;
+  s_node_batches : int array;
+  s_node_singles : int array;
+}
+
+let create ?(config = default_config) ~nodes () =
+  if config.max_batch_frames < 2 then
+    invalid_arg "Coalesce.create: max_batch_frames must be >= 2";
+  if config.max_batch_bytes < 16 then
+    invalid_arg "Coalesce.create: max_batch_bytes must be >= 16";
+  if config.credits < 1 then invalid_arg "Coalesce.create: credits must be >= 1";
+  if config.max_delay_ns < 1 then
+    invalid_arg "Coalesce.create: max_delay_ns must be >= 1";
+  {
+    cfg = config;
+    nodes;
+    chans = Hashtbl.create 64;
+    open_dsts_by_src = Array.make nodes [];
+    total_buffered = 0;
+    batches = 0;
+    singles = 0;
+    frames_sent = 0;
+    riders = 0;
+    flush_size = 0;
+    flush_idle = 0;
+    flush_deadline = 0;
+    flush_ack = 0;
+    flush_credit = 0;
+    occupancy = Simcore.Histogram.create ~bucket_width:2 ();
+    node_batches = Array.make nodes 0;
+    node_singles = Array.make nodes 0;
+  }
+
+let config t = t.cfg
+
+let chan_of t ~src ~dst =
+  let k = (src * t.nodes) + dst in
+  match Hashtbl.find_opt t.chans k with
+  | Some ch -> ch
+  | None ->
+      let ch =
+        {
+          buf = [];
+          frames = 0;
+          bytes = 0;
+          opened = 0;
+          newest = 0;
+          armed = false;
+          credit = t.cfg.credits;
+          starved = false;
+          listed = false;
+        }
+      in
+      Hashtbl.add t.chans k ch;
+      ch
+
+type verdict = [ `Bypass | `Opened | `Buffered | `Threshold ]
+
+let offer t ~src ~dst ~now ~bytes ~port_free item : verdict =
+  let ch = chan_of t ~src ~dst in
+  if ch.frames = 0 && port_free && ch.credit > 0 then begin
+    (* The wire is idle and nothing is queued: aggregation could only
+       delay this frame. Send it alone, exactly as the unbatched build
+       would (the caller uses the plain single-frame path). *)
+    ch.credit <- ch.credit - 1;
+    t.singles <- t.singles + 1;
+    t.node_singles.(src) <- t.node_singles.(src) + 1;
+    `Bypass
+  end
+  else begin
+    ch.buf <- item :: ch.buf;
+    ch.frames <- ch.frames + 1;
+    ch.bytes <- ch.bytes + bytes;
+    ch.newest <- max ch.newest now;
+    t.total_buffered <- t.total_buffered + 1;
+    if ch.frames = 1 then begin
+      ch.opened <- now;
+      if not ch.listed then begin
+        ch.listed <- true;
+        t.open_dsts_by_src.(src) <- dst :: t.open_dsts_by_src.(src)
+      end
+    end;
+    if ch.frames >= t.cfg.max_batch_frames || ch.bytes >= t.cfg.max_batch_bytes
+    then `Threshold
+    else if ch.frames = 1 && not ch.armed then begin
+      ch.armed <- true;
+      `Opened
+    end
+    else `Buffered
+  end
+
+let take t ~src ~dst =
+  let ch = chan_of t ~src ~dst in
+  if ch.frames = 0 then None
+  else if ch.credit = 0 then begin
+    ch.starved <- true;
+    None
+  end
+  else begin
+    ch.credit <- ch.credit - 1;
+    ch.starved <- false;
+    let items = List.rev ch.buf in
+    let bytes = ch.bytes and newest = ch.newest in
+    t.total_buffered <- t.total_buffered - ch.frames;
+    ch.buf <- [];
+    ch.frames <- 0;
+    ch.bytes <- 0;
+    Some (items, bytes, newest)
+  end
+
+let note_batch t ~src ~frames ~riders ~cause =
+  t.batches <- t.batches + 1;
+  t.node_batches.(src) <- t.node_batches.(src) + 1;
+  t.frames_sent <- t.frames_sent + frames;
+  t.riders <- t.riders + riders;
+  Simcore.Histogram.observe t.occupancy frames;
+  match cause with
+  | Size -> t.flush_size <- t.flush_size + 1
+  | Idle -> t.flush_idle <- t.flush_idle + 1
+  | Deadline -> t.flush_deadline <- t.flush_deadline + 1
+  | Ack -> t.flush_ack <- t.flush_ack + 1
+  | Credit -> t.flush_credit <- t.flush_credit + 1
+
+let deadline_check t ~src ~dst ~now =
+  let ch = chan_of t ~src ~dst in
+  if ch.frames = 0 then begin
+    ch.armed <- false;
+    `Idle
+  end
+  else if now >= ch.opened + t.cfg.max_delay_ns then begin
+    ch.armed <- false;
+    `Flush
+  end
+  else begin
+    (* The buffer the event was armed for already flushed and a fresh
+       one opened since: follow the new buffer's age. *)
+    `Rearm (ch.opened + t.cfg.max_delay_ns)
+  end
+
+let credit_return t ~src ~dst =
+  let ch = chan_of t ~src ~dst in
+  ch.credit <- min (ch.credit + 1) t.cfg.credits;
+  if ch.starved && ch.frames > 0 then begin
+    ch.starved <- false;
+    `Flush
+  end
+  else begin
+    ch.starved <- false;
+    `Idle
+  end
+
+let has_open t ~src ~dst =
+  match Hashtbl.find_opt t.chans ((src * t.nodes) + dst) with
+  | Some ch -> ch.frames > 0
+  | None -> false
+
+(* Destinations with open buffers for [src], compacting the list (a dst
+   flushed by deadline or threshold since it was listed drops out). *)
+let open_dsts t ~src =
+  let live, dead =
+    List.partition (fun dst -> has_open t ~src ~dst) t.open_dsts_by_src.(src)
+  in
+  List.iter (fun dst -> (chan_of t ~src ~dst).listed <- false) dead;
+  t.open_dsts_by_src.(src) <- live;
+  live
+
+let buffered t = t.total_buffered
+
+let stats t =
+  {
+    s_batches = t.batches;
+    s_singles = t.singles;
+    s_frames = t.frames_sent;
+    s_riders = t.riders;
+    s_flush_size = t.flush_size;
+    s_flush_idle = t.flush_idle;
+    s_flush_deadline = t.flush_deadline;
+    s_flush_ack = t.flush_ack;
+    s_flush_credit = t.flush_credit;
+    s_buffered = t.total_buffered;
+    s_occupancy = t.occupancy;
+    s_node_batches = Array.copy t.node_batches;
+    s_node_singles = Array.copy t.node_singles;
+  }

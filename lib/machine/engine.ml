@@ -7,6 +7,7 @@ type config = {
   seed : int;
   faults : Network.Faults.plan option;
   reliable : Reliable.config;
+  coalesce : Coalesce.config option;
 }
 
 let default_config =
@@ -17,17 +18,26 @@ let default_config =
     seed = 42;
     faults = None;
     reliable = Reliable.default_config;
+    coalesce = None;
   }
 
 (* What actually travels through the fabric: bare AMs on a perfect
-   network, protocol frames under a fault plan. *)
-type wire = Data of Am.t | Framed of Reliable.frame
+   network, protocol frames under a fault plan — singly, or as one
+   multi-frame packet when the aggregation layer is on. *)
+type wire =
+  | Data of Am.t
+  | Framed of Reliable.frame
+  | Batch_data of Am.t list
+  | Batch_framed of Reliable.frame list
 
 type event =
   | Wake of int
   | Frame_rx of { src : int; dst : int; frame : Reliable.frame }
   | Rel_tick of { src : int; dst : int }  (** retransmit timer *)
   | Ack_tick of { me : int; peer : int }  (** delayed standalone ack *)
+  | Co_flush of { src : int; dst : int }  (** aggregation age deadline *)
+  | Co_credit of { src : int; dst : int }
+      (** a flushed batch landed: return its flow-control credit *)
   | Timer of (unit -> unit)
       (** engine-level timer (periodic services: gossip, migration
           policies); the thunk decides for itself whether to re-arm *)
@@ -52,16 +62,29 @@ and t = {
   mutable vnow : Simcore.Time.t;
   mutable observer : (observation -> unit) option;
   rel : Reliable.t option;  (** live iff the fault plan is non-trivial *)
+  co : coal option;  (** live iff [config.coalesce] is set *)
+  mutable piggyback : (src:int -> dst:int -> Am.t list) option;
+      (** flush-time hook: control AMs (DGC decrements, …) to append to
+          a departing batch instead of sending dedicated packets *)
   c_drop : int ref;
   c_dup : int ref;
   c_retransmit : int ref;
   c_dup_discard : int ref;
   c_ack : int ref;
+  c_co_batch : int ref;
+  c_co_single : int ref;
+  c_co_rider : int ref;
 }
+
+(* The aggregation layer batches whatever the transport underneath it
+   carries: bare AMs fault-free, sequenced protocol frames under a
+   fault plan. *)
+and coal = Co_data of Am.t Coalesce.t | Co_framed of Reliable.frame Coalesce.t
 
 and observation =
   | Obs_deliver of { time : Simcore.Time.t; src : int; dst : int }
   | Obs_slice of { node : int; t_start : Simcore.Time.t; t_end : Simcore.Time.t }
+  | Obs_batch of { time : Simcore.Time.t; src : int; dst : int; frames : int }
 
 let create ?(config = default_config) ~nodes:n () =
   if n < 1 then invalid_arg "Engine.create: need at least one node";
@@ -90,11 +113,22 @@ let create ?(config = default_config) ~nodes:n () =
       (match faults with
       | Some _ -> Some (Reliable.create ~config:config.reliable ~nodes:n ())
       | None -> None);
+    co =
+      (match config.coalesce with
+      | None -> None
+      | Some c -> (
+          match faults with
+          | Some _ -> Some (Co_framed (Coalesce.create ~config:c ~nodes:n ()))
+          | None -> Some (Co_data (Coalesce.create ~config:c ~nodes:n ()))));
+    piggyback = None;
     c_drop = Simcore.Stats.counter stats "fault.drop";
     c_dup = Simcore.Stats.counter stats "fault.dup";
     c_retransmit = Simcore.Stats.counter stats "reliable.retransmit";
     c_dup_discard = Simcore.Stats.counter stats "reliable.dup_discard";
     c_ack = Simcore.Stats.counter stats "reliable.ack";
+    c_co_batch = Simcore.Stats.counter stats "coalesce.batch";
+    c_co_single = Simcore.Stats.counter stats "coalesce.single";
+    c_co_rider = Simcore.Stats.counter stats "coalesce.rider";
   }
 
 let config t = t.config
@@ -111,8 +145,26 @@ let faults_active t = Option.is_some t.rel
 let reliable_in_flight t =
   match t.rel with Some rel -> Reliable.in_flight rel | None -> 0
 
+let coalesce_active t = Option.is_some t.co
+
+let coalesce_buffered t =
+  match t.co with
+  | Some (Co_data c) -> Coalesce.buffered c
+  | Some (Co_framed c) -> Coalesce.buffered c
+  | None -> 0
+
+let coalesce_stats t =
+  match t.co with
+  | Some (Co_data c) -> Some (Coalesce.stats c)
+  | Some (Co_framed c) -> Some (Coalesce.stats c)
+  | None -> None
+
+let set_piggyback_source t hook = t.piggyback <- hook
+
 let quiescent t =
-  Array.for_all Node.is_idle t.nodes && reliable_in_flight t = 0
+  Array.for_all Node.is_idle t.nodes
+  && reliable_in_flight t = 0
+  && coalesce_buffered t = 0
 
 let schedule_at t ~time fn =
   Simcore.Event_queue.add t.events ~time:(max time t.vnow) (Timer fn)
@@ -202,7 +254,8 @@ let transmit_frame t ~control ~now ~src ~dst (frame : Reliable.frame) =
       | Some f -> f (Obs_deliver { time = arrival; src; dst })
       | None -> ());
       Simcore.Event_queue.add t.events ~time:arrival (Frame_rx { src; dst; frame }))
-    arrivals
+    arrivals;
+  eta
 
 let arm_rel_tick t rel ~src ~dst ~now =
   match Reliable.timer_request rel ~src ~dst ~now with
@@ -212,9 +265,267 @@ let arm_rel_tick t rel ~src ~dst ~now =
 let rel_send t rel ~src ~dst am =
   let now = Node.now t.nodes.(src) in
   (match Reliable.push rel ~src ~dst ~now am with
-  | `Send frame -> transmit_frame t ~control:false ~now ~src ~dst frame
+  | `Send frame -> ignore (transmit_frame t ~control:false ~now ~src ~dst frame)
   | `Queued -> Simcore.Stats.incr t.stats "reliable.backlogged");
   arm_rel_tick t rel ~src ~dst ~now
+
+(* --- per-destination aggregation (config.coalesce) --- *)
+
+(* A frame's wire size inside a batch: its payload plus the per-frame
+   length word (the batch shares one routing header and one launch). *)
+let frame_wire_bytes (frame : Reliable.frame) =
+  Network.Packet.batch_frame_bytes + Reliable.frame_bytes
+  + (match frame.Reliable.fr_data with Some am -> am.Am.size_bytes | None -> 0)
+
+let am_wire_bytes (am : Am.t) =
+  Network.Packet.batch_frame_bytes + am.Am.size_bytes
+
+(* Delivery of a multi-frame packet is pipelined, cut-through style: a
+   frame is usable at the destination once *its* bytes have landed, not
+   when the packet tail does. [arrival] is the fabric's answer for the
+   last byte; earlier frames land earlier by the transmission time of
+   the bytes behind them. This is what makes aggregation a latency win
+   and not only a packet-count win: under a saturated injection port
+   the per-frame headers and launches it removes shorten the whole
+   queue. Stagger is monotone within the batch, and the first frame
+   still lands after the previous packet on the channel (the port
+   serialised their transmissions), so per-channel FIFO survives. *)
+let staggered_arrivals t ~arrival sizes =
+  let tail = List.fold_left ( + ) 0 sizes in
+  let _, acc =
+    List.fold_left
+      (fun (behind, acc) sz ->
+        let behind = behind - sz in
+        (behind, (arrival - Network.Fabric.transmission_ns t.fabric behind) :: acc))
+      (tail, []) sizes
+  in
+  List.rev acc
+
+(* Control AMs other subsystems want to append to a departing batch
+   (DGC decrement/debit traffic rides for free). *)
+let collect_riders t ~src ~dst =
+  match t.piggyback with
+  | None -> []
+  | Some hook ->
+      let riders = hook ~src ~dst in
+      List.iter
+        (fun (am : Am.t) ->
+          incr (handler t am.Am.handler).h_sent;
+          incr t.c_co_rider)
+        riders;
+      riders
+
+let note_batch t co ~src ~frames ~riders ~cause =
+  incr t.c_co_batch;
+  match co with
+  | Co_data c -> Coalesce.note_batch c ~src ~frames ~riders ~cause
+  | Co_framed c -> Coalesce.note_batch c ~src ~frames ~riders ~cause
+
+(* Flush the open (src, dst) buffer of a fault-free machine: one packet,
+   per-frame staggered delivery straight into the destination inbox. *)
+let flush_data t co ~src ~dst ~now ~cause =
+  match Coalesce.take co ~src ~dst with
+  | None -> ()
+  | Some (ams, bytes, newest) ->
+      (* Deadline/credit flushes fire at engine-event times that can
+         trail the (optimistic) sender clock at append; never inject a
+         packet before its newest frame existed. *)
+      let now = max now newest in
+      let riders = collect_riders t ~src ~dst in
+      let bytes =
+        List.fold_left (fun b am -> b + am_wire_bytes am) bytes riders
+      in
+      let ams = ams @ riders in
+      let frames = List.length ams in
+      note_batch t (Co_data co) ~src ~frames ~riders:(List.length riders) ~cause;
+      let arrival =
+        Network.Fabric.send t.fabric ~now
+          (Network.Packet.make ~src ~dst ~size_bytes:bytes (Batch_data ams))
+      in
+      let arrivals =
+        staggered_arrivals t ~arrival (List.map am_wire_bytes ams)
+      in
+      (match t.observer with
+      | Some f -> f (Obs_batch { time = arrival; src; dst; frames })
+      | None -> ());
+      List.iter2
+        (fun am at ->
+          (match t.observer with
+          | Some f -> f (Obs_deliver { time = at; src; dst })
+          | None -> ());
+          deliver_local t ~dst ~arrival:at am)
+        ams arrivals;
+      Simcore.Event_queue.add t.events ~time:arrival (Co_credit { src; dst })
+
+(* Flush the open (src, dst) buffer of the reliable layer: one flaky
+   packet whose frames share a fate (all dropped, all duplicated), with
+   the cumulative ack refreshed on the last frame so the batch carries
+   the newest ack state. Returns whether a batch actually left (a flush
+   can park on flow control). *)
+let flush_framed t rel co ~src ~dst ~now ~cause =
+  match Coalesce.take co ~src ~dst with
+  | None -> false
+  | Some (frames, bytes, newest) ->
+      let now = max now newest in
+      (* Riders enter the sequenced window like any other message so
+         exactly-once still holds for them; window-full riders fall to
+         the reliable backlog and leave with a later ack. *)
+      let riders = collect_riders t ~src ~dst in
+      let rev_frames, bytes, n_riders =
+        List.fold_left
+          (fun (fs, b, k) am ->
+            match Reliable.push rel ~src ~dst ~now am with
+            | `Send fr -> (fr :: fs, b + frame_wire_bytes fr, k + 1)
+            | `Queued ->
+                Simcore.Stats.incr t.stats "reliable.backlogged";
+                (fs, b, k))
+          (List.rev frames, bytes, 0) riders
+      in
+      (* The batch reaches the wire now: restamp the last frame with the
+         current cumulative ack (cancelling a pending standalone ack). *)
+      let frames =
+        match rev_frames with
+        | [] -> []
+        | last :: rest ->
+            let ack = Reliable.take_piggyback rel ~me:src ~peer:dst ~now in
+            List.rev ({ last with Reliable.fr_ack = ack } :: rest)
+      in
+      let n_frames = List.length frames in
+      note_batch t (Co_framed co) ~src ~frames:n_frames ~riders:n_riders ~cause;
+      let p =
+        Network.Packet.make ~src ~dst ~size_bytes:bytes (Batch_framed frames)
+      in
+      let eta, arrivals = Network.Fabric.send_flaky t.fabric ~now p in
+      List.iter
+        (fun (fr : Reliable.frame) ->
+          if fr.Reliable.fr_seq >= 0 then
+            Reliable.note_eta rel ~src ~dst ~seq:fr.Reliable.fr_seq ~eta)
+        frames;
+      (match arrivals with
+      | [] -> incr t.c_drop
+      | [ _ ] -> ()
+      | _ -> incr t.c_dup);
+      let sizes = List.map frame_wire_bytes frames in
+      List.iter
+        (fun arrival ->
+          (match t.observer with
+          | Some f -> f (Obs_batch { time = arrival; src; dst; frames = n_frames })
+          | None -> ());
+          List.iter2
+            (fun fr at ->
+              (match t.observer with
+              | Some f -> f (Obs_deliver { time = at; src; dst })
+              | None -> ());
+              Simcore.Event_queue.add t.events ~time:at
+                (Frame_rx { src; dst; frame = fr }))
+            frames
+            (staggered_arrivals t ~arrival sizes))
+        arrivals;
+      (* The credit comes back at the fault-free arrival estimate, drop
+         or not — flow control must not leak credits to the fault plan. *)
+      Simcore.Event_queue.add t.events ~time:eta (Co_credit { src; dst });
+      if n_riders > 0 then arm_rel_tick t rel ~src ~dst ~now;
+      true
+
+let co_send_data t co ~src ~dst ~now am =
+  let port_free = Network.Fabric.injection_idle t.fabric ~node:src ~now in
+  match
+    Coalesce.offer co ~src ~dst ~now ~bytes:(am_wire_bytes am) ~port_free am
+  with
+  | `Bypass ->
+      incr t.c_co_single;
+      let arrival =
+        Network.Fabric.send t.fabric ~now
+          (Network.Packet.make ~src ~dst ~size_bytes:am.Am.size_bytes (Data am))
+      in
+      (match t.observer with
+      | Some f -> f (Obs_deliver { time = arrival; src; dst })
+      | None -> ());
+      deliver_local t ~dst ~arrival am;
+      Simcore.Event_queue.add t.events ~time:arrival (Co_credit { src; dst })
+  | `Opened ->
+      Simcore.Event_queue.add t.events
+        ~time:(now + (Coalesce.config co).Coalesce.max_delay_ns)
+        (Co_flush { src; dst })
+  | `Buffered -> ()
+  | `Threshold -> flush_data t co ~src ~dst ~now ~cause:Coalesce.Size
+
+let co_send_framed t rel co ~src ~dst ~now am =
+  (match Reliable.push rel ~src ~dst ~now am with
+  | `Queued -> Simcore.Stats.incr t.stats "reliable.backlogged"
+  | `Send frame -> (
+      let port_free = Network.Fabric.injection_idle t.fabric ~node:src ~now in
+      match
+        Coalesce.offer co ~src ~dst ~now ~bytes:(frame_wire_bytes frame)
+          ~port_free frame
+      with
+      | `Bypass ->
+          incr t.c_co_single;
+          let eta = transmit_frame t ~control:false ~now ~src ~dst frame in
+          Simcore.Event_queue.add t.events ~time:eta (Co_credit { src; dst })
+      | `Opened ->
+          Simcore.Event_queue.add t.events
+            ~time:(now + (Coalesce.config co).Coalesce.max_delay_ns)
+            (Co_flush { src; dst })
+      | `Buffered -> ()
+      | `Threshold ->
+          ignore (flush_framed t rel co ~src ~dst ~now ~cause:Coalesce.Size)));
+  arm_rel_tick t rel ~src ~dst ~now
+
+(* The scheduler-idle flush: the node ran out of queued work, so
+   anything still buffered leaves now at zero added latency (the
+   paper's poll-when-dormant moment). *)
+let flush_open_buffers t node =
+  match t.co with
+  | None -> ()
+  | Some co -> (
+      let src = Node.id node in
+      let now = Node.now node in
+      match co with
+      | Co_data c ->
+          List.iter
+            (fun dst -> flush_data t c ~src ~dst ~now ~cause:Coalesce.Idle)
+            (Coalesce.open_dsts c ~src)
+      | Co_framed c ->
+          let rel = Option.get t.rel in
+          List.iter
+            (fun dst ->
+              ignore (flush_framed t rel c ~src ~dst ~now ~cause:Coalesce.Idle))
+            (Coalesce.open_dsts c ~src))
+
+let handle_co_flush t ~time ~src ~dst =
+  match t.co with
+  | None -> ()
+  | Some (Co_data c) -> (
+      match Coalesce.deadline_check c ~src ~dst ~now:time with
+      | `Flush -> flush_data t c ~src ~dst ~now:time ~cause:Coalesce.Deadline
+      | `Rearm at ->
+          Simcore.Event_queue.add t.events ~time:at (Co_flush { src; dst })
+      | `Idle -> ())
+  | Some (Co_framed c) -> (
+      match Coalesce.deadline_check c ~src ~dst ~now:time with
+      | `Flush ->
+          ignore
+            (flush_framed t (Option.get t.rel) c ~src ~dst ~now:time
+               ~cause:Coalesce.Deadline)
+      | `Rearm at ->
+          Simcore.Event_queue.add t.events ~time:at (Co_flush { src; dst })
+      | `Idle -> ())
+
+let handle_co_credit t ~time ~src ~dst =
+  match t.co with
+  | None -> ()
+  | Some (Co_data c) -> (
+      match Coalesce.credit_return c ~src ~dst with
+      | `Flush -> flush_data t c ~src ~dst ~now:time ~cause:Coalesce.Credit
+      | `Idle -> ())
+  | Some (Co_framed c) -> (
+      match Coalesce.credit_return c ~src ~dst with
+      | `Flush ->
+          ignore
+            (flush_framed t (Option.get t.rel) c ~src ~dst ~now:time
+               ~cause:Coalesce.Credit)
+      | `Idle -> ())
 
 let handle_frame t rel ~time ~src ~dst (frame : Reliable.frame) =
   let c = t.config.cost in
@@ -224,7 +535,7 @@ let handle_frame t rel ~time ~src ~dst (frame : Reliable.frame) =
   (* The piggybacked (or pure) ack serves the reverse channel. *)
   let released = Reliable.on_ack rel ~src:dst ~dst:src ~ack:frame.Reliable.fr_ack ~now:time in
   List.iter
-    (fun fr -> transmit_frame t ~control:true ~now:time ~src:dst ~dst:src fr)
+    (fun fr -> ignore (transmit_frame t ~control:true ~now:time ~src:dst ~dst:src fr))
     released;
   if released <> [] then arm_rel_tick t rel ~src:dst ~dst:src ~now:time;
   match frame.Reliable.fr_data with
@@ -250,16 +561,25 @@ let handle_rel_tick t rel ~time ~src ~dst =
   | `Retransmit (frame, next_at) ->
       incr t.c_retransmit;
       charge t t.nodes.(src) t.config.cost.Cost_model.reliable_retransmit;
-      transmit_frame t ~control:true ~now:time ~src ~dst frame;
+      ignore (transmit_frame t ~control:true ~now:time ~src ~dst frame);
       Simcore.Event_queue.add t.events ~time:next_at (Rel_tick { src; dst })
 
 let handle_ack_tick t rel ~time ~me ~peer =
+  (* An open aggregation buffer towards the peer is a free ack carrier:
+     flush it and let the batch's refreshed cumulative ack stand in for
+     the standalone frame. The fall-through below still transmits a pure
+     ack when the flush parked on flow control or could not cancel the
+     pending ack (buffered frames stamped past the ack deadline). *)
+  (match t.co with
+  | Some (Co_framed c) when Coalesce.has_open c ~src:me ~dst:peer ->
+      ignore (flush_framed t rel c ~src:me ~dst:peer ~now:time ~cause:Coalesce.Ack)
+  | _ -> ());
   match Reliable.on_ack_timer rel ~me ~peer with
-  | None -> () (* piggybacked in the meantime *)
+  | None -> () (* piggybacked in the meantime (possibly by the flush above) *)
   | Some frame ->
       incr t.c_ack;
       charge t t.nodes.(me) t.config.cost.Cost_model.reliable_ack;
-      transmit_frame t ~control:true ~now:time ~src:me ~dst:peer frame
+      ignore (transmit_frame t ~control:true ~now:time ~src:me ~dst:peer frame)
 
 (* --- the active-message entry point --- *)
 
@@ -276,9 +596,12 @@ let send_am t ~src ~dst ~handler:hid ~size_bytes payload =
     deliver_local t ~dst ~arrival:(now + 1) am
   end
   else
-    match t.rel with
-    | Some rel -> rel_send t rel ~src:(Node.id src) ~dst am
-    | None ->
+    match (t.rel, t.co) with
+    | Some rel, Some (Co_framed c) ->
+        co_send_framed t rel c ~src:(Node.id src) ~dst ~now am
+    | Some rel, _ -> rel_send t rel ~src:(Node.id src) ~dst am
+    | None, Some (Co_data c) -> co_send_data t c ~src:(Node.id src) ~dst ~now am
+    | None, _ ->
         let arrival =
           Network.Fabric.send t.fabric ~now
             (Network.Packet.make ~src:(Node.id src) ~dst ~size_bytes (Data am))
@@ -365,6 +688,9 @@ let step t node ~time =
       if t_end > t_start then
         f (Obs_slice { node = Node.id node; t_start; t_end })
   | None -> ());
+  (* The scheduler ran dry: open aggregation buffers leave now, so
+     dormant nodes pay zero added send latency for coalescing. *)
+  if Node.runq_size node = 0 then flush_open_buffers t node;
   reschedule_or_idle t node
 
 let run ?(max_slices = max_int) t =
@@ -386,6 +712,8 @@ let run ?(max_slices = max_int) t =
             handle_rel_tick t (Option.get t.rel) ~time ~src ~dst
         | Ack_tick { me; peer } ->
             handle_ack_tick t (Option.get t.rel) ~time ~me ~peer
+        | Co_flush { src; dst } -> handle_co_flush t ~time ~src ~dst
+        | Co_credit { src; dst } -> handle_co_credit t ~time ~src ~dst
         | Timer fn -> fn ());
         loop ()
   in

@@ -25,6 +25,16 @@ type config = {
           bit-identical to the fault-free build; any real fault activates
           the {!Reliable} delivery layer underneath the AM handlers. *)
   reliable : Reliable.config;  (** protocol tuning; used only with faults *)
+  coalesce : Coalesce.config option;
+      (** per-destination message aggregation. [None] (the default)
+          leaves the send path bit-identical to the unbatched build.
+          [Some _] buffers outgoing frames per destination and ships
+          them as multi-frame packets — one routing header and one
+          hardware launch per batch — flushing on a size threshold,
+          scheduler idle, an age deadline, or a pending-ack deadline,
+          under per-channel credit flow control. Composes with the
+          fault layer: under a fault plan whole batches share a fate
+          and the reliable protocol re-sequences their frames. *)
 }
 
 val default_config : config
@@ -85,8 +95,9 @@ val schedule_at : t -> time:Simcore.Time.t -> (unit -> unit) -> unit
     finished run still drains its event queue and {!run} returns. *)
 
 val quiescent : t -> bool
-(** Every node idle and no reliable-delivery traffic outstanding: the
-    machine would stop if no timer re-armed. *)
+(** Every node idle, no reliable-delivery traffic outstanding and no
+    aggregation buffer still open: the machine would stop if no timer
+    re-armed. *)
 
 (** {2 Running} *)
 
@@ -97,6 +108,8 @@ type observation =
       (** a packet reached its destination node *)
   | Obs_slice of { node : int; t_start : Simcore.Time.t; t_end : Simcore.Time.t }
       (** one execution slice of a node that advanced its clock *)
+  | Obs_batch of { time : Simcore.Time.t; src : int; dst : int; frames : int }
+      (** an aggregated multi-frame packet reached its destination *)
 
 val set_observer : t -> (observation -> unit) option -> unit
 (** Streams engine events to a callback (timeline tools, tracing).
@@ -142,3 +155,22 @@ val packets_duplicated : t -> int
 
 val dropped_by_src : t -> int -> int
 val duplicated_by_src : t -> int -> int
+
+(** {2 Message aggregation} *)
+
+val coalesce_active : t -> bool
+(** True iff the per-destination aggregation layer is live. *)
+
+val coalesce_buffered : t -> int
+(** Frames currently parked in open aggregation buffers (0 when
+    aggregation is off, and at clean quiescence). *)
+
+val coalesce_stats : t -> Coalesce.stats option
+
+val set_piggyback_source : t -> (src:int -> dst:int -> Am.t list) option -> unit
+(** Registers the flush-time piggyback hook: when a batch from [src] to
+    [dst] is about to leave, the hook may return control messages (e.g.
+    distributed-GC decrements) to append to it — riding an already-paid
+    routing header and launch. The hook must return messages whose
+    [Am.src] is [src]; under a fault plan they enter the reliable
+    channel's sequenced window like ordinary sends. [None] detaches. *)

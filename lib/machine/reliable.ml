@@ -61,6 +61,10 @@ type t = {
   retransmits : int array;  (** per sending node *)
   dup_discards : int array;  (** per receiving node *)
   acks_sent : int array;  (** standalone acks, per sending node *)
+  acks_piggybacked : int array;
+      (** pending standalone acks cancelled because outgoing data (a
+          frame or a flushed batch) carried the cumulative ack instead;
+          per sending node *)
   rto_hist : Simcore.Histogram.t array;
 }
 
@@ -75,6 +79,7 @@ let create ?(config = default_config) ~nodes () =
     retransmits = Array.make nodes 0;
     dup_discards = Array.make nodes 0;
     acks_sent = Array.make nodes 0;
+    acks_piggybacked = Array.make nodes 0;
     rto_hist = Array.init nodes (fun _ -> Simcore.Histogram.create ());
   }
 
@@ -124,7 +129,11 @@ let rx_of t ~src ~dst =
    into a spurious retransmission. *)
 let take_piggyback t ~me ~peer ~now =
   let rx = rx_of t ~src:peer ~dst:me in
-  if now <= rx.ack_due then rx.ack_due <- max_int;
+  if now <= rx.ack_due then begin
+    if rx.ack_due <> max_int then
+      t.acks_piggybacked.(me) <- t.acks_piggybacked.(me) + 1;
+    rx.ack_due <- max_int
+  end;
   rx.expected - 1
 
 (* --- sender side --- *)
@@ -344,4 +353,5 @@ let in_flight t =
 let node_retransmits t node = t.retransmits.(node)
 let node_dup_discards t node = t.dup_discards.(node)
 let node_acks_sent t node = t.acks_sent.(node)
+let node_acks_piggybacked t node = t.acks_piggybacked.(node)
 let rto_histogram t node = t.rto_hist.(node)

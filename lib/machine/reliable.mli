@@ -129,9 +129,21 @@ val in_flight : t -> int
     quiescence: every message the runtime sent was delivered and
     acknowledged despite the faults. *)
 
+val take_piggyback : t -> me:int -> peer:int -> now:Simcore.Time.t -> int
+(** Current cumulative ack [me] owes for traffic arriving from [peer],
+    for stamping onto an outgoing data frame or batch that reaches the
+    wire at [now]. Cancels (and counts as piggybacked) a pending
+    standalone ack, but only when [now] is no later than that ack's
+    deadline — a carrier stamped with a virtual-future time must not
+    cancel the prompt standalone ack (optimistic per-node clocks). *)
+
 val node_retransmits : t -> int -> int
 val node_dup_discards : t -> int -> int
 val node_acks_sent : t -> int -> int
+
+val node_acks_piggybacked : t -> int -> int
+(** Pending standalone acks a node cancelled because outgoing data (a
+    frame or a flushed batch) carried the cumulative ack instead. *)
 
 val rto_histogram : t -> int -> Simcore.Histogram.t
 (** Per sending node: the distribution of RTO values in force at each

@@ -162,6 +162,8 @@ let send_control t ~now (p : _ Packet.t) =
   | None -> (base, [ base ])
   | Some f -> (base, faulty_arrivals t f ~now ~base p)
 
+let injection_idle t ~node ~now = t.injection_free.(node) <= now
+
 let packets_sent t = t.packets
 let bytes_sent t = t.bytes
 let packets_dropped t = t.dropped

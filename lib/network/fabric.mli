@@ -83,6 +83,18 @@ val send_control :
     reliable layer tolerates the resulting control/data reordering by
     construction. *)
 
+val injection_idle : 'a t -> node:int -> now:Simcore.Time.t -> bool
+(** Whether [node]'s injection port is free at [now] — i.e. a packet
+    injected now would start transmitting immediately instead of
+    queueing behind an earlier send. Aggregation layers use this to
+    decide between sending a lone frame at once and opening a batch. *)
+
+val transmission_ns : 'a t -> int -> Simcore.Time.t
+(** Link occupancy of [bytes] at the configured bandwidth, rounded up
+    to the flit granularity (the same rule {!send} charges). Exposed so
+    multi-frame packets can stagger per-frame delivery cut-through
+    style without re-deriving the bandwidth model. *)
+
 val packets_sent : 'a t -> int
 
 val bytes_sent : 'a t -> int

@@ -9,6 +9,11 @@ let make ~src ~dst ~size_bytes payload =
    argument). *)
 let header_bytes = 12
 
+(* One length word per frame inside a multi-frame (aggregated) packet:
+   the batch shares a single routing header, but the receiver must be
+   able to split the payload back into frames. *)
+let batch_frame_bytes = 4
+
 let wire_bytes p = header_bytes + p.size_bytes
 
 let pp ppf p =

@@ -16,6 +16,11 @@ val make : src:int -> dst:int -> size_bytes:int -> 'a -> 'a t
 val header_bytes : int
 (** Fixed per-packet routing header (routing info + handler word). *)
 
+val batch_frame_bytes : int
+(** Per-frame length word inside an aggregated (multi-frame) packet.
+    An aggregated frame costs this instead of a full {!header_bytes} —
+    the per-frame saving that message coalescing banks on the wire. *)
+
 val wire_bytes : 'a t -> int
 (** Total bytes a packet occupies on a link. *)
 

@@ -1,0 +1,96 @@
+module Engine = Machine.Engine
+module Coalesce = Machine.Coalesce
+
+type node_row = {
+  node : int;
+  batches : int;
+  singles : int;
+  acks_piggybacked : int;
+}
+
+type report = {
+  per_node : node_row array;
+  total_batches : int;
+  total_singles : int;
+  total_frames : int;
+  total_riders : int;
+  flush_size : int;
+  flush_idle : int;
+  flush_deadline : int;
+  flush_ack : int;
+  flush_credit : int;
+  acks_piggybacked : int;
+  still_buffered : int;
+  occupancy : Simcore.Histogram.t;
+}
+
+let survey sys =
+  let machine = Core.System.machine sys in
+  match Engine.coalesce_stats machine with
+  | None -> None
+  | Some s ->
+      let n = Engine.node_count machine in
+      let rel = Engine.reliable machine in
+      let ack_pig node =
+        match rel with
+        | Some r -> Machine.Reliable.node_acks_piggybacked r node
+        | None -> 0
+      in
+      let per_node =
+        Array.init n (fun node ->
+            {
+              node;
+              batches = s.Coalesce.s_node_batches.(node);
+              singles = s.Coalesce.s_node_singles.(node);
+              acks_piggybacked = ack_pig node;
+            })
+      in
+      Some
+        {
+          per_node;
+          total_batches = s.Coalesce.s_batches;
+          total_singles = s.Coalesce.s_singles;
+          total_frames = s.Coalesce.s_frames;
+          total_riders = s.Coalesce.s_riders;
+          flush_size = s.Coalesce.s_flush_size;
+          flush_idle = s.Coalesce.s_flush_idle;
+          flush_deadline = s.Coalesce.s_flush_deadline;
+          flush_ack = s.Coalesce.s_flush_ack;
+          flush_credit = s.Coalesce.s_flush_credit;
+          acks_piggybacked =
+            Array.fold_left
+              (fun acc (row : node_row) -> acc + row.acks_piggybacked)
+              0 per_node;
+          still_buffered = s.Coalesce.s_buffered;
+          occupancy = s.Coalesce.s_occupancy;
+        }
+
+let mean_occupancy r =
+  if r.total_batches = 0 then 0.
+  else float_of_int r.total_frames /. float_of_int r.total_batches
+
+let row_is_boring row =
+  row.batches = 0 && row.singles = 0 && row.acks_piggybacked = 0
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "coalescing: %d batch(es) carrying %d frame(s) (%.1f/batch), %d bypass \
+     single(s), %d rider(s), %d ack(s) piggybacked@,"
+    r.total_batches r.total_frames (mean_occupancy r) r.total_singles
+    r.total_riders r.acks_piggybacked;
+  Format.fprintf ppf
+    "flush causes: size %d, idle %d, deadline %d, ack %d, credit %d%s@,"
+    r.flush_size r.flush_idle r.flush_deadline r.flush_ack r.flush_credit
+    (if r.still_buffered = 0 then ""
+     else Printf.sprintf "; %d frame(s) STILL BUFFERED" r.still_buffered);
+  if Simcore.Histogram.count r.occupancy > 0 then
+    Format.fprintf ppf "frames per batch: %a@," Simcore.Histogram.pp
+      r.occupancy;
+  Array.iter
+    (fun row ->
+      if not (row_is_boring row) then
+        Format.fprintf ppf "  node %2d: batches %d singles %d acks-piggy %d@,"
+          row.node row.batches row.singles row.acks_piggybacked)
+    r.per_node;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Aggregation report for runs with message coalescing enabled.
+
+    Summarises what the per-destination aggregation layer did over a
+    run: how many multi-frame batches left versus bypass singles, how
+    full the batches were, which triggers flushed them, and how much
+    control traffic (DGC riders, acknowledgements) travelled for free on
+    batches that were leaving anyway. The headline of a coalescing
+    bench: packets saved and overhead amortised, in the terms of the
+    paper's message-overhead accounting. *)
+
+type node_row = {
+  node : int;
+  batches : int;  (** aggregated packets this node shipped *)
+  singles : int;  (** bypass sends (empty buffer, idle port) *)
+  acks_piggybacked : int;
+      (** standalone acks this node cancelled because outgoing data
+          carried the cumulative ack instead (fault plans only) *)
+}
+
+type report = {
+  per_node : node_row array;
+  total_batches : int;
+  total_singles : int;
+  total_frames : int;  (** frames carried inside batches *)
+  total_riders : int;  (** control AMs appended by the piggyback hook *)
+  flush_size : int;  (** batches flushed by the byte/frame threshold *)
+  flush_idle : int;  (** flushed because the scheduler went idle *)
+  flush_deadline : int;  (** flushed by the age deadline *)
+  flush_ack : int;  (** flushed to carry a pending acknowledgement *)
+  flush_credit : int;  (** flushed when a withheld credit returned *)
+  acks_piggybacked : int;
+  still_buffered : int;
+      (** frames parked in open buffers at survey time (0 at clean
+          quiescence) *)
+  occupancy : Simcore.Histogram.t;  (** frames-per-batch distribution *)
+}
+
+val survey : Core.System.t -> report option
+(** [None] when the machine runs without aggregation. *)
+
+val mean_occupancy : report -> float
+(** Average frames per batch (0 when no batch was sent). *)
+
+val pp : Format.formatter -> report -> unit
+(** Totals plus flush-cause breakdown and a per-node table (nodes with
+    nothing to report are elided). *)

@@ -5,6 +5,8 @@ type t = {
   mutable slice_log : (int * Simcore.Time.t * Simcore.Time.t) list;
   mutable slice_count : int;
   mutable delivery_count : int;
+  mutable batch_count : int;
+  mutable batched_frames : int;
   traffic : (int * int, int ref) Hashtbl.t;
   busy : int array;  (** accumulated busy ns per node *)
 }
@@ -17,6 +19,8 @@ let attach system =
       slice_log = [];
       slice_count = 0;
       delivery_count = 0;
+      batch_count = 0;
+      batched_frames = 0;
       traffic = Hashtbl.create 64;
       busy = Array.make (Engine.node_count machine) 0;
     }
@@ -33,12 +37,17 @@ let attach system =
            let key = (src, dst) in
            (match Hashtbl.find_opt t.traffic key with
            | Some r -> incr r
-           | None -> Hashtbl.add t.traffic key (ref 1))));
+           | None -> Hashtbl.add t.traffic key (ref 1))
+       | Engine.Obs_batch { frames; _ } ->
+           t.batch_count <- t.batch_count + 1;
+           t.batched_frames <- t.batched_frames + frames));
   t
 
 let detach t = Engine.set_observer (Core.System.machine t.system) None
 let slices t = t.slice_count
 let deliveries t = t.delivery_count
+let batches t = t.batch_count
+let batched_frames t = t.batched_frames
 
 let busy_fraction t ~node =
   let makespan = Core.System.elapsed t.system in
@@ -64,9 +73,13 @@ let render ?(width = 64) ?(max_rows = 16) t =
     t.slice_log;
   let buf = Buffer.create ((nodes + 2) * (width + 16)) in
   Buffer.add_string buf
-    (Printf.sprintf "timeline: %s makespan, %d slices, %d deliveries\n"
+    (Printf.sprintf "timeline: %s makespan, %d slices, %d deliveries%s\n"
        (Format.asprintf "%a" Simcore.Time.pp makespan)
-       t.slice_count t.delivery_count);
+       t.slice_count t.delivery_count
+       (if t.batch_count = 0 then ""
+        else
+          Printf.sprintf " (%d frames in %d batches)" t.batched_frames
+            t.batch_count));
   for node = 0 to nodes - 1 do
     Buffer.add_string buf (Printf.sprintf "%4d |" node);
     for b = 0 to width - 1 do

@@ -12,6 +12,12 @@ val detach : t -> unit
 val slices : t -> int
 val deliveries : t -> int
 
+val batches : t -> int
+(** Aggregated multi-frame packets observed (0 with coalescing off). *)
+
+val batched_frames : t -> int
+(** Frames that arrived inside those batches. *)
+
 val busy_fraction : t -> node:int -> float
 (** Recorded busy time of a node divided by the machine's makespan. *)
 
