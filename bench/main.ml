@@ -7,7 +7,18 @@
    migrate dgc coalesce bechamel all (default: all). --full runs the paper-scale
    N=13 / 512-node configurations; without it the harness caps at N<=11
    so a full pass stays around a minute. --smoke shrinks the fault
-   sweep to two drop rates and the migration bench to N=7 for CI. *)
+   sweep to two drop rates and the migration bench to N=7 for CI.
+
+   The schedule explorer is a checker, not a benchmark, and never runs
+   under "all" — ask for it by name:
+
+     dune exec bench/main.exe -- explore [--smoke] [--schedules N]
+       [--seed N] [--workload NAME] [--out DIR] [--replay FILE]
+
+   It sweeps recorded schedules across the check workloads with the
+   invariant monitor armed, shrinks failures to minimal reproducer
+   files, and exits nonzero on any violation; --replay re-executes a
+   reproducer twice and asserts the runs are bit-identical. *)
 
 open Core
 
@@ -908,6 +919,97 @@ let coalesce_bench ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Schedule explorer: sweep perturbed schedules, shrink failures       *)
+(* ------------------------------------------------------------------ *)
+
+let explore ~smoke ~schedules ~seed ~workload ~replay ~out_dir () =
+  header "Schedule explorer";
+  match replay with
+  | Some path ->
+      let r = Check.Explore.replay_file path in
+      let o = r.Check.Explore.rp_outcome in
+      Format.printf "workload %s, %d choice(s)@." o.Check.Explore.o_workload
+        (Array.length o.Check.Explore.o_trace);
+      List.iter
+        (fun (p, d) -> Format.printf "violation: %s: %s@." p d)
+        o.Check.Explore.o_violations;
+      (match o.Check.Explore.o_crash with
+      | Some e -> Format.printf "crash: %s@." e
+      | None -> ());
+      Format.printf "replay hashes: %016x / %016x@." o.Check.Explore.o_hash
+        r.Check.Explore.rp_second_hash;
+      if not r.Check.Explore.rp_identical then begin
+        Format.printf "FAILED: replay is not bit-identical@.";
+        exit 1
+      end;
+      Format.printf "replay bit-identical: yes@.";
+      if Check.Explore.failed o then
+        Format.printf "schedule still failing (as a reproducer should)@."
+      else Format.printf "schedule passes: the pinned bug stays fixed@."
+  | None ->
+      let workloads =
+        match workload with
+        | None -> Check.Workloads.all
+        | Some n -> (
+            match Check.Workloads.find n with
+            | Some w -> [ w ]
+            | None ->
+                Format.printf "unknown workload %s@." n;
+                exit 2)
+      in
+      let schedules =
+        match schedules with Some n -> n | None -> if smoke then 6 else 40
+      in
+      (* Determinism gate first: a recorded schedule must replay
+         bit-identically on every workload. *)
+      List.iter
+        (fun w ->
+          let o = Check.Explore.run_recorded w ~seed in
+          let r = Check.Explore.replay w o.Check.Explore.o_trace in
+          let ident =
+            r.Check.Explore.rp_identical
+            && (Option.is_some o.Check.Explore.o_crash
+               || r.Check.Explore.rp_outcome.Check.Explore.o_hash
+                  = o.Check.Explore.o_hash)
+          in
+          Format.printf "%-10s determinism: record %016x replay %016x %s@."
+            w.Check.Workloads.w_name o.Check.Explore.o_hash
+            r.Check.Explore.rp_outcome.Check.Explore.o_hash
+            (if ident then "ok" else "MISMATCH");
+          if not ident then begin
+            Format.printf "FAILED: replay of a recorded schedule diverged@.";
+            exit 1
+          end)
+        workloads;
+      let out_dir = Option.value out_dir ~default:"." in
+      let summary =
+        Check.Explore.sweep ~out_dir
+          ~log:(fun s -> Format.printf "  %s@." s)
+          ~workloads ~schedules ~seed ()
+      in
+      Format.printf "%d run(s) across %d workload(s): %d failing schedule(s)@."
+        summary.Check.Explore.runs (List.length workloads)
+        (List.length summary.Check.Explore.failures);
+      if summary.Check.Explore.failures <> [] then begin
+        List.iter
+          (fun f ->
+            let o = f.Check.Explore.f_outcome in
+            Format.printf "FAIL %s (seed %s): %s@."
+              o.Check.Explore.o_workload
+              (match o.Check.Explore.o_seed with
+              | Some s -> string_of_int s
+              | None -> "-")
+              (match
+                 (o.Check.Explore.o_violations, o.Check.Explore.o_crash)
+               with
+              | (p, d) :: _, _ -> p ^ ": " ^ d
+              | [], Some e -> "crash: " ^ e
+              | [], None -> "?"))
+          summary.Check.Explore.failures;
+        exit 1
+      end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock cost of the simulator itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -955,14 +1057,38 @@ let bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Pull "[key] [value]" option pairs out of the raw argument list,
+   returning the value and the remaining arguments. *)
+let extract_opt key args =
+  let rec go = function
+    | [] -> (None, [])
+    | k :: v :: rest when k = key -> (Some v, rest)
+    | x :: rest ->
+        let r, rest' = go rest in
+        (r, x :: rest')
+  in
+  go args
+
 let () =
   Format.set_margin 200;
   let args = Array.to_list Sys.argv |> List.tl in
+  let schedules, args = extract_opt "--schedules" args in
+  let seed, args = extract_opt "--seed" args in
+  let workload, args = extract_opt "--workload" args in
+  let replay, args = extract_opt "--replay" args in
+  let out_dir, args = extract_opt "--out" args in
   let full = List.mem "--full" args in
   let smoke = List.mem "--smoke" args in
   let sections = List.filter (fun a -> a <> "--full" && a <> "--smoke") args in
   let sections = if sections = [] then [ "all" ] else sections in
   let want s = List.mem s sections || List.mem "all" sections in
+  (* The explorer is a checker, not a benchmark: it only runs when asked
+     for by name (never under "all"). *)
+  if List.mem "explore" sections then
+    explore ~smoke
+      ~schedules:(Option.map int_of_string schedules)
+      ~seed:(match seed with Some s -> int_of_string s | None -> 1)
+      ~workload ~replay ~out_dir ();
   if want "table1" then table1 ();
   if want "table2" then table2 ();
   if want "table3" then table3 ();

@@ -1,0 +1,138 @@
+(* Standard invariant probes, one per subsystem. Each returns a list of
+   human-readable violation lines (empty = invariant holds). They are
+   deliberately independent of the monitor so tests can aim them at
+   hand-corrupted states directly. *)
+
+open Core
+
+(* No lost wakeup: at quiescence no object may hold buffered messages
+   without either a scheduling-queue entry or a parked context that will
+   consume them — and nothing may still claim a queue entry or hold a
+   suspended context at all (every node is idle; nobody will run it). *)
+let sched sys () =
+  let out = ref [] in
+  for node = 0 to System.node_count sys - 1 do
+    let rt = System.rt sys node in
+    Hashtbl.iter
+      (fun slot (obj : Kernel.obj) ->
+        let queued = Queue.length obj.Kernel.mq in
+        let kind = obj.Kernel.vftp.Kernel.vft_kind in
+        let tell fmt = Format.kasprintf (fun s -> out := s :: !out) fmt in
+        if obj.Kernel.in_sched_q then
+          tell "node %d slot %d (%s): marked in-sched-queue on an idle node"
+            node slot (Vft.kind_name kind)
+        else if Option.is_some obj.Kernel.blocked then
+          tell "node %d slot %d (%s): context still suspended at quiescence"
+            node slot (Vft.kind_name kind)
+        else if queued > 0 then
+          match kind with
+          | Kernel.Vft_waiting _ ->
+              (* Selective reception legitimately parks non-matching
+                 messages — but only while a context waits, and that
+                 case was caught above. *)
+              tell
+                "node %d slot %d: waiting-mode object with %d message(s) \
+                 and no waiting context"
+                node slot queued
+          | Kernel.Vft_forward _ ->
+              tell
+                "node %d slot %d: forwarding stub retains %d message(s) \
+                 (never re-posted)"
+                node slot queued
+          | Kernel.Vft_dormant | Kernel.Vft_init | Kernel.Vft_active
+          | Kernel.Vft_fault ->
+              tell
+                "node %d slot %d (%s): %d buffered message(s) but no \
+                 scheduling entry (lost wakeup)"
+                node slot (Vft.kind_name kind) queued)
+      rt.Kernel.objects
+  done;
+  !out
+
+(* Per-channel FIFO / exactly-once, structurally: at quiescence nothing
+   is in flight, no receive-side hole is waiting to be filled, and every
+   channel's window is fully acknowledged. *)
+let reliable machine () =
+  match Machine.Engine.reliable machine with
+  | None -> []
+  | Some rel ->
+      let out = ref [] in
+      List.iter
+        (fun (src, dst, next_seq, base, inflight, backlog) ->
+          if base <> next_seq || inflight > 0 || backlog > 0 then
+            out :=
+              Printf.sprintf
+                "channel %d->%d: base=%d next=%d inflight=%d backlog=%d at \
+                 quiescence"
+                src dst base next_seq inflight backlog
+              :: !out)
+        (Machine.Reliable.channel_states rel);
+      let parked = Machine.Reliable.reorder_buffered rel in
+      if parked > 0 then
+        out :=
+          Printf.sprintf
+            "%d frame(s) stuck in reorder buffers (sequence hole never \
+             filled)"
+            parked
+          :: !out;
+      !out
+
+(* Parked-buffer cleanliness: every open aggregation buffer must have
+   been flushed by idle/deadline/credit before the machine stopped. *)
+let coalesce machine () =
+  let parked = Machine.Engine.coalesce_buffered machine in
+  if parked > 0 then
+    [ Printf.sprintf "%d frame(s) parked in aggregation buffers" parked ]
+  else []
+
+(* Forwarding chains must be acyclic at quiescence:
+   [Migrate.max_stub_chain] chases each stub for at most [nodes + 2]
+   hops, so any value above [nodes] means the chase never escaped — a
+   cycle. Quiescence-only on purpose: while an install is in flight
+   back to a previous host, that host's stale stub and the mover's
+   fresh stub legitimately point at each other (messages ping-pong one
+   extra hop until the install lands and overwrites the stale stub, and
+   the epoch-guarded update broadcast then collapses the chain), so a
+   mid-run chase can report a transient "cycle" on a perfectly healthy
+   machine. The explorer found exactly that false alarm — see
+   test/schedules/explore-fail-migrate-*.txt. *)
+let migrate_chains ~nodes mig () =
+  let chain = Migrate.max_stub_chain mig in
+  if chain > nodes then
+    [ Printf.sprintf "forwarding chain of length %d (> %d nodes): cycle" chain nodes ]
+  else []
+
+(* Reorder gates and limbo buffers must be empty at quiescence —
+   anything still held is a lost message. *)
+let migrate_residual mig () =
+  let held, limbo = Migrate.residual mig in
+  if held > 0 || limbo > 0 then
+    [
+      Printf.sprintf "%d message(s) held in reorder gates, %d in limbo"
+        held limbo;
+    ]
+  else []
+
+(* Weight conservation + stub/scion symmetry, straight from the
+   collector's own audit. *)
+let dgc g () = Dgc.audit g
+
+(* Wire the standard set for a booted system. *)
+let register_standard mon sys ?migrate:mig ?dgc:g () =
+  let machine = System.machine sys in
+  Monitor.register mon ~name:"sched" ~when_:Monitor.At_quiescence (sched sys);
+  Monitor.register mon ~name:"reliable" ~when_:Monitor.At_quiescence
+    (reliable machine);
+  Monitor.register mon ~name:"coalesce" ~when_:Monitor.At_quiescence
+    (coalesce machine);
+  (match mig with
+  | Some m ->
+      Monitor.register mon ~name:"migrate.chains" ~when_:Monitor.At_quiescence
+        (migrate_chains ~nodes:(System.node_count sys) m);
+      Monitor.register mon ~name:"migrate.residual"
+        ~when_:Monitor.At_quiescence (migrate_residual m)
+  | None -> ());
+  match g with
+  | Some g ->
+      Monitor.register mon ~name:"dgc" ~when_:Monitor.At_quiescence (dgc g)
+  | None -> ()

@@ -1,0 +1,37 @@
+(** Standard invariant probes, one per subsystem.
+
+    Each probe returns one detail line per violated instance (empty list
+    = invariant holds), so tests can aim them at deliberately corrupted
+    states without going through a monitor. *)
+
+val sched : Core.System.t -> unit -> string list
+(** No lost wakeup, at quiescence: no object with buffered messages but
+    no scheduling entry, no stale in-scheduling-queue mark on an idle
+    machine, no context still suspended. *)
+
+val reliable : Machine.Engine.t -> unit -> string list
+(** Exactly-once / FIFO structure, at quiescence: every channel fully
+    acknowledged ([base = next_seq], nothing in flight or backlogged)
+    and no frame stuck in a receive-side reorder buffer. Empty when the
+    machine has no reliable layer. *)
+
+val coalesce : Machine.Engine.t -> unit -> string list
+(** Parked-buffer cleanliness, at quiescence. *)
+
+val migrate_chains : nodes:int -> Migrate.t -> unit -> string list
+(** Forwarding-chain acyclicity, at quiescence only: an install in
+    flight back to a previous host makes its stale stub and the mover's
+    fresh stub point at each other until the install lands, so mid-run
+    chases can report transient pseudo-cycles on a healthy machine. *)
+
+val migrate_residual : Migrate.t -> unit -> string list
+(** Reorder gates and limbo buffers empty, at quiescence. *)
+
+val dgc : Dgc.t -> unit -> string list
+(** Weight conservation and stub/scion symmetry ({!Dgc.audit}), at
+    quiescence. *)
+
+val register_standard :
+  Monitor.t -> Core.System.t -> ?migrate:Migrate.t -> ?dgc:Dgc.t -> unit -> unit
+(** Registers the full standard set on a monitor (migration and DGC
+    probes only when those subsystems are attached). *)

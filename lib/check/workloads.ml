@@ -1,0 +1,439 @@
+(* The explorer's workload catalog: one small end-to-end program per
+   subsystem stack (plain app, app under faults, migration stream, DGC
+   churn, coalesced bursts). Each run wires every simulator decision
+   point to the given schedule, runs the invariant monitor periodically
+   and at quiescence, checks its own end-to-end answer, and reports the
+   Timeline hash — the digest replays are compared against. *)
+
+open Core
+module Engine = Machine.Engine
+
+type report = { r_hash : int; r_violations : (string * string) list }
+type t = { w_name : string; w_run : Schedule.t -> report }
+
+let monitor_interval_ns = 25_000
+
+(* Route every engine decision point through the schedule. *)
+let wire sched machine =
+  Engine.set_tie_break machine
+    (Some (fun n -> Schedule.choice sched ~tag:"event.tie" n));
+  Array.iter
+    (fun node ->
+      Machine.Node.set_inbox_tie_break node
+        (Some (fun n -> Schedule.choice sched ~tag:"inbox.tie" n)))
+    (Engine.nodes machine);
+  Engine.set_decision_source machine
+    (Some (fun tag n -> Schedule.choice sched ~tag n))
+
+let finish mon tl extra =
+  Monitor.check_quiescent mon;
+  let vs =
+    List.map
+      (fun v -> (v.Monitor.v_probe, v.Monitor.v_detail))
+      (Monitor.violations mon)
+  in
+  let r = { r_hash = Services.Timeline.hash tl; r_violations = vs @ extra } in
+  Services.Timeline.detach tl;
+  r
+
+(* A fault plan whose seed (and whether it exists at all) comes from the
+   schedule, so shrinking toward zeros turns the faults off. *)
+let drawn_faults sched ~tag =
+  match Schedule.choice sched ~tag 4 with
+  | 0 -> None
+  | k ->
+      let seed = 1 + Schedule.choice sched ~tag:(tag ^ ".seed") 1_000_000 in
+      let drop = 0.04 *. float_of_int k in
+      Some (Network.Faults.plan ~seed ~drop ~duplicate:0.05 ~jitter_ns:1_000 ())
+
+(* --- fan-out / accumulate: creation, cross-node sends, scheduling ---- *)
+
+let p_work = Pattern.intern "chk_work" ~arity:3
+let p_add = Pattern.intern "chk_add" ~arity:1
+let p_spawn = Pattern.intern "chk_spawn" ~arity:2
+
+let acc_cls () =
+  Class_def.define ~name:"chk_acc" ~state:[| "sum"; "n" |]
+    ~init:(fun _ -> [| Value.int 0; Value.int 0 |])
+    ~methods:
+      [
+        ( p_add,
+          fun ctx msg ->
+            let k = Value.to_int (Message.arg msg 0) in
+            Ctx.set ctx 0 (Value.int (Value.to_int (Ctx.get ctx 0) + k));
+            Ctx.set ctx 1 (Value.int (Value.to_int (Ctx.get ctx 1) + 1)) );
+      ]
+    ()
+
+let worker_cls () =
+  Class_def.define ~name:"chk_worker" ~state:[| "acc" |]
+    ~init:(fun args -> Array.of_list args)
+    ~methods:
+      [
+        ( p_work,
+          fun ctx msg ->
+            let k = Value.to_int (Message.arg msg 0) in
+            let left = Value.to_int (Message.arg msg 1) in
+            let acc =
+              match Ctx.get ctx 0 with Value.Addr a -> a | _ -> assert false
+            in
+            Ctx.send ctx acc p_add [ Value.int k ];
+            if left > 1 then
+              Ctx.send ctx (Ctx.self ctx) p_work
+                [ Value.int (k + 1); Value.int (left - 1); Message.arg msg 2 ]
+        );
+      ]
+    ()
+
+let root_cls ~acc_cls ~worker_cls () =
+  Class_def.define ~name:"chk_root" ~state:[| "acc" |]
+    ~methods:
+      [
+        ( p_spawn,
+          fun ctx msg ->
+            let workers = Value.to_int (Message.arg msg 0) in
+            let rounds = Value.to_int (Message.arg msg 1) in
+            let acc = Ctx.create_local ctx acc_cls [] in
+            Ctx.set ctx 0 (Value.Addr acc);
+            for w = 0 to workers - 1 do
+              let target = (w + 1) mod Ctx.node_count ctx in
+              let wk =
+                Ctx.create_on ctx ~target worker_cls [ Value.Addr acc ]
+              in
+              Ctx.send ctx wk p_work
+                [ Value.int (w * rounds); Value.int rounds; Value.int w ]
+            done );
+      ]
+    ()
+
+let run_fanout ~faults sched =
+  let machine_config = { Engine.default_config with Engine.faults } in
+  let acc = acc_cls () in
+  let worker = worker_cls () in
+  let root = root_cls ~acc_cls:acc ~worker_cls:worker () in
+  let sys =
+    System.boot ~machine_config ~nodes:8 ~classes:[ acc; worker; root ] ()
+  in
+  let machine = System.machine sys in
+  wire sched machine;
+  let tl = Services.Timeline.attach sys in
+  let mon = Monitor.create () in
+  Probes.register_standard mon sys ();
+  Monitor.attach_periodic mon machine ~interval_ns:monitor_interval_ns;
+  let workers = 6 and rounds = 10 in
+  let r = System.create_root sys ~node:0 root [] in
+  System.send_boot sys r p_spawn [ Value.int workers; Value.int rounds ];
+  System.run sys;
+  let n = workers * rounds in
+  let app_violations =
+    match System.lookup_obj sys r with
+    | Some robj -> (
+        match robj.Kernel.state.(0) with
+        | Value.Addr acc_addr -> (
+            match System.lookup_obj sys acc_addr with
+            | Some aobj ->
+                let sum = Value.to_int aobj.Kernel.state.(0) in
+                let count = Value.to_int aobj.Kernel.state.(1) in
+                let want_sum = n * (n - 1) / 2 in
+                if sum <> want_sum || count <> n then
+                  [
+                    ( "app",
+                      Printf.sprintf
+                        "fanout: sum=%d count=%d, expected sum=%d count=%d"
+                        sum count want_sum n );
+                  ]
+                else []
+            | None -> [ ("app", "fanout: accumulator object not found") ])
+        | _ -> [ ("app", "fanout: root holds no accumulator address") ])
+    | None -> [ ("app", "fanout: root object not found") ]
+  in
+  finish mon tl app_violations
+
+let app = { w_name = "app"; w_run = (fun sched -> run_fanout ~faults:None sched) }
+
+let faults =
+  {
+    w_name = "faults";
+    w_run =
+      (fun sched ->
+        let seed = 1 + Schedule.choice sched ~tag:"fault.seed" 1_000_000 in
+        let jitter = 500 * (1 + Schedule.choice sched ~tag:"fault.jitter" 4) in
+        let plan =
+          Network.Faults.plan ~seed ~drop:0.08 ~duplicate:0.05
+            ~jitter_ns:jitter ()
+        in
+        run_fanout ~faults:(Some plan) sched);
+  }
+
+(* --- migration: an order-sensitive stream across forced moves -------- *)
+
+let p_madd = Pattern.intern "chk_madd" ~arity:1
+let p_mreport = Pattern.intern "chk_mreport" ~arity:0
+let p_mnext = Pattern.intern "chk_mnext" ~arity:0
+
+let mcell_cls ~result () =
+  Class_def.define ~name:"chk_mcell" ~state:[| "hash"; "sum" |]
+    ~init:(fun _ -> [| Value.int 0; Value.int 0 |])
+    ~methods:
+      [
+        ( p_madd,
+          fun ctx msg ->
+            let k = Value.to_int (Message.arg msg 0) in
+            Ctx.set ctx 0 (Value.int ((31 * Value.to_int (Ctx.get ctx 0)) + k));
+            Ctx.set ctx 1 (Value.int (Value.to_int (Ctx.get ctx 1) + k)) );
+        ( p_mreport,
+          fun ctx _ ->
+            result :=
+              Some
+                (Value.to_int (Ctx.get ctx 0), Value.to_int (Ctx.get ctx 1)) );
+      ]
+    ()
+
+let mdriver_cls () =
+  Class_def.define ~name:"chk_mdriver" ~state:[| "target"; "i"; "count" |]
+    ~init:(fun args ->
+      match args with
+      | [ target; count ] -> [| target; Value.int 1; count |]
+      | _ -> invalid_arg "chk_mdriver")
+    ~methods:
+      [
+        ( p_mnext,
+          fun ctx _ ->
+            let target =
+              match Ctx.get ctx 0 with Value.Addr a -> a | _ -> assert false
+            in
+            let i = Value.to_int (Ctx.get ctx 1) in
+            let count = Value.to_int (Ctx.get ctx 2) in
+            if i <= count then begin
+              Ctx.send ctx target p_madd [ Value.int i ];
+              Ctx.set ctx 1 (Value.int (i + 1));
+              Ctx.send ctx (Ctx.self ctx) p_mnext []
+            end
+            else Ctx.send ctx target p_mreport [] );
+      ]
+    ()
+
+let migrate_wl =
+  {
+    w_name = "migrate";
+    w_run =
+      (fun sched ->
+        let faults = drawn_faults sched ~tag:"mig.fault" in
+        let machine_config = { Engine.default_config with Engine.faults } in
+        let result = ref None in
+        let cell = mcell_cls ~result () in
+        let driver = mdriver_cls () in
+        let sys =
+          System.boot ~machine_config ~nodes:4 ~classes:[ cell; driver ] ()
+        in
+        let machine = System.machine sys in
+        wire sched machine;
+        let tl = Services.Timeline.attach sys in
+        let mig = Migrate.attach sys in
+        let mon = Monitor.create () in
+        Probes.register_standard mon sys ~migrate:mig ();
+        Monitor.attach_periodic mon machine ~interval_ns:monitor_interval_ns;
+        let count = 36 in
+        let cell_addr = System.create_root sys ~node:0 cell [] in
+        let d =
+          System.create_root sys ~node:1 driver
+            [ Value.Addr cell_addr; Value.int count ]
+        in
+        (* Force moves while the stream is in flight; times and targets
+           come from the schedule (0 everywhere = no moves at all). *)
+        let moves = Schedule.choice sched ~tag:"mig.moves" 6 in
+        for k = 0 to moves - 1 do
+          let to_ = Schedule.choice sched ~tag:"mig.to" 4 in
+          let phase = Schedule.choice sched ~tag:"mig.phase" 8 in
+          Engine.schedule_at machine
+            ~time:(10_000 + (k * 25_000) + (phase * 3_000))
+            (fun () -> ignore (Migrate.move mig ~canon:cell_addr ~to_))
+        done;
+        System.send_boot sys d p_mnext [];
+        System.run sys;
+        let want_hash, want_sum =
+          List.fold_left
+            (fun (h, s) k -> ((31 * h) + k, s + k))
+            (0, 0)
+            (List.init count (fun i -> i + 1))
+        in
+        let app_violations =
+          match !result with
+          | Some (h, s) when h = want_hash && s = want_sum -> []
+          | Some (h, s) ->
+              [
+                ( "app",
+                  Printf.sprintf
+                    "migrate stream: hash=%d sum=%d, expected hash=%d sum=%d \
+                     (reorder or loss)"
+                    h s want_hash want_sum );
+              ]
+          | None -> [ ("app", "migrate stream: report never arrived") ]
+        in
+        finish mon tl app_violations);
+  }
+
+(* --- DGC churn with aggregation riding -------------------------------- *)
+
+let p_poke = Pattern.intern "chk_poke" ~arity:1
+let p_churn = Pattern.intern "chk_churn" ~arity:2
+
+let gcell_cls () =
+  Class_def.define ~name:"chk_gcell" ~state:[| "v" |]
+    ~init:(fun _ -> [| Value.int 0 |])
+    ~methods:[ (p_poke, fun ctx msg -> Ctx.set ctx 0 (Message.arg msg 0)) ]
+    ()
+
+let churner_cls ~cell () =
+  Class_def.define ~name:"chk_churner" ~state:[| "ref" |]
+    ~init:(fun _ -> [| Value.unit |])
+    ~methods:
+      [
+        ( p_churn,
+          fun ctx msg ->
+            let i = Value.to_int (Message.arg msg 0) in
+            let n = Value.to_int (Message.arg msg 1) in
+            if i < n then begin
+              let p = Ctx.node_count ctx in
+              let target = (Ctx.node_id ctx + 1 + (i mod (p - 1))) mod p in
+              let a = Ctx.create_on ctx ~target cell [] in
+              Ctx.send ctx a p_poke [ Value.int i ];
+              (* keep only the newest reference: garbage every cycle *)
+              Ctx.set ctx 0 (Value.Addr a);
+              Ctx.send ctx (Ctx.self ctx) p_churn
+                [ Value.int (i + 1); Value.int n ]
+            end );
+      ]
+    ()
+
+let dgc_wl =
+  {
+    w_name = "dgc";
+    w_run =
+      (fun sched ->
+        let faults = drawn_faults sched ~tag:"dgc.fault" in
+        let machine_config =
+          {
+            Engine.default_config with
+            Engine.faults;
+            coalesce = Some Machine.Coalesce.default_config;
+          }
+        in
+        let cell = gcell_cls () in
+        let churner = churner_cls ~cell () in
+        let sys =
+          System.boot ~machine_config ~nodes:4 ~classes:[ cell; churner ] ()
+        in
+        let machine = System.machine sys in
+        wire sched machine;
+        let tl = Services.Timeline.attach sys in
+        let interval_ns =
+          100_000 + (10_000 * Schedule.choice sched ~tag:"dgc.phase" 8)
+        in
+        let g = Dgc.attach ~interval_ns sys in
+        let mon = Monitor.create () in
+        Probes.register_standard mon sys ~dgc:g ();
+        Monitor.attach_periodic mon machine ~interval_ns:monitor_interval_ns;
+        for node = 0 to 3 do
+          let c = System.create_root sys ~node churner [] in
+          System.send_boot sys c p_churn [ Value.int 0; Value.int 24 ]
+        done;
+        System.run sys;
+        Dgc.settle g;
+        let extra =
+          let report = Diagnostics.survey sys in
+          if Diagnostics.is_clean report then []
+          else
+            [
+              ( "app",
+                Format.asprintf "dgc churn: unclean quiescence: %a"
+                  Diagnostics.pp report );
+            ]
+        in
+        finish mon tl extra);
+  }
+
+(* --- coalesced bursts: exactly-once FIFO per channel ------------------ *)
+
+type Machine.Am.payload += Chk_seq of { k : int }
+
+let coalesce_wl =
+  {
+    w_name = "coalesce";
+    w_run =
+      (fun sched ->
+        let faults = drawn_faults sched ~tag:"co.fault" in
+        let config =
+          {
+            Engine.default_config with
+            Engine.faults;
+            coalesce = Some Machine.Coalesce.default_config;
+          }
+        in
+        let m = Engine.create ~config ~nodes:8 () in
+        wire sched m;
+        let tl = Services.Timeline.attach_machine m in
+        let mon = Monitor.create () in
+        Monitor.register mon ~name:"reliable" ~when_:Monitor.At_quiescence
+          (Probes.reliable m);
+        Monitor.register mon ~name:"coalesce" ~when_:Monitor.At_quiescence
+          (Probes.coalesce m);
+        Monitor.attach_periodic mon m ~interval_ns:monitor_interval_ns;
+        let senders = 3 and dests = 2 and rounds = 3 and burst = 16 in
+        let next = Hashtbl.create 16 in
+        let bad = ref [] in
+        let h =
+          Engine.register_handler m Machine.Am.Service ~name:"chk-seq"
+            (fun _ node am ->
+              match am.Machine.Am.payload with
+              | Chk_seq { k } ->
+                  let ch = (am.Machine.Am.src, Machine.Node.id node) in
+                  let expect =
+                    Option.value (Hashtbl.find_opt next ch) ~default:0
+                  in
+                  if k <> expect then
+                    bad :=
+                      Printf.sprintf
+                        "channel %d->%d: received %d, expected %d (FIFO \
+                         broken)"
+                        (fst ch) (snd ch) k expect
+                      :: !bad;
+                  Hashtbl.replace next ch (max (k + 1) expect)
+              | _ -> ())
+        in
+        let sent = Hashtbl.create 16 in
+        for r = 0 to rounds - 1 do
+          Engine.schedule_at m ~time:(r * 40_000) (fun () ->
+              for s = 0 to senders - 1 do
+                let src = Engine.node m s in
+                Engine.post m src (fun () ->
+                    for d = 1 to dests do
+                      let dst = (s + (d * 3)) mod 8 in
+                      for _ = 1 to burst do
+                        let ch = (s, dst) in
+                        let k =
+                          Option.value (Hashtbl.find_opt sent ch) ~default:0
+                        in
+                        Hashtbl.replace sent ch (k + 1);
+                        Engine.send_am m ~src ~dst ~handler:h ~size_bytes:8
+                          (Chk_seq { k })
+                      done
+                    done)
+              done)
+        done;
+        Engine.run m;
+        Hashtbl.iter
+          (fun ch k ->
+            let got = Option.value (Hashtbl.find_opt next ch) ~default:0 in
+            if got <> k then
+              bad :=
+                Printf.sprintf "channel %d->%d: delivered %d of %d sent"
+                  (fst ch) (snd ch) got k
+                :: !bad)
+          sent;
+        let extra = List.map (fun d -> ("app", d)) (List.rev !bad) in
+        finish mon tl extra);
+  }
+
+let all = [ app; faults; migrate_wl; dgc_wl; coalesce_wl ]
+let find name = List.find_opt (fun w -> w.w_name = name) all

@@ -1,0 +1,38 @@
+(** The explorer's workload catalog: one small end-to-end program per
+    subsystem stack. Each run wires every simulator decision point to
+    the given schedule, runs the invariant monitor periodically and at
+    quiescence, checks its own end-to-end answer (reported under the
+    ["app"] probe name), and returns the Timeline hash. *)
+
+type report = {
+  r_hash : int;  (** {!Services.Timeline.hash} of the run *)
+  r_violations : (string * string) list;  (** (probe, detail) *)
+}
+
+type t = { w_name : string; w_run : Schedule.t -> report }
+
+val app : t
+(** Fan-out/accumulate on 8 nodes: remote creation, cross-node sends,
+    scheduler; perfect network. *)
+
+val faults : t
+(** The same program under a fault plan whose seed and jitter are drawn
+    from the schedule. *)
+
+val migrate_wl : t
+(** An order-sensitive message stream into a cell that is forcibly
+    migrated mid-stream (move count, targets, phases and an optional
+    fault plan drawn from the schedule). *)
+
+val dgc_wl : t
+(** Reference churn with the collector's periodic sweep, aggregation on
+    (decrements ride batches), sweep phase and optional faults drawn
+    from the schedule. *)
+
+val coalesce_wl : t
+(** Raw-engine coalesced bursts over multiple channels: per-channel
+    FIFO/exactly-once counters, optional faults drawn from the
+    schedule. *)
+
+val all : t list
+val find : string -> t option

@@ -807,3 +807,14 @@ let audit t =
           :: !problems)
     ind_from;
   List.rev !problems
+
+(* --- test instrumentation ----------------------------------------- *)
+
+module Testing = struct
+  (* Deliberate corruption for tests that prove the audit notices;
+     never called by the collector itself. *)
+  let forge_stub_weight t ~node ~canon delta =
+    match Hashtbl.find_opt t.nodes.(node).d_stubs (key canon) with
+    | Some s -> s.st_weight <- s.st_weight + delta
+    | None -> invalid_arg "Dgc.Testing.forge_stub_weight: no stub"
+end

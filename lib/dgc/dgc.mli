@@ -110,3 +110,13 @@ val audit : t -> string list
     decrements, and indirections out must match indirections from plus
     pending releases. Returns one description per violation; [[]] means
     the counts balance. *)
+
+(** Deliberate state corruption, exclusively for tests that prove the
+    audit catches broken invariants. *)
+module Testing : sig
+  val forge_stub_weight :
+    t -> node:int -> canon:Core.Value.addr -> int -> unit
+  (** Adds the given delta to the node's stub weight for [canon],
+      breaking weight conservation on purpose. Raises [Invalid_argument]
+      if the node holds no stub for the address. *)
+end

@@ -66,6 +66,10 @@ and t = {
   mutable piggyback : (src:int -> dst:int -> Am.t list) option;
       (** flush-time hook: control AMs (DGC decrements, …) to append to
           a departing batch instead of sending dedicated packets *)
+  mutable decision : (string -> int -> int) option;
+      (** schedule-exploration hook: [decide tag bound] picks a value in
+          [0, bound) at a named decision point; [None] (and a pick of 0)
+          is the unperturbed baseline *)
   c_drop : int ref;
   c_dup : int ref;
   c_retransmit : int ref;
@@ -121,6 +125,7 @@ let create ?(config = default_config) ~nodes:n () =
           | Some _ -> Some (Co_framed (Coalesce.create ~config:c ~nodes:n ()))
           | None -> Some (Co_data (Coalesce.create ~config:c ~nodes:n ()))));
     piggyback = None;
+    decision = None;
     c_drop = Simcore.Stats.counter stats "fault.drop";
     c_dup = Simcore.Stats.counter stats "fault.dup";
     c_retransmit = Simcore.Stats.counter stats "reliable.retransmit";
@@ -160,6 +165,18 @@ let coalesce_stats t =
   | None -> None
 
 let set_piggyback_source t hook = t.piggyback <- hook
+let set_decision_source t hook = t.decision <- hook
+let set_tie_break t choose =
+  (* Engine events carry no per-channel ordering of their own (frame
+     arrivals re-sequence in the reliable layer), so every permutation
+     of a same-time candidate set is a legal schedule. *)
+  Simcore.Event_queue.set_tie_break t.events
+    (Option.map (fun f evs -> f (Array.length evs)) choose)
+
+let decide t tag bound =
+  match t.decision with
+  | Some f when bound > 1 -> f tag bound
+  | Some _ | None -> 0
 
 let quiescent t =
   Array.for_all Node.is_idle t.nodes
@@ -444,8 +461,12 @@ let co_send_data t co ~src ~dst ~now am =
       deliver_local t ~dst ~arrival am;
       Simcore.Event_queue.add t.events ~time:arrival (Co_credit { src; dst })
   | `Opened ->
-      Simcore.Event_queue.add t.events
-        ~time:(now + (Coalesce.config co).Coalesce.max_delay_ns)
+      (* Deadline timing is a decision point: the check may fire up to
+         half a deadline late, stretching the aggregation window the way
+         a busy host would. A pick of 0 is the exact deadline. *)
+      let delay = (Coalesce.config co).Coalesce.max_delay_ns in
+      let jitter = decide t "co.flush.delay" (1 + (delay / 2)) in
+      Simcore.Event_queue.add t.events ~time:(now + delay + jitter)
         (Co_flush { src; dst })
   | `Buffered -> ()
   | `Threshold -> flush_data t co ~src ~dst ~now ~cause:Coalesce.Size

@@ -174,3 +174,20 @@ val set_piggyback_source : t -> (src:int -> dst:int -> Am.t list) option -> unit
     routing header and launch. The hook must return messages whose
     [Am.src] is [src]; under a fault plan they enter the reliable
     channel's sequenced window like ordinary sends. [None] detaches. *)
+
+(** {2 Schedule exploration} *)
+
+val set_decision_source : t -> (string -> int -> int) option -> unit
+(** Registers the schedule-exploration decision hook: at each named
+    decision point the engine calls [decide tag bound] and acts on the
+    returned value in [[0, bound)]. A return of 0 — and [None], the
+    default — is the unperturbed baseline behavior. Current decision
+    points: ["co.flush.delay"] (extra delay before an aggregation
+    deadline check fires). *)
+
+val set_tie_break : t -> (int -> int) option -> unit
+(** Installs a same-timestamp tie-break on the engine event queue (see
+    {!Simcore.Event_queue.set_tie_break}): wakes, frame arrivals,
+    protocol timers and service timers scheduled for the same instant
+    are concurrent, and the explorer perturbs their order here. Node
+    inboxes have their own hook ({!Node.set_inbox_tie_break}). *)

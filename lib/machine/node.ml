@@ -35,6 +35,32 @@ let charge_ns t ns = Simcore.Clock.advance_by t.clock ns
 let local t = t.local
 let set_local t l = t.local <- l
 let inbox_push t ~arrival am = Simcore.Event_queue.add t.inbox ~time:arrival am
+(* Same-time inbox entries from one source are not concurrent: the
+   reliable layer releases a sequenced run in a single event, and its
+   order is part of the per-channel FIFO contract. Only the earliest
+   entry per source is a legal pick, so the chooser ranges over the
+   distinct sources present. *)
+let set_inbox_tie_break t choose =
+  Simcore.Event_queue.set_tie_break t.inbox
+    (Option.map
+       (fun f ams ->
+         let seen = Hashtbl.create 8 in
+         let legal = ref [] in
+         Array.iteri
+           (fun i (am : Am.t) ->
+             if not (Hashtbl.mem seen am.Am.src) then begin
+               Hashtbl.add seen am.Am.src ();
+               legal := i :: !legal
+             end)
+           ams;
+         match List.rev !legal with
+         | [] | [ _ ] -> 0
+         | legal ->
+             let legal = Array.of_list legal in
+             let n = Array.length legal in
+             let k = f n in
+             legal.(if k < 0 || k >= n then 0 else k))
+       choose)
 
 let inbox_pop_ready t =
   match Simcore.Event_queue.peek_time t.inbox with

@@ -31,6 +31,16 @@ val set_local : t -> local -> unit
 
 val inbox_push : t -> arrival:Simcore.Time.t -> Am.t -> unit
 
+val set_inbox_tie_break : t -> (int -> int) option -> unit
+(** Installs a same-arrival-time tie-break on the inbox (see
+    {!Simcore.Event_queue.set_tie_break}). Only messages from distinct
+    sources landing at the same instant are genuinely concurrent —
+    same-source runs (e.g. released together by the reliable layer's
+    reorder buffer) keep their sequenced order — so [choose n] ranges
+    over the distinct sources present and picks whose earliest message
+    polls first. The schedule explorer perturbs poll order through this
+    hook. *)
+
 val inbox_pop_ready : t -> (Simcore.Time.t * Am.t) option
 (** Pops the oldest message whose arrival time is <= the node clock. *)
 

@@ -350,6 +350,23 @@ let in_flight t =
     (fun _ tx acc -> acc + Hashtbl.length tx.inflight + Queue.length tx.backlog)
     t.txs 0
 
+let reorder_buffered t =
+  Hashtbl.fold (fun _ rx acc -> acc + Hashtbl.length rx.reorder) t.rxs 0
+
+let channel_states t =
+  Hashtbl.fold
+    (fun key tx acc ->
+      let src = key / t.nodes and dst = key mod t.nodes in
+      ( src,
+        dst,
+        tx.next_seq,
+        tx.base,
+        Hashtbl.length tx.inflight,
+        Queue.length tx.backlog )
+      :: acc)
+    t.txs []
+  |> List.sort compare
+
 let node_retransmits t node = t.retransmits.(node)
 let node_dup_discards t node = t.dup_discards.(node)
 let node_acks_sent t node = t.acks_sent.(node)

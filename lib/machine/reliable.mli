@@ -129,6 +129,16 @@ val in_flight : t -> int
     quiescence: every message the runtime sent was delivered and
     acknowledged despite the faults. *)
 
+val reorder_buffered : t -> int
+(** Frames parked in receive-side reorder buffers, waiting for an
+    earlier sequence number, across all channels. Zero at clean
+    quiescence — a stuck entry means a hole was never filled. *)
+
+val channel_states : t -> (int * int * int * int * int * int) list
+(** Per active tx channel, sorted: [(src, dst, next_seq, base, inflight,
+    backlogged)]. At clean quiescence [base = next_seq] and the last two
+    are 0 on every channel — the invariant-monitor view. *)
+
 val take_piggyback : t -> me:int -> peer:int -> now:Simcore.Time.t -> int
 (** Current cumulative ack [me] owes for traffic arriving from [peer],
     for stamping onto an outgoing data frame or batch that reaches the

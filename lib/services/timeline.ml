@@ -1,7 +1,7 @@
 module Engine = Machine.Engine
 
 type t = {
-  system : Core.System.t;
+  machine : Engine.t;
   mutable slice_log : (int * Simcore.Time.t * Simcore.Time.t) list;
   mutable slice_count : int;
   mutable delivery_count : int;
@@ -9,13 +9,23 @@ type t = {
   mutable batched_frames : int;
   traffic : (int * int, int ref) Hashtbl.t;
   busy : int array;  (** accumulated busy ns per node *)
+  mutable hash : int;  (** running digest of every observation, in order *)
 }
 
-let attach system =
-  let machine = Core.System.machine system in
+(* Fold one observation field into the running digest (splitmix-style
+   finalizer over the accumulated state). Two runs share a hash iff the
+   engine emitted the same observations in the same order with the same
+   timestamps — the bit-identical-replay check. *)
+let mix h v =
+  let h = h lxor (v * 0x1E3779B97F4A7C15) in
+  let h = (h lxor (h lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let h = (h lxor (h lsr 27)) * 0x14D049BB133111EB in
+  h lxor (h lsr 31)
+
+let attach_machine machine =
   let t =
     {
-      system;
+      machine;
       slice_log = [];
       slice_count = 0;
       delivery_count = 0;
@@ -23,6 +33,7 @@ let attach system =
       batched_frames = 0;
       traffic = Hashtbl.create 64;
       busy = Array.make (Engine.node_count machine) 0;
+      hash = 0;
     }
   in
   Engine.set_observer machine
@@ -31,32 +42,38 @@ let attach system =
        | Engine.Obs_slice { node; t_start; t_end } ->
            t.slice_log <- (node, t_start, t_end) :: t.slice_log;
            t.slice_count <- t.slice_count + 1;
-           t.busy.(node) <- t.busy.(node) + (t_end - t_start)
-       | Engine.Obs_deliver { src; dst; _ } ->
+           t.busy.(node) <- t.busy.(node) + (t_end - t_start);
+           t.hash <- mix (mix (mix (mix t.hash 1) node) t_start) t_end
+       | Engine.Obs_deliver { time; src; dst } ->
            t.delivery_count <- t.delivery_count + 1;
            let key = (src, dst) in
            (match Hashtbl.find_opt t.traffic key with
            | Some r -> incr r
-           | None -> Hashtbl.add t.traffic key (ref 1))
-       | Engine.Obs_batch { frames; _ } ->
+           | None -> Hashtbl.add t.traffic key (ref 1));
+           t.hash <- mix (mix (mix (mix t.hash 2) time) src) dst
+       | Engine.Obs_batch { time; src; dst; frames } ->
            t.batch_count <- t.batch_count + 1;
-           t.batched_frames <- t.batched_frames + frames));
+           t.batched_frames <- t.batched_frames + frames;
+           t.hash <-
+             mix (mix (mix (mix (mix t.hash 3) time) src) dst) frames));
   t
 
-let detach t = Engine.set_observer (Core.System.machine t.system) None
+let attach system = attach_machine (Core.System.machine system)
+let detach t = Engine.set_observer t.machine None
+let hash t = t.hash
 let slices t = t.slice_count
 let deliveries t = t.delivery_count
 let batches t = t.batch_count
 let batched_frames t = t.batched_frames
 
 let busy_fraction t ~node =
-  let makespan = Core.System.elapsed t.system in
+  let makespan = Engine.elapsed t.machine in
   if makespan = 0 then 0.
   else float_of_int t.busy.(node) /. float_of_int makespan
 
 let render ?(width = 64) ?(max_rows = 16) t =
-  let makespan = max 1 (Core.System.elapsed t.system) in
-  let nodes = min max_rows (Core.System.node_count t.system) in
+  let makespan = max 1 (Engine.elapsed t.machine) in
+  let nodes = min max_rows (Engine.node_count t.machine) in
   let buckets = Array.make_matrix nodes width 0 in
   let bucket_ns = max 1 (makespan / width) in
   List.iter
@@ -90,10 +107,10 @@ let render ?(width = 64) ?(max_rows = 16) t =
     Buffer.add_string buf
       (Printf.sprintf "| %3.0f%%\n" (100. *. busy_fraction t ~node));
   done;
-  if Core.System.node_count t.system > nodes then
+  if Engine.node_count t.machine > nodes then
     Buffer.add_string buf
       (Printf.sprintf "(%d more nodes not shown)\n"
-         (Core.System.node_count t.system - nodes));
+         (Engine.node_count t.machine - nodes));
   Buffer.contents buf
 
 let message_matrix t =

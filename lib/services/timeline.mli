@@ -7,10 +7,19 @@ type t
 val attach : Core.System.t -> t
 (** Starts recording (replaces any previous observer on the machine). *)
 
+val attach_machine : Machine.Engine.t -> t
+(** As {!attach}, for a bare machine without a language runtime. *)
+
 val detach : t -> unit
 
 val slices : t -> int
 val deliveries : t -> int
+
+val hash : t -> int
+(** Order-sensitive digest of every observation recorded so far (event
+    kind, timestamps, endpoints). Two runs produce equal hashes iff the
+    engine emitted the same observation stream — the check behind
+    "replaying a recorded schedule reproduces the run bit-identically". *)
 
 val batches : t -> int
 (** Aggregated multi-frame packets observed (0 with coalescing off). *)

@@ -1,31 +1,40 @@
 (* Binary min-heap over (time, seq) keys. [seq] is a monotonically
-   increasing insertion counter, so ties in [time] break FIFO. *)
+   increasing insertion counter, so ties in [time] break FIFO.
+
+   Slots are [option]s so a dequeued entry is dropped the moment it
+   leaves the heap: the queue holds closures and whole messages, and
+   retaining the popped entry at [heap.(len)] until it happened to be
+   overwritten kept arbitrarily large object graphs alive. *)
 
 type 'a entry = { time : Time.t; seq : int; value : 'a }
 
 type 'a t = {
-  mutable heap : 'a entry array; (* [0, len) is a valid heap *)
+  mutable heap : 'a entry option array; (* [0, len) is a valid heap *)
   mutable len : int;
   mutable next_seq : int;
+  mutable tie_break : ('a array -> int) option;
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0 }
+let create () = { heap = [||]; len = 0; next_seq = 0; tie_break = None }
+
+let set_tie_break q choose = q.tie_break <- choose
+
+let get heap i =
+  match heap.(i) with Some e -> e | None -> assert false (* i < len *)
 
 let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
 let grow q =
   let cap = Array.length q.heap in
   let cap' = if cap = 0 then 16 else cap * 2 in
-  (* The dummy cell is never read: sift functions only touch [0, len). *)
-  let dummy = q.heap.(0) in
-  let heap' = Array.make cap' dummy in
+  let heap' = Array.make cap' None in
   Array.blit q.heap 0 heap' 0 q.len;
   q.heap <- heap'
 
 let rec sift_up heap i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less heap.(i) heap.(parent) then begin
+    if less (get heap i) (get heap parent) then begin
       let tmp = heap.(i) in
       heap.(i) <- heap.(parent);
       heap.(parent) <- tmp;
@@ -35,8 +44,10 @@ let rec sift_up heap i =
 
 let rec sift_down heap len i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = if l < len && less heap.(l) heap.(i) then l else i in
-  let smallest = if r < len && less heap.(r) heap.(smallest) then r else smallest in
+  let smallest = if l < len && less (get heap l) (get heap i) then l else i in
+  let smallest =
+    if r < len && less (get heap r) (get heap smallest) then r else smallest
+  in
   if smallest <> i then begin
     let tmp = heap.(i) in
     heap.(i) <- heap.(smallest);
@@ -47,31 +58,84 @@ let rec sift_down heap len i =
 let add q ~time value =
   let entry = { time; seq = q.next_seq; value } in
   q.next_seq <- q.next_seq + 1;
-  if q.len = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 entry;
   if q.len = Array.length q.heap then grow q;
-  q.heap.(q.len) <- entry;
+  q.heap.(q.len) <- Some entry;
   q.len <- q.len + 1;
   sift_up q.heap (q.len - 1)
 
+(* Remove the entry at heap index [i], nulling the vacated slot. *)
+let remove_at q i =
+  let e = get q.heap i in
+  q.len <- q.len - 1;
+  if i < q.len then begin
+    q.heap.(i) <- q.heap.(q.len);
+    q.heap.(q.len) <- None;
+    sift_down q.heap q.len i;
+    sift_up q.heap i
+  end
+  else q.heap.(i) <- None;
+  e
+
+(* All entries sharing the minimal timestamp form a connected subtree
+   rooted at index 0 (an equal-time entry's ancestors can only carry the
+   same minimal time), so a DFS that stops at later times finds them
+   without scanning the whole heap. *)
+let min_time_indices q tmin =
+  let acc = ref [] in
+  let rec visit i =
+    if i < q.len && (get q.heap i).time = tmin then begin
+      acc := i :: !acc;
+      visit ((2 * i) + 1);
+      visit ((2 * i) + 2)
+    end
+  in
+  visit 0;
+  !acc
+
 let pop q =
   if q.len = 0 then None
-  else begin
-    let top = q.heap.(0) in
-    q.len <- q.len - 1;
-    if q.len > 0 then begin
-      q.heap.(0) <- q.heap.(q.len);
-      sift_down q.heap q.len 0
-    end;
-    Some (top.time, top.value)
-  end
+  else
+    let chosen =
+      match q.tie_break with
+      | None -> 0
+      | Some choose -> (
+          let tmin = (get q.heap 0).time in
+          match min_time_indices q tmin with
+          | [] | [ _ ] -> 0
+          | candidates ->
+              (* Deterministic candidate order: by insertion sequence, so
+                 choice 0 is the FIFO default and a replayed choice k
+                 lands on the same event regardless of heap layout. *)
+              let by_seq =
+                List.sort
+                  (fun a b ->
+                    Int.compare (get q.heap a).seq (get q.heap b).seq)
+                  candidates
+              in
+              let values =
+                Array.of_list
+                  (List.map (fun i -> (get q.heap i).value) by_seq)
+              in
+              let n = Array.length values in
+              let k = choose values in
+              let k = if k < 0 || k >= n then 0 else k in
+              List.nth by_seq k)
+    in
+    let e = remove_at q chosen in
+    Some (e.time, e.value)
 
 let iter f q =
   for i = 0 to q.len - 1 do
-    let e = q.heap.(i) in
+    let e = get q.heap i in
     f e.time e.value
   done
 
-let peek_time q = if q.len = 0 then None else Some q.heap.(0).time
+let peek_time q = if q.len = 0 then None else Some (get q.heap 0).time
 let size q = q.len
 let is_empty q = q.len = 0
-let clear q = q.len <- 0
+
+let clear q =
+  (* Drop the whole array: resetting [len] alone kept every queued entry
+     reachable until the slots were overwritten. *)
+  q.heap <- [||];
+  q.len <- 0

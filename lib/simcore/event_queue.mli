@@ -13,6 +13,18 @@ val add : 'a t -> time:Time.t -> 'a -> unit
 val pop : 'a t -> (Time.t * 'a) option
 (** Removes and returns the earliest event, or [None] if empty. *)
 
+val set_tie_break : 'a t -> ('a array -> int) option -> unit
+(** [set_tie_break q (Some choose)] lets [choose] pick among
+    same-timestamp events on [pop]: when two or more events share the
+    minimal time, [choose candidates] receives their values ordered by
+    insertion sequence and returns the index to pop. Returning [0] is
+    the FIFO default; out-of-range picks fall back to 0. Callers can
+    inspect the candidate values to rule out permutations that are not
+    genuine concurrency (see {!Machine.Node.set_inbox_tie_break}).
+    [None] (the initial state) restores plain FIFO. Used by the
+    schedule explorer to perturb orderings the simulation treats as
+    concurrent. *)
+
 val peek_time : 'a t -> Time.t option
 (** Timestamp of the earliest event without removing it. *)
 

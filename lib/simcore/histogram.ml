@@ -32,20 +32,16 @@ let observe t x =
 
 let count t = t.count
 
-let min t =
-  if t.count = 0 then invalid_arg "Histogram.min: empty" else t.min_v
-
-let max t =
-  if t.count = 0 then invalid_arg "Histogram.max: empty" else t.max_v
-
-let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+let min t = if t.count = 0 then None else Some t.min_v
+let max t = if t.count = 0 then None else Some t.max_v
+let mean t = if t.count = 0 then None else Some (t.sum /. float_of_int t.count)
 
 let buckets t =
   Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) t.buckets []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let pp ppf t =
-  if t.count = 0 then Format.fprintf ppf "(empty)"
-  else
-    Format.fprintf ppf "n=%d min=%d max=%d mean=%.2f" t.count t.min_v t.max_v
-      (mean t)
+  match (min t, max t, mean t) with
+  | Some mn, Some mx, Some mu ->
+      Format.fprintf ppf "n=%d min=%d max=%d mean=%.2f" t.count mn mx mu
+  | _ -> Format.fprintf ppf "(empty)"

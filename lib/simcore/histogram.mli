@@ -12,12 +12,14 @@ val observe : t -> int -> unit
 
 val count : t -> int
 
-val min : t -> int
-(** Raises [Invalid_argument] when no sample was observed. *)
+val min : t -> int option
+(** [None] when no sample was observed. [min], [max], and [mean] agree
+    on this: the empty histogram has no summary, rather than a raise
+    from two of them and a silent [0.] from the third. *)
 
-val max : t -> int
+val max : t -> int option
 
-val mean : t -> float
+val mean : t -> float option
 
 val buckets : t -> (int * int) list
 (** Sorted (bucket_index, count) pairs; empty without [bucket_width]. *)

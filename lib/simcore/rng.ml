@@ -14,10 +14,22 @@ let next t =
 let create ~seed = { state = mix (Int64.of_int seed) }
 let split t = { state = mix (next t) }
 
+(* Uniform in [0, bound) by rejection sampling over the 62-bit draw
+   space ([0, max_int]): plain [r mod bound] over-weights small residues
+   whenever bound does not divide 2^62 — imperceptibly for small bounds,
+   but by a factor of up to 2 for bounds near max_int. Reject the
+   final partial copy of [0, bound) and redraw; at most one extra draw
+   in expectation, and none at all for power-of-two bounds. *)
 let int t bound =
   assert (bound > 0);
-  let r = Int64.to_int (Int64.shift_right_logical (next t) 2) in
-  r mod bound
+  (* Values above [cut] belong to the incomplete last copy of the range. *)
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let cut = max_int - rem in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    if r <= cut then r mod bound else draw ()
+  in
+  draw ()
 
 let float t bound =
   let r = Int64.to_float (Int64.shift_right_logical (next t) 11) in

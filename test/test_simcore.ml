@@ -102,14 +102,16 @@ let test_histogram () =
   let h = Histogram.create ~bucket_width:10 () in
   List.iter (Histogram.observe h) [ 1; 5; 15; 25; 25 ];
   Alcotest.(check int) "count" 5 (Histogram.count h);
-  Alcotest.(check int) "min" 1 (Histogram.min h);
-  Alcotest.(check int) "max" 25 (Histogram.max h);
-  Alcotest.(check (float 0.001)) "mean" 14.2 (Histogram.mean h);
+  Alcotest.(check (option int)) "min" (Some 1) (Histogram.min h);
+  Alcotest.(check (option int)) "max" (Some 25) (Histogram.max h);
+  Alcotest.(check (option (float 0.001))) "mean" (Some 14.2) (Histogram.mean h);
   Alcotest.(check (list (pair int int)))
     "buckets" [ (0, 2); (1, 1); (2, 2) ] (Histogram.buckets h);
   let empty = Histogram.create () in
-  Alcotest.check_raises "min of empty" (Invalid_argument "Histogram.min: empty")
-    (fun () -> ignore (Histogram.min empty))
+  Alcotest.(check (option int)) "min of empty" None (Histogram.min empty);
+  Alcotest.(check (option int)) "max of empty" None (Histogram.max empty);
+  Alcotest.(check (option (float 0.001))) "mean of empty" None
+    (Histogram.mean empty)
 
 let test_time () =
   Alcotest.(check int) "of_us rounds" 1500 (Time.of_us 1.5);
@@ -141,6 +143,114 @@ let test_histogram_no_buckets () =
   Alcotest.(check string) "pp empty" "(empty)"
     (Format.asprintf "%a" Histogram.pp (Histogram.create ()))
 
+(* The old [next >> 2 mod bound] was biased: for bound = 3 * 2^60 the
+   2^60 values wrapping past 2^62 land entirely in [0, 2^60), so the low
+   third of the range carried probability ~1/2 instead of 1/3. With
+   rejection sampling each third gets ~1/3. *)
+let test_rng_large_bound_uniform () =
+  let r = Rng.create ~seed:11 in
+  let third = 1 lsl 60 in
+  let bound = 3 * third in
+  let n = 3000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    if Rng.int r bound < third then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  (* 1/3 +- 5 sigma (sigma ~ 0.0086 at n=3000); the biased sampler put
+     this at ~0.5, far outside the band. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "low third frac %.3f near 1/3" frac)
+    true
+    (frac > 0.29 && frac < 0.38)
+
+let test_rng_uniformity_qcheck =
+  QCheck.Test.make ~count:100 ~name:"rng chi-square uniform"
+    QCheck.(pair small_int (int_range 2 32))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed in
+      let n = 200 * bound in
+      let counts = Array.make bound 0 in
+      for _ = 1 to n do
+        let v = Rng.int r bound in
+        counts.(v) <- counts.(v) + 1
+      done;
+      let expected = float_of_int n /. float_of_int bound in
+      let chi2 =
+        Array.fold_left
+          (fun acc c ->
+            let d = float_of_int c -. expected in
+            acc +. ((d *. d) /. expected))
+          0. counts
+      in
+      (* dof = bound-1 <= 31; chi2 < dof + 6*sqrt(2*dof) is far beyond
+         any reasonable quantile, so a pass here means "not grossly
+         non-uniform" without flaking. *)
+      let dof = float_of_int (bound - 1) in
+      chi2 < dof +. (6. *. Float.sqrt (2. *. dof)))
+
+(* Dequeued entries must become unreachable immediately: the queue holds
+   closures and messages, and the old implementation parked the popped
+   entry at [heap.(len)] (and [clear] kept the whole array). *)
+let test_eq_no_retention () =
+  let q = EQ.create () in
+  let make_tracked () =
+    let v = ref 0 in
+    let w = Weak.create 1 in
+    Weak.set w 0 (Some v);
+    EQ.add q ~time:1 v;
+    w
+  in
+  let popped = make_tracked () in
+  ignore (EQ.pop q);
+  Gc.full_major ();
+  Alcotest.(check bool)
+    "popped entry collected" false
+    (Weak.check popped 0);
+  let cleared = make_tracked () in
+  EQ.clear q;
+  Gc.full_major ();
+  Alcotest.(check bool)
+    "cleared entry collected" false
+    (Weak.check cleared 0)
+
+let test_eq_tie_break () =
+  let q = EQ.create () in
+  List.iter (fun s -> EQ.add q ~time:5 s) [ "x"; "y"; "z" ];
+  EQ.add q ~time:9 "late";
+  (* Always pick the last candidate among the ties; the chooser sees the
+     candidate values in insertion (FIFO) order. *)
+  EQ.set_tie_break q
+    (Some
+       (fun c ->
+         if Array.length c = 3 then
+           Alcotest.(check (list string))
+             "candidates in insertion order" [ "x"; "y"; "z" ]
+             (Array.to_list c);
+         Array.length c - 1));
+  let order = List.init 4 (fun _ -> snd (Option.get (EQ.pop q))) in
+  Alcotest.(check (list string))
+    "reverse order on ties" [ "z"; "y"; "x"; "late" ] order;
+  (* choose 0 must be the FIFO default. *)
+  List.iter (fun s -> EQ.add q ~time:5 s) [ "x"; "y"; "z" ];
+  EQ.set_tie_break q (Some (fun _ -> 0));
+  let order = List.init 3 (fun _ -> snd (Option.get (EQ.pop q))) in
+  Alcotest.(check (list string)) "choice 0 = FIFO" [ "x"; "y"; "z" ] order;
+  (* Times must still be non-decreasing under arbitrary choices. *)
+  let rng = Rng.create ~seed:3 in
+  EQ.set_tie_break q (Some (fun c -> Rng.int rng (Array.length c)));
+  for i = 0 to 199 do
+    EQ.add q ~time:(i mod 7) (string_of_int i)
+  done;
+  let rec drain last =
+    match EQ.pop q with
+    | None -> ()
+    | Some (t, _) ->
+        if t < last then Alcotest.fail "time went backwards";
+        drain t
+  in
+  drain min_int
+
 let test_trace () =
   Alcotest.(check bool) "disabled by default" false (Simcore.Trace.enabled ());
   Simcore.Trace.with_enabled true (fun () ->
@@ -156,6 +266,8 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_eq_fifo_ties;
           Alcotest.test_case "interleaved" `Quick test_eq_interleaved;
           Alcotest.test_case "large sorted" `Quick test_eq_large_sorted;
+          Alcotest.test_case "no retention" `Quick test_eq_no_retention;
+          Alcotest.test_case "tie break hook" `Quick test_eq_tie_break;
         ] );
       ("clock", [ Alcotest.test_case "monotonic+busy" `Quick test_clock ]);
       ( "rng",
@@ -163,6 +275,9 @@ let () =
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "large-bound uniform" `Quick
+            test_rng_large_bound_uniform;
+          QCheck_alcotest.to_alcotest test_rng_uniformity_qcheck;
         ] );
       ("stats", [ Alcotest.test_case "counters" `Quick test_stats ]);
       ("histogram", [ Alcotest.test_case "summary" `Quick test_histogram ]);
