@@ -4,7 +4,7 @@
      dune exec bench/main.exe -- [sections] [--full] [--smoke]
 
    Sections: table1 table2 table3 table4 fig5 fig6 ablations faults
-   migrate dgc coalesce bechamel all (default: all). --full runs the paper-scale
+   migrate dgc coalesce recover bechamel all (default: all). --full runs the paper-scale
    N=13 / 512-node configurations; without it the harness caps at N<=11
    so a full pass stays around a minute. --smoke shrinks the fault
    sweep to two drop rates and the migration bench to N=7 for CI.
@@ -919,6 +919,382 @@ let coalesce_bench ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Crash recovery: kill a node mid-burst, restore, replay              *)
+(* ------------------------------------------------------------------ *)
+
+type Machine.Am.payload += Rb_seq of { k : int }
+
+(* Sequenced bursts from three senders into fixed destinations on a raw
+   engine with the recovery manager attached; [crash] names the victims
+   and instants. Returns everything the gates need. *)
+let recover_burst ~rounds ~burst ~crashes () =
+  let module Engine = Machine.Engine in
+  let plan = Network.Faults.plan ~seed:11 ~drop:0.01 ~duplicate:0.0 ~jitter_ns:500 () in
+  let config = { Engine.default_config with Engine.faults = Some plan } in
+  let nodes = 8 in
+  let m = Engine.create ~config ~nodes () in
+  let tl = Services.Timeline.attach_machine m in
+  let next = Array.init nodes (fun _ -> Hashtbl.create 16) in
+  let last_rx = Array.make nodes 0 in
+  let max_gap = Array.make nodes 0 in
+  let lost = ref 0 and dup_or_reorder = ref 0 in
+  let h =
+    Engine.register_handler m Machine.Am.Service ~name:"recover-seq"
+      (fun _ node am ->
+        match am.Machine.Am.payload with
+        | Rb_seq { k } ->
+            let me = Machine.Node.id node in
+            let src = am.Machine.Am.src in
+            let now = Machine.Node.now node in
+            if last_rx.(me) > 0 then
+              max_gap.(me) <- max max_gap.(me) (now - last_rx.(me));
+            last_rx.(me) <- now;
+            let e = Option.value (Hashtbl.find_opt next.(me) src) ~default:0 in
+            if k <> e then incr dup_or_reorder;
+            Hashtbl.replace next.(me) src (max (k + 1) e)
+        | _ -> ())
+  in
+  let app =
+    {
+      Recover.Manager.a_snapshot =
+        (fun node ->
+          let slice =
+            Hashtbl.fold (fun s k acc -> (s, k) :: acc) next.(node) []
+          in
+          Some (Marshal.to_bytes (List.sort compare slice) []));
+      a_restore =
+        (fun node b ->
+          Hashtbl.reset next.(node);
+          List.iter
+            (fun (s, k) -> Hashtbl.replace next.(node) s k)
+            (Marshal.from_bytes b 0 : (int * int) list));
+      a_reset = (fun node -> Hashtbl.reset next.(node));
+    }
+  in
+  let mgr = Recover.Manager.attach m ~app ~crashes () in
+  let senders = 3 and dests = 2 in
+  let sent = Hashtbl.create 16 in
+  for r = 0 to rounds - 1 do
+    Engine.schedule_at m ~time:(10_000 + (r * 40_000)) (fun () ->
+        for s = 0 to senders - 1 do
+          let src = Engine.node m s in
+          Engine.post m src (fun () ->
+              for d = 1 to dests do
+                let dst = (s + (d * 3)) mod nodes in
+                for _ = 1 to burst do
+                  let ch = (s, dst) in
+                  let k = Option.value (Hashtbl.find_opt sent ch) ~default:0 in
+                  Hashtbl.replace sent ch (k + 1);
+                  Engine.send_am m ~src ~dst ~handler:h ~size_bytes:8
+                    (Rb_seq { k })
+                done
+              done)
+        done)
+  done;
+  Engine.run m;
+  Hashtbl.iter
+    (fun (s, d) k ->
+      let got = Option.value (Hashtbl.find_opt next.(d) s) ~default:0 in
+      if got < k then lost := !lost + (k - got);
+      if got > k then incr dup_or_reorder)
+    sent;
+  (m, tl, mgr, !lost, !dup_or_reorder, max_gap)
+
+let recover_bench ~smoke () =
+  header "Crash recovery: kill a node mid-burst, restore, replay";
+  let module Engine = Machine.Engine in
+  let rounds = if smoke then 3 else 6 in
+  let burst = 16 in
+  let down_ns = 40_000 in
+  let crashes =
+    {
+      Recover.Manager.cs_node = 3;
+      cs_at = 30_000;
+      cs_down_ns = down_ns;
+      cs_jitter_ns = 0;
+    }
+    :: {
+         Recover.Manager.cs_node = 6;
+         cs_at = 65_000;
+         cs_down_ns = down_ns;
+         cs_jitter_ns = 0;
+       }
+    ::
+    (if smoke then []
+     else
+       [
+         (* Full scale also kills a sender mid-burst. *)
+         {
+           Recover.Manager.cs_node = 1;
+           cs_at = 120_000;
+           cs_down_ns = down_ns;
+           cs_jitter_ns = 0;
+         };
+       ])
+  in
+  let m, tl, mgr, lost, dup, max_gap = recover_burst ~rounds ~burst ~crashes () in
+  let audit = Recover.Manager.audit_quiescent mgr in
+  let report = Option.get (Services.Recoverstats.survey_machine m) in
+  Format.printf "%a@." Services.Recoverstats.pp report;
+  let crashed = List.map (fun cs -> cs.Recover.Manager.cs_node) crashes in
+  let outage =
+    List.fold_left (fun acc i -> max acc max_gap.(i)) 0 crashed
+  in
+  let baseline =
+    let b = ref 0 in
+    Array.iteri (fun i g -> if not (List.mem i crashed) then b := max !b g) max_gap;
+    !b
+  in
+  let recovery_max =
+    List.fold_left (fun acc i -> max acc (Recover.Manager.recovery_ns mgr i)) 0 crashed
+  in
+  Format.printf
+    "lost %d, duplicated/reordered %d (gate: both 0); in flight %d@." lost dup
+    (Engine.reliable_in_flight m);
+  Format.printf
+    "worst recovery %d ns (gate: <= 2 ms); delivery outage %d ns on crashed \
+     nodes vs %d ns baseline (gate: <= 8 ms)@."
+    recovery_max outage baseline;
+  List.iter (fun v -> Format.printf "AUDIT %s@." v) audit;
+  if lost > 0 || dup > 0 then begin
+    Format.printf "FAILED zero-lost/zero-duplicate gate@.";
+    exit 1
+  end;
+  if Engine.reliable_in_flight m <> 0 then begin
+    Format.printf "FAILED in-flight-drained gate@.";
+    exit 1
+  end;
+  if audit <> [] then begin
+    Format.printf "FAILED recovery-audit gate@.";
+    exit 1
+  end;
+  if report.Services.Recoverstats.restarts <> List.length crashes then begin
+    Format.printf "FAILED restart-count gate@.";
+    exit 1
+  end;
+  if recovery_max > 2_000_000 then begin
+    Format.printf "FAILED bounded-recovery-time gate@.";
+    exit 1
+  end;
+  if outage > 8_000_000 then begin
+    Format.printf "FAILED delivery-outage gate@.";
+    exit 1
+  end;
+
+  (* Deterministic replay: a recorded schedule of the recover workload
+     (crash instants re-timed through recorded decision points) must
+     replay to a bit-identical Timeline hash. *)
+  let wl = Option.get (Check.Workloads.find "recover") in
+  let o = Check.Explore.run_recorded wl ~seed:3 in
+  let r = Check.Explore.replay wl o.Check.Explore.o_trace in
+  let identical =
+    r.Check.Explore.rp_identical
+    && r.Check.Explore.rp_outcome.Check.Explore.o_hash
+       = o.Check.Explore.o_hash
+  in
+  Format.printf "recorded crash schedule replay: %016x / %016x %s@."
+    o.Check.Explore.o_hash r.Check.Explore.rp_outcome.Check.Explore.o_hash
+    (if identical then "identical" else "MISMATCH");
+  if not identical then begin
+    Format.printf "FAILED deterministic-replay gate@.";
+    exit 1
+  end;
+
+  (* System-level composition: migration stream + DGC churn while a
+     node's interface goes dark twice (network-down windows — the
+     runtime keeps computing, the fabric drops its packets), with the
+     location re-advertisement repair at each recovery point. *)
+  let stream_result = ref None in
+  let p_add = Pattern.intern "rb_add" ~arity:1 in
+  let p_report = Pattern.intern "rb_report" ~arity:0 in
+  let p_next = Pattern.intern "rb_next" ~arity:0 in
+  let p_poke = Pattern.intern "rb_poke" ~arity:1 in
+  let p_churn = Pattern.intern "rb_churn" ~arity:2 in
+  let cell =
+    Class_def.define ~name:"rb_cell" ~state:[| "hash"; "sum" |]
+      ~init:(fun _ -> [| Value.int 0; Value.int 0 |])
+      ~methods:
+        [
+          ( p_add,
+            fun ctx msg ->
+              let k = Value.to_int (Message.arg msg 0) in
+              Ctx.set ctx 0
+                (Value.int ((31 * Value.to_int (Ctx.get ctx 0)) + k));
+              Ctx.set ctx 1 (Value.int (Value.to_int (Ctx.get ctx 1) + k)) );
+          ( p_report,
+            fun ctx _ ->
+              stream_result :=
+                Some
+                  ( Value.to_int (Ctx.get ctx 0),
+                    Value.to_int (Ctx.get ctx 1) ) );
+        ]
+      ()
+  in
+  let driver =
+    Class_def.define ~name:"rb_driver" ~state:[| "target"; "i"; "count" |]
+      ~init:(fun args ->
+        match args with
+        | [ target; count ] -> [| target; Value.int 1; count |]
+        | _ -> invalid_arg "rb_driver")
+      ~methods:
+        [
+          ( p_next,
+            fun ctx _ ->
+              let target =
+                match Ctx.get ctx 0 with Value.Addr a -> a | _ -> assert false
+              in
+              let i = Value.to_int (Ctx.get ctx 1) in
+              let count = Value.to_int (Ctx.get ctx 2) in
+              if i <= count then begin
+                Ctx.send ctx target p_add [ Value.int i ];
+                Ctx.set ctx 1 (Value.int (i + 1));
+                Ctx.send ctx (Ctx.self ctx) p_next []
+              end
+              else Ctx.send ctx target p_report [] );
+        ]
+      ()
+  in
+  let gcell =
+    Class_def.define ~name:"rb_gcell" ~state:[| "v" |]
+      ~init:(fun _ -> [| Value.int 0 |])
+      ~methods:[ (p_poke, fun ctx msg -> Ctx.set ctx 0 (Message.arg msg 0)) ]
+      ()
+  in
+  let churner =
+    Class_def.define ~name:"rb_churner" ~state:[| "ref" |]
+      ~init:(fun _ -> [| Value.unit |])
+      ~methods:
+        [
+          ( p_churn,
+            fun ctx msg ->
+              let i = Value.to_int (Message.arg msg 0) in
+              let n = Value.to_int (Message.arg msg 1) in
+              if i < n then begin
+                let p = Ctx.node_count ctx in
+                let target = (Ctx.node_id ctx + 1 + (i mod (p - 1))) mod p in
+                let a = Ctx.create_on ctx ~target gcell [] in
+                Ctx.send ctx a p_poke [ Value.int i ];
+                Ctx.set ctx 0 (Value.Addr a);
+                Ctx.send ctx (Ctx.self ctx) p_churn
+                  [ Value.int (i + 1); Value.int n ]
+              end );
+        ]
+      ()
+  in
+  let plan = Network.Faults.plan ~seed:5 ~drop:0.02 ~duplicate:0.0 () in
+  let machine_config =
+    { Engine.default_config with Engine.faults = Some plan }
+  in
+  let sys =
+    System.boot ~machine_config ~nodes:4
+      ~classes:[ cell; driver; gcell; churner ] ()
+  in
+  let machine = System.machine sys in
+  let dark = 2 in
+  let windows =
+    [
+      { Network.Faults.node = dark; from_ns = 40_000; until_ns = 80_000 };
+      { Network.Faults.node = dark; from_ns = 160_000; until_ns = 200_000 };
+    ]
+  in
+  (match Engine.faults_state machine with
+  | Some f -> Network.Faults.set_crashes f windows
+  | None -> assert false);
+  let mig = Migrate.attach sys in
+  let g = Dgc.attach ~interval_ns:120_000 sys in
+  let count = if smoke then 36 else 96 in
+  let cell_addr = System.create_root sys ~node:0 cell [] in
+  let d =
+    System.create_root sys ~node:1 driver
+      [ Value.Addr cell_addr; Value.int count ]
+  in
+  (* Park the stream's target on the dark node before the first window,
+     move it away between the windows, and repair locations at each
+     recovery point. *)
+  Engine.schedule_at machine ~time:15_000 (fun () ->
+      ignore (Migrate.move mig ~canon:cell_addr ~to_:dark));
+  Engine.schedule_at machine ~time:120_000 (fun () ->
+      ignore (Migrate.move mig ~canon:cell_addr ~to_:3));
+  let readvertised = ref 0 in
+  List.iter
+    (fun w ->
+      Engine.schedule_at machine ~time:(w.Network.Faults.until_ns + 1_000)
+        (fun () ->
+          readvertised := !readvertised + Migrate.readvertise mig ~node:dark))
+    windows;
+  for node = 0 to 3 do
+    let c = System.create_root sys ~node churner [] in
+    System.send_boot sys c p_churn [ Value.int 0; Value.int (if smoke then 16 else 32) ]
+  done;
+  System.send_boot sys d p_next [];
+  System.run sys;
+  Dgc.settle g;
+  let want_hash, want_sum =
+    List.fold_left
+      (fun (h, s) k -> ((31 * h) + k, s + k))
+      (0, 0)
+      (List.init count (fun i -> i + 1))
+  in
+  let stream_ok =
+    match !stream_result with
+    | Some (h, s) -> h = want_hash && s = want_sum
+    | None -> false
+  in
+  let dgc_audit = Dgc.audit g in
+  let dgc_recovery =
+    List.concat (List.init 4 (fun node -> Dgc.recovery_audit g ~node))
+  in
+  let held, limbo = Migrate.residual mig in
+  Format.printf
+    "dark-interface composition: stream %s, %d location update(s) \
+     re-advertised, DGC audit %d + recovery audit %d finding(s), residual \
+     %d/%d@."
+    (if stream_ok then "exact" else "WRONG")
+    !readvertised (List.length dgc_audit)
+    (List.length dgc_recovery)
+    held limbo;
+  List.iter (fun v -> Format.printf "DGC %s@." v) dgc_audit;
+  List.iter (fun v -> Format.printf "DGC-RECOVERY %s@." v) dgc_recovery;
+  if
+    (not stream_ok) || dgc_audit <> [] || dgc_recovery <> [] || held <> 0
+    || limbo <> 0
+  then begin
+    Format.printf "FAILED dark-interface composition gate@.";
+    exit 1
+  end;
+
+  (* Metrics file for CI artifacts. *)
+  let oc = open_out "BENCH_recover.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"smoke\": %b,\n\
+    \  \"crashes\": %d,\n\
+    \  \"restarts\": %d,\n\
+    \  \"checkpoints\": %d,\n\
+    \  \"checkpoint_bytes\": %d,\n\
+    \  \"messages_replayed\": %d,\n\
+    \  \"inbox_rebuilt\": %d,\n\
+    \  \"recovery_ns_max\": %d,\n\
+    \  \"recovery_ns_total\": %d,\n\
+    \  \"delivery_outage_ns\": %d,\n\
+    \  \"baseline_max_gap_ns\": %d,\n\
+    \  \"lost\": %d,\n\
+    \  \"duplicated\": %d,\n\
+    \  \"timeline_hash\": \"%016x\",\n\
+    \  \"replay_identical\": %b\n\
+     }\n"
+    smoke report.Services.Recoverstats.crashes
+    report.Services.Recoverstats.restarts
+    report.Services.Recoverstats.checkpoints
+    report.Services.Recoverstats.checkpoint_bytes
+    report.Services.Recoverstats.replayed
+    report.Services.Recoverstats.inbox_rebuilt recovery_max
+    report.Services.Recoverstats.recovery_ns outage baseline lost dup
+    (Services.Timeline.hash tl) identical;
+  close_out oc;
+  Format.printf "metrics written to BENCH_recover.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Schedule explorer: sweep perturbed schedules, shrink failures       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1100,5 +1476,6 @@ let () =
   if want "migrate" then migrate_bench ~smoke ();
   if want "dgc" then dgc_bench ~smoke ();
   if want "coalesce" then coalesce_bench ~smoke ();
+  if want "recover" then recover_bench ~smoke ();
   if want "bechamel" then bechamel ();
   Format.printf "@."

@@ -117,6 +117,21 @@ let migrate_residual mig () =
    collector's own audit. *)
 let dgc g () = Dgc.audit g
 
+(* Recovery-manager structural invariants, safe at any instant: exactly
+   one live incarnation per node, down nodes hold no work, no journal
+   cursor behind its checkpoint. *)
+let recovery mgr () = Recover.Manager.audit mgr
+
+(* The quiescence-only strengthening: no restart pending, nothing down,
+   and every channel's acked cursor equals its journaled cursor (no
+   acked-but-unlogged message). *)
+let recovery_quiescent mgr () = Recover.Manager.audit_quiescent mgr
+
+let register_recovery mon mgr =
+  Monitor.register mon ~name:"recover" ~when_:Monitor.Always (recovery mgr);
+  Monitor.register mon ~name:"recover.quiescent" ~when_:Monitor.At_quiescence
+    (recovery_quiescent mgr)
+
 (* Wire the standard set for a booted system. *)
 let register_standard mon sys ?migrate:mig ?dgc:g () =
   let machine = System.machine sys in

@@ -31,6 +31,20 @@ val dgc : Dgc.t -> unit -> string list
 (** Weight conservation and stub/scion symmetry ({!Dgc.audit}), at
     quiescence. *)
 
+val recovery : Recover.Manager.t -> unit -> string list
+(** Crash-recovery structure ({!Recover.Manager.audit}), safe at any
+    instant: one live incarnation per node, down nodes empty, journal
+    cursors never behind the last checkpoint. *)
+
+val recovery_quiescent : Recover.Manager.t -> unit -> string list
+(** {!Recover.Manager.audit_quiescent}: the above plus no restart
+    pending, no node down, and no acked-but-unlogged message on any
+    channel. Quiescence only. *)
+
+val register_recovery : Monitor.t -> Recover.Manager.t -> unit
+(** Registers [recovery] as an [Always] probe and [recovery_quiescent]
+    at quiescence. *)
+
 val register_standard :
   Monitor.t -> Core.System.t -> ?migrate:Migrate.t -> ?dgc:Dgc.t -> unit -> unit
 (** Registers the full standard set on a monitor (migration and DGC

@@ -435,5 +435,133 @@ let coalesce_wl =
         finish mon tl extra);
   }
 
-let all = [ app; faults; migrate_wl; dgc_wl; coalesce_wl ]
+(* --- crash recovery: kill nodes mid-burst, restore, replay ------------ *)
+
+let recover_wl =
+  {
+    w_name = "recover";
+    w_run =
+      (fun sched ->
+        (* The recovery manager needs a live reliable layer, so a fault
+           plan always exists here; its drop rate (possibly zero) is
+           drawn on top. *)
+        let seed = 1 + Schedule.choice sched ~tag:"rec.seed" 1_000_000 in
+        let drop =
+          0.02 *. float_of_int (Schedule.choice sched ~tag:"rec.drop" 3)
+        in
+        let plan =
+          Network.Faults.plan ~seed ~drop ~duplicate:0.0 ~jitter_ns:500 ()
+        in
+        let config =
+          { Engine.default_config with Engine.faults = Some plan }
+        in
+        let nodes = 8 in
+        let m = Engine.create ~config ~nodes () in
+        wire sched m;
+        let tl = Services.Timeline.attach_machine m in
+        (* Receive-side state lives in per-node tables so a checkpoint
+           can snapshot exactly one node's slice and a crash can wipe
+           exactly that slice. *)
+        let next = Array.init nodes (fun _ -> Hashtbl.create 16) in
+        let bad = ref [] in
+        let h =
+          Engine.register_handler m Machine.Am.Service ~name:"chk-rec-seq"
+            (fun _ node am ->
+              match am.Machine.Am.payload with
+              | Chk_seq { k } ->
+                  let me = Machine.Node.id node in
+                  let src = am.Machine.Am.src in
+                  let expect =
+                    Option.value (Hashtbl.find_opt next.(me) src) ~default:0
+                  in
+                  if k <> expect then
+                    bad :=
+                      Printf.sprintf
+                        "channel %d->%d: received %d, expected %d (FIFO or \
+                         exactly-once broken)"
+                        src me k expect
+                      :: !bad;
+                  Hashtbl.replace next.(me) src (max (k + 1) expect)
+              | _ -> ())
+        in
+        let app =
+          {
+            Recover.Manager.a_snapshot =
+              (fun node ->
+                let slice =
+                  Hashtbl.fold
+                    (fun src k acc -> (src, k) :: acc)
+                    next.(node) []
+                in
+                Some (Marshal.to_bytes (List.sort compare slice) []));
+            a_restore =
+              (fun node b ->
+                Hashtbl.reset next.(node);
+                List.iter
+                  (fun (src, k) -> Hashtbl.replace next.(node) src k)
+                  (Marshal.from_bytes b 0 : (int * int) list));
+            a_reset = (fun node -> Hashtbl.reset next.(node));
+          }
+        in
+        let crashes =
+          let n = Schedule.choice sched ~tag:"rec.crashes" 3 in
+          let first = Schedule.choice sched ~tag:"rec.victim" nodes in
+          List.init n (fun k ->
+              {
+                (* Distinct victims: a node never crashes twice here. *)
+                Recover.Manager.cs_node = (first + (3 * k)) mod nodes;
+                cs_at =
+                  25_000 + (k * 35_000)
+                  + (2_000 * Schedule.choice sched ~tag:"rec.phase" 8);
+                cs_down_ns =
+                  20_000 + (5_000 * Schedule.choice sched ~tag:"rec.down" 5);
+                cs_jitter_ns = 2_000;
+              })
+        in
+        let mgr = Recover.Manager.attach m ~app ~crashes () in
+        let mon = Monitor.create () in
+        Monitor.register mon ~name:"reliable" ~when_:Monitor.At_quiescence
+          (Probes.reliable m);
+        Probes.register_recovery mon mgr;
+        Monitor.attach_periodic mon m ~interval_ns:monitor_interval_ns;
+        let senders = 3 and dests = 2 and rounds = 3 and burst = 12 in
+        (* Sent counters tick at actual send time, so bursts wiped from a
+           crashed sender's run queue never count as sent. *)
+        let sent = Hashtbl.create 16 in
+        for r = 0 to rounds - 1 do
+          Engine.schedule_at m ~time:(10_000 + (r * 40_000)) (fun () ->
+              for s = 0 to senders - 1 do
+                let src = Engine.node m s in
+                Engine.post m src (fun () ->
+                    for d = 1 to dests do
+                      let dst = (s + (d * 3)) mod nodes in
+                      for _ = 1 to burst do
+                        let ch = (s, dst) in
+                        let k =
+                          Option.value (Hashtbl.find_opt sent ch) ~default:0
+                        in
+                        Hashtbl.replace sent ch (k + 1);
+                        Engine.send_am m ~src ~dst ~handler:h ~size_bytes:8
+                          (Chk_seq { k })
+                      done
+                    done)
+              done)
+        done;
+        Engine.run m;
+        Hashtbl.iter
+          (fun (s, dstn) k ->
+            let got =
+              Option.value (Hashtbl.find_opt next.(dstn) s) ~default:0
+            in
+            if got <> k then
+              bad :=
+                Printf.sprintf "channel %d->%d: delivered %d of %d sent" s
+                  dstn got k
+                :: !bad)
+          sent;
+        let extra = List.map (fun d -> ("app", d)) (List.rev !bad) in
+        finish mon tl extra);
+  }
+
+let all = [ app; faults; migrate_wl; dgc_wl; coalesce_wl; recover_wl ]
 let find name = List.find_opt (fun w -> w.w_name = name) all

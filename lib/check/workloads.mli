@@ -34,5 +34,12 @@ val coalesce_wl : t
     FIFO/exactly-once counters, optional faults drawn from the
     schedule. *)
 
+val recover_wl : t
+(** Raw-engine bursts with the crash-recovery manager attached: up to
+    two nodes are killed mid-burst (victims, instants, down windows and
+    drop rate drawn from the schedule), restored from checkpoint and
+    replayed. Per-channel FIFO/exactly-once counters double-check the
+    replay; the recovery audits run as monitor probes. *)
+
 val all : t list
 val find : string -> t option

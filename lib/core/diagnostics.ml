@@ -16,6 +16,10 @@ type report = {
   packets_dropped : int;
   batches_sent : int;
   coalesce_buffered : int;
+  crashes : int;
+  checkpoint_bytes : int;
+  log_replayed : int;
+  recovery_ns : int;
   forwarding_stubs : (int * int) list;
   forwarded_hops : (int * int) list;
 }
@@ -93,6 +97,10 @@ let survey sys =
     packets_dropped = Machine.Engine.packets_dropped machine;
     batches_sent = Simcore.Stats.get stats "coalesce.batch";
     coalesce_buffered = Machine.Engine.coalesce_buffered machine;
+    crashes = Simcore.Stats.get stats "recover.crashes";
+    checkpoint_bytes = Simcore.Stats.get stats "recover.ckpt_bytes";
+    log_replayed = Simcore.Stats.get stats "recover.replayed";
+    recovery_ns = Simcore.Stats.get stats "recover.recovery_ns";
     forwarding_stubs = List.rev !stubs;
     forwarded_hops = List.rev !hops;
   }
@@ -124,7 +132,13 @@ let pp_migration ppf r =
             (fun (n, c) -> Printf.sprintf "node %d: %d" n c)
             r.forwarded_hops));
   if r.batches_sent > 0 then
-    Format.fprintf ppf "@,aggregated batches: %d" r.batches_sent
+    Format.fprintf ppf "@,aggregated batches: %d" r.batches_sent;
+  if r.crashes > 0 then
+    Format.fprintf ppf
+      "@,crash recovery: %d crash(es), %d checkpoint bytes, %d message(s) \
+       replayed, %a recovering"
+      r.crashes r.checkpoint_bytes r.log_replayed Simcore.Time.pp
+      r.recovery_ns
 
 let pp ppf r =
   if is_clean r then begin

@@ -39,6 +39,18 @@ type report = {
       (** messages still sitting in open aggregation buffers at survey
           time — nonzero at quiescence means a flush trigger never
           fired, and counts against {!is_clean} *)
+  crashes : int;
+      (** node crashes injected over the run (the "recover.crashes"
+          counter; 0 without a recovery manager) *)
+  checkpoint_bytes : int;
+      (** checkpoint volume written to the stable stores
+          ("recover.ckpt_bytes") *)
+  log_replayed : int;
+      (** messages re-dispatched from delivery logs during recoveries
+          ("recover.replayed") *)
+  recovery_ns : int;
+      (** total simulated wall-clock spent restoring and replaying
+          ("recover.recovery_ns") *)
   forwarding_stubs : (int * int) list;
       (** (node, live forwarding stubs) — objects that migrated away and
           left a re-posting VFT behind. Healthy residue, not counted

@@ -808,6 +808,37 @@ let audit t =
     ind_from;
   List.rev !problems
 
+(* Node-local structural audit for crash recovery. Unlike [audit] it
+   needs no global quiescence: it checks only invariants that must hold
+   on one node regardless of in-flight traffic, so the recovery manager
+   can run it the moment a restarted node rejoins. Scion weights can
+   dip negative only transiently in the middle of a debit exchange; a
+   node that just restarted holds no half-applied debit, so negative
+   reads are flagged here. *)
+let recovery_audit t ~node =
+  let d = t.nodes.(node) in
+  let problems = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  Hashtbl.iter
+    (fun (n, s) (st : stub) ->
+      if st.st_weight < 0 then
+        say "node %d stub (%d,%d): negative weight %d" node n s st.st_weight;
+      if st.st_ind_out < 0 then
+        say "node %d stub (%d,%d): negative indirections out %d" node n s
+          st.st_ind_out;
+      Hashtbl.iter
+        (fun backer c ->
+          if c <= 0 then
+            say "node %d stub (%d,%d): empty indirection record from %d" node
+              n s backer)
+        st.st_ind_from)
+    d.d_stubs;
+  Hashtbl.iter
+    (fun slot w ->
+      if !w < 0 then say "node %d scion %d: negative weight %d" node slot !w)
+    d.d_scion;
+  List.rev !problems
+
 (* --- test instrumentation ----------------------------------------- *)
 
 module Testing = struct

@@ -111,6 +111,16 @@ val audit : t -> string list
     pending releases. Returns one description per violation; [[]] means
     the counts balance. *)
 
+val recovery_audit : t -> node:int -> string list
+(** Node-local structural audit, valid at {e any} instant (no global
+    quiescence needed): every stub weight and indirection-out count on
+    the node is non-negative, indirection-backer records are non-empty,
+    and every scion weight is non-negative (a restarted node holds no
+    half-applied debit, so the transient-negative excuse does not
+    apply). The recovery manager runs this when a node rejoins after a
+    crash; {!audit} still gives the global conservation verdict at
+    quiescence. *)
+
 (** Deliberate state corruption, exclusively for tests that prove the
     audit catches broken invariants. *)
 module Testing : sig

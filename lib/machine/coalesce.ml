@@ -267,6 +267,34 @@ let open_dsts t ~src =
 
 let buffered t = t.total_buffered
 
+(* Crash: the source NIC's aggregation buffers are volatile. Buffered
+   frames are simply forgotten — under a fault plan they were sequenced
+   into the reliable layer *before* being offered here, so the journaled
+   retransmission buffer still owns them and the restarted node resends
+   them from there. Credits refill (outstanding batches' credit-return
+   events may still land later; [credit_return] clamps at the cap). *)
+let reset_src t ~src =
+  List.iter
+    (fun dst ->
+      match Hashtbl.find_opt t.chans ((src * t.nodes) + dst) with
+      | None -> ()
+      | Some ch ->
+          t.total_buffered <- t.total_buffered - ch.frames;
+          ch.buf <- [];
+          ch.frames <- 0;
+          ch.bytes <- 0;
+          ch.armed <- false;
+          ch.credit <- t.cfg.credits;
+          ch.starved <- false;
+          ch.listed <- false)
+    t.open_dsts_by_src.(src);
+  t.open_dsts_by_src.(src) <- [];
+  (* Channels that were never listed (no open buffer) can still hold
+     spent credits for in-flight singles; refill those too. *)
+  Hashtbl.iter
+    (fun k ch -> if k / t.nodes = src then ch.credit <- t.cfg.credits)
+    t.chans
+
 let stats t =
   {
     s_batches = t.batches;

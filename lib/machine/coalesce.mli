@@ -93,6 +93,14 @@ val buffered : 'a t -> int
 (** Total frames currently buffered across all channels (0 at
     quiescence: every buffer drains through idle or deadline flushes). *)
 
+val reset_src : 'a t -> src:int -> unit
+(** Crash handling: forgets everything buffered by [src] and refills its
+    channel credits. Safe under a fault plan because frames are
+    sequenced into the reliable layer before being buffered here — the
+    retransmission path re-sends them; on a perfect network this would
+    lose messages, so only the recovery manager (which requires a fault
+    plan) calls it. *)
+
 (** {2 Statistics} *)
 
 type stats = {

@@ -42,6 +42,21 @@ type event =
       (** engine-level timer (periodic services: gossip, migration
           policies); the thunk decides for itself whether to re-arm *)
 
+(* Crash-recovery instrumentation (installed by Recover.Manager). The
+   hooks see every delivery, dispatch and send, so a manager can keep a
+   stable-store delivery log and suppress the re-sends a replaying
+   handler would otherwise duplicate onto the wire. *)
+type recovery_hooks = {
+  rc_deliver : dst:int -> arrival:Simcore.Time.t -> Am.t -> unit;
+      (** a message landed in [dst]'s inbox *)
+  rc_dispatch : node:int -> Am.t -> unit;
+      (** a message is about to run its handler on [node] *)
+  rc_send : src:int -> bool;
+      (** consulted before every [send_am] from [src]; [false] swallows
+          the send entirely (log replay: the original send's effects are
+          already in the journaled reliable state or the delivery log) *)
+}
+
 type handler = {
   h_category : Am.category;
   h_name : string;
@@ -70,6 +85,13 @@ and t = {
       (** schedule-exploration hook: [decide tag bound] picks a value in
           [0, bound) at a named decision point; [None] (and a pick of 0)
           is the unperturbed baseline *)
+  mutable recovery : recovery_hooks option;
+  (* crash-recovery state: a down node processes no events until its
+     scheduled restart; incarnations count restarts (0 = original) *)
+  down : bool array;
+  incarnation : int array;
+  restart_due : Simcore.Time.t array;
+  node_crashes : int array;
   c_drop : int ref;
   c_dup : int ref;
   c_retransmit : int ref;
@@ -78,6 +100,8 @@ and t = {
   c_co_batch : int ref;
   c_co_single : int ref;
   c_co_rider : int ref;
+  c_down_drop : int ref;
+  c_post_refused : int ref;
 }
 
 (* The aggregation layer batches whatever the transport underneath it
@@ -89,6 +113,10 @@ and observation =
   | Obs_deliver of { time : Simcore.Time.t; src : int; dst : int }
   | Obs_slice of { node : int; t_start : Simcore.Time.t; t_end : Simcore.Time.t }
   | Obs_batch of { time : Simcore.Time.t; src : int; dst : int; frames : int }
+  | Obs_crash of { time : Simcore.Time.t; node : int; incarnation : int }
+      (** the named incarnation died *)
+  | Obs_restart of { time : Simcore.Time.t; node : int; incarnation : int }
+      (** the node came back as the named (new) incarnation *)
 
 let create ?(config = default_config) ~nodes:n () =
   if n < 1 then invalid_arg "Engine.create: need at least one node";
@@ -126,6 +154,11 @@ let create ?(config = default_config) ~nodes:n () =
           | None -> Some (Co_data (Coalesce.create ~config:c ~nodes:n ()))));
     piggyback = None;
     decision = None;
+    recovery = None;
+    down = Array.make n false;
+    incarnation = Array.make n 0;
+    restart_due = Array.make n 0;
+    node_crashes = Array.make n 0;
     c_drop = Simcore.Stats.counter stats "fault.drop";
     c_dup = Simcore.Stats.counter stats "fault.dup";
     c_retransmit = Simcore.Stats.counter stats "reliable.retransmit";
@@ -134,6 +167,8 @@ let create ?(config = default_config) ~nodes:n () =
     c_co_batch = Simcore.Stats.counter stats "coalesce.batch";
     c_co_single = Simcore.Stats.counter stats "coalesce.single";
     c_co_rider = Simcore.Stats.counter stats "coalesce.rider";
+    c_down_drop = Simcore.Stats.counter stats "recover.dropped_while_down";
+    c_post_refused = Simcore.Stats.counter stats "recover.posts_refused";
   }
 
 let config t = t.config
@@ -146,6 +181,11 @@ let node t i = t.nodes.(i)
 let nodes t = t.nodes
 let reliable t = t.rel
 let faults_active t = Option.is_some t.rel
+let faults_state t = Network.Fabric.faults_state t.fabric
+let node_down t i = t.down.(i)
+let node_incarnation t i = t.incarnation.(i)
+let node_crash_count t i = t.node_crashes.(i)
+let set_recovery_hooks t h = t.recovery <- h
 
 let reliable_in_flight t =
   match t.rel with Some rel -> Reliable.in_flight rel | None -> 0
@@ -190,6 +230,8 @@ let packets_dropped t = Network.Fabric.packets_dropped t.fabric
 let packets_duplicated t = Network.Fabric.packets_duplicated t.fabric
 let dropped_by_src t src = Network.Fabric.dropped_by_src t.fabric src
 let duplicated_by_src t src = Network.Fabric.duplicated_by_src t.fabric src
+let crash_dropped t = Network.Fabric.crash_dropped t.fabric
+let crash_dropped_by_node t i = Network.Fabric.crash_dropped_by_node t.fabric i
 
 let charge t n instructions =
   Node.charge_ns n (Cost_model.time t.config.cost instructions)
@@ -214,7 +256,11 @@ let handler t id =
   t.handlers.(id)
 
 let wake t node ~time =
-  if Node.is_idle node then begin
+  (* A down node is deaf to wakeups: clearing its idle flag here would
+     strand it busy-but-unscheduled forever (the run loop discards Wake
+     events for down nodes). Whatever queued meanwhile is drained by the
+     wake [restart_node] issues. *)
+  if (not t.down.(Node.id node)) && Node.is_idle node then begin
     Node.set_idle node false;
     let time = max time (Node.now node) in
     Simcore.Event_queue.add t.events ~time (Wake (Node.id node))
@@ -223,6 +269,9 @@ let wake t node ~time =
 (* Hand a message to the destination node's inbox, waking it if needed.
    The tail of both delivery paths (direct and reliable). *)
 let deliver_local t ~dst ~arrival am =
+  (match t.recovery with
+  | Some h -> h.rc_deliver ~dst ~arrival am
+  | None -> ());
   let dst_node = t.nodes.(dst) in
   Node.inbox_push dst_node ~arrival am;
   let wake_time = max arrival (Node.now dst_node) in
@@ -604,7 +653,16 @@ let handle_ack_tick t rel ~time ~me ~peer =
 
 (* --- the active-message entry point --- *)
 
-let send_am t ~src ~dst ~handler:hid ~size_bytes payload =
+let rec send_am t ~src ~dst ~handler:hid ~size_bytes payload =
+  match t.recovery with
+  | Some hooks when not (hooks.rc_send ~src:(Node.id src)) ->
+      (* Log replay on a restarted node: the original send already made
+         it into the journaled reliable state (remote) or the delivery
+         log (loopback); re-emitting it would duplicate the message. *)
+      ()
+  | _ -> send_am_live t ~src ~dst ~handler:hid ~size_bytes payload
+
+and send_am_live t ~src ~dst ~handler:hid ~size_bytes payload =
   let h = handler t hid in
   incr h.h_sent;
   let am = { Am.handler = hid; src = Node.id src; size_bytes; payload } in
@@ -637,12 +695,20 @@ let send_am t ~src ~dst ~handler:hid ~size_bytes payload =
         deliver_local t ~dst ~arrival am
 
 let dispatch t node am =
+  (match t.recovery with
+  | Some h -> h.rc_dispatch ~node:(Node.id node) am
+  | None -> ());
   let c = t.config.cost in
   charge t node c.Cost_model.msg_receive_handling;
   (match t.config.delivery with
   | Polling -> ()
   | Interrupt -> charge t node c.Cost_model.interrupt_overhead);
   (handler t am.Am.handler).h_fn t node am
+
+(* Log replay: run a message's handler again on the restarted node. Goes
+   through [dispatch] so the replayed work is charged (and observed by
+   the recovery hooks) exactly like the original run. *)
+let redispatch t ~node am = dispatch t t.nodes.(node) am
 
 let poll t node =
   let rec drain () =
@@ -673,8 +739,15 @@ let interrupt_point t node =
             poll t node)
 
 let post t node thunk =
-  Node.runq_push node thunk;
-  wake t node ~time:(max t.vnow (Node.now node))
+  (* A dead machine refuses work: the thunk is not queued (the run
+     queue is volatile and a down node must stay empty), only counted.
+     Callers that need the work to survive must resubmit after the
+     restart — exactly like a client of a crashed server. *)
+  if t.down.(Node.id node) then incr t.c_post_refused
+  else begin
+    Node.runq_push node thunk;
+    wake t node ~time:(max t.vnow (Node.now node))
+  end
 
 let reschedule_or_idle t node =
   if Node.runq_size node > 0 then begin
@@ -692,6 +765,49 @@ let reschedule_or_idle t node =
         Node.set_idle node true
 
 let set_observer t obs = t.observer <- obs
+
+(* --- crash and restart --- *)
+
+(* Kill node [i] now: volatile state (inbox, run queue, open aggregation
+   buffers) is gone; the clock survives as the engine's virtual-time
+   cursor. The node processes no events until {!restart_node}. The
+   reliable layer's channel state is *not* touched — under the
+   pessimistic-journaling model its tables mirror the stable store, so
+   the in-memory view doubles as the recovered view. *)
+let crash_node t i ~restart_at =
+  if i < 0 || i >= Array.length t.nodes then
+    invalid_arg "Engine.crash_node: bad node";
+  if t.down.(i) then invalid_arg "Engine.crash_node: node already down";
+  let now = max t.vnow (Node.now t.nodes.(i)) in
+  if restart_at <= now then
+    invalid_arg "Engine.crash_node: restart_at must be in the future";
+  t.down.(i) <- true;
+  t.restart_due.(i) <- restart_at;
+  t.node_crashes.(i) <- t.node_crashes.(i) + 1;
+  Node.crash_reset t.nodes.(i);
+  (match t.co with
+  | Some (Co_data c) -> Coalesce.reset_src c ~src:i
+  | Some (Co_framed c) -> Coalesce.reset_src c ~src:i
+  | None -> ());
+  match t.observer with
+  | Some f ->
+      f (Obs_crash { time = t.vnow; node = i; incarnation = t.incarnation.(i) })
+  | None -> ()
+
+(* Bring node [i] back as a fresh incarnation and wake it so it polls
+   whatever the recovery manager rebuilt into its inbox. The caller
+   (the manager) restores state *before* calling this. *)
+let restart_node t i =
+  if not t.down.(i) then invalid_arg "Engine.restart_node: node is not down";
+  t.down.(i) <- false;
+  t.restart_due.(i) <- 0;
+  t.incarnation.(i) <- t.incarnation.(i) + 1;
+  (match t.observer with
+  | Some f ->
+      f
+        (Obs_restart { time = t.vnow; node = i; incarnation = t.incarnation.(i) })
+  | None -> ());
+  wake t t.nodes.(i) ~time:t.vnow
 
 let step t node ~time =
   Node.set_next_wake node max_int;
@@ -721,16 +837,32 @@ let run ?(max_slices = max_int) t =
     | None -> ()
     | Some (time, ev) ->
         t.vnow <- max t.vnow time;
+        (* A down node is deaf: its wakes are stale, frames addressed to
+           it fall on a dead interface, and its protocol timers are
+           deferred past the restart rather than consumed (dropping a
+           Rel_tick/Ack_tick would strand the layer's armed-timer flag
+           and stall retransmission forever). *)
+        let deferred_to restart_at = if time > restart_at then time + 1 else restart_at + 1 in
         (match ev with
+        | Wake i when t.down.(i) -> ()
         | Wake i ->
             incr slices;
             if !slices > max_slices then
               failwith "Engine.run: max_slices exceeded (livelock?)";
             step t t.nodes.(i) ~time
+        | Frame_rx { dst; _ } when t.down.(dst) -> incr t.c_down_drop
         | Frame_rx { src; dst; frame } ->
             handle_frame t (Option.get t.rel) ~time ~src ~dst frame
+        | Rel_tick { src; dst } when t.down.(src) ->
+            Simcore.Event_queue.add t.events
+              ~time:(deferred_to t.restart_due.(src))
+              (Rel_tick { src; dst })
         | Rel_tick { src; dst } ->
             handle_rel_tick t (Option.get t.rel) ~time ~src ~dst
+        | Ack_tick { me; peer } when t.down.(me) ->
+            Simcore.Event_queue.add t.events
+              ~time:(deferred_to t.restart_due.(me))
+              (Ack_tick { me; peer })
         | Ack_tick { me; peer } ->
             handle_ack_tick t (Option.get t.rel) ~time ~me ~peer
         | Co_flush { src; dst } -> handle_co_flush t ~time ~src ~dst

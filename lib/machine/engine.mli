@@ -86,7 +86,10 @@ val interrupt_point : t -> Node.t -> unit
 val post : t -> Node.t -> (unit -> unit) -> unit
 (** Pushes a thunk onto the node's scheduling queue and wakes the node.
     This is how the runtime enqueues "(object, continuation address)"
-    items, and how programs bootstrap initial work. *)
+    items, and how programs bootstrap initial work. A down node refuses
+    the work — the thunk is discarded and counted under
+    ["recover.posts_refused"]; resubmit after the restart if it must
+    survive. *)
 
 val schedule_at : t -> time:Simcore.Time.t -> (unit -> unit) -> unit
 (** Arms an engine-level timer: the thunk runs when the virtual clock
@@ -110,6 +113,10 @@ type observation =
       (** one execution slice of a node that advanced its clock *)
   | Obs_batch of { time : Simcore.Time.t; src : int; dst : int; frames : int }
       (** an aggregated multi-frame packet reached its destination *)
+  | Obs_crash of { time : Simcore.Time.t; node : int; incarnation : int }
+      (** [node]'s incarnation [incarnation] died *)
+  | Obs_restart of { time : Simcore.Time.t; node : int; incarnation : int }
+      (** [node] came back as (new) incarnation [incarnation] *)
 
 val set_observer : t -> (observation -> unit) option -> unit
 (** Streams engine events to a callback (timeline tools, tracing).
@@ -156,6 +163,67 @@ val packets_duplicated : t -> int
 val dropped_by_src : t -> int -> int
 val duplicated_by_src : t -> int -> int
 
+val faults_state : t -> Network.Faults.t option
+(** The fabric's live fault state: the recovery manager re-times crash
+    windows through it ({!Network.Faults.set_crashes}) before traffic
+    starts, so crash instants replay from the recorded choice vector. *)
+
+(** {2 Crash and recovery}
+
+    The engine provides the {e mechanism}: a node can be killed (losing
+    all volatile state — inbox, run queue, open aggregation buffers)
+    and later restarted as a new incarnation. The {e policy} — stable
+    storage, checkpointing, log replay, rebuilding the inbox — lives in
+    the [Recover] library, which drives these entry points and installs
+    {!recovery_hooks} to see every delivery, dispatch and send. While a
+    node is down it processes no events: its wakes are discarded,
+    frames addressed to it are dropped (counted under the
+    ["recover.dropped_while_down"] stat), and its reliable-protocol
+    timers are deferred past the restart instant rather than consumed. *)
+
+type recovery_hooks = {
+  rc_deliver : dst:int -> arrival:Simcore.Time.t -> Am.t -> unit;
+      (** a message landed in [dst]'s inbox *)
+  rc_dispatch : node:int -> Am.t -> unit;
+      (** a message is about to run its handler on [node] *)
+  rc_send : src:int -> bool;
+      (** consulted before every {!send_am} from [src]; returning
+          [false] swallows the send (used during log replay, when the
+          original send's effects are already journaled) *)
+}
+
+val set_recovery_hooks : t -> recovery_hooks option -> unit
+
+val crash_node : t -> int -> restart_at:Simcore.Time.t -> unit
+(** Kills the node now: wipes its volatile state ({!Node.crash_reset}),
+    resets its open aggregation buffers, and marks it down until
+    [restart_at] (protocol timers are parked just past that instant).
+    The node's clock survives — it is the engine's virtual-time cursor.
+    Raises [Invalid_argument] if the node is already down or
+    [restart_at] is not in the future. *)
+
+val restart_node : t -> int -> unit
+(** Brings a down node back as a fresh incarnation and wakes it so it
+    polls whatever the recovery manager rebuilt into its inbox. The
+    manager restores state {e before} calling this. *)
+
+val redispatch : t -> node:int -> Am.t -> unit
+(** Runs a message's handler again on the (restarted) node, charged and
+    observed exactly like the original dispatch. Log replay only. *)
+
+val node_down : t -> int -> bool
+val node_incarnation : t -> int -> int
+(** Restart count of the node (0 = original incarnation). *)
+
+val node_crash_count : t -> int -> int
+
+val crash_dropped : t -> int
+(** Packets lost to crash windows (vs. random drops); see
+    {!Network.Fabric.crash_dropped}. *)
+
+val crash_dropped_by_node : t -> int -> int
+(** Crash losses attributed to the given crashed endpoint. *)
+
 (** {2 Message aggregation} *)
 
 val coalesce_active : t -> bool
@@ -183,7 +251,9 @@ val set_decision_source : t -> (string -> int -> int) option -> unit
     returned value in [[0, bound)]. A return of 0 — and [None], the
     default — is the unperturbed baseline behavior. Current decision
     points: ["co.flush.delay"] (extra delay before an aggregation
-    deadline check fires). *)
+    deadline check fires); ["recover.crash.jitter"] and
+    ["recover.restart.jitter"] (re-timing of a scripted crash window);
+    ["recover.ckpt.stagger"] (per-node checkpoint phase offset). *)
 
 val set_tie_break : t -> (int -> int) option -> unit
 (** Installs a same-timestamp tie-break on the engine event queue (see
@@ -191,3 +261,10 @@ val set_tie_break : t -> (int -> int) option -> unit
     protocol timers and service timers scheduled for the same instant
     are concurrent, and the explorer perturbs their order here. Node
     inboxes have their own hook ({!Node.set_inbox_tie_break}). *)
+
+val decide : t -> string -> int -> int
+(** [decide t tag bound] consults the decision hook (0 without one, or
+    when [bound <= 1]). Exposed so services layered on the engine (the
+    recovery manager's crash re-timing, checkpoint staggering) can add
+    decision points of their own that record and replay through the
+    same choice vector as the engine's. *)

@@ -82,3 +82,15 @@ let interrupts_masked t = t.interrupts_masked
 let set_interrupts_masked t b = t.interrupts_masked <- b
 let next_wake t = t.next_wake
 let set_next_wake t v = t.next_wake <- v
+
+(* kill -9: volatile state is gone. The clock survives — it is the
+   engine's virtual-time cursor for the node, not node memory — and the
+   [local] slot is wiped by the runtime's own crash hook, which knows
+   what lives there. *)
+let crash_reset t =
+  Simcore.Event_queue.clear t.inbox;
+  Queue.clear t.runq;
+  t.idle <- true;
+  t.heap_words <- 0;
+  t.interrupts_masked <- false;
+  t.next_wake <- max_int

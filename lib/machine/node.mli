@@ -84,3 +84,13 @@ val next_wake : t -> Simcore.Time.t
 (** Earliest scheduled wake-up for this node ([max_int] when none). *)
 
 val set_next_wake : t -> Simcore.Time.t -> unit
+
+(** {2 Crash} *)
+
+val crash_reset : t -> unit
+(** Drops every piece of volatile state — inbox, scheduling queue, heap
+    accounting, interrupt mask, wake bookkeeping — and marks the node
+    idle. The clock is {e not} reset: it is the engine's virtual-time
+    cursor, and the restarted incarnation resumes at (not before) the
+    crash instant. The opaque [local] slot is left for the runtime's
+    crash hook to wipe. *)

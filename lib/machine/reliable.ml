@@ -53,11 +53,23 @@ type rx = {
   mutable ack_due : Simcore.Time.t;  (** pending standalone ack; max_int = none *)
 }
 
+(* Stable-store journal hooks: a recovery manager mirrors every
+   sequence-state mutation into simulated stable storage the instant it
+   happens (pessimistic logging), so a crashed node's channel registers
+   are reconstructible. The protocol itself never reads the journal. *)
+type journal = {
+  j_sent : src:int -> dst:int -> seq:int -> Am.t -> unit;
+  j_queued : src:int -> dst:int -> Am.t -> unit;
+  j_acked : src:int -> dst:int -> base:int -> unit;
+  j_released : src:int -> dst:int -> expected:int -> unit;
+}
+
 type t = {
   cfg : config;
   nodes : int;
   txs : (int, tx) Hashtbl.t;  (** keyed by src * nodes + dst *)
   rxs : (int, rx) Hashtbl.t;  (** keyed by src * nodes + dst *)
+  mutable journal : journal option;
   retransmits : int array;  (** per sending node *)
   dup_discards : int array;  (** per receiving node *)
   acks_sent : int array;  (** standalone acks, per sending node *)
@@ -76,6 +88,7 @@ let create ?(config = default_config) ~nodes () =
     nodes;
     txs = Hashtbl.create 64;
     rxs = Hashtbl.create 64;
+    journal = None;
     retransmits = Array.make nodes 0;
     dup_discards = Array.make nodes 0;
     acks_sent = Array.make nodes 0;
@@ -84,6 +97,7 @@ let create ?(config = default_config) ~nodes () =
   }
 
 let config t = t.cfg
+let set_journal t j = t.journal <- j
 
 let key t src dst = (src * t.nodes) + dst
 
@@ -182,12 +196,14 @@ let push t ~src ~dst ~now am =
   let tx = tx_of t ~src ~dst in
   if Hashtbl.length tx.inflight >= t.cfg.window then begin
     Queue.push am tx.backlog;
+    (match t.journal with Some j -> j.j_queued ~src ~dst am | None -> ());
     `Queued
   end
   else begin
     let seq = tx.next_seq in
     tx.next_seq <- seq + 1;
     Hashtbl.replace tx.inflight seq (am, now, true);
+    (match t.journal with Some j -> j.j_sent ~src ~dst ~seq am | None -> ());
     (* First frame of an idle period: (re)start the timeout clock. The
        push instant stands in for the eta until {!note_eta} refines it. *)
     if tx.deadline = max_int then tx.deadline <- now + tx.rto;
@@ -214,6 +230,9 @@ let on_ack t ~src ~dst ~ack ~now =
       Hashtbl.remove tx.inflight seq
     done;
     tx.base <- ack + 1;
+    (match t.journal with
+    | Some j -> j.j_acked ~src ~dst ~base:tx.base
+    | None -> ());
     tx.retries <- 0;
     (* Progress restarts the timeout for the new oldest frame — but only
        a valid sample may relax a backed-off RTO (the second half of
@@ -223,6 +242,32 @@ let on_ack t ~src ~dst ~ack ~now =
        survive to an unambiguous ack, which re-seeds the estimator. *)
     if sampled then tx.rto <- current_rto t tx;
     rearm_for_base tx ~now;
+    (* Partial-ack recovery (NewReno shape): progress without a valid
+       RTT sample means this ack answered a retransmission — the
+       channel is recovering from loss, and under go-back-N the frames
+       behind the repaired hole usually died with it (a crash window
+       kills a whole flight). Waiting out the backed-off RTO for each
+       one would drain the window at one frame per timeout; instead the
+       ack clocks out the new base immediately, at the cost of one
+       duplicate frame when the ack was merely late. *)
+    let fast =
+      if (not sampled) && Hashtbl.length tx.inflight > 0 then
+        match Hashtbl.find_opt tx.inflight tx.base with
+        | Some (am, _, _) ->
+            Hashtbl.replace tx.inflight tx.base (am, now, false);
+            t.retransmits.(src) <- t.retransmits.(src) + 1;
+            Simcore.Histogram.observe t.rto_hist.(src) tx.rto;
+            tx.deadline <- now + tx.rto;
+            [
+              {
+                fr_seq = tx.base;
+                fr_ack = take_piggyback t ~me:src ~peer:dst ~now;
+                fr_data = Some am;
+              };
+            ]
+        | None -> []
+      else []
+    in
     (* Release backlog into the freed window, in order. *)
     let rec drain acc =
       if Queue.is_empty tx.backlog || Hashtbl.length tx.inflight >= t.cfg.window
@@ -232,13 +277,16 @@ let on_ack t ~src ~dst ~ack ~now =
         let seq = tx.next_seq in
         tx.next_seq <- seq + 1;
         Hashtbl.replace tx.inflight seq (am, now, true);
+        (match t.journal with
+        | Some j -> j.j_sent ~src ~dst ~seq am
+        | None -> ());
         if tx.deadline = max_int then tx.deadline <- now + tx.rto;
         drain
           ({ fr_seq = seq; fr_ack = take_piggyback t ~me:src ~peer:dst ~now; fr_data = Some am }
           :: acc)
       end
     in
-    drain []
+    fast @ drain []
   end
 
 let timer_request t ~src ~dst ~now =
@@ -323,7 +371,11 @@ let on_data t ~src ~dst ~seq am =
           release (am' :: acc)
       | None -> List.rev acc
     in
-    `Deliver (am :: release [])
+    let ams = am :: release [] in
+    (match t.journal with
+    | Some j -> j.j_released ~src ~dst ~expected:rx.expected
+    | None -> ());
+    `Deliver ams
   end
 
 let ack_needed t ~me ~peer ~now =
@@ -366,6 +418,11 @@ let channel_states t =
       :: acc)
     t.txs []
   |> List.sort compare
+
+let rx_expected t ~src ~dst =
+  match Hashtbl.find_opt t.rxs (key t src dst) with
+  | Some rx -> rx.expected
+  | None -> 0
 
 let node_retransmits t node = t.retransmits.(node)
 let node_dup_discards t node = t.dup_discards.(node)

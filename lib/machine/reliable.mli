@@ -55,6 +55,33 @@ val create : ?config:config -> nodes:int -> unit -> t
 
 val config : t -> config
 
+(** {2 Stable-store journal}
+
+    Crash recovery models the protocol's sequence registers and its
+    unacknowledged-message buffer as {e journaled}: a recovery manager
+    registers these hooks and mirrors every mutation into simulated
+    stable storage the moment it happens (pessimistic logging — the
+    write is on the send/deliver path, never deferred). The protocol
+    itself never reads the journal; after a crash the manager charges
+    the recovering node for reconstructing exactly this state. *)
+
+type journal = {
+  j_sent : src:int -> dst:int -> seq:int -> Am.t -> unit;
+      (** a message was assigned sequence number [seq] and entered the
+          channel's retransmission buffer (initial send or backlog
+          release) *)
+  j_queued : src:int -> dst:int -> Am.t -> unit;
+      (** a message joined the channel backlog (window full) *)
+  j_acked : src:int -> dst:int -> base:int -> unit;
+      (** the send window advanced: everything below [base] is
+          acknowledged and its log entries may be pruned *)
+  j_released : src:int -> dst:int -> expected:int -> unit;
+      (** the receive cursor advanced: everything below [expected] was
+          released in order (and will be cumulatively acked) *)
+}
+
+val set_journal : t -> journal option -> unit
+
 (** {2 Sender side} *)
 
 val push :
@@ -146,6 +173,12 @@ val take_piggyback : t -> me:int -> peer:int -> now:Simcore.Time.t -> int
     standalone ack, but only when [now] is no later than that ack's
     deadline — a carrier stamped with a virtual-future time must not
     cancel the prompt standalone ack (optimistic per-node clocks). *)
+
+val rx_expected : t -> src:int -> dst:int -> int
+(** The receive cursor of channel (src, dst): the next in-order sequence
+    number the receiver will release (0 for a never-used channel). The
+    recovery audit compares this against the journal's released cursor —
+    an acked-but-unjournaled message would be lost by a crash. *)
 
 val node_retransmits : t -> int -> int
 val node_dup_discards : t -> int -> int

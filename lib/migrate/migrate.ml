@@ -887,6 +887,37 @@ let move t ~canon ~to_ =
         do_move t rt obj ~to_
     | _ -> false
 
+(* Crash-recovery repair: a restarted node re-teaches the cluster where
+   its residents live. Any object that ever migrated here left
+   forwarding stubs (or stale caches) on its previous hosts; those
+   hosts may have missed the install-time M_update broadcast if it died
+   with the crash. Re-sending the updates is idempotent — M_update
+   installs are epoch-guarded, so a host that already knows this (or a
+   newer) epoch ignores the re-advertisement — and it collapses any
+   forwarding chain that still points through a dead hop at this
+   object's history. Returns the number of updates sent. *)
+let readvertise t ~node =
+  let ns = nstate_of t node in
+  let rt = Core.System.rt t.sys node in
+  let sent = ref 0 in
+  Hashtbl.iter
+    (fun ((cnode, cslot) as k) (res : resident) ->
+      if res.r_epoch > 0 then
+        match Hashtbl.find_opt ns.ns_cache k with
+        | Some (phys, epoch) when phys.Value.node = node ->
+            let canon = { Value.node = cnode; slot = cslot } in
+            List.iter
+              (fun host ->
+                if host <> node then begin
+                  send_update t rt ~dst:host ~canon ~phys ~epoch;
+                  incr sent
+                end)
+              res.r_history
+        | Some _ | None -> ())
+    ns.ns_res;
+  Simcore.Stats.add (Engine.stats t.machine) "migrate.readvertise" !sent;
+  !sent
+
 let migrations t = !(t.c_out)
 let forwarded t = !(t.c_fwd)
 let colocated_sends t = !(t.c_colocated)

@@ -77,6 +77,16 @@ val max_stub_chain : t -> int
     the node actually hosting its object. The install-time update
     broadcast keeps this at <= 1 once the machine quiesces. *)
 
+val readvertise : t -> node:int -> int
+(** Crash-recovery repair: re-sends the install-time location update
+    ([M_update]) for every object resident on [node] that has migrated
+    at least once, to each host in its migration history. Idempotent —
+    updates are epoch-guarded, so hosts that already know the epoch
+    ignore them — and repairs forwarding chains (or stale caches) that
+    still point through a node that died holding the original
+    broadcast. Counted under the ["migrate.readvertise"] stat; returns
+    the number of updates sent. *)
+
 val residual : t -> int * int
 (** [(held, limbo)] messages still parked in reorder gates / limbo
     buffers. Both must be 0 at quiescence — anything else is a lost

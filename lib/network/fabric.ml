@@ -29,6 +29,10 @@ type 'a t = {
   (* per source node, for degradation reports *)
   dropped_by_src : int array;
   duplicated_by_src : int array;
+  (* of [dropped], the losses caused by a crash window rather than by a
+     random per-packet drop draw — attributed to the crashed endpoint *)
+  mutable crash_dropped : int;
+  crash_dropped_by_node : int array;
 }
 
 let create ?(config = default_config) ?faults topo =
@@ -47,11 +51,14 @@ let create ?(config = default_config) ?faults topo =
     duplicated = 0;
     dropped_by_src = Array.make n 0;
     duplicated_by_src = Array.make n 0;
+    crash_dropped = 0;
+    crash_dropped_by_node = Array.make n 0;
   }
 
 let topology t = t.topo
 let config t = t.config
 let fault_plan t = Option.map Faults.plan_of t.faults
+let faults_state t = t.faults
 
 (* Round up: a partial flit still occupies the link for a whole cycle, so
    truncating would under-charge small packets on slow links (with the
@@ -113,32 +120,47 @@ let send t ~now (p : _ Packet.t) =
    network may reorder, and re-serialising is the reliable layer's job. *)
 let faulty_arrivals t f ~now ~base (p : _ Packet.t) =
   let fate = Faults.fate f ~src:p.src ~dst:p.dst in
-  let lost at =
-    Faults.crashed f ~node:p.src ~at:now || Faults.crashed f ~node:p.dst ~at
+  (* Which crashed endpoint (if any) kills a copy arriving at [at]:
+     the source is checked at the send instant, the destination at the
+     arrival instant. Distinguished from random drops so recovery
+     reports can attribute losses to the crash itself. *)
+  let crash_loss at =
+    if Faults.crashed f ~node:p.src ~at:now then Some p.src
+    else if Faults.crashed f ~node:p.dst ~at then Some p.dst
+    else None
   in
   let drop_one () =
     t.dropped <- t.dropped + 1;
     t.dropped_by_src.(p.src) <- t.dropped_by_src.(p.src) + 1
   in
+  let crash_drop node =
+    drop_one ();
+    t.crash_dropped <- t.crash_dropped + 1;
+    t.crash_dropped_by_node.(node) <- t.crash_dropped_by_node.(node) + 1
+  in
   let first = base + fate.Faults.f_jitter in
   let arrivals =
-    if fate.Faults.f_drop || lost first then begin
+    if fate.Faults.f_drop then begin
       drop_one ();
       []
     end
-    else [ first ]
+    else
+      match crash_loss first with
+      | Some node ->
+          crash_drop node;
+          []
+      | None -> [ first ]
   in
   if fate.Faults.f_duplicate then begin
     let copy = first + fate.Faults.f_dup_jitter in
-    if lost copy then begin
-      drop_one ();
-      arrivals
-    end
-    else begin
-      t.duplicated <- t.duplicated + 1;
-      t.duplicated_by_src.(p.src) <- t.duplicated_by_src.(p.src) + 1;
-      arrivals @ [ copy ]
-    end
+    match crash_loss copy with
+    | Some node ->
+        crash_drop node;
+        arrivals
+    | None ->
+        t.duplicated <- t.duplicated + 1;
+        t.duplicated_by_src.(p.src) <- t.duplicated_by_src.(p.src) + 1;
+        arrivals @ [ copy ]
   end
   else arrivals
 
@@ -170,6 +192,8 @@ let packets_dropped t = t.dropped
 let packets_duplicated t = t.duplicated
 let dropped_by_src t src = t.dropped_by_src.(src)
 let duplicated_by_src t src = t.duplicated_by_src.(src)
+let crash_dropped t = t.crash_dropped
+let crash_dropped_by_node t node = t.crash_dropped_by_node.(node)
 
 let channel_entries t =
   Hashtbl.length t.last_delivery + Hashtbl.length t.link_free
@@ -183,4 +207,6 @@ let reset t =
   t.dropped <- 0;
   t.duplicated <- 0;
   Array.fill t.dropped_by_src 0 (Array.length t.dropped_by_src) 0;
-  Array.fill t.duplicated_by_src 0 (Array.length t.duplicated_by_src) 0
+  Array.fill t.duplicated_by_src 0 (Array.length t.duplicated_by_src) 0;
+  t.crash_dropped <- 0;
+  Array.fill t.crash_dropped_by_node 0 (Array.length t.crash_dropped_by_node) 0

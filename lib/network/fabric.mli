@@ -44,6 +44,11 @@ val config : 'a t -> config
 val fault_plan : 'a t -> Faults.plan option
 (** The plan this fabric was created with, if any. *)
 
+val faults_state : 'a t -> Faults.t option
+(** The live fault state, if a plan was configured. Exposed so a
+    recovery manager can re-time crash windows ({!Faults.set_crashes})
+    through recorded decision points before traffic starts. *)
+
 val transit_time : 'a t -> 'a Packet.t -> Simcore.Time.t
 (** Pure fabric time for a packet, ignoring queueing: launch + hops +
     transmission. Transmission time rounds {e up} to the bandwidth
@@ -108,6 +113,16 @@ val dropped_by_src : 'a t -> int -> int
 (** Losses of packets injected by the given node. *)
 
 val duplicated_by_src : 'a t -> int -> int
+
+val crash_dropped : 'a t -> int
+(** Of {!packets_dropped}, the losses caused by a crash window rather
+    than a random drop draw (a random draw that would also have hit a
+    crash window counts as random). *)
+
+val crash_dropped_by_node : 'a t -> int -> int
+(** Crash losses attributed to the given {e crashed endpoint} — the
+    node whose down window killed the packet, source or destination —
+    unlike {!dropped_by_src}, which always charges the sender. *)
 
 val channel_entries : 'a t -> int
 (** Number of live per-channel bookkeeping entries (FIFO watermarks plus

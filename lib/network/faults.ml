@@ -36,20 +36,37 @@ let is_fault_free p =
 
 type t = {
   t_plan : plan;
+  (* The live crash windows. Seeded from the plan, but mutable: a
+     recovery manager re-times them through recorded decision points
+     (schedule-explorer choice vectors) before any packet flies, so the
+     crash instant replays deterministically instead of being baked into
+     the plan. *)
+  mutable t_crashes : window list;
   (* per-(src, dst) channel streams, created lazily; the seed of each is a
      pure function of (plan seed, src, dst) so creation order is
      irrelevant to the draws *)
   channels : (int * int, Simcore.Rng.t) Hashtbl.t;
 }
 
-let create p = { t_plan = p; channels = Hashtbl.create 64 }
+let create p =
+  { t_plan = p; t_crashes = p.crashes; channels = Hashtbl.create 64 }
 
 let plan_of t = t.t_plan
+let crash_windows t = t.t_crashes
+
+let set_crashes t ws =
+  List.iter
+    (fun w ->
+      if w.until_ns <= w.from_ns then
+        invalid_arg "Faults.set_crashes: empty crash window";
+      if w.node < 0 then invalid_arg "Faults.set_crashes: bad crash node")
+    ws;
+  t.t_crashes <- ws
 
 let crashed t ~node ~at =
   List.exists
     (fun w -> w.node = node && at >= w.from_ns && at < w.until_ns)
-    t.t_plan.crashes
+    t.t_crashes
 
 type fate = {
   f_drop : bool;

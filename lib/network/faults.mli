@@ -55,6 +55,20 @@ type t
 val create : plan -> t
 
 val plan_of : t -> plan
+(** The plan this state was created from. Its [crashes] field is the
+    {e original} script; {!crash_windows} is the live set. *)
+
+val crash_windows : t -> window list
+(** The crash windows currently in force (the plan's, unless
+    {!set_crashes} replaced them). *)
+
+val set_crashes : t -> window list -> unit
+(** Replaces the live crash windows. The recovery manager uses this to
+    re-time scripted crashes through recorded decision points before
+    traffic starts — the crash instant then replays from the choice
+    vector rather than from raw randomness. Only sound before any
+    packet whose fate depends on the old windows has been sent.
+    Raises [Invalid_argument] on an empty window or a negative node. *)
 
 val crashed : t -> node:int -> at:Simcore.Time.t -> bool
 (** Is [node]'s network interface down at time [at]? *)

@@ -1,0 +1,450 @@
+(* Per-node crash recovery over the engine's crash mechanism.
+
+   The model is pessimistic logging against a simulated stable store
+   (one {!Store} per node):
+
+   - The reliable layer's journal hooks mirror every sequence-state
+     mutation (send, queue, ack, in-order release) into the owning
+     node's journal synchronously. The persisted view therefore always
+     equals the crash-time view, which is why a crash does NOT reset the
+     reliable channel state: the in-memory tables double as the
+     restored-from-journal state, and the journal itself is pure
+     byte-accounting plus audit cursors.
+
+   - Every inbox delivery is logged (the delivery log), and every
+     dispatch records its position (the dispatch log). A checkpoint —
+     taken per node on a staggered timer, at an application safe point —
+     stores the app snapshot and prunes both logs.
+
+   - A crash therefore loses exactly: app state since the checkpoint,
+     delivered-but-undispatched inbox contents, queued thunks, and open
+     aggregation buffers (already sequenced into the reliable layer, so
+     retransmission re-sends them).
+
+   Recovery, at the scheduled restart instant: restore the snapshot
+   (faulting it from the cold tier if evicted), re-run the dispatch log
+   in recorded order with ALL sends from the node suppressed (each
+   original send is already in the journaled reliable state, or in the
+   delivery log for loopbacks — re-emitting would duplicate), rebuild
+   the inbox from the undispatched delivery-log entries at their
+   original arrival times, and restart the node as a new incarnation.
+   Replay work is charged to the node clock, so recovery has a
+   measurable simulated wall-clock cost.
+
+   Crash instants come from the crash specs re-timed through engine
+   decision points ("recover.crash.jitter" / "recover.restart.jitter"),
+   and the resulting windows are installed into the live fault state
+   before any traffic — so a recorded schedule replays the crash
+   bit-identically, and in-flight packets of the crashed node are
+   dropped deterministically by the fabric.
+
+   Application contract: handlers do all the work (no [Engine.post]
+   from handlers — run-queue thunks are not logged); bootstrap thunks
+   only send. [a_snapshot] returns [None] when the node is not at a
+   safe point (typically: run queue non-empty), and the checkpoint
+   timer simply retries next period. *)
+
+module Engine = Machine.Engine
+module Node = Machine.Node
+module Am = Machine.Am
+module Reliable = Machine.Reliable
+
+type app = {
+  a_snapshot : int -> bytes option;
+  a_restore : int -> bytes -> unit;
+  a_reset : int -> unit;
+}
+
+type crash_spec = {
+  cs_node : int;
+  cs_at : Simcore.Time.t;
+  cs_down_ns : int;
+  cs_jitter_ns : int;
+}
+
+type config = {
+  checkpoint_every_ns : int;
+  restore_fixed_ns : int;  (** fixed restart cost (reboot, store open) *)
+  restore_ns_per_byte : int;  (** checkpoint read-back bandwidth *)
+  store_block_bytes : int;
+  store_blocks : int;
+}
+
+let default_config =
+  {
+    checkpoint_every_ns = 200_000;
+    restore_fixed_ns = 20_000;
+    restore_ns_per_byte = 2;
+    store_block_bytes = 256;
+    store_blocks = 4096;
+  }
+
+(* One delivery-log entry: a message that reached the node's inbox. *)
+type dentry = { de_am : Am.t; de_arrival : Simcore.Time.t }
+
+type nstate = {
+  store : Store.t;
+  pending : dentry Queue.t;  (** delivered, not yet dispatched *)
+  mutable done_log : dentry list;  (** dispatched since ckpt, newest first *)
+  mutable replaying : bool;
+  mutable has_ckpt : bool;
+  mutable ckpt_cursors : (int, int) Hashtbl.t;  (** src -> released cursor *)
+  cursors : (int, int) Hashtbl.t;  (** live journal released cursors *)
+  mutable pending_restart : bool;
+  mutable recoveries_ns : int;  (** total simulated recovery wall-clock *)
+}
+
+type t = {
+  eng : Engine.t;
+  app : app;
+  cfg : config;
+  ns : nstate array;
+  c_crashes : int ref;
+  c_restarts : int ref;
+  c_ckpts : int ref;
+  c_ckpt_bytes : int ref;
+  c_ckpt_deferred : int ref;
+  c_replayed : int ref;
+  c_recovery_ns : int ref;
+  c_suppressed : int ref;
+  c_unlogged : int ref;
+  c_inbox_rebuilt : int ref;
+}
+
+let store t i = t.ns.(i).store
+let recovery_ns t i = t.ns.(i).recoveries_ns
+
+(* ~16 B of log metadata per delivery-log entry, 8 per cursor record. *)
+let dentry_bytes (am : Am.t) = am.Am.size_bytes + 16
+let cursor_bytes = 8
+
+(* --- the engine hooks --- *)
+
+let on_deliver t ~dst ~arrival am =
+  let ns = t.ns.(dst) in
+  Queue.push { de_am = am; de_arrival = arrival } ns.pending;
+  Store.append ns.store ~log:"delivery" ~bytes:(dentry_bytes am)
+
+(* Pull the entry for [am] out of the pending set. Dispatch order
+   usually matches delivery order, so the head check almost always
+   hits; inbox tie-breaks can reorder same-instant messages, hence the
+   rebuild fallback. Physical equality is the key: every send allocates
+   a fresh [Am.t], so the record's identity names the message. *)
+let take_pending ns am =
+  match Queue.peek_opt ns.pending with
+  | Some de when de.de_am == am -> Some (Queue.pop ns.pending)
+  | _ ->
+      let found = ref None in
+      let keep = Queue.create () in
+      Queue.iter
+        (fun de ->
+          if !found = None && de.de_am == am then found := Some de
+          else Queue.push de keep)
+        ns.pending;
+      Queue.clear ns.pending;
+      Queue.transfer keep ns.pending;
+      !found
+
+let on_dispatch t ~node am =
+  let ns = t.ns.(node) in
+  if not ns.replaying then
+    match take_pending ns am with
+    | Some de ->
+        ns.done_log <- de :: ns.done_log;
+        Store.append ns.store ~log:"dispatch" ~bytes:cursor_bytes
+    | None ->
+        (* A message the delivery log never saw (e.g. injected behind
+           the manager's back). It cannot be replayed after a crash. *)
+        incr t.c_unlogged
+
+let on_send t ~src =
+  if t.ns.(src).replaying then begin
+    incr t.c_suppressed;
+    false
+  end
+  else true
+
+(* --- checkpointing --- *)
+
+let checkpoint t i =
+  let ns = t.ns.(i) in
+  match t.app.a_snapshot i with
+  | None -> incr t.c_ckpt_deferred
+  | Some img ->
+      Store.put ns.store ~key:"ckpt" img;
+      ns.has_ckpt <- true;
+      ns.ckpt_cursors <- Hashtbl.copy ns.cursors;
+      ns.done_log <- [];
+      (* The snapshot subsumes everything dispatched and every journal
+         entry; only the still-pending deliveries must stay logged. *)
+      Store.truncate ns.store ~log:"dispatch";
+      Store.truncate ns.store ~log:"journal";
+      Store.truncate ns.store ~log:"delivery";
+      Queue.iter
+        (fun de ->
+          Store.append ns.store ~log:"delivery" ~bytes:(dentry_bytes de.de_am))
+        ns.pending;
+      incr t.c_ckpts;
+      t.c_ckpt_bytes := !(t.c_ckpt_bytes) + Bytes.length img
+
+let any_restart_pending t =
+  Array.exists (fun ns -> ns.pending_restart) t.ns
+
+let rec ckpt_tick t i () =
+  checkpoint t i;
+  if not (Engine.quiescent t.eng) || any_restart_pending t then
+    Engine.schedule_at t.eng
+      ~time:(Engine.now t.eng + t.cfg.checkpoint_every_ns)
+      (ckpt_tick t i)
+
+(* --- crash and recovery --- *)
+
+let restart t i =
+  let ns = t.ns.(i) in
+  let node = Engine.node t.eng i in
+  let t0 = Node.now node in
+  (* 1. Restore the last checkpoint (cold boot if none was ever taken:
+     the dispatch log then replays from the beginning of time). *)
+  (if ns.has_ckpt then
+     match Store.get ns.store ~key:"ckpt" with
+     | Some img ->
+         t.app.a_restore i img;
+         Node.charge_ns node
+           (t.cfg.restore_fixed_ns
+           + (Bytes.length img * t.cfg.restore_ns_per_byte))
+     | None -> assert false
+   else Node.charge_ns node t.cfg.restore_fixed_ns);
+  (* 2. Replay the dispatch log in recorded order, sends suppressed. *)
+  ns.replaying <- true;
+  List.iter
+    (fun de ->
+      Engine.redispatch t.eng ~node:i de.de_am;
+      incr t.c_replayed)
+    (List.rev ns.done_log);
+  ns.replaying <- false;
+  (* 3. Rebuild the inbox from delivered-but-undispatched entries at
+     their original arrival times (all in the past by now, so the first
+     wake polls them straight out). *)
+  Queue.iter
+    (fun de ->
+      Node.inbox_push node ~arrival:de.de_arrival de.de_am;
+      incr t.c_inbox_rebuilt)
+    ns.pending;
+  (* 4. Up again, as a fresh incarnation. *)
+  Engine.restart_node t.eng i;
+  ns.pending_restart <- false;
+  incr t.c_restarts;
+  let spent = Node.now node - t0 in
+  ns.recoveries_ns <- ns.recoveries_ns + spent;
+  t.c_recovery_ns := !(t.c_recovery_ns) + spent
+
+let crash t i ~restart_at =
+  let ns = t.ns.(i) in
+  let node = Engine.node t.eng i in
+  (* The node's optimistic clock may have run past the scripted restart
+     instant; recovery then starts as soon as the clock allows. *)
+  let ra = max restart_at (max (Engine.now t.eng) (Node.now node) + 1) in
+  ns.pending_restart <- true;
+  Engine.crash_node t.eng i ~restart_at:ra;
+  t.app.a_reset i;
+  incr t.c_crashes;
+  Engine.schedule_at t.eng ~time:ra (fun () -> restart t i)
+
+(* --- wiring --- *)
+
+let install_journal t rel =
+  let journal_of n = t.ns.(n).store in
+  Reliable.set_journal rel
+    (Some
+       {
+         Reliable.j_sent =
+           (fun ~src ~dst:_ ~seq:_ (am : Am.t) ->
+             Store.append (journal_of src) ~log:"journal"
+               ~bytes:(Reliable.frame_bytes + am.Am.size_bytes));
+         j_queued =
+           (fun ~src ~dst:_ (am : Am.t) ->
+             Store.append (journal_of src) ~log:"journal"
+               ~bytes:am.Am.size_bytes);
+         j_acked =
+           (fun ~src ~dst:_ ~base:_ ->
+             Store.append (journal_of src) ~log:"journal" ~bytes:cursor_bytes);
+         j_released =
+           (fun ~src ~dst ~expected ->
+             Store.append (journal_of dst) ~log:"journal" ~bytes:cursor_bytes;
+             Hashtbl.replace t.ns.(dst).cursors src expected);
+       })
+
+let attach ?(config = default_config) eng ~app ~crashes () =
+  if not (Engine.faults_active eng) then
+    invalid_arg
+      "Manager.attach: crash recovery requires a fault plan (pass a plan \
+       with the crash specs' nodes so the reliable layer is live)";
+  let n = Engine.node_count eng in
+  List.iter
+    (fun cs ->
+      if cs.cs_node < 0 || cs.cs_node >= n then
+        invalid_arg "Manager.attach: crash spec names an unknown node";
+      if cs.cs_at <= 0 then
+        invalid_arg "Manager.attach: crash instant must be positive";
+      if cs.cs_down_ns < 1 then
+        invalid_arg "Manager.attach: down window must be non-empty";
+      if cs.cs_jitter_ns < 0 then
+        invalid_arg "Manager.attach: negative jitter")
+    crashes;
+  let stats = Engine.stats eng in
+  let t =
+    {
+      eng;
+      app;
+      cfg = config;
+      ns =
+        Array.init n (fun _ ->
+            {
+              store =
+                Store.create ~block_bytes:config.store_block_bytes
+                  ~blocks:config.store_blocks ();
+              pending = Queue.create ();
+              done_log = [];
+              replaying = false;
+              has_ckpt = false;
+              ckpt_cursors = Hashtbl.create 8;
+              cursors = Hashtbl.create 8;
+              pending_restart = false;
+              recoveries_ns = 0;
+            });
+      c_crashes = Simcore.Stats.counter stats "recover.crashes";
+      c_restarts = Simcore.Stats.counter stats "recover.restarts";
+      c_ckpts = Simcore.Stats.counter stats "recover.ckpts";
+      c_ckpt_bytes = Simcore.Stats.counter stats "recover.ckpt_bytes";
+      c_ckpt_deferred = Simcore.Stats.counter stats "recover.ckpt_deferred";
+      c_replayed = Simcore.Stats.counter stats "recover.replayed";
+      c_recovery_ns = Simcore.Stats.counter stats "recover.recovery_ns";
+      c_suppressed = Simcore.Stats.counter stats "recover.suppressed_sends";
+      c_unlogged = Simcore.Stats.counter stats "recover.dispatch_unlogged";
+      c_inbox_rebuilt = Simcore.Stats.counter stats "recover.inbox_rebuilt";
+    }
+  in
+  install_journal t (Option.get (Engine.reliable eng));
+  Engine.set_recovery_hooks eng
+    (Some
+       {
+         Engine.rc_deliver = (fun ~dst ~arrival am -> on_deliver t ~dst ~arrival am);
+         rc_dispatch = (fun ~node am -> on_dispatch t ~node am);
+         rc_send = (fun ~src -> on_send t ~src);
+       });
+  (* Re-time the scripted crashes through recorded decision points and
+     install the resulting windows into the live fault state BEFORE any
+     traffic: the fabric then drops the crashed node's in-flight packets
+     deterministically under replay. *)
+  let timed =
+    List.map
+      (fun cs ->
+        let jc = Engine.decide eng "recover.crash.jitter" (cs.cs_jitter_ns + 1) in
+        let jr =
+          Engine.decide eng "recover.restart.jitter" (cs.cs_jitter_ns + 1)
+        in
+        let at = cs.cs_at + jc in
+        (cs, at, at + cs.cs_down_ns + jr))
+      crashes
+  in
+  (match Engine.faults_state eng with
+  | Some f ->
+      Network.Faults.set_crashes f
+        (List.map
+           (fun (cs, at, ra) ->
+             { Network.Faults.node = cs.cs_node; from_ns = at; until_ns = ra })
+           timed)
+  | None -> assert false (* faults_active checked above *));
+  List.iter
+    (fun (cs, at, ra) ->
+      Engine.schedule_at eng ~time:at (fun () ->
+          crash t cs.cs_node ~restart_at:ra))
+    timed;
+  (* Checkpoint 0: persist the pristine state so the very first crash
+     already has something to restore; then a staggered per-node timer. *)
+  for i = 0 to n - 1 do
+    checkpoint t i;
+    let phase = i * config.checkpoint_every_ns / n in
+    let jitter =
+      Engine.decide eng "recover.ckpt.stagger" (1 + (config.checkpoint_every_ns / 4))
+    in
+    Engine.schedule_at eng
+      ~time:(Engine.now eng + config.checkpoint_every_ns + phase + jitter)
+      (ckpt_tick t i)
+  done;
+  t
+
+let detach t =
+  Engine.set_recovery_hooks t.eng None;
+  match Engine.reliable t.eng with
+  | Some rel -> Reliable.set_journal rel None
+  | None -> ()
+
+(* --- invariants --- *)
+
+let audit t =
+  let bad = ref [] in
+  let say fmt = Format.kasprintf (fun s -> bad := s :: !bad) fmt in
+  Array.iteri
+    (fun i ns ->
+      let down = Engine.node_down t.eng i in
+      (* One live incarnation per node: crash count runs exactly one
+         ahead of the incarnation number while (and only while) the
+         node is down. *)
+      let lag = Engine.node_crash_count t.eng i - Engine.node_incarnation t.eng i in
+      if lag <> (if down then 1 else 0) then
+        say "node %d: incarnation accounting off (crashes=%d incarnation=%d down=%b)"
+          i
+          (Engine.node_crash_count t.eng i)
+          (Engine.node_incarnation t.eng i)
+          down;
+      if down then begin
+        let node = Engine.node t.eng i in
+        if not (Node.is_idle node) then say "down node %d is not idle" i;
+        if Node.inbox_size node <> 0 then
+          say "down node %d holds %d inbox messages" i (Node.inbox_size node);
+        if Node.runq_size node <> 0 then
+          say "down node %d holds %d queued thunks" i (Node.runq_size node)
+      end;
+      (* The journal's release cursor may never fall behind the cursor
+         the last checkpoint recorded. *)
+      Hashtbl.iter
+        (fun src at_ckpt ->
+          let live =
+            Option.value (Hashtbl.find_opt ns.cursors src) ~default:0
+          in
+          if live < at_ckpt then
+            say "node %d: journal cursor for src %d behind checkpoint (%d < %d)"
+              i src live at_ckpt)
+        ns.ckpt_cursors)
+    t.ns;
+  List.rev !bad
+
+let audit_quiescent t =
+  let bad = ref (audit t) in
+  let say fmt = Format.kasprintf (fun s -> bad := s :: !bad) fmt in
+  if any_restart_pending t then say "quiescent with a restart still pending";
+  Array.iteri
+    (fun i ns ->
+      if Engine.node_down t.eng i then say "quiescent with node %d down" i;
+      (* Every message the protocol acknowledged and released must have
+         hit the journal: at quiescence the journal cursor equals the
+         receiver's expected-sequence cursor on every channel. *)
+      match Engine.reliable t.eng with
+      | None -> ()
+      | Some rel ->
+          for src = 0 to Array.length t.ns - 1 do
+            if src <> i then begin
+              let expected = Reliable.rx_expected rel ~src ~dst:i in
+              let logged =
+                Option.value (Hashtbl.find_opt ns.cursors src) ~default:0
+              in
+              if expected <> logged then
+                say
+                  "node %d: %d messages from %d acked but %d journaled \
+                   (acked-but-unlogged)"
+                  i expected src logged
+            end
+          done)
+    t.ns;
+  List.rev !bad

@@ -7,6 +7,9 @@ type node_row = {
   retransmits : int;
   dup_discards : int;
   acks_sent : int;
+  crashes : int;
+  restarts : int;
+  crash_drops : int;
   rto : Simcore.Histogram.t;
 }
 
@@ -17,6 +20,8 @@ type report = {
   total_retransmits : int;
   total_dup_discards : int;
   total_acks : int;
+  total_crashes : int;
+  total_crash_drops : int;
   in_flight : int;
 }
 
@@ -35,6 +40,9 @@ let survey sys =
               retransmits = Machine.Reliable.node_retransmits rel node;
               dup_discards = Machine.Reliable.node_dup_discards rel node;
               acks_sent = Machine.Reliable.node_acks_sent rel node;
+              crashes = Engine.node_crash_count machine node;
+              restarts = Engine.node_incarnation machine node;
+              crash_drops = Engine.crash_dropped_by_node machine node;
               rto = Machine.Reliable.rto_histogram rel node;
             })
       in
@@ -47,12 +55,14 @@ let survey sys =
           total_retransmits = sum (fun r -> r.retransmits);
           total_dup_discards = sum (fun r -> r.dup_discards);
           total_acks = sum (fun r -> r.acks_sent);
+          total_crashes = sum (fun r -> r.crashes);
+          total_crash_drops = sum (fun r -> r.crash_drops);
           in_flight = Engine.reliable_in_flight machine;
         }
 
 let row_is_boring r =
   r.drops = 0 && r.dups = 0 && r.retransmits = 0 && r.dup_discards = 0
-  && r.acks_sent = 0
+  && r.acks_sent = 0 && r.crashes = 0
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>";
@@ -61,6 +71,10 @@ let pp ppf r =
      discard(s), %d standalone ack(s); %d still in flight@,"
     r.total_drops r.total_dups r.total_retransmits r.total_dup_discards
     r.total_acks r.in_flight;
+  if r.total_crashes > 0 then
+    Format.fprintf ppf
+      "crashes: %d node crash(es), %d packet(s) lost to down windows@,"
+      r.total_crashes r.total_crash_drops;
   Array.iter
     (fun row ->
       if not (row_is_boring row) then begin
@@ -68,6 +82,9 @@ let pp ppf r =
           "  node %2d: drop %d dup %d rexmit %d dup-discard %d ack %d"
           row.node row.drops row.dups row.retransmits row.dup_discards
           row.acks_sent;
+        if row.crashes > 0 then
+          Format.fprintf ppf " crash %d/restart %d (crash-drop %d)"
+            row.crashes row.restarts row.crash_drops;
         if Simcore.Histogram.count row.rto > 0 then
           Format.fprintf ppf " (rto %a)" Simcore.Histogram.pp row.rto;
         Format.fprintf ppf "@,"

@@ -14,6 +14,11 @@ type node_row = {
   retransmits : int;  (** frames this node had to resend on timeout *)
   dup_discards : int;  (** duplicate frames this node received and dropped *)
   acks_sent : int;  (** standalone (non-piggybacked) acks this node sent *)
+  crashes : int;  (** times this node was crash-injected *)
+  restarts : int;  (** times it came back (its incarnation number) *)
+  crash_drops : int;
+      (** packets lost because {e this} node's interface was down,
+          whichever endpoint sent them *)
   rto : Simcore.Histogram.t;
       (** RTO in force at each of this node's retransmissions *)
 }
@@ -25,6 +30,8 @@ type report = {
   total_retransmits : int;
   total_dup_discards : int;
   total_acks : int;
+  total_crashes : int;
+  total_crash_drops : int;
   in_flight : int;
       (** unacknowledged messages at survey time; nonzero at quiescence
           means messages were lost for good *)

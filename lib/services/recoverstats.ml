@@ -1,0 +1,92 @@
+(* Crash-recovery report: the "recover.*" counters the recovery manager
+   maintains in the machine's stats registry, joined with the engine's
+   per-node crash/incarnation accounting and the fabric's crash-window
+   losses. Lives in the services layer (which cannot see the Recover
+   library — it sits above machine, below recover in the dependency
+   order), so everything here goes through stats names and engine
+   accessors. *)
+
+module Engine = Machine.Engine
+
+type node_row = {
+  node : int;
+  crashes : int;
+  incarnation : int;  (** restarts survived; 0 = original *)
+  crash_drops : int;  (** packets lost to this node's down windows *)
+}
+
+type report = {
+  crashes : int;
+  restarts : int;
+  checkpoints : int;
+  checkpoint_bytes : int;
+  checkpoints_deferred : int;  (** timer fired away from a safe point *)
+  replayed : int;  (** messages re-dispatched from the log *)
+  inbox_rebuilt : int;  (** undispatched deliveries restored to inboxes *)
+  recovery_ns : int;  (** total simulated recovery wall-clock *)
+  suppressed_sends : int;  (** sends swallowed during replay *)
+  dispatch_unlogged : int;  (** dispatches the delivery log never saw *)
+  dropped_while_down : int;  (** frames that reached a dead interface *)
+  crash_drops : int;  (** packets the fabric lost to down windows *)
+  per_node : node_row array;
+}
+
+let survey_machine machine =
+  let stats = Engine.stats machine in
+  let g name = Simcore.Stats.get stats name in
+  let crashes = g "recover.crashes" and checkpoints = g "recover.ckpts" in
+  if crashes = 0 && checkpoints = 0 then None
+  else
+    Some
+      {
+        crashes;
+        restarts = g "recover.restarts";
+        checkpoints;
+        checkpoint_bytes = g "recover.ckpt_bytes";
+        checkpoints_deferred = g "recover.ckpt_deferred";
+        replayed = g "recover.replayed";
+        inbox_rebuilt = g "recover.inbox_rebuilt";
+        recovery_ns = g "recover.recovery_ns";
+        suppressed_sends = g "recover.suppressed_sends";
+        dispatch_unlogged = g "recover.dispatch_unlogged";
+        dropped_while_down = g "recover.dropped_while_down";
+        crash_drops = Engine.crash_dropped machine;
+        per_node =
+          Array.init (Engine.node_count machine) (fun node ->
+              {
+                node;
+                crashes = Engine.node_crash_count machine node;
+                incarnation = Engine.node_incarnation machine node;
+                crash_drops = Engine.crash_dropped_by_node machine node;
+              });
+      }
+
+let survey sys = survey_machine (Core.System.machine sys)
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "recovery: %d crash(es), %d restart(s); %d checkpoint(s) (%d B, %d \
+     deferred)@,"
+    r.crashes r.restarts r.checkpoints r.checkpoint_bytes
+    r.checkpoints_deferred;
+  Format.fprintf ppf
+    "replay: %d message(s) re-dispatched, %d inbox deliveries rebuilt, %d \
+     send(s) suppressed; recovery cost %a@,"
+    r.replayed r.inbox_rebuilt r.suppressed_sends Simcore.Time.pp
+    r.recovery_ns;
+  Format.fprintf ppf
+    "losses while down: %d packet(s) in the fabric, %d frame(s) at a dead \
+     interface%s@,"
+    r.crash_drops r.dropped_while_down
+    (if r.dispatch_unlogged > 0 then
+       Printf.sprintf "; WARNING %d unlogged dispatch(es)" r.dispatch_unlogged
+     else "");
+  Array.iter
+    (fun (row : node_row) ->
+      if row.crashes > 0 then
+        Format.fprintf ppf "  node %2d: %d crash(es), incarnation %d, %d \
+                            crash-window drop(s)@,"
+          row.node row.crashes row.incarnation row.crash_drops)
+    r.per_node;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,38 @@
+(** Crash-recovery report: checkpoint volume, log-replay work, recovery
+    wall-clock and crash-window losses, per machine and per node.
+
+    Reads the ["recover.*"] counters the recovery manager keeps in the
+    machine's stats registry (this layer cannot depend on the [Recover]
+    library itself) plus the engine's crash accounting, so it works for
+    any run — [survey] answers [None] when no recovery manager was
+    attached (no checkpoints, no crashes). *)
+
+type node_row = {
+  node : int;
+  crashes : int;
+  incarnation : int;  (** restarts survived; 0 = original *)
+  crash_drops : int;  (** packets lost to this node's down windows *)
+}
+
+type report = {
+  crashes : int;
+  restarts : int;
+  checkpoints : int;
+  checkpoint_bytes : int;
+  checkpoints_deferred : int;  (** checkpoint timer fired away from a safe point *)
+  replayed : int;  (** messages re-dispatched from the log *)
+  inbox_rebuilt : int;  (** undispatched deliveries restored to inboxes *)
+  recovery_ns : int;  (** total simulated recovery wall-clock *)
+  suppressed_sends : int;  (** sends swallowed during replay *)
+  dispatch_unlogged : int;
+      (** dispatches the delivery log never saw — always 0 when the
+          manager was attached before any traffic *)
+  dropped_while_down : int;  (** frames that reached a dead interface *)
+  crash_drops : int;  (** packets the fabric lost to down windows *)
+  per_node : node_row array;
+}
+
+val survey : Core.System.t -> report option
+val survey_machine : Machine.Engine.t -> report option
+
+val pp : Format.formatter -> report -> unit

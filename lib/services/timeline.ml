@@ -7,6 +7,8 @@ type t = {
   mutable delivery_count : int;
   mutable batch_count : int;
   mutable batched_frames : int;
+  mutable crash_count : int;
+  mutable restart_count : int;
   traffic : (int * int, int ref) Hashtbl.t;
   busy : int array;  (** accumulated busy ns per node *)
   mutable hash : int;  (** running digest of every observation, in order *)
@@ -31,6 +33,8 @@ let attach_machine machine =
       delivery_count = 0;
       batch_count = 0;
       batched_frames = 0;
+      crash_count = 0;
+      restart_count = 0;
       traffic = Hashtbl.create 64;
       busy = Array.make (Engine.node_count machine) 0;
       hash = 0;
@@ -55,7 +59,13 @@ let attach_machine machine =
            t.batch_count <- t.batch_count + 1;
            t.batched_frames <- t.batched_frames + frames;
            t.hash <-
-             mix (mix (mix (mix (mix t.hash 3) time) src) dst) frames));
+             mix (mix (mix (mix (mix t.hash 3) time) src) dst) frames
+       | Engine.Obs_crash { time; node; incarnation } ->
+           t.crash_count <- t.crash_count + 1;
+           t.hash <- mix (mix (mix (mix t.hash 4) time) node) incarnation
+       | Engine.Obs_restart { time; node; incarnation } ->
+           t.restart_count <- t.restart_count + 1;
+           t.hash <- mix (mix (mix (mix t.hash 5) time) node) incarnation));
   t
 
 let attach system = attach_machine (Core.System.machine system)
@@ -65,6 +75,8 @@ let slices t = t.slice_count
 let deliveries t = t.delivery_count
 let batches t = t.batch_count
 let batched_frames t = t.batched_frames
+let crashes t = t.crash_count
+let restarts t = t.restart_count
 
 let busy_fraction t ~node =
   let makespan = Engine.elapsed t.machine in

@@ -27,6 +27,12 @@ val batches : t -> int
 val batched_frames : t -> int
 (** Frames that arrived inside those batches. *)
 
+val crashes : t -> int
+(** Node crashes observed (fabric-injected kills). *)
+
+val restarts : t -> int
+(** Node restarts observed; at a clean end equals {!crashes}. *)
+
 val busy_fraction : t -> node:int -> float
 (** Recorded busy time of a node divided by the machine's makespan. *)
 

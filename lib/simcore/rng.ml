@@ -36,3 +36,6 @@ let float t bound =
   r /. 9007199254740992.0 *. bound
 
 let bool t = Int64.logand (next t) 1L = 1L
+
+let state t = t.state
+let set_state t s = t.state <- s

@@ -18,3 +18,11 @@ val float : t -> float -> float
 (** [float t bound] is uniform in [0, bound). *)
 
 val bool : t -> bool
+
+val state : t -> int64
+(** The stream's current position. A splitmix64 stream is one 64-bit
+    word of state, so checkpointing a stochastic component means saving
+    this word; {!set_state} rewinds the stream to it and the subsequent
+    draws replay exactly. *)
+
+val set_state : t -> int64 -> unit

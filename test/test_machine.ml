@@ -154,7 +154,7 @@ let test_observer_streams_events () =
        (function
        | Engine.Obs_deliver _ -> incr deliveries
        | Engine.Obs_slice _ -> incr slices
-       | Engine.Obs_batch _ -> ()));
+       | Engine.Obs_batch _ | Engine.Obs_crash _ | Engine.Obs_restart _ -> ()));
   let h = Engine.register_handler m Am.Service ~name:"nop" (fun _ _ _ -> ()) in
   for _ = 1 to 5 do
     Engine.send_am m ~src:(Engine.node m 0) ~dst:1 ~handler:h ~size_bytes:4

@@ -1,0 +1,448 @@
+(* Tests for the crash-recovery subsystem: the persistent block store
+   (allocation, LRU eviction to the cold tier, fault-back, journals),
+   the engine's crash/restart mechanism (down-node semantics,
+   incarnation accounting, refused work), the recovery manager's
+   exactly-once guarantee across kill-and-restart, and randomized
+   crash/recover schedules composed with network faults, migration and
+   distributed GC. *)
+
+module Engine = Machine.Engine
+module Store = Recover.Store
+module Manager = Recover.Manager
+open Core
+
+(* --- persistent store ------------------------------------------------ *)
+
+let test_store_roundtrip () =
+  let s = Store.create () in
+  let b = Bytes.of_string "checkpoint-zero" in
+  Store.put s ~key:"ckpt" b;
+  Bytes.set b 0 'X';
+  (* the store keeps its own copy *)
+  (match Store.get s ~key:"ckpt" with
+  | Some got -> Alcotest.(check string) "copy" "checkpoint-zero" (Bytes.to_string got)
+  | None -> Alcotest.fail "record lost");
+  Store.put s ~key:"ckpt" (Bytes.of_string "v2");
+  (match Store.get s ~key:"ckpt" with
+  | Some got -> Alcotest.(check string) "overwrite" "v2" (Bytes.to_string got)
+  | None -> Alcotest.fail "record lost on overwrite");
+  Alcotest.(check bool) "mem" true (Store.mem s ~key:"ckpt");
+  Store.delete s ~key:"ckpt";
+  Alcotest.(check bool) "deleted" false (Store.mem s ~key:"ckpt");
+  Alcotest.(check bool) "get after delete" true (Store.get s ~key:"ckpt" = None)
+
+let test_store_evict_and_fault_back () =
+  (* A 4-block hot tier: three 2-block records cannot coexist, so the
+     least-recently-used one is evicted and must fault back intact. *)
+  let s = Store.create ~block_bytes:16 ~blocks:4 () in
+  let payload tag = Bytes.of_string (String.init 20 (fun i -> Char.chr (tag + i))) in
+  Store.put s ~key:"a" (payload 65);
+  Store.put s ~key:"b" (payload 97);
+  (* touch [a] so [b] is the LRU when [c] needs room *)
+  ignore (Store.get s ~key:"a");
+  Store.put s ~key:"c" (payload 48);
+  Alcotest.(check bool) "b evicted" true (Store.is_cold s ~key:"b");
+  Alcotest.(check bool) "a hot" false (Store.is_cold s ~key:"a");
+  let st = Store.stats s in
+  Alcotest.(check bool) "eviction counted" true (st.Store.s_evictions >= 1);
+  (match Store.get s ~key:"b" with
+  | Some got ->
+      Alcotest.(check string) "fault-back intact"
+        (Bytes.to_string (payload 97))
+        (Bytes.to_string got)
+  | None -> Alcotest.fail "evicted record lost");
+  Alcotest.(check bool) "b hot again" false (Store.is_cold s ~key:"b");
+  let st = Store.stats s in
+  Alcotest.(check bool) "fault counted" true (st.Store.s_faults >= 1)
+
+let test_store_oversized_rejected () =
+  let s = Store.create ~block_bytes:16 ~blocks:4 () in
+  match Store.put s ~key:"huge" (Bytes.create 100) with
+  | () -> Alcotest.fail "oversized record accepted"
+  | exception Failure _ -> ()
+
+let test_store_journal () =
+  let s = Store.create ~block_bytes:32 ~blocks:8 () in
+  Store.append s ~log:"deliver" ~bytes:10;
+  Store.append s ~log:"deliver" ~bytes:30;
+  Store.append s ~log:"deliver" ~bytes:5;
+  Alcotest.(check int) "entries" 3 (Store.log_entries s ~log:"deliver");
+  Alcotest.(check int) "bytes" 45 (Store.log_bytes s ~log:"deliver");
+  let used_before = (Store.stats s).Store.s_blocks_used in
+  Alcotest.(check bool) "journal holds blocks" true (used_before > 0);
+  Store.truncate s ~log:"deliver";
+  Alcotest.(check int) "truncated entries" 0 (Store.log_entries s ~log:"deliver");
+  Alcotest.(check int) "truncated bytes" 0 (Store.log_bytes s ~log:"deliver");
+  Alcotest.(check int) "blocks freed" 0 ((Store.stats s).Store.s_blocks_used);
+  (* journals are never evicted: filling the store with records around a
+     journal must raise rather than steal its blocks *)
+  Store.append s ~log:"deliver" ~bytes:200;
+  match Store.put s ~key:"big" (Bytes.create 100) with
+  | () -> Alcotest.fail "record displaced a journal"
+  | exception Failure _ -> ()
+
+(* --- rng checkpointing ----------------------------------------------- *)
+
+let test_rng_state_roundtrip () =
+  let r = Simcore.Rng.create ~seed:42 in
+  for _ = 1 to 10 do
+    ignore (Simcore.Rng.int r 1000)
+  done;
+  let saved = Simcore.Rng.state r in
+  let tail = List.init 8 (fun _ -> Simcore.Rng.int r 1000) in
+  Simcore.Rng.set_state r saved;
+  let replayed = List.init 8 (fun _ -> Simcore.Rng.int r 1000) in
+  Alcotest.(check (list int)) "stream rewinds" tail replayed
+
+(* --- engine crash mechanism ------------------------------------------ *)
+
+let faulty_machine ?(nodes = 4) ?(drop = 0.0) ~seed () =
+  let plan = Network.Faults.plan ~seed ~drop ~duplicate:0.0 ~jitter_ns:500 () in
+  let config = { Engine.default_config with Engine.faults = Some plan } in
+  Engine.create ~config ~nodes ()
+
+let test_engine_crash_accounting () =
+  let m = faulty_machine ~seed:7 () in
+  Alcotest.(check bool) "up" false (Engine.node_down m 1);
+  Alcotest.(check int) "incarnation 0" 0 (Engine.node_incarnation m 1);
+  Engine.crash_node m 1 ~restart_at:10_000;
+  Alcotest.(check bool) "down" true (Engine.node_down m 1);
+  Alcotest.(check int) "crash counted" 1 (Engine.node_crash_count m 1);
+  Alcotest.(check int) "incarnation unchanged while down" 0
+    (Engine.node_incarnation m 1);
+  Alcotest.check_raises "double crash"
+    (Invalid_argument "Engine.crash_node: node already down") (fun () ->
+      Engine.crash_node m 1 ~restart_at:20_000);
+  Engine.restart_node m 1;
+  Alcotest.(check bool) "back up" false (Engine.node_down m 1);
+  Alcotest.(check int) "new incarnation" 1 (Engine.node_incarnation m 1);
+  Alcotest.check_raises "restart while up"
+    (Invalid_argument "Engine.restart_node: node is not down") (fun () ->
+      Engine.restart_node m 1);
+  Alcotest.check_raises "restart_at in the past"
+    (Invalid_argument "Engine.crash_node: restart_at must be in the future")
+    (fun () -> Engine.crash_node m 2 ~restart_at:0)
+
+let test_engine_down_node_refuses_work () =
+  let m = faulty_machine ~seed:7 () in
+  let ran = ref 0 in
+  Engine.crash_node m 2 ~restart_at:50_000;
+  Engine.post m (Engine.node m 2) (fun () -> incr ran);
+  Alcotest.(check int) "refusal counted" 1
+    (Simcore.Stats.get (Engine.stats m) "recover.posts_refused");
+  Engine.restart_node m 2;
+  Engine.run m;
+  Alcotest.(check int) "refused thunk never ran" 0 !ran;
+  (* a live node still takes work *)
+  Engine.post m (Engine.node m 2) (fun () -> incr ran);
+  Engine.run m;
+  Alcotest.(check int) "post after restart runs" 1 !ran
+
+(* --- recovery manager ------------------------------------------------ *)
+
+type Machine.Am.payload += Tr_seq of { k : int }
+
+(* One sender streams sequence numbers at a victim that is killed
+   mid-stream; returns (out-of-order/duplicate reports, sent, delivered,
+   machine, manager). *)
+let crash_stream ~crashes ~bursts ~burst () =
+  let nodes = 4 in
+  let m = faulty_machine ~nodes ~drop:0.01 ~seed:13 () in
+  let next = Array.init nodes (fun _ -> Hashtbl.create 8) in
+  let bad = ref [] in
+  let h =
+    Engine.register_handler m Machine.Am.Service ~name:"tr-seq"
+      (fun _ node am ->
+        match am.Machine.Am.payload with
+        | Tr_seq { k } ->
+            let me = Machine.Node.id node in
+            let src = am.Machine.Am.src in
+            let expect =
+              Option.value (Hashtbl.find_opt next.(me) src) ~default:0
+            in
+            if k <> expect then
+              bad := Printf.sprintf "%d->%d: got %d want %d" src me k expect :: !bad;
+            Hashtbl.replace next.(me) src (max (k + 1) expect)
+        | _ -> ())
+  in
+  let app =
+    {
+      Manager.a_snapshot =
+        (fun node ->
+          let slice =
+            Hashtbl.fold (fun src k acc -> (src, k) :: acc) next.(node) []
+          in
+          Some (Marshal.to_bytes (List.sort compare slice) []));
+      a_restore =
+        (fun node b ->
+          Hashtbl.reset next.(node);
+          List.iter
+            (fun (src, k) -> Hashtbl.replace next.(node) src k)
+            (Marshal.from_bytes b 0 : (int * int) list));
+      a_reset = (fun node -> Hashtbl.reset next.(node));
+    }
+  in
+  let mgr = Manager.attach m ~app ~crashes () in
+  let sent = ref 0 in
+  for r = 0 to bursts - 1 do
+    Engine.schedule_at m ~time:(10_000 + (r * 30_000)) (fun () ->
+        let src = Engine.node m 0 in
+        Engine.post m src (fun () ->
+            for _ = 1 to burst do
+              let k = !sent in
+              incr sent;
+              Engine.send_am m ~src ~dst:1 ~handler:h ~size_bytes:8 (Tr_seq { k })
+            done))
+  done;
+  Engine.run m;
+  let delivered = Option.value (Hashtbl.find_opt next.(1) 0) ~default:0 in
+  (!bad, !sent, delivered, m, mgr)
+
+let test_manager_exactly_once_across_crash () =
+  let crashes =
+    [
+      { Manager.cs_node = 1; cs_at = 30_000; cs_down_ns = 25_000; cs_jitter_ns = 0 };
+    ]
+  in
+  let bad, sent, delivered, m, mgr =
+    crash_stream ~crashes ~bursts:3 ~burst:10 ()
+  in
+  Alcotest.(check (list string)) "no gap, dup or reorder" [] bad;
+  Alcotest.(check int) "every message delivered once" sent delivered;
+  Alcotest.(check int) "restarted" 1
+    (Simcore.Stats.get (Engine.stats m) "recover.restarts");
+  Alcotest.(check bool) "recovery took time" true (Manager.recovery_ns mgr 1 > 0);
+  Alcotest.(check (list string)) "audit clean" [] (Manager.audit mgr);
+  Alcotest.(check (list string)) "quiescent audit clean" []
+    (Manager.audit_quiescent mgr);
+  let st = Store.stats (Manager.store mgr 1) in
+  Alcotest.(check bool) "checkpoints persisted" true (st.Store.s_puts > 0)
+
+let test_manager_attach_validation () =
+  (* no fault plan: the reliable layer is not live *)
+  let bare = Engine.create ~nodes:4 () in
+  let app =
+    {
+      Manager.a_snapshot = (fun _ -> Some (Bytes.create 0));
+      a_restore = (fun _ _ -> ());
+      a_reset = (fun _ -> ());
+    }
+  in
+  (match Manager.attach bare ~app ~crashes:[] () with
+  | _ -> Alcotest.fail "attach accepted a machine without faults"
+  | exception Invalid_argument _ -> ());
+  let m = faulty_machine ~seed:3 () in
+  let spec = { Manager.cs_node = 9; cs_at = 1000; cs_down_ns = 10; cs_jitter_ns = 0 } in
+  (match Manager.attach m ~app ~crashes:[ spec ] () with
+  | _ -> Alcotest.fail "attach accepted an out-of-range victim"
+  | exception Invalid_argument _ -> ())
+
+(* --- randomized schedules -------------------------------------------- *)
+
+let recover_workload () =
+  match Check.Workloads.find "recover" with
+  | Some wl -> wl
+  | None -> Alcotest.fail "recover workload not registered"
+
+(* Random crash/recover schedules (crash count, victims, phases, down
+   times, drop rate and protocol jitter all drawn from the choice
+   vector): per-channel FIFO exactly-once must hold, the run must pass
+   every monitor probe, and the recorded vector must replay to a
+   bit-identical timeline. *)
+let prop_schedules_exactly_once_and_deterministic =
+  QCheck.Test.make ~count:12 ~name:"crash schedules: exactly-once + replayable"
+    QCheck.(int_range 1 5_000)
+    (fun seed ->
+      let wl = recover_workload () in
+      let o = Check.Explore.run_recorded wl ~seed in
+      let clean = o.Check.Explore.o_violations = [] && o.o_crash = None in
+      let rp = Check.Explore.replay wl o.Check.Explore.o_trace in
+      clean && rp.Check.Explore.rp_identical
+      && rp.rp_outcome.Check.Explore.o_hash = o.Check.Explore.o_hash)
+
+(* Crash windows composed with migration and distributed GC at the
+   system level: an order-sensitive stream through an object that
+   migrates onto a node whose interface goes dark mid-stream, plus
+   reference churn, must still produce the exact stream digest with
+   conserved DGC weights once locations are re-advertised. *)
+let prop_composed_with_migration_and_dgc =
+  QCheck.Test.make ~count:6 ~name:"dark windows + migration + dgc conserve"
+    QCheck.(pair (int_range 1 1_000) (int_range 0 4))
+    (fun (seed, phase) ->
+      let p_add = Pattern.intern "tr_add" ~arity:1 in
+      let p_report = Pattern.intern "tr_report" ~arity:0 in
+      let p_next = Pattern.intern "tr_next" ~arity:0 in
+      let p_poke = Pattern.intern "tr_poke" ~arity:1 in
+      let p_churn = Pattern.intern "tr_churn" ~arity:2 in
+      let stream_result = ref None in
+      let cell =
+        Class_def.define ~name:"tr_cell" ~state:[| "hash"; "sum" |]
+          ~init:(fun _ -> [| Value.int 0; Value.int 0 |])
+          ~methods:
+            [
+              ( p_add,
+                fun ctx msg ->
+                  let k = Value.to_int (Message.arg msg 0) in
+                  Ctx.set ctx 0
+                    (Value.int ((31 * Value.to_int (Ctx.get ctx 0)) + k));
+                  Ctx.set ctx 1 (Value.int (Value.to_int (Ctx.get ctx 1) + k)) );
+              ( p_report,
+                fun ctx _ ->
+                  stream_result :=
+                    Some
+                      ( Value.to_int (Ctx.get ctx 0),
+                        Value.to_int (Ctx.get ctx 1) ) );
+            ]
+          ()
+      in
+      let driver =
+        Class_def.define ~name:"tr_driver" ~state:[| "target"; "i"; "count" |]
+          ~init:(fun args ->
+            match args with
+            | [ target; count ] -> [| target; Value.int 1; count |]
+            | _ -> invalid_arg "tr_driver")
+          ~methods:
+            [
+              ( p_next,
+                fun ctx _ ->
+                  let target =
+                    match Ctx.get ctx 0 with
+                    | Value.Addr a -> a
+                    | _ -> assert false
+                  in
+                  let i = Value.to_int (Ctx.get ctx 1) in
+                  let count = Value.to_int (Ctx.get ctx 2) in
+                  if i <= count then begin
+                    Ctx.send ctx target p_add [ Value.int i ];
+                    Ctx.set ctx 1 (Value.int (i + 1));
+                    Ctx.send ctx (Ctx.self ctx) p_next []
+                  end
+                  else Ctx.send ctx target p_report [] );
+            ]
+          ()
+      in
+      let gcell =
+        Class_def.define ~name:"tr_gcell" ~state:[| "v" |]
+          ~init:(fun _ -> [| Value.int 0 |])
+          ~methods:[ (p_poke, fun ctx msg -> Ctx.set ctx 0 (Message.arg msg 0)) ]
+          ()
+      in
+      let churner =
+        Class_def.define ~name:"tr_churner" ~state:[| "ref" |]
+          ~init:(fun _ -> [| Value.unit |])
+          ~methods:
+            [
+              ( p_churn,
+                fun ctx msg ->
+                  let i = Value.to_int (Message.arg msg 0) in
+                  let n = Value.to_int (Message.arg msg 1) in
+                  if i < n then begin
+                    let p = Ctx.node_count ctx in
+                    let target =
+                      (Ctx.node_id ctx + 1 + (i mod (p - 1))) mod p
+                    in
+                    let a = Ctx.create_on ctx ~target gcell [] in
+                    Ctx.send ctx a p_poke [ Value.int i ];
+                    Ctx.set ctx 0 (Value.Addr a);
+                    Ctx.send ctx (Ctx.self ctx) p_churn
+                      [ Value.int (i + 1); Value.int n ]
+                  end );
+            ]
+          ()
+      in
+      let plan =
+        Network.Faults.plan ~seed ~drop:0.02 ~duplicate:0.0 ~jitter_ns:500 ()
+      in
+      let machine_config =
+        { Engine.default_config with Engine.faults = Some plan }
+      in
+      let sys =
+        System.boot ~machine_config ~nodes:4
+          ~classes:[ cell; driver; gcell; churner ]
+          ()
+      in
+      let machine = System.machine sys in
+      let dark = 2 in
+      let w =
+        {
+          Network.Faults.node = dark;
+          from_ns = 35_000 + (5_000 * phase);
+          until_ns = 75_000 + (5_000 * phase);
+        }
+      in
+      (match Engine.faults_state machine with
+      | Some f -> Network.Faults.set_crashes f [ w ]
+      | None -> assert false);
+      let mig = Migrate.attach sys in
+      let g = Dgc.attach ~interval_ns:100_000 sys in
+      let count = 24 in
+      let cell_addr = System.create_root sys ~node:0 cell [] in
+      let d =
+        System.create_root sys ~node:1 driver
+          [ Value.Addr cell_addr; Value.int count ]
+      in
+      Engine.schedule_at machine ~time:15_000 (fun () ->
+          ignore (Migrate.move mig ~canon:cell_addr ~to_:dark));
+      Engine.schedule_at machine ~time:(w.Network.Faults.until_ns + 1_000)
+        (fun () -> ignore (Migrate.readvertise mig ~node:dark));
+      for node = 0 to 3 do
+        let c = System.create_root sys ~node churner [] in
+        System.send_boot sys c p_churn [ Value.int 0; Value.int 8 ]
+      done;
+      System.send_boot sys d p_next [];
+      System.run sys;
+      Dgc.settle g;
+      let want_hash, want_sum =
+        List.fold_left
+          (fun (h, s) k -> ((31 * h) + k, s + k))
+          (0, 0)
+          (List.init count (fun i -> i + 1))
+      in
+      let stream_ok =
+        match !stream_result with
+        | Some (h, s) -> h = want_hash && s = want_sum
+        | None -> false
+      in
+      let recovery_clean =
+        List.for_all
+          (fun node -> Dgc.recovery_audit g ~node = [])
+          [ 0; 1; 2; 3 ]
+      in
+      let held, limbo = Migrate.residual mig in
+      stream_ok && Dgc.audit g = [] && recovery_clean && held = 0 && limbo = 0)
+
+let () =
+  Alcotest.run "recover"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "put/get/delete" `Quick test_store_roundtrip;
+          Alcotest.test_case "evict + fault back" `Quick
+            test_store_evict_and_fault_back;
+          Alcotest.test_case "oversized rejected" `Quick
+            test_store_oversized_rejected;
+          Alcotest.test_case "journals" `Quick test_store_journal;
+        ] );
+      ( "rng",
+        [ Alcotest.test_case "state round trip" `Quick test_rng_state_roundtrip ]
+      );
+      ( "engine",
+        [
+          Alcotest.test_case "crash accounting" `Quick
+            test_engine_crash_accounting;
+          Alcotest.test_case "down node refuses work" `Quick
+            test_engine_down_node_refuses_work;
+        ] );
+      ( "manager",
+        [
+          Alcotest.test_case "exactly-once across crash" `Quick
+            test_manager_exactly_once_across_crash;
+          Alcotest.test_case "attach validation" `Quick
+            test_manager_attach_validation;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_schedules_exactly_once_and_deterministic;
+          QCheck_alcotest.to_alcotest prop_composed_with_migration_and_dgc;
+        ] );
+    ]
