@@ -4,10 +4,13 @@
      dune exec bench/main.exe -- [sections] [--full] [--smoke]
 
    Sections: table1 table2 table3 table4 fig5 fig6 ablations faults
-   migrate dgc coalesce recover bechamel all (default: all). --full runs the paper-scale
-   N=13 / 512-node configurations; without it the harness caps at N<=11
-   so a full pass stays around a minute. --smoke shrinks the fault
-   sweep to two drop rates and the migration bench to N=7 for CI.
+   migrate dgc coalesce recover traffic bechamel all (default: all). --full runs the
+   paper-scale N=13 / 512-node configurations; without it the harness
+   caps at N<=11 so a full pass stays around a minute. --smoke shrinks
+   the fault sweep to two drop rates and the migration bench to N=7 for
+   CI. The traffic section (open-loop load against the sharded KV tier)
+   accepts --baseline FILE: a previously checked-in BENCH_traffic.json
+   whose p99_ns gates the current run at 1.5x.
 
    The schedule explorer is a checker, not a benchmark, and never runs
    under "all" — ask for it by name:
@@ -299,6 +302,13 @@ let faults ~smoke () =
   in
   let rates = if smoke then [ 0.0; 0.05 ] else [ 0.0; 0.01; 0.02; 0.05; 0.10 ] in
   let base = ref 0 in
+  (* Headline numbers at the worst drop rate, for the metrics file. *)
+  let j_slowdown = ref 1.0
+  and j_drops = ref 0
+  and j_dups = ref 0
+  and j_rexmit = ref 0
+  and j_acks = ref 0
+  and j_clean = ref true in
   Format.printf "%6s %10s %12s %9s %8s %6s %8s %6s %8s %6s@." "drop"
     "solutions" "elapsed(ms)" "slowdown" "dropped" "dup" "rexmit" "dupdis"
     "acks" "clean";
@@ -328,6 +338,12 @@ let faults ~smoke () =
         (float_of_int r.elapsed /. float_of_int !base)
         drops dups rexmit dupdis acks
         (if clean then "yes" else "NO");
+      j_slowdown := float_of_int r.elapsed /. float_of_int !base;
+      j_drops := drops;
+      j_dups := dups;
+      j_rexmit := rexmit;
+      j_acks := acks;
+      j_clean := !j_clean && clean;
       if not clean then begin
         Format.printf "  diagnostics:@.";
         Format.printf "  %a@." Diagnostics.pp (Diagnostics.survey sys)
@@ -353,7 +369,23 @@ let faults ~smoke () =
   | None -> ());
   Format.printf
     "chunk-stall wait while partitioned: %d ns total@."
-    (Simcore.Stats.get (System.stats sys) "chunk.stall.wait_ns")
+    (Simcore.Stats.get (System.stats sys) "chunk.stall.wait_ns");
+  Services.Bench_json.write ~path:"BENCH_faults.json"
+    Services.Bench_json.
+      [
+        ("smoke", Bool smoke);
+        ("drop_max_pct", Float (100. *. List.fold_left Float.max 0. rates));
+        ("slowdown_at_max_drop", Float !j_slowdown);
+        ("drops", Int !j_drops);
+        ("dups", Int !j_dups);
+        ("retransmits", Int !j_rexmit);
+        ("acks", Int !j_acks);
+        ("clean", Bool !j_clean);
+        ("crash_solutions", Int r.Apps.Nqueens_par.solutions);
+        ("crash_elapsed_ns", Int r.Apps.Nqueens_par.elapsed);
+        ("crash_clean", Bool clean);
+      ];
+  Format.printf "metrics written to BENCH_faults.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Migration: hot-spot rebalancing and affinity                        *)
@@ -553,7 +585,19 @@ let migrate_bench ~smoke () =
         (Some (Migrate.Policy.Affinity_pull { min_msgs = 4; max_moves = 4 }))
   in
   Format.printf "affinity cut elapsed by %.1f%%@."
-    (100. *. float_of_int (base - aff) /. float_of_int base)
+    (100. *. float_of_int (base - aff) /. float_of_int base);
+  Services.Bench_json.write ~path:"BENCH_migrate.json"
+    Services.Bench_json.
+      [
+        ("smoke", Bool smoke);
+        ("hotspot_speedup", Float speedup);
+        ("steady_chain", Int chain);
+        ("affinity_base_ns", Int base);
+        ("affinity_pull_ns", Int aff);
+        ( "affinity_improvement_pct",
+          Float (100. *. float_of_int (base - aff) /. float_of_int base) );
+      ];
+  Format.printf "metrics written to BENCH_migrate.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Distributed GC: churn steady state and migrated-object reclamation  *)
@@ -746,12 +790,26 @@ let dgc_bench ~smoke () =
     Format.printf "FAILED migration coverage gate (workload too tame)@.";
     exit 1
   end;
-  match Dgc.audit g with
+  (match Dgc.audit g with
   | [] -> Format.printf "weight audit: balanced@."
   | problems ->
       List.iter (fun p -> Format.printf "audit: %s@." p) problems;
       Format.printf "FAILED weight-conservation audit@.";
-      exit 1
+      exit 1);
+  Services.Bench_json.write ~path:"BENCH_dgc.json"
+    Services.Bench_json.
+      [
+        ("smoke", Bool smoke);
+        ("cycles", Int cycles);
+        ("live_set", Int live);
+        ("resident_with_dgc", Int resident);
+        ("resident_without_dgc", Int resident_off);
+        ("slots_recycled", Int recycled);
+        ("cells_migrated", Int !moved);
+        ("recalls", Int (Dgc.recalls g));
+        ("unstubs", Int (Dgc.unstubs g));
+      ];
+  Format.printf "metrics written to BENCH_dgc.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation: per-destination batching of bursty traffic             *)
@@ -916,7 +974,25 @@ let coalesce_bench ~smoke () =
   if Float.abs d_dorm > 5. || Float.abs d_inter > 5. then begin
     Format.printf "FAILED Table-1 preservation gate@.";
     exit 1
-  end
+  end;
+  Services.Bench_json.write ~path:"BENCH_coalesce.json"
+    Services.Bench_json.
+      [
+        ("smoke", Bool smoke);
+        ("messages", Int expected);
+        ("packets_off", Int p_off);
+        ("packets_on", Int p_on);
+        ( "packet_reduction",
+          Float (float_of_int p_off /. float_of_int (max 1 p_on)) );
+        ("mean_latency_off_ns", Float lat_off);
+        ("mean_latency_on_ns", Float lat_on);
+        ("faulted_packets", Int (Machine.Engine.packets_sent m_f));
+        ("faulted_dropped", Int (Machine.Engine.packets_dropped m_f));
+        ("acks_piggybacked", Int !acks_piggy);
+        ("table1_dormant_dev_pct", Float d_dorm);
+        ("table1_inter_dev_pct", Float d_inter);
+      ];
+  Format.printf "metrics written to BENCH_coalesce.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Crash recovery: kill a node mid-burst, restore, replay              *)
@@ -1295,6 +1371,207 @@ let recover_bench ~smoke () =
   Format.printf "metrics written to BENCH_recover.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Open-loop traffic: sharded KV tier, latency percentiles, knee       *)
+(* ------------------------------------------------------------------ *)
+
+(* One open-loop run against a fresh tier: [rate] req/s of virtual time
+   for [requests] injections, optionally under a fault plan, with forced
+   shard moves riding engine timers, and with the distributed collector
+   attached. Returns the loadgen handle, the system, and the combined
+   audit lines. *)
+let traffic_run ?faults ?(moves = []) ?(with_dgc = false) ?(nodes = 8)
+    ?(shards = 8) ?(seed = 1) ~rate ~requests () =
+  let module Engine = Machine.Engine in
+  let machine_config =
+    match faults with
+    | None -> Engine.default_config
+    | Some plan -> { Engine.default_config with Engine.faults = Some plan }
+  in
+  let kv = Apps.Kv_store.create ~shards ~keys_per_shard:16 ~mget_fan:3 () in
+  let sys =
+    System.boot ~machine_config ~nodes ~classes:(Apps.Kv_store.classes kv) ()
+  in
+  let machine = System.machine sys in
+  Apps.Kv_store.spawn kv sys;
+  let mig = if moves = [] then None else Some (Migrate.attach sys) in
+  let g =
+    if with_dgc then Some (Dgc.attach ~interval_ns:150_000 sys) else None
+  in
+  (match mig with
+  | Some m ->
+      List.iter
+        (fun (time, shard, to_) ->
+          Engine.schedule_at machine ~time (fun () ->
+              ignore
+                (Migrate.move m ~canon:(Apps.Kv_store.shard_addr kv shard)
+                   ~to_)))
+        moves
+  | None -> ());
+  let lg =
+    Traffic.Loadgen.launch
+      { Traffic.Loadgen.default_config with seed; rate_rps = rate; requests }
+      sys kv
+  in
+  System.run sys;
+  Option.iter Dgc.settle g;
+  let audit =
+    Traffic.Loadgen.audit lg sys
+    @ match g with Some g -> Dgc.audit g | None -> []
+  in
+  (lg, sys, audit)
+
+let traffic_bench ~smoke ~baseline () =
+  let module Engine = Machine.Engine in
+  header "Open-loop traffic: sharded KV/session tier (8 shards on 8 nodes)";
+  let requests = if smoke then 600 else 4_000 in
+  (* The tier's measured capacity is ~110k req/s (8 shards x 200
+     modelled instructions per op); 60k offered keeps the sustainable
+     run well below the knee the sweep then finds. *)
+  let base_rate = 60_000 in
+
+  (* Sustainable-rate run: every injected request must complete with a
+     finite tail and no errors. *)
+  let lg, sys, audit = traffic_run ~rate:base_rate ~requests () in
+  let r = Traffic.Report.of_run lg sys in
+  Format.printf "@[<v>%a@]@." Traffic.Report.pp r;
+  let clean = Diagnostics.is_clean (Diagnostics.survey sys) in
+  List.iter (fun v -> Format.printf "audit: %s@." v) audit;
+  if
+    r.Traffic.Report.r_timeouts <> 0
+    || r.Traffic.Report.r_errors <> 0
+    || audit <> [] || not clean
+  then begin
+    Format.printf "FAILED sustainable-rate gate@.";
+    exit 1
+  end;
+
+  (* Composition: the same offered load under 5% drop + duplication, one
+     mid-run crash window on a shard-hosting node, two forced shard
+     migrations, and the distributed collector riding along. The version
+     audit proves exactly-once end to end. *)
+  header "Open-loop traffic: 5% drop + crash window + shard moves + DGC";
+  let plan =
+    Network.Faults.plan ~seed:11 ~drop:0.05 ~duplicate:0.02 ~jitter_ns:1_000
+      ~crashes:
+        [ { Network.Faults.node = 1; from_ns = 100_000; until_ns = 180_000 } ]
+      ()
+  in
+  let moves = [ (60_000, 1, 5); (200_000, 2, 0) ] in
+  let lg_f, sys_f, audit_f =
+    traffic_run ~faults:plan ~moves ~with_dgc:true ~seed:3 ~rate:base_rate
+      ~requests ()
+  in
+  let r_f = Traffic.Report.of_run lg_f sys_f in
+  Format.printf "@[<v>%a@]@." Traffic.Report.pp r_f;
+  let m_f = System.machine sys_f in
+  Format.printf
+    "faulted run: %d packet(s) dropped, %d in flight at quiescence, audit %d \
+     finding(s)@."
+    (Engine.packets_dropped m_f)
+    (Engine.reliable_in_flight m_f)
+    (List.length audit_f);
+  List.iter (fun v -> Format.printf "audit: %s@." v) audit_f;
+  if
+    audit_f <> []
+    || Engine.reliable_in_flight m_f <> 0
+    || Engine.packets_dropped m_f = 0
+    || r_f.Traffic.Report.r_timeouts <> 0
+  then begin
+    Format.printf "FAILED exactly-once-under-faults gate@.";
+    exit 1
+  end;
+
+  (* Replay gate: the whole subsystem must be schedule-deterministic —
+     record a run of the check workload, replay its choice vector, and
+     require bit-identical Timeline hashes. *)
+  let wl = Option.get (Check.Workloads.find "traffic") in
+  let o = Check.Explore.run_recorded wl ~seed:1 in
+  let rp = Check.Explore.replay wl o.Check.Explore.o_trace in
+  let replay_identical =
+    rp.Check.Explore.rp_identical
+    && rp.Check.Explore.rp_outcome.Check.Explore.o_hash
+       = o.Check.Explore.o_hash
+    && not (Check.Explore.failed o)
+  in
+  Format.printf "determinism: record %016x replay %016x %s@."
+    o.Check.Explore.o_hash rp.Check.Explore.rp_outcome.Check.Explore.o_hash
+    (if replay_identical then "ok" else "MISMATCH");
+  if not replay_identical then begin
+    Format.printf "FAILED traffic replay gate@.";
+    exit 1
+  end;
+
+  (* Rate sweep: open-loop arrivals keep coming whether or not the
+     shards keep up, so past saturation the queues — and the measured
+     tail — grow with the run length instead of the service time. The
+     knee is the first rate where p99 leaves the sustainable band (3x
+     the lowest rate's p99) or goodput falls under 95% of offered. *)
+  header "Open-loop traffic: rate sweep (knee where p99 departs)";
+  let rates =
+    if smoke then [ 50_000; 100_000; 200_000 ]
+    else [ 50_000; 80_000; 100_000; 150_000; 200_000; 400_000; 800_000 ]
+  in
+  let sweep_requests = if smoke then 400 else 2_000 in
+  Format.printf "%10s %10s %10s %10s %10s %12s@." "rate(rps)" "p50(ns)"
+    "p99(ns)" "p999(ns)" "goodput" "of offered";
+  let p99_base = ref 0. in
+  let knee = ref 0 in
+  List.iter
+    (fun rate ->
+      let lg, sys, _ = traffic_run ~rate ~requests:sweep_requests () in
+      let r = Traffic.Report.of_run lg sys in
+      if !p99_base = 0. then p99_base := r.Traffic.Report.r_p99_ns;
+      let offered_frac = r.Traffic.Report.r_goodput_rps /. float_of_int rate in
+      Format.printf "%10d %10.0f %10.0f %10.0f %10.0f %11.1f%%@." rate
+        r.Traffic.Report.r_p50_ns r.Traffic.Report.r_p99_ns
+        r.Traffic.Report.r_p999_ns r.Traffic.Report.r_goodput_rps
+        (100. *. offered_frac);
+      if
+        !knee = 0
+        && (r.Traffic.Report.r_p99_ns > 3. *. !p99_base
+           || offered_frac < 0.95)
+      then knee := rate)
+    rates;
+  (match !knee with
+  | 0 -> Format.printf "no knee within the swept range@."
+  | k -> Format.printf "knee: p99 departs at %d req/s offered@." k);
+
+  (* Metrics file for CI artifacts + the regression gate. *)
+  let fields =
+    Traffic.Report.json_fields r
+    @ Services.Bench_json.
+        [
+          ("smoke", Bool smoke);
+          ("knee_rps", Int !knee);
+          ("replay_identical", Bool replay_identical);
+          ( "timeline_hash",
+            Str (Printf.sprintf "%016x" o.Check.Explore.o_hash) );
+          ("faulted_p99_ns", Int (int_of_float r_f.Traffic.Report.r_p99_ns));
+        ]
+  in
+  Services.Bench_json.write ~path:"BENCH_traffic.json" fields;
+  Format.printf "metrics written to BENCH_traffic.json@.";
+
+  (* p99 regression gate against a checked-in baseline. *)
+  match baseline with
+  | None -> ()
+  | Some path -> (
+      match Services.Bench_json.read_int_field ~path ~key:"p99_ns" with
+      | None ->
+          Format.printf "FAILED: baseline %s has no p99_ns field@." path;
+          exit 1
+      | Some want ->
+          let got = int_of_float r.Traffic.Report.r_p99_ns in
+          let limit = want + (want / 2) in
+          Format.printf
+            "p99 regression gate: %d ns vs baseline %d ns (limit 1.5x = %d)@."
+            got want limit;
+          if got > limit then begin
+            Format.printf "FAILED p99 regression gate@.";
+            exit 1
+          end)
+
+(* ------------------------------------------------------------------ *)
 (* Schedule explorer: sweep perturbed schedules, shrink failures       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1453,6 +1730,7 @@ let () =
   let workload, args = extract_opt "--workload" args in
   let replay, args = extract_opt "--replay" args in
   let out_dir, args = extract_opt "--out" args in
+  let baseline, args = extract_opt "--baseline" args in
   let full = List.mem "--full" args in
   let smoke = List.mem "--smoke" args in
   let sections = List.filter (fun a -> a <> "--full" && a <> "--smoke") args in
@@ -1477,5 +1755,6 @@ let () =
   if want "dgc" then dgc_bench ~smoke ();
   if want "coalesce" then coalesce_bench ~smoke ();
   if want "recover" then recover_bench ~smoke ();
+  if want "traffic" then traffic_bench ~smoke ~baseline ();
   if want "bechamel" then bechamel ();
   Format.printf "@."

@@ -120,6 +120,8 @@ let dgc g () = Dgc.audit g
 (* Recovery-manager structural invariants, safe at any instant: exactly
    one live incarnation per node, down nodes hold no work, no journal
    cursor behind its checkpoint. *)
+let traffic sys lg () = Traffic.Loadgen.audit lg sys
+
 let recovery mgr () = Recover.Manager.audit mgr
 
 (* The quiescence-only strengthening: no restart pending, nothing down,

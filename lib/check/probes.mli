@@ -31,6 +31,12 @@ val dgc : Dgc.t -> unit -> string list
 (** Weight conservation and stub/scion symmetry ({!Dgc.audit}), at
     quiescence. *)
 
+val traffic : Core.System.t -> Traffic.Loadgen.t -> unit -> string list
+(** Open-loop traffic audit ({!Traffic.Loadgen.audit}), at quiescence:
+    full injection, no request started-but-never-completed, no
+    duplicate replies, and versions summed across shards equal the
+    successful writes clients observed. *)
+
 val recovery : Recover.Manager.t -> unit -> string list
 (** Crash-recovery structure ({!Recover.Manager.audit}), safe at any
     instant: one live incarnation per node, down nodes empty, journal

@@ -563,5 +563,66 @@ let recover_wl =
         finish mon tl extra);
   }
 
-let all = [ app; faults; migrate_wl; dgc_wl; coalesce_wl; recover_wl ]
+(* --- open-loop traffic: sharded KV tier under faults + churn ---------- *)
+
+let traffic_wl =
+  {
+    w_name = "traffic";
+    w_run =
+      (fun sched ->
+        let faults = drawn_faults sched ~tag:"tr.fault" in
+        let machine_config = { Engine.default_config with Engine.faults } in
+        let nodes = 4 in
+        let kv =
+          Apps.Kv_store.create ~shards:4 ~keys_per_shard:4 ~mget_fan:2 ()
+        in
+        let sys =
+          System.boot ~machine_config ~nodes
+            ~classes:(Apps.Kv_store.classes kv)
+            ()
+        in
+        let machine = System.machine sys in
+        wire sched machine;
+        let tl = Services.Timeline.attach sys in
+        Apps.Kv_store.spawn kv sys;
+        let mig = Migrate.attach sys in
+        let mon = Monitor.create () in
+        Probes.register_standard mon sys ~migrate:mig ();
+        Monitor.attach_periodic mon machine ~interval_ns:monitor_interval_ns;
+        let lg =
+          Traffic.Loadgen.launch
+            {
+              Traffic.Loadgen.default_config with
+              Traffic.Loadgen.seed =
+                1 + Schedule.choice sched ~tag:"tr.seed" 1_000_000;
+              rate_rps = 400_000;
+              requests = 60;
+            }
+            sys kv
+        in
+        Monitor.register mon ~name:"traffic" ~when_:Monitor.At_quiescence
+          (Probes.traffic sys lg);
+        (* Force shard moves while requests are in flight; everything —
+           whether any move happens at all — comes from the schedule, so
+           shrinking toward zeros turns the churn off. *)
+        let moves = Schedule.choice sched ~tag:"tr.moves" 4 in
+        for k = 0 to moves - 1 do
+          let shard = Schedule.choice sched ~tag:"tr.shard" 4 in
+          let to_ = Schedule.choice sched ~tag:"tr.to" nodes in
+          let phase = Schedule.choice sched ~tag:"tr.phase" 8 in
+          Engine.schedule_at machine
+            ~time:(15_000 + (k * 30_000) + (phase * 2_000))
+            (fun () ->
+              ignore
+                (Migrate.move mig
+                   ~canon:(Apps.Kv_store.shard_addr kv shard)
+                   ~to_))
+        done;
+        System.run sys;
+        finish mon tl []);
+  }
+
+let all =
+  [ app; faults; migrate_wl; dgc_wl; coalesce_wl; recover_wl; traffic_wl ]
+
 let find name = List.find_opt (fun w -> w.w_name = name) all

@@ -41,5 +41,13 @@ val recover_wl : t
     replayed. Per-channel FIFO/exactly-once counters double-check the
     replay; the recovery audits run as monitor probes. *)
 
+val traffic_wl : t
+(** Open-loop traffic into the sharded KV tier: a seeded Poisson
+    arrival process (its jitter and key-skew decision points recorded
+    in the schedule like every other choice), shards forcibly migrated
+    mid-run, optional faults drawn from the schedule. The traffic audit
+    (full injection, no lost or duplicated completion, write/version
+    conservation) runs as a quiescence probe. *)
+
 val all : t list
 val find : string -> t option

@@ -1,0 +1,16 @@
+(** Machine-readable benchmark artifacts.
+
+    Every bench section persists its gate-relevant numbers as a flat
+    JSON object ([BENCH_<section>.json]) so the perf trajectory is
+    tracked PR-over-PR by CI instead of living only in console logs. *)
+
+type v = Int of int | Float of float | Bool of bool | Str of string
+
+val write : path:string -> (string * v) list -> unit
+(** Writes the fields as a pretty-printed JSON object, overwriting any
+    existing file. Field order is preserved. *)
+
+val read_int_field : path:string -> key:string -> int option
+(** Minimal reader for regression gates: the integer value of a
+    top-level field written by {!write}, or [None] if the file is
+    unreadable or the key is absent. *)

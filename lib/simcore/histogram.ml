@@ -36,6 +36,42 @@ let min t = if t.count = 0 then None else Some t.min_v
 let max t = if t.count = 0 then None else Some t.max_v
 let mean t = if t.count = 0 then None else Some (t.sum /. float_of_int t.count)
 
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q outside [0, 1]";
+  if t.count = 0 then None
+  else
+    match t.bucket_width with
+    | None ->
+        invalid_arg
+          "Histogram.quantile: histogram was created without bucket_width"
+    | Some w ->
+        (* Each bucket's samples are modelled as sitting at evenly spaced
+           midpoints inside the bucket; the q-th quantile interpolates to
+           the rank [q * count] under that model, clamped into the
+           observed [min, max] so extreme quantiles of small sample sets
+           return real sample values. *)
+        let rank = q *. float_of_int t.count in
+        let sorted =
+          Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) t.buckets []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        in
+        let rec go cum = function
+          | [] -> float_of_int t.max_v
+          | (idx, c) :: rest ->
+              if float_of_int (cum + c) >= rank then
+                let lo = float_of_int (idx * w) in
+                let pos =
+                  (rank -. float_of_int cum -. 0.5) /. float_of_int c
+                in
+                let pos = Float.max 0. (Float.min 1. pos) in
+                lo +. (float_of_int w *. pos)
+              else go (cum + c) rest
+        in
+        let v = go 0 sorted in
+        let v = Float.max v (float_of_int t.min_v) in
+        let v = Float.min v (float_of_int t.max_v) in
+        Some v
+
 let buckets t =
   Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) t.buckets []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -21,6 +21,16 @@ val max : t -> int option
 
 val mean : t -> float option
 
+val quantile : t -> float -> float option
+(** [quantile t q] estimates the [q]-th quantile ([0. <= q <= 1.]) by
+    linear interpolation inside the bucket holding rank [q * count],
+    treating a bucket's samples as evenly spaced midpoints, and clamps
+    the estimate into the observed [[min, max]]. [None] when no sample
+    was observed (matching {!min}/{!max}/{!mean}). Raises
+    [Invalid_argument] if [q] is outside [[0, 1]] or the histogram was
+    created without [bucket_width] (there is nothing to interpolate
+    over). p50/p99/p999 are [quantile t 0.5] / [0.99] / [0.999]. *)
+
 val buckets : t -> (int * int) list
 (** Sorted (bucket_index, count) pairs; empty without [bucket_width]. *)
 

@@ -1,0 +1,115 @@
+module Engine = Machine.Engine
+
+type process = Poisson | Fixed
+type mix = { m_get : int; m_put : int; m_cas : int; m_mget : int }
+
+let default_mix = { m_get = 60; m_put = 25; m_cas = 10; m_mget = 5 }
+
+type config = {
+  seed : int;
+  process : process;
+  rate_rps : int;
+  requests : int;
+  start_ns : int;
+  mix : mix;
+}
+
+let default_config =
+  {
+    seed = 1;
+    process = Poisson;
+    rate_rps = 200_000;
+    requests = 1_000;
+    start_ns = 1_000;
+    mix = default_mix;
+  }
+
+type t = {
+  cfg : config;
+  sys : Core.System.t;
+  kv : Apps.Kv_store.t;
+  rng : Simcore.Rng.t;
+  mutable injected : int;
+}
+
+let period_ns cfg = 1_000_000_000. /. float_of_int cfg.rate_rps
+
+let draw_op t =
+  let m = t.cfg.mix in
+  let total = m.m_get + m.m_put + m.m_cas + m.m_mget in
+  if total <= 0 then invalid_arg "Loadgen: operation mix sums to zero";
+  let r = Simcore.Rng.int t.rng total in
+  if r < m.m_get then Apps.Kv_store.Get
+  else if r < m.m_get + m.m_put then Apps.Kv_store.Put
+  else if r < m.m_get + m.m_put + m.m_cas then Apps.Kv_store.Cas
+  else Apps.Kv_store.Mget
+
+let inject t ~at =
+  let machine = Core.System.machine t.sys in
+  let nodes = Core.System.node_count t.sys in
+  let node = Simcore.Rng.int t.rng nodes in
+  let op = draw_op t in
+  let keyspace = Apps.Kv_store.keyspace t.kv in
+  let base = Simcore.Rng.int t.rng keyspace in
+  let shift = Engine.decide machine "traffic.key.shift" 4 in
+  let key = (base + shift) mod keyspace in
+  let req_id = t.injected in
+  t.injected <- t.injected + 1;
+  Core.System.send_boot t.sys
+    (Apps.Kv_store.client_addr t.kv ~node)
+    Apps.Kv_store.p_op
+    [
+      Core.Value.int (Apps.Kv_store.op_code op);
+      Core.Value.int key;
+      Core.Value.int at;
+      Core.Value.int req_id;
+    ]
+
+let next_gap t =
+  let machine = Core.System.machine t.sys in
+  let period = period_ns t.cfg in
+  let base =
+    match t.cfg.process with
+    | Fixed -> period
+    | Poisson ->
+        (* Inverse-CDF exponential; 1 - u keeps the argument in (0, 1]. *)
+        let u = Simcore.Rng.float t.rng 1.0 in
+        -.period *. log (1. -. u)
+  in
+  let jitter_q = Engine.decide machine "traffic.arrival.jitter" 4 in
+  let jitter = float_of_int jitter_q *. period /. 8. in
+  Stdlib.max 1 (int_of_float (Float.round (base +. jitter)))
+
+let launch cfg sys kv =
+  if cfg.rate_rps < 1 then invalid_arg "Loadgen.launch: rate_rps must be >= 1";
+  if cfg.requests < 1 then
+    invalid_arg "Loadgen.launch: requests must be >= 1";
+  let t =
+    { cfg; sys; kv; rng = Simcore.Rng.create ~seed:cfg.seed; injected = 0 }
+  in
+  let machine = Core.System.machine sys in
+  (* Arrival i+1 is armed from arrival i's timer, so the whole process
+     is a single deterministic chain of draws — open-loop by
+     construction (nothing here observes completions). *)
+  let rec arm at =
+    Engine.schedule_at machine ~time:at (fun () ->
+        inject t ~at;
+        if t.injected < cfg.requests then arm (at + next_gap t))
+  in
+  arm cfg.start_ns;
+  t
+
+let injected t = t.injected
+let config t = t.cfg
+let store t = t.kv
+
+let audit t sys =
+  let missing =
+    if t.injected <> t.cfg.requests then
+      [
+        Printf.sprintf "traffic: injected %d of %d offered requests"
+          t.injected t.cfg.requests;
+      ]
+    else []
+  in
+  missing @ Apps.Kv_store.audit t.kv sys

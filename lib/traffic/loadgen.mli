@@ -1,0 +1,55 @@
+(** Open-loop load generation against the sharded KV tier.
+
+    A closed-loop client waits for each reply before sending again, so
+    queueing collapse is structurally invisible: the offered rate sags
+    exactly when the service degrades. This generator is {e open-loop}:
+    arrival instants come from a seeded Poisson (or fixed-rate) process
+    armed as engine timers, computed independently of completions, so
+    when a shard falls behind its queue — and the measured tail — grows.
+
+    Determinism and replay: the arrival process draws from its own
+    seeded {!Simcore.Rng} (a pure function of [seed]), and every arrival
+    additionally consults two engine decision points —
+    ["traffic.arrival.jitter"] (extra delay before the injection, in
+    eighths of the nominal period) and ["traffic.key.shift"] (a key
+    perturbation) — through {!Machine.Engine.decide}. Under the default
+    decision source both return 0 (the unperturbed baseline); under
+    [lib/check] the choices are recorded into the schedule's vector, so
+    a recorded run replays bit-identically and the explorer can perturb
+    arrival timing and key skew like any other schedule decision. *)
+
+type process = Poisson | Fixed
+
+type mix = { m_get : int; m_put : int; m_cas : int; m_mget : int }
+(** Relative weights of the four operations. *)
+
+val default_mix : mix
+(** 60% get / 25% put / 10% cas / 5% fan-out mget. *)
+
+type config = {
+  seed : int;
+  process : process;
+  rate_rps : int;  (** offered load, requests per second of virtual time *)
+  requests : int;  (** total injections, after which the process stops *)
+  start_ns : int;  (** first arrival instant *)
+  mix : mix;
+}
+
+val default_config : config
+(** Poisson, 200k req/s, 1000 requests, seed 1. *)
+
+type t
+
+val launch : config -> Core.System.t -> Apps.Kv_store.t -> t
+(** Arms the arrival process on the system's engine (first arrival at
+    [start_ns]). Call after {!Apps.Kv_store.spawn} and before
+    [System.run]; injections ride the run. *)
+
+val injected : t -> int
+val config : t -> config
+val store : t -> Apps.Kv_store.t
+
+val audit : t -> Core.System.t -> string list
+(** Quiescence invariants: the full offered load was injected, plus
+    every {!Apps.Kv_store.audit} invariant (no lost or duplicated
+    completion, write/version conservation). *)

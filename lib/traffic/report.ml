@@ -1,0 +1,78 @@
+type t = {
+  r_rate_rps : int;
+  r_injected : int;
+  r_completed : int;
+  r_timeouts : int;
+  r_errors : int;
+  r_get_ok : int;
+  r_put_ok : int;
+  r_cas_ok : int;
+  r_cas_fail : int;
+  r_mget_ok : int;
+  r_p50_ns : float;
+  r_p99_ns : float;
+  r_p999_ns : float;
+  r_mean_ns : float;
+  r_goodput_rps : float;
+  r_elapsed_ns : int;
+}
+
+let of_run lg sys =
+  let kv = Loadgen.store lg in
+  let s = Apps.Kv_store.stats kv in
+  let h = s.Apps.Kv_store.latency in
+  let q p = Option.value (Simcore.Histogram.quantile h p) ~default:0. in
+  let completed = Apps.Kv_store.completed kv in
+  let elapsed = Core.System.elapsed sys in
+  {
+    r_rate_rps = (Loadgen.config lg).Loadgen.rate_rps;
+    r_injected = Loadgen.injected lg;
+    r_completed = completed;
+    r_timeouts = Apps.Kv_store.pending kv;
+    r_errors = s.Apps.Kv_store.dup_resps;
+    r_get_ok = s.Apps.Kv_store.get_ok;
+    r_put_ok = s.Apps.Kv_store.put_ok;
+    r_cas_ok = s.Apps.Kv_store.cas_ok;
+    r_cas_fail = s.Apps.Kv_store.cas_fail;
+    r_mget_ok = s.Apps.Kv_store.mget_ok;
+    r_p50_ns = (if Simcore.Histogram.count h = 0 then 0. else q 0.5);
+    r_p99_ns = (if Simcore.Histogram.count h = 0 then 0. else q 0.99);
+    r_p999_ns = (if Simcore.Histogram.count h = 0 then 0. else q 0.999);
+    r_mean_ns = Option.value (Simcore.Histogram.mean h) ~default:0.;
+    r_goodput_rps =
+      (if elapsed = 0 then 0.
+       else float_of_int completed *. 1e9 /. float_of_int elapsed);
+    r_elapsed_ns = elapsed;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "rate %7d req/s: %5d injected, %5d completed (%d get %d put %d cas +%d \
+     lost-cas %d mget), %d timeout(s), %d error(s)@,\
+    \  latency p50 %8.0f ns  p99 %8.0f ns  p999 %8.0f ns  mean %8.0f ns; \
+     goodput %.0f req/s over %.2f ms"
+    r.r_rate_rps r.r_injected r.r_completed r.r_get_ok r.r_put_ok r.r_cas_ok
+    r.r_cas_fail r.r_mget_ok r.r_timeouts r.r_errors r.r_p50_ns r.r_p99_ns
+    r.r_p999_ns r.r_mean_ns r.r_goodput_rps
+    (Simcore.Time.to_ms r.r_elapsed_ns)
+
+let json_fields r =
+  let open Services.Bench_json in
+  [
+    ("rate_rps", Int r.r_rate_rps);
+    ("injected", Int r.r_injected);
+    ("completed", Int r.r_completed);
+    ("timeouts", Int r.r_timeouts);
+    ("errors", Int r.r_errors);
+    ("get_ok", Int r.r_get_ok);
+    ("put_ok", Int r.r_put_ok);
+    ("cas_ok", Int r.r_cas_ok);
+    ("cas_fail", Int r.r_cas_fail);
+    ("mget_ok", Int r.r_mget_ok);
+    ("p50_ns", Int (int_of_float r.r_p50_ns));
+    ("p99_ns", Int (int_of_float r.r_p99_ns));
+    ("p999_ns", Int (int_of_float r.r_p999_ns));
+    ("mean_ns", Float r.r_mean_ns);
+    ("goodput_rps", Float r.r_goodput_rps);
+    ("elapsed_ns", Int r.r_elapsed_ns);
+  ]

@@ -1,0 +1,35 @@
+(** Latency-percentile report for an open-loop traffic run.
+
+    Summarizes a completed run (call after [System.run] has quiesced):
+    completion counts by operation, p50/p99/p999 completion latency
+    from the tier's histogram, goodput, and the error/timeout counters
+    the gates check. {!json_fields} renders the report for a
+    [BENCH_traffic.json] artifact. *)
+
+type t = {
+  r_rate_rps : int;  (** offered rate *)
+  r_injected : int;
+  r_completed : int;
+  r_timeouts : int;  (** started but never completed at quiescence *)
+  r_errors : int;  (** duplicate/orphan replies observed by clients *)
+  r_get_ok : int;
+  r_put_ok : int;
+  r_cas_ok : int;
+  r_cas_fail : int;  (** lost CAS races: completed, not errors *)
+  r_mget_ok : int;
+  r_p50_ns : float;
+  r_p99_ns : float;
+  r_p999_ns : float;
+  r_mean_ns : float;
+  r_goodput_rps : float;  (** completions per second of virtual time *)
+  r_elapsed_ns : int;  (** machine makespan *)
+}
+
+val of_run : Loadgen.t -> Core.System.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val json_fields : t -> (string * Services.Bench_json.v) list
+(** Flat fields (rate, counts, percentiles in integer ns, goodput) for
+    {!Services.Bench_json.write}; percentile keys are [p50_ns] /
+    [p99_ns] / [p999_ns]. *)

@@ -143,6 +143,55 @@ let test_histogram_no_buckets () =
   Alcotest.(check string) "pp empty" "(empty)"
     (Format.asprintf "%a" Histogram.pp (Histogram.create ()))
 
+let test_histogram_quantile_exact () =
+  (* Ten identical samples in unit-width buckets: every quantile must
+     land exactly on the sample. *)
+  let h = Histogram.create ~bucket_width:1 () in
+  for _ = 1 to 10 do
+    Histogram.observe h 42
+  done;
+  Alcotest.(check (option (float 0.0001))) "p50 exact" (Some 42.0)
+    (Histogram.quantile h 0.5);
+  Alcotest.(check (option (float 0.0001))) "p99 exact" (Some 42.0)
+    (Histogram.quantile h 0.99)
+
+let test_histogram_quantile_interpolated () =
+  (* Two samples straddling a wide bucket: the median interpolates to
+     the midpoint between them under the bucket-midpoint convention,
+     then clamps into [min, max]. *)
+  let h = Histogram.create ~bucket_width:10 () in
+  Histogram.observe h 5;
+  Histogram.observe h 15;
+  Alcotest.(check (option (float 0.0001))) "p50 between buckets" (Some 5.0)
+    (Histogram.quantile h 0.5);
+  (* Uniform 1..100 in unit buckets: classic midpoint answers. *)
+  let u = Histogram.create ~bucket_width:1 () in
+  for v = 1 to 100 do
+    Histogram.observe u v
+  done;
+  Alcotest.(check (option (float 0.0001))) "p50 of 1..100" (Some 50.5)
+    (Histogram.quantile u 0.5);
+  Alcotest.(check (option (float 0.0001))) "p99 of 1..100" (Some 99.5)
+    (Histogram.quantile u 0.99);
+  Alcotest.(check (option (float 0.0001))) "p999 clamps to max" (Some 100.0)
+    (Histogram.quantile u 0.999);
+  Alcotest.(check (option (float 0.0001))) "p0 clamps to min" (Some 1.0)
+    (Histogram.quantile u 0.0)
+
+let test_histogram_quantile_errors () =
+  Alcotest.(check (option (float 0.0001))) "empty histogram" None
+    (Histogram.quantile (Histogram.create ~bucket_width:1 ()) 0.5);
+  Alcotest.check_raises "no bucket_width"
+    (Invalid_argument
+       "Histogram.quantile: histogram was created without bucket_width")
+    (fun () ->
+      let h = Histogram.create () in
+      Histogram.observe h 1;
+      ignore (Histogram.quantile h 0.5));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Histogram.quantile: q outside [0, 1]") (fun () ->
+      ignore (Histogram.quantile (Histogram.create ~bucket_width:1 ()) 1.5))
+
 (* The old [next >> 2 mod bound] was biased: for bound = 3 * 2^60 the
    2^60 values wrapping past 2^62 land entirely in [0, 2^60), so the low
    third of the range carried probability ~1/2 instead of 1/3. With
@@ -289,6 +338,14 @@ let () =
       ( "rng-extra",
         [ Alcotest.test_case "bool mixes" `Quick test_rng_bool_mixes ] );
       ( "histogram-extra",
-        [ Alcotest.test_case "no buckets" `Quick test_histogram_no_buckets ] );
+        [
+          Alcotest.test_case "no buckets" `Quick test_histogram_no_buckets;
+          Alcotest.test_case "quantile exact" `Quick
+            test_histogram_quantile_exact;
+          Alcotest.test_case "quantile interpolated" `Quick
+            test_histogram_quantile_interpolated;
+          Alcotest.test_case "quantile edge cases" `Quick
+            test_histogram_quantile_errors;
+        ] );
       ("trace", [ Alcotest.test_case "toggle" `Quick test_trace ]);
     ]
