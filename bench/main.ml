@@ -4,13 +4,17 @@
      dune exec bench/main.exe -- [sections] [--full] [--smoke]
 
    Sections: table1 table2 table3 table4 fig5 fig6 ablations faults
-   migrate dgc coalesce recover traffic bechamel all (default: all). --full runs the
-   paper-scale N=13 / 512-node configurations; without it the harness
-   caps at N<=11 so a full pass stays around a minute. --smoke shrinks
-   the fault sweep to two drop rates and the migration bench to N=7 for
-   CI. The traffic section (open-loop load against the sharded KV tier)
-   accepts --baseline FILE: a previously checked-in BENCH_traffic.json
-   whose p99_ns gates the current run at 1.5x.
+   migrate dgc coalesce recover traffic multiactive bechamel all
+   (default: all). --full runs the paper-scale N=13 / 512-node
+   configurations; without it the harness caps at N<=11 so a full pass
+   stays around a minute. --smoke shrinks the fault sweep to two drop
+   rates and the migration bench to N=7 for CI. The traffic section
+   (open-loop load against the sharded KV tier) accepts --baseline
+   FILE: a previously checked-in BENCH_traffic.json whose p99_ns gates
+   the current run at 1.5x. The multiactive section (serialized vs
+   compatibility-annotated shards under read-heavy load) accepts
+   --baseline FILE with a BENCH_multiactive.json whose
+   knee_multiactive_rps must not regress.
 
    The schedule explorer is a checker, not a benchmark, and never runs
    under "all" — ask for it by name:
@@ -1380,16 +1384,21 @@ let recover_bench ~smoke () =
    attached. Returns the loadgen handle, the system, and the combined
    audit lines. *)
 let traffic_run ?faults ?(moves = []) ?(with_dgc = false) ?(nodes = 8)
-    ?(shards = 8) ?(seed = 1) ~rate ~requests () =
+    ?(shards = 8) ?(seed = 1) ?(multiactive = false) ?(ma_budget = 4)
+    ?(rt_config = System.default_rt_config) ?mix ?key_dist ~rate ~requests () =
   let module Engine = Machine.Engine in
   let machine_config =
     match faults with
     | None -> Engine.default_config
     | Some plan -> { Engine.default_config with Engine.faults = Some plan }
   in
-  let kv = Apps.Kv_store.create ~shards ~keys_per_shard:16 ~mget_fan:3 () in
+  let kv =
+    Apps.Kv_store.create ~shards ~keys_per_shard:16 ~mget_fan:3 ~multiactive
+      ~ma_budget ()
+  in
   let sys =
-    System.boot ~machine_config ~nodes ~classes:(Apps.Kv_store.classes kv) ()
+    System.boot ~machine_config ~rt_config ~nodes
+      ~classes:(Apps.Kv_store.classes kv) ()
   in
   let machine = System.machine sys in
   Apps.Kv_store.spawn kv sys;
@@ -1407,11 +1416,18 @@ let traffic_run ?faults ?(moves = []) ?(with_dgc = false) ?(nodes = 8)
                    ~to_)))
         moves
   | None -> ());
-  let lg =
-    Traffic.Loadgen.launch
-      { Traffic.Loadgen.default_config with seed; rate_rps = rate; requests }
-      sys kv
+  let cfg =
+    { Traffic.Loadgen.default_config with seed; rate_rps = rate; requests }
   in
+  let cfg =
+    match mix with None -> cfg | Some mix -> { cfg with Traffic.Loadgen.mix }
+  in
+  let cfg =
+    match key_dist with
+    | None -> cfg
+    | Some key_dist -> { cfg with Traffic.Loadgen.key_dist }
+  in
+  let lg = Traffic.Loadgen.launch cfg sys kv in
   System.run sys;
   Option.iter Dgc.settle g;
   let audit =
@@ -1568,6 +1584,256 @@ let traffic_bench ~smoke ~baseline () =
             got want limit;
           if got > limit then begin
             Format.printf "FAILED p99 regression gate@.";
+            exit 1
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Multiactive objects: compatibility-group concurrency in the tier    *)
+(* ------------------------------------------------------------------ *)
+
+(* Read-heavy (>= 90% get): the regime where single-writer/multi-reader
+   shards pay off — gets overlap, puts/cas still serialize. *)
+let ma_mix = { Traffic.Loadgen.m_get = 92; m_put = 5; m_cas = 2; m_mget = 1 }
+
+let multiactive_bench ~smoke ~baseline () =
+  let module Engine = Machine.Engine in
+  header
+    "Multiactive: read-heavy rate sweep, serialized vs annotated shards (8 \
+     shards on 8 nodes)";
+  let sweep_requests = if smoke then 400 else 2_000 in
+  let rates =
+    if smoke then [ 60_000; 120_000; 240_000; 480_000 ]
+    else
+      [ 60_000; 90_000; 120_000; 180_000; 240_000; 360_000; 480_000; 720_000 ]
+  in
+  let last_rate = List.nth rates (List.length rates - 1) in
+  (* Same knee criterion as the traffic sweep: first rate where p99
+     leaves the sustainable band (3x the lowest rate's p99) or goodput
+     falls under 95% of offered. *)
+  let sweep ~multiactive =
+    let p99_base = ref 0. in
+    let knee = ref 0 in
+    let rows =
+      List.map
+        (fun rate ->
+          let lg, sys, audit =
+            traffic_run ~rate ~requests:sweep_requests ~mix:ma_mix
+              ~multiactive ~ma_budget:8
+              ~rt_config:{ System.default_rt_config with Kernel.ma_cores = 8 }
+              ()
+          in
+          let r = Traffic.Report.of_run lg sys in
+          if !p99_base = 0. then p99_base := r.Traffic.Report.r_p99_ns;
+          let frac =
+            r.Traffic.Report.r_goodput_rps /. float_of_int rate
+          in
+          if
+            !knee = 0
+            && (r.Traffic.Report.r_p99_ns > 3. *. !p99_base || frac < 0.95)
+          then knee := rate;
+          if r.Traffic.Report.r_errors <> 0 || audit <> [] then begin
+            Format.printf "FAILED sweep-audit gate at %d req/s@." rate;
+            List.iter (fun v -> Format.printf "audit: %s@." v) audit;
+            exit 1
+          end;
+          (rate, r))
+        rates
+    in
+    (rows, !knee)
+  in
+  let ser_rows, ser_knee = sweep ~multiactive:false in
+  let ma_rows, ma_knee = sweep ~multiactive:true in
+  Format.printf "%10s | %10s %10s | %10s %10s@." "rate(rps)" "ser p99"
+    "ser good%" "ma p99" "ma good%";
+  List.iter2
+    (fun (rate, (rs : Traffic.Report.t)) (_, (rm : Traffic.Report.t)) ->
+      Format.printf "%10d | %10.0f %9.1f%% | %10.0f %9.1f%%@." rate
+        rs.Traffic.Report.r_p99_ns
+        (100. *. rs.Traffic.Report.r_goodput_rps /. float_of_int rate)
+        rm.Traffic.Report.r_p99_ns
+        (100. *. rm.Traffic.Report.r_goodput_rps /. float_of_int rate))
+    ser_rows ma_rows;
+  (* A build that survives the whole sweep has its knee beyond the last
+     rate; counting it *at* the last rate only understates the ratio. *)
+  let eff k = if k = 0 then last_rate else k in
+  let ratio = float_of_int (eff ma_knee) /. float_of_int (eff ser_knee) in
+  Format.printf
+    "knee: serialized %s, multiactive %s -> ratio %.2fx (gate: >= 1.5x)@."
+    (if ser_knee = 0 then Printf.sprintf "beyond %d" last_rate
+     else string_of_int ser_knee)
+    (if ma_knee = 0 then Printf.sprintf "beyond %d" last_rate
+     else string_of_int ma_knee)
+    ratio;
+  if ratio < 1.5 then begin
+    Format.printf "FAILED multiactive knee gate@.";
+    exit 1
+  end;
+  (* Saturated capacity — the goodput ceiling across the sweep — backs
+     the knee up with a grid-independent number. *)
+  let capacity rows =
+    List.fold_left
+      (fun acc (_, (r : Traffic.Report.t)) ->
+        Float.max acc r.Traffic.Report.r_goodput_rps)
+      0. rows
+  in
+  let cap_ratio = capacity ma_rows /. capacity ser_rows in
+  Format.printf
+    "saturated capacity: serialized %.0f req/s, multiactive %.0f req/s \
+     (%.2fx)@."
+    (capacity ser_rows) (capacity ma_rows) cap_ratio;
+
+  (* Overlap anatomy at a backlogged rate with Zipf-skewed keys: one hot
+     shard builds a real read backlog, and the load gossip's
+     activation-queue depth separates "hot because serialized" from
+     "hot because big". The mid-run load report is captured while the
+     backlog exists (at quiescence every queue is empty by probe). *)
+  header "Multiactive: overlap anatomy on a hot shard (Zipf keys)";
+  let nodes = 8 and shards = 8 in
+  let kv =
+    Apps.Kv_store.create ~shards ~keys_per_shard:16 ~mget_fan:3
+      ~multiactive:true ()
+  in
+  let rt_config =
+    { System.default_rt_config with Kernel.gossip_interval_ns = 40_000 }
+  in
+  let sys =
+    System.boot ~rt_config ~nodes ~classes:(Apps.Kv_store.classes kv) ()
+  in
+  let machine = System.machine sys in
+  Apps.Kv_store.spawn kv sys;
+  let load = Services.Load.attach sys in
+  let mid_report = ref "" in
+  Engine.schedule_at machine ~time:600_000 (fun () ->
+      mid_report := Services.Load.report load);
+  let lg =
+    Traffic.Loadgen.launch
+      {
+        Traffic.Loadgen.default_config with
+        rate_rps = 600_000;
+        requests = (if smoke then 600 else 1_500);
+        mix = ma_mix;
+        key_dist = Traffic.Loadgen.Zipf 1.0;
+      }
+      sys kv
+  in
+  System.run sys;
+  let audit = Traffic.Loadgen.audit lg sys in
+  let st = System.stats sys in
+  let peak = ref 0 and admitted = ref 0 in
+  for i = 0 to shards - 1 do
+    match System.lookup_obj sys (Apps.Kv_store.shard_addr kv i) with
+    | Some o ->
+        peak := max !peak (Multiactive.peak_overlap o);
+        admitted := !admitted + Multiactive.admitted_total o
+    | None -> ()
+  done;
+  let conflicts = Simcore.Stats.get st "ma.conflict" in
+  Format.printf
+    "admissions %d (shards %d), queued %d, overlapped starts %d, peak \
+     overlap %d, conflicts %d (gate: 0)@."
+    (Simcore.Stats.get st "ma.admit")
+    !admitted
+    (Simcore.Stats.get st "ma.queued")
+    (Simcore.Stats.get st "ma.overlap")
+    !peak conflicts;
+  Format.printf "mid-run load report (gossiped load/activation-queue depth):@.%s"
+    !mid_report;
+  List.iter (fun v -> Format.printf "audit: %s@." v) audit;
+  if conflicts <> 0 || !peak < 2 || audit <> [] then begin
+    Format.printf "FAILED overlap-anatomy gate@.";
+    exit 1
+  end;
+
+  (* Exactly-once under faults with admission control in the path: 5%
+     drop + duplication must not double-apply a write or lose one —
+     the version audit balances end to end. *)
+  header "Multiactive: exactly-once audit under 5% drop + duplication";
+  let plan =
+    Network.Faults.plan ~seed:11 ~drop:0.05 ~duplicate:0.02 ~jitter_ns:1_000 ()
+  in
+  let requests = if smoke then 600 else 2_000 in
+  let lg_f, sys_f, audit_f =
+    traffic_run ~faults:plan ~seed:3 ~multiactive:true ~mix:ma_mix
+      ~rate:60_000 ~requests ()
+  in
+  let r_f = Traffic.Report.of_run lg_f sys_f in
+  let m_f = System.machine sys_f in
+  Format.printf
+    "faulted run: %d/%d completed, %d packet(s) dropped, %d in flight, \
+     audit %d finding(s)@."
+    r_f.Traffic.Report.r_completed r_f.Traffic.Report.r_injected
+    (Engine.packets_dropped m_f)
+    (Engine.reliable_in_flight m_f)
+    (List.length audit_f);
+  List.iter (fun v -> Format.printf "audit: %s@." v) audit_f;
+  if
+    audit_f <> []
+    || Engine.reliable_in_flight m_f <> 0
+    || Engine.packets_dropped m_f = 0
+    || r_f.Traffic.Report.r_timeouts <> 0
+  then begin
+    Format.printf "FAILED multiactive exactly-once gate@.";
+    exit 1
+  end;
+
+  (* Replay gate: admission decisions route through the engine's
+     decision points ("ma.admit.defer", "ma.pump.pick"), so a recorded
+     run of the multiactive workload must replay bit-identically. *)
+  let wl = Option.get (Check.Workloads.find "multiactive") in
+  let o = Check.Explore.run_recorded wl ~seed:1 in
+  let rp = Check.Explore.replay wl o.Check.Explore.o_trace in
+  let replay_identical =
+    rp.Check.Explore.rp_identical
+    && rp.Check.Explore.rp_outcome.Check.Explore.o_hash
+       = o.Check.Explore.o_hash
+    && not (Check.Explore.failed o)
+  in
+  Format.printf "determinism: record %016x replay %016x %s@."
+    o.Check.Explore.o_hash rp.Check.Explore.rp_outcome.Check.Explore.o_hash
+    (if replay_identical then "ok" else "MISMATCH");
+  if not replay_identical then begin
+    Format.printf "FAILED multiactive replay gate@.";
+    exit 1
+  end;
+
+  (* Metrics file for CI artifacts + the regression gate. *)
+  Services.Bench_json.write ~path:"BENCH_multiactive.json"
+    Services.Bench_json.
+      [
+        ("smoke", Bool smoke);
+        ("knee_serialized_rps", Int (eff ser_knee));
+        ("knee_multiactive_rps", Int (eff ma_knee));
+        ("knee_ratio", Float ratio);
+        ("capacity_ratio", Float cap_ratio);
+        ("peak_overlap", Int !peak);
+        ("admissions", Int (Simcore.Stats.get st "ma.admit"));
+        ("queued", Int (Simcore.Stats.get st "ma.queued"));
+        ("overlapped_starts", Int (Simcore.Stats.get st "ma.overlap"));
+        ("conflicts", Int conflicts);
+        ("faulted_p99_ns", Int (int_of_float r_f.Traffic.Report.r_p99_ns));
+        ("replay_identical", Bool replay_identical);
+        ("timeline_hash", Str (Printf.sprintf "%016x" o.Check.Explore.o_hash));
+      ];
+  Format.printf "metrics written to BENCH_multiactive.json@.";
+
+  (* Knee regression gate against a checked-in baseline: the annotated
+     build's knee must not move left. *)
+  match baseline with
+  | None -> ()
+  | Some path -> (
+      match
+        Services.Bench_json.read_int_field ~path ~key:"knee_multiactive_rps"
+      with
+      | None ->
+          Format.printf "FAILED: baseline %s has no knee_multiactive_rps@."
+            path;
+          exit 1
+      | Some want ->
+          Format.printf
+            "knee regression gate: %d req/s vs baseline %d req/s@."
+            (eff ma_knee) want;
+          if eff ma_knee < want then begin
+            Format.printf "FAILED multiactive knee regression gate@.";
             exit 1
           end)
 
@@ -1756,5 +2022,6 @@ let () =
   if want "coalesce" then coalesce_bench ~smoke ();
   if want "recover" then recover_bench ~smoke ();
   if want "traffic" then traffic_bench ~smoke ~baseline ();
+  if want "multiactive" then multiactive_bench ~smoke ~baseline ();
   if want "bechamel" then bechamel ();
   Format.printf "@."

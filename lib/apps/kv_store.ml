@@ -208,8 +208,8 @@ let client_cls_def t =
     ()
 
 let create ?(service_instr = 200) ?(client_instr = 30)
-    ?(latency_bucket_ns = 500) ?(keys_per_shard = 16) ?(mget_fan = 3) ~shards
-    () =
+    ?(latency_bucket_ns = 500) ?(keys_per_shard = 16) ?(mget_fan = 3)
+    ?(multiactive = false) ?(ma_budget = 4) ~shards () =
   if shards < 1 then invalid_arg "Kv_store.create: shards must be >= 1";
   if mget_fan < 1 then invalid_arg "Kv_store.create: mget_fan must be >= 1";
   (* The class methods close over [t], so tie the knot through a
@@ -245,6 +245,21 @@ let create ?(service_instr = 200) ?(client_instr = 30)
   in
   t.shard_cls <- shard_cls_def t;
   t.client_cls <- client_cls_def t;
+  if multiactive then begin
+    (* Single-writer / multi-reader shards: gets overlap each other
+       (and mget fan-out is client-side gets), while put and cas fall
+       into implicit singleton groups — serialized against everything,
+       themselves included, so version arithmetic stays race-free. *)
+    Multiactive.declare t.shard_cls ~budget:ma_budget
+      ~groups:[ ("read", [ "kv_get" ]) ]
+      ();
+    (* Clients only mutate commutative bookkeeping (pending counters,
+       order-insensitive sums), so request fan-out and response
+       handling may overlap freely. *)
+    Multiactive.declare t.client_cls ~budget:ma_budget
+      ~groups:[ ("client", [ "tr_op"; "kv_resp" ]) ]
+      ()
+  end;
   t
 
 let classes t = [ t.shard_cls; t.client_cls ]

@@ -41,6 +41,8 @@ val create :
   ?latency_bucket_ns:int ->
   ?keys_per_shard:int ->
   ?mget_fan:int ->
+  ?multiactive:bool ->
+  ?ma_budget:int ->
   shards:int ->
   unit ->
   t
@@ -49,7 +51,15 @@ val create :
     rate sweep saturates; [client_instr] (default 30) the per-operation
     client work. [keys_per_shard] (default 16) fixes the keyspace at
     [shards * keys_per_shard]. [mget_fan] (default 3) is the multi-get
-    scatter width. *)
+    scatter width.
+
+    [multiactive] (default false) installs compatibility declarations:
+    shard [get]s form one overlapping "read" group while [put]/[cas]
+    stay strictly serialized (single-writer/multi-reader shards), and
+    client request/response handling overlaps freely; [ma_budget]
+    (default 4) bounds concurrent activations per object. The default
+    keeps every object on the paper's serialized tables, bit-identical
+    to the pre-multiactive build. *)
 
 val classes : t -> Core.Kernel.cls list
 (** The shard and client classes, for [System.boot ~classes]. *)

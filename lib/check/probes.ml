@@ -40,11 +40,55 @@ let sched sys () =
                  (never re-posted)"
                 node slot queued
           | Kernel.Vft_dormant | Kernel.Vft_init | Kernel.Vft_active
-          | Kernel.Vft_fault ->
+          | Kernel.Vft_fault | Kernel.Vft_multiactive ->
               tell
                 "node %d slot %d (%s): %d buffered message(s) but no \
                  scheduling entry (lost wakeup)"
                 node slot (Vft.kind_name kind) queued)
+      rt.Kernel.objects
+  done;
+  !out
+
+(* Multiactive admission sanity. At quiescence nothing may still be
+   running or parked behind a compatibility group, no pump thunk may
+   claim to be posted, and no drain may be pending. And at any time, no
+   activation may ever have started while an incompatible one was
+   running — the scheduler bumps "ma.conflict" at activation entry when
+   it happens, so a nonzero counter is a serialization violation even
+   if the overlap itself has long finished. *)
+let multiactive sys () =
+  let out = ref [] in
+  let conflicts = Simcore.Stats.get (System.stats sys) "ma.conflict" in
+  if conflicts > 0 then
+    out :=
+      Printf.sprintf
+        "%d incompatible activation(s) overlapped (serialization violation)"
+        conflicts
+      :: !out;
+  for node = 0 to System.node_count sys - 1 do
+    let rt = System.rt sys node in
+    Hashtbl.iter
+      (fun slot (obj : Kernel.obj) ->
+        match obj.Kernel.ma with
+        | None -> ()
+        | Some m ->
+            let tell fmt = Format.kasprintf (fun s -> out := s :: !out) fmt in
+            if m.Kernel.mar_count > 0 then
+              tell
+                "node %d slot %d: %d activation(s) still running at \
+                 quiescence"
+                node slot m.Kernel.mar_count;
+            if m.Kernel.mar_queued > 0 then
+              tell
+                "node %d slot %d: %d message(s) stuck in group queues \
+                 (lost pump)"
+                node slot m.Kernel.mar_queued;
+            if m.Kernel.mar_pump_posted then
+              tell "node %d slot %d: pump still posted on an idle node" node
+                slot;
+            if m.Kernel.mar_draining then
+              tell "node %d slot %d: drain-before-freeze never completed"
+                node slot)
       rt.Kernel.objects
   done;
   !out
@@ -138,6 +182,8 @@ let register_recovery mon mgr =
 let register_standard mon sys ?migrate:mig ?dgc:g () =
   let machine = System.machine sys in
   Monitor.register mon ~name:"sched" ~when_:Monitor.At_quiescence (sched sys);
+  Monitor.register mon ~name:"multiactive" ~when_:Monitor.At_quiescence
+    (multiactive sys);
   Monitor.register mon ~name:"reliable" ~when_:Monitor.At_quiescence
     (reliable machine);
   Monitor.register mon ~name:"coalesce" ~when_:Monitor.At_quiescence

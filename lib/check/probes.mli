@@ -9,6 +9,14 @@ val sched : Core.System.t -> unit -> string list
     no scheduling entry, no stale in-scheduling-queue mark on an idle
     machine, no context still suspended. *)
 
+val multiactive : Core.System.t -> unit -> string list
+(** Multiactive admission sanity, at quiescence: no activation still
+    running, no message stuck behind a group queue, no pump posted, no
+    drain pending — and the ["ma.conflict"] counter is zero, i.e. no
+    activation ever started while an incompatible one was running (the
+    violation is caught even if the overlap finished long before
+    quiescence). *)
+
 val reliable : Machine.Engine.t -> unit -> string list
 (** Exactly-once / FIFO structure, at quiescence: every channel fully
     acknowledged ([base = next_seq], nothing in flight or backlogged)
@@ -53,5 +61,7 @@ val register_recovery : Monitor.t -> Recover.Manager.t -> unit
 
 val register_standard :
   Monitor.t -> Core.System.t -> ?migrate:Migrate.t -> ?dgc:Dgc.t -> unit -> unit
-(** Registers the full standard set on a monitor (migration and DGC
-    probes only when those subsystems are attached). *)
+(** Registers the full standard set on a monitor — including the
+    multiactive probe, which is vacuous on systems without multiactive
+    objects (migration and DGC probes only when those subsystems are
+    attached). *)

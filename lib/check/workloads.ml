@@ -622,7 +622,84 @@ let traffic_wl =
         finish mon tl []);
   }
 
+(* --- multiactive: read-heavy skewed traffic into annotated shards ----- *)
+
+let multiactive_wl =
+  {
+    w_name = "multiactive";
+    w_run =
+      (fun sched ->
+        let faults = drawn_faults sched ~tag:"ma.fault" in
+        let machine_config = { Engine.default_config with Engine.faults } in
+        let nodes = 4 in
+        let kv =
+          Apps.Kv_store.create ~shards:4 ~keys_per_shard:4 ~mget_fan:2
+            ~multiactive:true ~ma_budget:3 ()
+        in
+        let sys =
+          System.boot ~machine_config ~nodes
+            ~classes:(Apps.Kv_store.classes kv)
+            ()
+        in
+        let machine = System.machine sys in
+        wire sched machine;
+        let tl = Services.Timeline.attach sys in
+        Apps.Kv_store.spawn kv sys;
+        let mig = Migrate.attach sys in
+        let mon = Monitor.create () in
+        Probes.register_standard mon sys ~migrate:mig ();
+        Monitor.attach_periodic mon machine ~interval_ns:monitor_interval_ns;
+        (* Read-heavy and Zipf-skewed, so one hot shard actually builds
+           the overlapping read backlog the admission rules govern; the
+           deferral ("ma.admit.defer") and pump-order ("ma.pump.pick")
+           decision points are drawn from the schedule like every other
+           choice. *)
+        let lg =
+          Traffic.Loadgen.launch
+            {
+              Traffic.Loadgen.default_config with
+              Traffic.Loadgen.seed =
+                1 + Schedule.choice sched ~tag:"ma.seed" 1_000_000;
+              rate_rps = 400_000;
+              requests = 60;
+              mix =
+                { Traffic.Loadgen.m_get = 90; m_put = 6; m_cas = 3; m_mget = 1 };
+              key_dist = Traffic.Loadgen.Zipf 1.1;
+            }
+            sys kv
+        in
+        Monitor.register mon ~name:"traffic" ~when_:Monitor.At_quiescence
+          (Probes.traffic sys lg);
+        (* Shard moves mid-run exercise drain-before-freeze: the freeze
+           must wait for the running activation set to empty and ship
+           the group queues intact. *)
+        let moves = Schedule.choice sched ~tag:"ma.moves" 4 in
+        for k = 0 to moves - 1 do
+          let shard = Schedule.choice sched ~tag:"ma.shard" 4 in
+          let to_ = Schedule.choice sched ~tag:"ma.to" nodes in
+          let phase = Schedule.choice sched ~tag:"ma.phase" 8 in
+          Engine.schedule_at machine
+            ~time:(15_000 + (k * 30_000) + (phase * 2_000))
+            (fun () ->
+              ignore
+                (Migrate.move mig
+                   ~canon:(Apps.Kv_store.shard_addr kv shard)
+                   ~to_))
+        done;
+        System.run sys;
+        finish mon tl []);
+  }
+
 let all =
-  [ app; faults; migrate_wl; dgc_wl; coalesce_wl; recover_wl; traffic_wl ]
+  [
+    app;
+    faults;
+    migrate_wl;
+    dgc_wl;
+    coalesce_wl;
+    recover_wl;
+    traffic_wl;
+    multiactive_wl;
+  ]
 
 let find name = List.find_opt (fun w -> w.w_name = name) all

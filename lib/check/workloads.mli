@@ -49,5 +49,15 @@ val traffic_wl : t
     (full injection, no lost or duplicated completion, write/version
     conservation) runs as a quiescence probe. *)
 
+val multiactive_wl : t
+(** The traffic tier with multiactive compatibility annotations on the
+    shards and clients (overlapping reads, serialized writes), driven
+    read-heavy with Zipf-skewed keys so a hot shard builds a real
+    admission backlog. The schedule draws the admission-deferral and
+    pump-order decision points (["ma.admit.defer"], ["ma.pump.pick"])
+    along with mid-run shard moves (drain-before-freeze) and optional
+    faults; the multiactive probe checks no incompatible activations
+    ever overlapped and no message is stuck behind a group queue. *)
+
 val all : t list
 val find : string -> t option

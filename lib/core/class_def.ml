@@ -24,6 +24,8 @@ let define ~name ?(state = [||]) ?init ~methods () : Kernel.cls =
     tbl_dormant = None;
     tbl_init = None;
     waiting_cache = Hashtbl.create 4;
+    cls_ma = None;
+    tbl_ma = None;
   }
 
 let meth keyword ~arity impl = (Pattern.intern keyword ~arity, impl)
@@ -34,3 +36,92 @@ let pattern_of (cls : Kernel.cls) keyword =
   | Some _ | None ->
       invalid_arg
         (Printf.sprintf "Class %s has no method %s" cls.Kernel.cls_name keyword)
+
+(* Install a compatibility declaration on [cls]. [groups] names sets of
+   the class's own method patterns; methods of one group may overlap
+   each other, and groups listed in [compatible] may overlap across.
+   Methods not mentioned fall into implicit singleton groups that are
+   incompatible with everything (including themselves), keeping the
+   sequential-by-default contract. Must run before the admission table
+   is first built. *)
+let set_multiactive (cls : Kernel.cls) ~budget ?(compatible = []) ~groups () =
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        invalid_arg
+          (Printf.sprintf "Class_def.set_multiactive %s: %s"
+             cls.Kernel.cls_name s))
+      fmt
+  in
+  if budget < 1 then fail "budget must be >= 1 (got %d)" budget;
+  if cls.Kernel.tbl_ma <> None then
+    fail "admission table already built; declare before first use";
+  let seen_name = Hashtbl.create 8 and seen_pat = Hashtbl.create 8 in
+  List.iter
+    (fun (gname, pats) ->
+      if pats = [] then fail "group %s is empty" gname;
+      if Hashtbl.mem seen_name gname then fail "duplicate group %s" gname;
+      Hashtbl.add seen_name gname ();
+      List.iter
+        (fun p ->
+          if not (List.mem_assoc p cls.Kernel.methods) then
+            fail "group %s lists %s, which is not a method of this class"
+              gname (Pattern.name p);
+          if Hashtbl.mem seen_pat p then
+            fail "method %s appears in more than one group" (Pattern.name p);
+          Hashtbl.add seen_pat p ())
+        pats)
+    groups;
+  (* Implicit singleton groups for undeclared methods: serialized with
+     everything, themselves included. *)
+  let implicit =
+    List.filter_map
+      (fun (p, _) ->
+        if Hashtbl.mem seen_pat p then None
+        else Some (Pattern.name p, [ p ]))
+      cls.Kernel.methods
+  in
+  List.iter
+    (fun (gname, _) ->
+      if Hashtbl.mem seen_name gname then
+        fail "group name %s collides with an undeclared method's implicit \
+              group"
+          gname)
+    implicit;
+  let declared = List.length groups in
+  let all = groups @ implicit in
+  let names = Array.of_list (List.map fst all) in
+  let index_of gname =
+    let rec go i = function
+      | [] -> fail "compatible pair names unknown group %s" gname
+      | (g, _) :: _ when String.equal g gname -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 all
+  in
+  let n = Array.length names in
+  let compat = Array.make_matrix n n false in
+  (* Same declared group => may overlap; implicit groups stay serial. *)
+  for g = 0 to declared - 1 do
+    compat.(g).(g) <- true
+  done;
+  List.iter
+    (fun (a, b) ->
+      let ga = index_of a and gb = index_of b in
+      if ga >= declared || gb >= declared then
+        fail "compatible pair (%s, %s) may only name declared groups" a b;
+      compat.(ga).(gb) <- true;
+      compat.(gb).(ga) <- true)
+    compatible;
+  let group_of =
+    List.concat
+      (List.mapi (fun g (_, pats) -> List.map (fun p -> (p, g)) pats) all)
+  in
+  cls.Kernel.cls_ma <-
+    Some
+      {
+        Kernel.ma_budget = budget;
+        ma_group_names = names;
+        ma_group_of = group_of;
+        ma_compat = compat;
+      }

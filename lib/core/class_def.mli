@@ -23,3 +23,19 @@ val meth : string -> arity:int -> Kernel.methd -> Pattern.t * Kernel.methd
 
 val pattern_of : Kernel.cls -> string -> Pattern.t
 (** Looks up one of the class's method patterns by keyword. *)
+
+val set_multiactive :
+  Kernel.cls ->
+  budget:int ->
+  ?compatible:(string * string) list ->
+  groups:(string * Pattern.t list) list ->
+  unit ->
+  unit
+(** Installs a compatibility declaration: methods of one named group
+    may overlap each other on a single object, groups listed in
+    [compatible] may overlap across, and at most [budget] activations
+    run concurrently. Methods not mentioned get implicit singleton
+    groups incompatible with everything (themselves included), so
+    undeclared behaviour stays strictly serialized. Validates group
+    contents against the class's methods; must be called before the
+    class processes its first message. *)

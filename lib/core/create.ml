@@ -20,6 +20,7 @@ let local rt cls args =
       pending_ctor_args = args;
       exported = false;
       gc_pinned = false;
+      ma = None;
     }
   in
   Sched.register_obj rt obj;

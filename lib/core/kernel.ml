@@ -23,6 +23,12 @@ type entry =
       (** forwarding-stub mode: the object migrated away; re-post the
           message to its new home. Reuses the multiple-VFT trick so the
           sender never tests for "moved" — dispatch just does it. *)
+  | Ma_admit of { impl : methd; group : int }
+      (** multiactive mode: admit the message into the object's running
+          activation set when its compatibility group permits, else
+          enqueue it on the group's FIFO queue. As with every other
+          table, the sender never tests receiver state — the admission
+          control {e is} the dispatch entry. *)
   | No_method  (** pattern not understood by this class *)
 
 and vft = {
@@ -39,6 +45,9 @@ and vft_kind =
   | Vft_fault  (** generic fault table of uninitialised remote chunks *)
   | Vft_forward of fwd
       (** forwarding mail address left behind by object migration *)
+  | Vft_multiactive
+      (** compatibility-group admission table: replaces the
+          dormant/active pair for classes with a declared [ma_spec] *)
 
 (** The forwarding state of a migrated-away object. [fwd_canon] is the
     object's mail address (immutable, Section 5.2 — the identity every
@@ -63,6 +72,47 @@ and cls = {
   mutable tbl_dormant : vft option;  (** built lazily, cached *)
   mutable tbl_init : vft option;
   waiting_cache : (Pattern.t list, vft) Hashtbl.t;
+  mutable cls_ma : ma_spec option;
+      (** compatibility declaration; [None] keeps the class on the
+          paper's strictly serialized dormant/active tables *)
+  mutable tbl_ma : vft option;  (** the admission table, built lazily *)
+}
+
+(** A class's compatibility declaration. Methods in the same group, or
+    in groups marked compatible, may run concurrently on one object;
+    every other pair strictly serializes (sequential-by-default, after
+    Henrio & Rochas' multiactive objects). *)
+and ma_spec = {
+  ma_budget : int;  (** bound on concurrent activations per object *)
+  ma_group_names : string array;
+  ma_group_of : (Pattern.t * int) list;  (** every method -> its group *)
+  ma_compat : bool array array;
+      (** symmetric; [ma_compat.(g).(g)] is true only for declared
+          groups — methods left out of the declaration get an implicit
+          singleton group that is incompatible even with itself *)
+}
+
+(** Per-object activation manager, allocated lazily at first admission.
+    [mar_running] counts live activations per group; admission requires
+    compatibility with {e every} non-empty group and a free budget
+    slot. Messages that fail admission park on their group's FIFO
+    queue and are pumped back in when an activation completes. *)
+and ma_run = {
+  mar_running : int array;
+  mutable mar_count : int;
+  mar_queues : (int * Message.t) Queue.t array;
+      (** messages stamped with their admission-arrival sequence, so
+          the pump can default to oldest-head-first across groups
+          (starvation freedom) while staying FIFO within each group *)
+  mutable mar_queued : int;
+  mutable mar_seq : int;  (** next arrival stamp *)
+  mutable mar_pump_posted : bool;
+  mutable mar_draining : bool;
+      (** migration freeze in progress: admit nothing, let the running
+          set empty out, then fire [mar_on_drained] *)
+  mutable mar_on_drained : (unit -> unit) option;
+  mutable mar_peak : int;  (** high-water mark of [mar_count] *)
+  mutable mar_admitted : int;  (** total activations ever admitted *)
 }
 
 and obj = {
@@ -90,6 +140,9 @@ and obj = {
   mutable gc_pinned : bool;
       (** a GC root: bootstrap objects and anything the embedding holds
           an address to outside the heap (test drivers). Never swept. *)
+  mutable ma : ma_run option;
+      (** activation manager; [None] until the first multiactive
+          admission (and again after migration ships the object away) *)
 }
 
 and blocked = {
@@ -150,6 +203,11 @@ and rt_config = {
           neighbours on this period (virtual ns) without application
           cooperation, so placement/migration policies see fresh load.
           0 (the default) keeps gossip strictly hand-driven. *)
+  ma_cores : int;
+      (** worker threads a node devotes to overlapped activations of one
+          multiactive object: while [j] activations overlap, charged
+          instructions scale by [1 / min j ma_cores]. Irrelevant (scale
+          stays 1) unless some class declares compatibility. *)
 }
 
 (** Hooks installed by the object-migration subsystem ([lib/migrate]).
@@ -230,6 +288,12 @@ and counters = {
   c_reply_immediate : int ref;
   c_reply_blocked : int ref;
   c_reply_no_dest : int ref;
+  c_ma_admit : int ref;  (** activations admitted (immediately or pumped) *)
+  c_ma_queued : int ref;  (** messages parked on a group queue *)
+  c_ma_overlap : int ref;  (** admissions that joined a running set *)
+  c_ma_conflict : int ref;
+      (** incompatible overlaps — must stay 0; only the test-only
+          forced-admission hook can make it move *)
 }
 
 and origin_counters = {
@@ -271,6 +335,10 @@ and node_rt = {
       (** per-node codec scratch: the send path encodes into this one
           reused buffer instead of allocating per message *)
   rng : Simcore.Rng.t;
+  mutable ma_scale : int;
+      (** instruction-charge divisor while inside an overlapped
+          multiactive activation; 1 everywhere else, so the serialized
+          runtime is bit-identical to the pre-multiactive build *)
 }
 
 type _ Effect.t += Block : block_reason -> resume Effect.t
@@ -282,7 +350,15 @@ exception Not_understood of { cls_name : string; pattern : Pattern.t }
 let machine rt = rt.shared.machine
 let cost rt = Machine.Engine.cost rt.shared.machine
 let stats rt = Machine.Engine.stats rt.shared.machine
-let charge rt instructions = Machine.Engine.charge rt.shared.machine rt.node instructions
+let charge rt instructions =
+  (* Overlapped multiactive activations model [ma_scale] worker threads
+     sharing the node: wall-clock per instruction divides by the overlap
+     degree (ceiling division, so cost never rounds to zero). *)
+  let n =
+    if rt.ma_scale > 1 then (instructions + rt.ma_scale - 1) / rt.ma_scale
+    else instructions
+  in
+  Machine.Engine.charge rt.shared.machine rt.node n
 
 let charge_work rt instructions =
   charge rt instructions;
@@ -334,6 +410,10 @@ let make_counters stats =
     c_reply_immediate = cell "reply.immediate";
     c_reply_blocked = cell "reply.blocked";
     c_reply_no_dest = cell "reply.no_dest";
+    c_ma_admit = cell "ma.admit";
+    c_ma_queued = cell "ma.queued";
+    c_ma_overlap = cell "ma.overlap";
+    c_ma_conflict = cell "ma.conflict";
   }
 
 let ctrs rt = rt.shared.ctrs

@@ -47,6 +47,7 @@ let create_dest rt =
       pending_ctor_args = [];
       exported = false;
       gc_pinned = false;
+      ma = None;
     }
   in
   Sched.register_obj rt obj;

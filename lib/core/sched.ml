@@ -36,6 +36,7 @@ let make_embryo rt slot =
       pending_ctor_args = [];
       exported = false;
       gc_pinned = false;
+      ma = None;
     }
   in
   Hashtbl.add rt.objects slot obj;
@@ -54,7 +55,11 @@ let lookup_or_embryo rt slot =
 
 let rest_table obj =
   let cls = obj_class obj in
-  if obj.initialized then Vft.dormant cls else Vft.init cls
+  if not obj.initialized then Vft.init cls
+  else
+    match cls.cls_ma with
+    | Some _ -> Vft.multiactive cls
+    | None -> Vft.dormant cls
 
 let mode_of obj = Vft.kind_name obj.vftp.vft_kind
 
@@ -86,6 +91,57 @@ let buffer_message rt obj msg =
   Machine.Node.heap_alloc_words rt.node (4 + words);
   Queue.push msg obj.mq
 
+(* --- multiactive activation management (lib/multiactive, ISSUE 8) ---
+
+   A class with a compatibility declaration replaces its dormant/active
+   table pair with one admission table ([Vft.multiactive]) that stays
+   installed while activations run: each entry either starts the method
+   as a member of the object's bounded running set, or parks the
+   message on its compatibility group's FIFO queue. Completion pumps
+   the queues. Senders still never test receiver state. *)
+
+(* Test-only corruption hook: admit even incompatible messages, so the
+   serialization-violation probe and the qcheck property have a real
+   bug to catch. Never set outside tests. *)
+let ma_unsafe_force_admit = ref false
+
+let ma_spec_of obj =
+  match (obj_class obj).cls_ma with
+  | Some s -> s
+  | None -> invalid_arg "Sched: object is not multiactive"
+
+let ma_state obj =
+  match obj.ma with
+  | Some m -> m
+  | None ->
+      let spec = ma_spec_of obj in
+      let n = Array.length spec.ma_group_names in
+      let m =
+        {
+          mar_running = Array.make n 0;
+          mar_count = 0;
+          mar_queues = Array.init n (fun _ -> Queue.create ());
+          mar_queued = 0;
+          mar_seq = 0;
+          mar_pump_posted = false;
+          mar_draining = false;
+          mar_on_drained = None;
+          mar_peak = 0;
+          mar_admitted = 0;
+        }
+      in
+      obj.ma <- Some m;
+      m
+
+(* [group] may overlap the current running set iff it is compatible
+   with every group that has a live activation. *)
+let ma_compatible spec m group =
+  let ok = ref true in
+  Array.iteri
+    (fun g n -> if n > 0 && not spec.ma_compat.(group).(g) then ok := false)
+    m.mar_running;
+  !ok
+
 let rec schedule_pending rt obj =
   if not obj.in_sched_q then begin
     obj.in_sched_q <- true;
@@ -116,6 +172,17 @@ and run_pending rt obj =
       match entry_at tbl msg.Message.pattern with
       | Invoke impl -> run_invoke rt obj impl msg ~init_first:false
       | Invoke_init impl -> run_invoke rt obj impl msg ~init_first:true
+      | Ma_admit { impl; group } ->
+          (* Keep funnelling through the buffer while it holds messages
+             (arrivals still append behind the backlog), so the
+             init-window backlog keeps its arrival order; switch to the
+             admission table only once the buffer drains. *)
+          ma_deliver rt obj impl ~group msg ~oc:(ctrs rt).sent_local;
+          if not (Queue.is_empty obj.mq) then schedule_pending rt obj
+          else if obj.vftp.vft_kind = Vft_active then begin
+            charge rt (cost rt).Cost_model.switch_vft;
+            obj.vftp <- tbl
+          end
       | No_method ->
           raise
             (Not_understood
@@ -218,6 +285,7 @@ and local_deliver ?(origin = `Local) rt obj msg =
   match entry_at obj.vftp msg.Message.pattern with
   | Invoke impl -> deliver_invoke rt obj impl msg ~init_first:false ~oc
   | Invoke_init impl -> deliver_invoke rt obj impl msg ~init_first:true ~oc
+  | Ma_admit { impl; group } -> ma_deliver rt obj impl ~group msg ~oc
   | Enqueue ->
       let kind = obj.vftp.vft_kind in
       if config.discard_unacceptable && (match kind with Vft_waiting _ -> true | _ -> false)
@@ -267,6 +335,204 @@ and deliver_invoke rt obj impl msg ~init_first ~oc =
       else begin
         bump oc.o_dormant;
         run_invoke rt obj impl msg ~init_first
+      end
+
+(* Admission control for multiactive objects. The message either joins
+   the running set now or parks on its group's FIFO queue; a recorded
+   decision point lets the explorer defer an otherwise-admissible
+   message, exercising the queue/pump path under any schedule.
+
+   The no-overtake rule: besides compatibility with every running
+   activation, direct admission requires that the message's own group
+   queue is empty (starts stay FIFO within a group) and that no
+   incompatible group holds queued messages (a stream of compatible
+   arrivals cannot starve a parked exclusive request — classic
+   writer starvation under read-heavy load). *)
+and ma_deliver rt obj impl ~group msg ~oc =
+  let config = rt.shared.config in
+  let m = ma_state obj in
+  let spec = ma_spec_of obj in
+  let overtakes_queued =
+    m.mar_queued > 0
+    && (let blocked = ref false in
+        Array.iteri
+          (fun g q ->
+            if
+              not (Queue.is_empty q)
+              && (g = group || not spec.ma_compat.(group).(g))
+            then blocked := true)
+          m.mar_queues;
+        !blocked)
+  in
+  let admissible =
+    config.sched_kind = Hybrid
+    && (not m.mar_draining)
+    && rt.depth < config.max_stack_depth
+    && m.mar_count < spec.ma_budget
+    && ((ma_compatible spec m group && not overtakes_queued)
+       || !ma_unsafe_force_admit)
+  in
+  if admissible && Machine.Engine.decide (machine rt) "ma.admit.defer" 2 = 0
+  then begin
+    bump oc.o_dormant;
+    ma_run_activation rt obj impl ~group msg
+  end
+  else begin
+    bump oc.o_active;
+    bump (ctrs rt).c_ma_queued;
+    ma_queue_message rt obj m msg ~group
+  end
+
+and ma_queue_message rt obj m msg ~group =
+  let c = cost rt in
+  let words = Message.size_words msg in
+  charge rt
+    (c.Cost_model.frame_alloc
+    + (words * c.Cost_model.frame_store_per_word)
+    + c.Cost_model.mq_enqueue);
+  Machine.Node.heap_alloc_words rt.node (4 + words);
+  Queue.push (m.mar_seq, msg) m.mar_queues.(group);
+  m.mar_seq <- m.mar_seq + 1;
+  m.mar_queued <- m.mar_queued + 1;
+  (* No lost wakeup: with an empty running set nothing will ever reach
+     [ma_end_of_activation] to pump this message back out. *)
+  if m.mar_count = 0 && (not m.mar_pump_posted) && not m.mar_draining then
+    schedule_ma_pump rt obj
+
+and ma_run_activation rt obj impl ~group msg =
+  let c = cost rt in
+  let m = ma_state obj in
+  let spec = ma_spec_of obj in
+  if m.mar_count > 0 && not (ma_compatible spec m group) then
+    (* Only the test-only forced-admission hook can get here. *)
+    bump (ctrs rt).c_ma_conflict;
+  m.mar_running.(group) <- m.mar_running.(group) + 1;
+  m.mar_count <- m.mar_count + 1;
+  m.mar_admitted <- m.mar_admitted + 1;
+  if m.mar_count > m.mar_peak then m.mar_peak <- m.mar_count;
+  if m.mar_count >= 2 then bump (ctrs rt).c_ma_overlap;
+  bump (ctrs rt).c_ma_admit;
+  rt.depth <- rt.depth + 1;
+  if rt.depth = 1 then rt.work_since_yield <- 0;
+  (* The admission table stays installed — that is the point — so the
+     only table work is the running-set bookkeeping. *)
+  charge rt c.Cost_model.switch_vft;
+  let prev_scale = rt.ma_scale in
+  (* Charge scale = the overlap degree a worker pool would achieve on
+     the compatible work at hand: live activations plus queued messages
+     of groups this one may overlap (a backlog of compatible reads
+     drains [ma_cores] at a time on real hardware even though the
+     simulator pumps them sequentially), capped by the activation
+     budget and the per-object worker count. *)
+  let avail = ref m.mar_count in
+  Array.iteri
+    (fun g q ->
+      if spec.ma_compat.(group).(g) then avail := !avail + Queue.length q)
+    m.mar_queues;
+  rt.ma_scale <-
+    min (min !avail spec.ma_budget) rt.shared.config.ma_cores;
+  let ctx = { rt; self_obj = obj } in
+  let finally () =
+    rt.depth <- rt.depth - 1;
+    rt.ma_scale <- prev_scale
+  in
+  Fun.protect ~finally (fun () ->
+      Effect.Deep.match_with
+        (fun () ->
+          if not obj.initialized then do_init rt obj;
+          impl ctx msg)
+        ()
+        {
+          retc = (fun () -> ma_end_of_activation rt obj ~group);
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Block reason ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      handle_block rt obj reason k)
+              | _ -> None);
+        })
+
+and ma_end_of_activation rt obj ~group =
+  let c = cost rt in
+  let m = ma_state obj in
+  charge rt c.Cost_model.check_message_queue;
+  (* Poll before releasing the slot: arrivals dispatched by this poll
+     are admitted while the finishing activation still occupies its set
+     entry — that is where overlap (and the multicore speedup) comes
+     from under backlog. *)
+  charge rt c.Cost_model.poll_remote;
+  Machine.Engine.poll (machine rt) rt.node;
+  m.mar_running.(group) <- m.mar_running.(group) - 1;
+  m.mar_count <- m.mar_count - 1;
+  if m.mar_queued > 0 && (not m.mar_pump_posted) && not m.mar_draining then
+    schedule_ma_pump rt obj;
+  if m.mar_draining && m.mar_count = 0 then (
+    match m.mar_on_drained with
+    | Some f ->
+        m.mar_on_drained <- None;
+        f ()
+    | None -> ());
+  charge rt c.Cost_model.stack_adjust_return
+
+and schedule_ma_pump rt obj =
+  let m = ma_state obj in
+  m.mar_pump_posted <- true;
+  charge rt (cost rt).Cost_model.sched_enqueue;
+  Machine.Engine.post (machine rt) rt.node (fun () -> ma_pump rt obj)
+
+(* Drain the group queues back into the running set, eldest first
+   within each group; when several groups are eligible a recorded
+   decision point picks, so the explorer can sweep cross-group orders. *)
+and ma_pump rt obj =
+  let m = ma_state obj in
+  m.mar_pump_posted <- false;
+  match obj.vftp.vft_kind with
+  | Vft_forward _ ->
+      (* Migrated away between post and run; the queues were flattened
+         into the shipped frames. *)
+      ()
+  | _ ->
+      if m.mar_draining then ()
+      else begin
+        let spec = ma_spec_of obj in
+        let tbl = Vft.multiactive (obj_class obj) in
+        let rec loop () =
+          if m.mar_queued > 0 && m.mar_count < spec.ma_budget then begin
+            (* Eligible groups, oldest queue head first: index 0 of the
+               decision is the arrival-order (starvation-free) choice,
+               and the explorer can pick any other eligible head. *)
+            let eligible = ref [] in
+            Array.iteri
+              (fun g q ->
+                match Queue.peek_opt q with
+                | Some (seq, _) when ma_compatible spec m g ->
+                    eligible := (seq, g) :: !eligible
+                | _ -> ())
+              m.mar_queues;
+            match List.sort compare !eligible with
+            | [] -> ()
+            | gs ->
+                let pick =
+                  Machine.Engine.decide (machine rt) "ma.pump.pick"
+                    (List.length gs)
+                in
+                let _, g = List.nth gs pick in
+                let _, msg = Queue.take m.mar_queues.(g) in
+                m.mar_queued <- m.mar_queued - 1;
+                charge rt (cost rt).Cost_model.mq_dequeue;
+                (match entry_at tbl msg.Message.pattern with
+                | Ma_admit { impl; group } ->
+                    ma_run_activation rt obj impl ~group msg
+                | _ ->
+                    (* only a class method can have been queued *)
+                    assert false);
+                loop ()
+          end
+        in
+        loop ()
       end
 
 (* Export tracking (Section 5.2): once an address leaves its node, the
@@ -370,7 +636,7 @@ let send_inlined rt cls ~target ~pattern ~args () =
       | Invoke_init impl ->
           bump (ctrs rt).sent_local.o_inlined;
           run_invoke rt obj impl msg ~init_first:true
-      | Enqueue | Restore | Forward | No_method ->
+      | Ma_admit _ | Enqueue | Restore | Forward | No_method ->
           raise (Not_understood { cls_name = cls.cls_name; pattern })
     end
     else
@@ -404,7 +670,7 @@ let send_optimized rt cls ~target ~pattern ~args ~known_local ~leaf ~stateless
       let impl =
         match entry_at dormant pattern with
         | Invoke impl | Invoke_init impl -> impl
-        | Enqueue | Restore | Forward | No_method ->
+        | Ma_admit _ | Enqueue | Restore | Forward | No_method ->
             raise (Not_understood { cls_name = cls.cls_name; pattern })
       in
       bump (ctrs rt).sent_local.o_inlined;
@@ -452,6 +718,18 @@ let send_optimized rt cls ~target ~pattern ~args ~known_local ~leaf ~stateless
 
 (* Selective message reception (Sections 2.2 and 4.3). *)
 let wait_for rt obj patterns =
+  (* A multiactive class cannot use selective reception: the waiting
+     table would displace the admission table and silently re-serialize
+     the object (and the parked-context bookkeeping assumes exactly one
+     activation). Rejected loudly instead. *)
+  (match (obj_class obj).cls_ma with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Sched.wait_for: multiactive class %s cannot use selective \
+            reception"
+           (obj_class obj).cls_name)
+  | None -> ());
   let c = cost rt in
   charge rt c.Cost_model.check_message_queue;
   let matching m = List.mem m.Message.pattern patterns in

@@ -110,7 +110,29 @@ val maybe_preempt : node_rt -> unit
 
 val rest_table : obj -> vft
 (** The table a quiescent object should expose: the class's dormant table
-    (or init table before lazy initialisation). *)
+    (or init table before lazy initialisation), or the admission table
+    for a class with a compatibility declaration. *)
 
 val mode_of : obj -> string
 (** Human-readable mode derived from the current VFT, for tests. *)
+
+(** {2 Multiactive objects}
+
+    Support for classes with a compatibility declaration
+    ({!Class_def.set_multiactive}): the per-object activation manager
+    and its admission bookkeeping. *)
+
+val ma_state : obj -> ma_run
+(** The object's activation manager, allocated on first use. Raises
+    [Invalid_argument] for a class without a compatibility
+    declaration. *)
+
+val schedule_ma_pump : node_rt -> obj -> unit
+(** Posts the group-queue pump (idempotent while one is posted): parked
+    messages re-enter admission as budget and compatibility allow. *)
+
+val ma_unsafe_force_admit : bool ref
+(** Test-only corruption hook: while set, admission ignores group
+    compatibility (budget and drain checks still apply), manufacturing
+    exactly the serialization violations the monitor probe and the
+    "ma.conflict" counter exist to catch. Never set outside tests. *)

@@ -23,6 +23,7 @@ let default_rt_config =
     inline_sends = true;
     codec_check = false;
     gossip_interval_ns = 0;
+    ma_cores = 4;
   }
 
 let naive_rt_config = { default_rt_config with sched_kind = Naive }
@@ -173,6 +174,7 @@ let boot ?(machine_config = Engine.default_config)
         rng =
           Simcore.Rng.create
             ~seed:(((Engine.config machine).Engine.seed * 1_000_003) + i);
+        ma_scale = 1;
       }
     in
     Machine.Node.set_local node (Rt rt);

@@ -52,6 +52,38 @@ let waiting cls patterns =
       Hashtbl.add cls.waiting_cache patterns t;
       t
 
+let multiactive cls =
+  match cls.tbl_ma with
+  | Some t -> t
+  | None ->
+      let spec =
+        match cls.cls_ma with
+        | Some s -> s
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Vft.multiactive: class %s has no compatibility declaration"
+                 cls.cls_name)
+      in
+      let entries = Array.make (Pattern.count ()) No_method in
+      List.iter
+        (fun (p, impl) ->
+          let group =
+            match List.assoc_opt p spec.ma_group_of with
+            | Some g -> g
+            | None ->
+                (* Class_def.set_multiactive assigns every method a
+                   group, so this is unreachable for validated specs. *)
+                invalid_arg
+                  (Printf.sprintf "Vft.multiactive: %s has no group"
+                     (Pattern.name p))
+          in
+          entries.(p) <- Ma_admit { impl; group })
+        cls.methods;
+      let t = { entries; default = No_method; vft_kind = Vft_multiactive } in
+      cls.tbl_ma <- Some t;
+      t
+
 let make_enqueue_all () =
   { entries = [||]; default = Enqueue; vft_kind = Vft_active }
 
@@ -69,3 +101,4 @@ let kind_name = function
   | Vft_waiting _ -> "waiting"
   | Vft_fault -> "fault"
   | Vft_forward _ -> "forward"
+  | Vft_multiactive -> "multiactive"

@@ -16,6 +16,14 @@ val waiting : Kernel.cls -> Pattern.t list -> Kernel.vft
     for everything else. The pattern list is normalised (sorted, deduped)
     before the cache lookup. *)
 
+val multiactive : Kernel.cls -> Kernel.vft
+(** The admission table of a class with a compatibility declaration
+    ([cls_ma]): every method entry is [Ma_admit], carrying the body and
+    its compatibility-group id. Replaces the dormant/active pair — the
+    table stays installed while activations run, so dispatch itself
+    performs admission control and senders still never test receiver
+    state. Built lazily, cached on the class. *)
+
 val make_enqueue_all : unit -> Kernel.vft
 val make_fault : unit -> Kernel.vft
 

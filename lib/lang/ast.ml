@@ -76,11 +76,25 @@ type method_def = {
   m_body : block;
 }
 
+(** Multiactive compatibility declaration (clauses between the state
+    variables and the methods): methods named by one [group] may
+    overlap each other on a single object, [compatible] pairs of group
+    names may overlap across groups, everything else serializes, and at
+    most [budget] activations run concurrently per object. *)
+type ma_decl = {
+  ma_budget : int;  (** concurrent-activation bound; defaults to 2 *)
+  ma_groups : (string * string list) list;
+      (** [group <name> = <method>, ...] clauses, in source order *)
+  ma_compatible : (string * string) list;
+      (** [compatible <group> <group>] clauses *)
+}
+
 type class_def = {
   c_name : string;
   c_params : string list;  (** constructor parameters *)
   c_state : (string * expr) list;
       (** state variables; initialisers may use constructor parameters *)
+  c_ma : ma_decl option;
   c_methods : method_def list;
 }
 

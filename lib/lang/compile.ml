@@ -302,9 +302,56 @@ let compile_class inst (c : class_def) =
         error "class %s: duplicate method %s" c.c_name m.m_pattern;
       Hashtbl.add seen key ())
     c.c_methods;
-  Class_def.define ~name:c.c_name ~state:state_names ~init:cls_init
-    ~methods:(List.map (compile_method inst state_names) c.c_methods)
-    ()
+  let cls =
+    Class_def.define ~name:c.c_name ~state:state_names ~init:cls_init
+      ~methods:(List.map (compile_method inst state_names) c.c_methods)
+      ()
+  in
+  (match c.c_ma with
+  | None -> ()
+  | Some ma ->
+      (* Selective reception would displace the admission table at run
+         time; reject the combination while compiling the script. *)
+      let rec block_waits b = List.exists stmt_waits b
+      and stmt_waits = function
+        | S_wait _ -> true
+        | S_if (_, t, e) -> block_waits t || block_waits e
+        | S_while (_, b) -> block_waits b
+        | S_for { body; _ } -> block_waits body
+        | _ -> false
+      in
+      List.iter
+        (fun m ->
+          if block_waits m.m_body then
+            error "class %s: method %s uses wait, which a multiactive class \
+                   cannot"
+              c.c_name m.m_pattern)
+        c.c_methods;
+      (* A group member names every arity of that method. *)
+      let resolve gname name =
+        let pats =
+          List.filter_map
+            (fun m ->
+              if String.equal m.m_pattern name then
+                Some (pat m.m_pattern ~arity:(List.length m.m_params))
+              else None)
+            c.c_methods
+        in
+        if pats = [] then
+          error "class %s: group %s lists %s, which is not a method" c.c_name
+            gname name;
+        pats
+      in
+      let groups =
+        List.map
+          (fun (g, names) -> (g, List.concat_map (resolve g) names))
+          ma.ma_groups
+      in
+      (try
+         Class_def.set_multiactive cls ~budget:ma.ma_budget
+           ~compatible:ma.ma_compatible ~groups ()
+       with Invalid_argument m -> error "%s" m));
+  cls
 
 let compile (program : Ast.program) =
   let inst =

@@ -24,7 +24,8 @@ let keywords =
     "class"; "state"; "method"; "end"; "let"; "send"; "now"; "future";
     "touch"; "reply"; "print"; "charge"; "retire"; "if"; "else"; "while";
     "for"; "to"; "do"; "wait"; "new"; "on"; "remote"; "local"; "self";
-    "node"; "nodes"; "true"; "false"; "unit"; "boot"; "not";
+    "node"; "nodes"; "true"; "false"; "unit"; "boot"; "not"; "group";
+    "compatible"; "budget";
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

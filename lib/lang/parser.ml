@@ -337,13 +337,53 @@ let class_def st =
     else List.rev acc
   in
   let c_state = states [] in
+  (* Multiactive clauses sit between the state variables and the
+     methods: [group g = m, ...], [compatible g h], [budget n]. *)
+  let rec ma_clauses groups compatible budget =
+    match peek st with
+    | Lexer.KW "group" ->
+        advance st;
+        let gname = ident st in
+        expect st (Lexer.OP "=") "=";
+        let rec members acc =
+          let m = ident st in
+          if peek st = Lexer.COMMA then begin
+            advance st;
+            members (m :: acc)
+          end
+          else List.rev (m :: acc)
+        in
+        ma_clauses ((gname, members []) :: groups) compatible budget
+    | Lexer.KW "compatible" ->
+        advance st;
+        let a = ident st in
+        let b = ident st in
+        ma_clauses groups ((a, b) :: compatible) budget
+    | Lexer.KW "budget" ->
+        advance st;
+        ma_clauses groups compatible (Some (int_lit st))
+    | _ -> (List.rev groups, List.rev compatible, budget)
+  in
+  let groups, compatible, budget = ma_clauses [] [] None in
+  let c_ma =
+    match (groups, compatible, budget) with
+    | [], [], None -> None
+    | [], _, _ -> fail st "compatible/budget require at least one group"
+    | _ ->
+        Some
+          {
+            ma_budget = Option.value budget ~default:2;
+            ma_groups = groups;
+            ma_compatible = compatible;
+          }
+  in
   let rec methods acc =
     if peek st = Lexer.KW "method" then methods (method_def st :: acc)
     else List.rev acc
   in
   let c_methods = methods [] in
   expect st (Lexer.KW "end") "end";
-  { c_name; c_params; c_state; c_methods }
+  { c_name; c_params; c_state; c_ma; c_methods }
 
 let boot_def st =
   expect st (Lexer.KW "boot") "boot";

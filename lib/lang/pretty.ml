@@ -95,6 +95,19 @@ let pp_class ppf c =
   List.iter
     (fun (name, init) -> Format.fprintf ppf "@,  state %s = %a" name pp_expr init)
     c.c_state;
+  (match c.c_ma with
+  | None -> ()
+  | Some ma ->
+      List.iter
+        (fun (g, members) ->
+          Format.fprintf ppf "@,  group %s = %a" g
+            (comma_sep Format.pp_print_string)
+            members)
+        ma.ma_groups;
+      List.iter
+        (fun (a, b) -> Format.fprintf ppf "@,  compatible %s %s" a b)
+        ma.ma_compatible;
+      Format.fprintf ppf "@,  budget %d" ma.ma_budget);
   List.iter
     (fun m ->
       Format.fprintf ppf "@,  method %s(%a) %a" m.m_pattern

@@ -141,6 +141,13 @@ let safe_point shared (obj : Kernel.obj) =
   match obj.Kernel.vftp.Kernel.vft_kind with
   | Kernel.Vft_dormant | Kernel.Vft_init -> true
   | Kernel.Vft_active -> obj.Kernel.in_sched_q
+  | Kernel.Vft_multiactive -> (
+      (* Movable once the running set is empty: group-queued messages
+         and scheduling-queue frames are just data and travel with the
+         object, but a live activation has stack frames here. *)
+      match obj.Kernel.ma with
+      | None -> true
+      | Some m -> m.Kernel.mar_count = 0)
   | Kernel.Vft_waiting _ | Kernel.Vft_fault | Kernel.Vft_forward _ -> false
 
 (* --- sequencing and the reorder gate ------------------------------ *)
@@ -357,11 +364,32 @@ let resident_meta ns canon =
       Hashtbl.add ns.ns_res (key canon) r;
       r
 
-let do_move t rt (obj : Kernel.obj) ~to_ =
+let rec do_move t rt (obj : Kernel.obj) ~to_ =
   let my_id = Machine.Node.id rt.Kernel.node in
   let p = Engine.node_count t.machine in
   if to_ < 0 || to_ >= p || to_ = my_id then false
-  else if not (safe_point rt.Kernel.shared obj) then false
+  else if not (safe_point rt.Kernel.shared obj) then begin
+    (* A multiactive object busy only because activations are running
+       starts draining: admission stops, and the freeze retries the
+       instant the running set empties. Any other unsafe reason stays a
+       plain refusal. *)
+    (match (obj.Kernel.vftp.Kernel.vft_kind, obj.Kernel.ma) with
+    | Kernel.Vft_multiactive, Some m
+      when m.Kernel.mar_count > 0 && not m.Kernel.mar_draining ->
+        m.Kernel.mar_draining <- true;
+        m.Kernel.mar_on_drained <-
+          Some
+            (fun () ->
+              m.Kernel.mar_draining <- false;
+              let moved = do_move t rt obj ~to_ in
+              (* If the retry was refused (e.g. the target vanished from
+                 the valid range) the object stays home and parked
+                 messages must flow again. *)
+              if (not moved) && m.Kernel.mar_queued > 0 then
+                Sched.schedule_ma_pump rt obj)
+    | _ -> ());
+    false
+  end
   else begin
     let ns = nstate_of t my_id in
     let canon = obj.Kernel.self in
@@ -388,6 +416,24 @@ let do_move t rt (obj : Kernel.obj) ~to_ =
             None
       | None -> []
     in
+    (* A quiescent multiactive object may still hold admission-parked
+       messages on its group queues; flatten them behind the buffered
+       frames in arrival order (the stamps restore the cross-group
+       interleaving) so they travel with the object and re-enter
+       admission at the new home. *)
+    (match obj.Kernel.ma with
+    | Some m when m.Kernel.mar_queued > 0 ->
+        let parked = ref [] in
+        Array.iter
+          (fun q ->
+            Queue.iter (fun sm -> parked := sm :: !parked) q;
+            Queue.clear q)
+          m.Kernel.mar_queues;
+        List.iter
+          (fun (_, msg) -> Queue.push msg obj.Kernel.mq)
+          (List.sort compare !parked);
+        m.Kernel.mar_queued <- 0
+    | _ -> ());
     let frames =
       Queue.fold
         (fun acc m ->
@@ -424,6 +470,7 @@ let do_move t rt (obj : Kernel.obj) ~to_ =
     Queue.clear obj.Kernel.mq;
     obj.Kernel.state <- [||];
     obj.Kernel.pending_ctor_args <- [];
+    obj.Kernel.ma <- None;
     obj.Kernel.exported <- true;
     cache_learn ns canon phys_hint epoch;
     incr t.c_out;
@@ -510,6 +557,7 @@ let install t rt ~canon ~cls_id ~epoch ~initialized ~state ~ctor ~frames
               pending_ctor_args = [];
               exported = true;
               gc_pinned = false;
+              ma = None;
             }
           in
           Hashtbl.replace rt.Kernel.objects slot o;
@@ -521,6 +569,9 @@ let install t rt ~canon ~cls_id ~epoch ~initialized ~state ~ctor ~frames
   obj.Kernel.initialized <- initialized;
   obj.Kernel.pending_ctor_args <- unpack_tuple ctor;
   obj.Kernel.exported <- true;
+  (* A fresh activation manager at the new home: a revived stub may
+     carry pre-migration admission state that no longer applies. *)
+  obj.Kernel.ma <- None;
   obj.Kernel.vftp <- Sched.rest_table obj;
   Queue.clear obj.Kernel.mq;
   List.iter

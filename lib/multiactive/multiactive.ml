@@ -1,0 +1,87 @@
+(** Multiactive objects: compatibility-group concurrency inside one
+    object (ISSUE 8; after Henrio & Rochas, "Multiactive objects").
+
+    The mechanism itself lives in [lib/core] — {!Core.Class_def}
+    installs the declaration, {!Core.Vft.multiactive} builds the
+    admission table, {!Core.Sched} runs the activation manager. This
+    library is the application-facing surface: declaring compatibility
+    by method name, and introspecting the per-object admission state
+    (running set, group-queue depth, high-water marks) for tests,
+    probes and the load-gossip service. *)
+
+open Core
+
+(* Resolve a method-name string to one of [cls]'s own patterns. *)
+let pattern_of_name (cls : Kernel.cls) name =
+  let matching =
+    List.filter
+      (fun (p, _) -> String.equal (Pattern.name p) name)
+      cls.Kernel.methods
+  in
+  match matching with
+  | [ (p, _) ] -> p
+  | [] ->
+      invalid_arg
+        (Printf.sprintf "Multiactive.declare: class %s has no method %s"
+           cls.Kernel.cls_name name)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Multiactive.declare: method name %s is ambiguous in class %s"
+           name cls.Kernel.cls_name)
+
+(** [declare cls ~budget ~groups ()] installs a compatibility
+    declaration with groups given as [(group_name, method_names)].
+    Methods of one group may overlap each other on a single object;
+    [compatible] pairs of group names may overlap across; undeclared
+    methods stay strictly serialized. At most [budget] activations run
+    concurrently per object. *)
+let declare (cls : Kernel.cls) ~budget ?(compatible = []) ~groups () =
+  let groups =
+    List.map
+      (fun (gname, meths) -> (gname, List.map (pattern_of_name cls) meths))
+      groups
+  in
+  Class_def.set_multiactive cls ~budget ~compatible ~groups ()
+
+let spec (cls : Kernel.cls) = cls.Kernel.cls_ma
+let is_multiactive (cls : Kernel.cls) = Option.is_some cls.Kernel.cls_ma
+
+(* --- per-object introspection ------------------------------------- *)
+
+let running (obj : Kernel.obj) =
+  match obj.Kernel.ma with Some m -> m.Kernel.mar_count | None -> 0
+
+let queue_depth (obj : Kernel.obj) =
+  match obj.Kernel.ma with Some m -> m.Kernel.mar_queued | None -> 0
+
+let peak_overlap (obj : Kernel.obj) =
+  match obj.Kernel.ma with Some m -> m.Kernel.mar_peak | None -> 0
+
+let admitted_total (obj : Kernel.obj) =
+  match obj.Kernel.ma with Some m -> m.Kernel.mar_admitted | None -> 0
+
+let draining (obj : Kernel.obj) =
+  match obj.Kernel.ma with Some m -> m.Kernel.mar_draining | None -> false
+
+let group_queue_depths (obj : Kernel.obj) =
+  match (obj.Kernel.ma, obj.Kernel.cls) with
+  | Some m, Some { Kernel.cls_ma = Some spec; _ } ->
+      Array.to_list
+        (Array.mapi
+           (fun g q -> (spec.Kernel.ma_group_names.(g), Queue.length q))
+           m.Kernel.mar_queues)
+  | _ -> []
+
+(* The deepest admission queue among a node's objects: the load-gossip
+   payload distinguishing "hot because serialized" from "hot because
+   big". *)
+let max_queue_depth_on_node (rt : Kernel.node_rt) =
+  Hashtbl.fold
+    (fun _slot obj acc -> max acc (queue_depth obj))
+    rt.Kernel.objects 0
+
+(** Test-only corruption hook (see {!Core.Sched.ma_unsafe_force_admit}):
+    while set, admission ignores compatibility, manufacturing the
+    serialization violations the probes exist to catch. *)
+let unsafe_force_admit = Sched.ma_unsafe_force_admit

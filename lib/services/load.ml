@@ -1,12 +1,14 @@
 module Engine = Machine.Engine
 
-type Machine.Am.payload += P_load of { load : int }
+type Machine.Am.payload += P_load of { load : int; ma_depth : int }
 
 type t = {
   system : Core.System.t;
   handler : int;
   (* tables.(n) maps peer node id -> last load heard by node n *)
   tables : (int, int) Hashtbl.t array;
+  (* ma_tables.(n) maps peer node id -> last activation-queue depth *)
+  ma_tables : (int, int) Hashtbl.t array;
   mutable broadcasts : int;
 }
 
@@ -16,16 +18,28 @@ let local_load_of_node node =
 let local_load t ~node =
   local_load_of_node (Engine.node (Core.System.machine t.system) node)
 
+(* The deepest multiactive activation queue of any object on the node:
+   work that is *behind one object's admission control*, as opposed to
+   [local_load]'s node-wide queues. A node can be hot because one
+   serialized object is a bottleneck (high depth, modest load) or hot
+   because it simply hosts a lot of work (high load, zero depth) —
+   migration policies need the distinction to know whether moving the
+   object would help. *)
+let local_ma_depth t ~node =
+  Multiactive.max_queue_depth_on_node (Core.System.rt t.system node)
+
 let broadcast_node t ~node:my_id =
   let machine = Core.System.machine t.system in
   let node = Engine.node machine my_id in
   let load = local_load_of_node node in
+  let ma_depth = local_ma_depth t ~node:my_id in
   let cost = Engine.cost machine in
   List.iter
     (fun peer ->
       Engine.charge machine node cost.Machine.Cost_model.msg_setup_send;
       Engine.send_am machine ~src:node ~dst:peer ~handler:t.handler
-        ~size_bytes:4 (P_load { load }))
+        ~size_bytes:8
+        (P_load { load; ma_depth }))
     (Network.Topology.neighbors (Engine.topology machine) my_id);
   t.broadcasts <- t.broadcasts + 1
 
@@ -99,17 +113,22 @@ let attach system =
   let tables =
     Array.init (Engine.node_count machine) (fun _ -> Hashtbl.create 8)
   in
+  let ma_tables =
+    Array.init (Engine.node_count machine) (fun _ -> Hashtbl.create 8)
+  in
   let handle _machine node am =
     match am.Machine.Am.payload with
-    | P_load { load } ->
-        Hashtbl.replace tables.(Machine.Node.id node) am.Machine.Am.src load
+    | P_load { load; ma_depth } ->
+        let me = Machine.Node.id node in
+        Hashtbl.replace tables.(me) am.Machine.Am.src load;
+        Hashtbl.replace ma_tables.(me) am.Machine.Am.src ma_depth
     | _ -> assert false
   in
   let handler =
     Engine.register_handler machine Machine.Am.Service ~name:"load-gossip"
       handle
   in
-  let t = { system; handler; tables; broadcasts = 0 } in
+  let t = { system; handler; tables; ma_tables; broadcasts = 0 } in
   arm_auto_gossip t;
   t
 
@@ -119,6 +138,38 @@ let known_load_opt t ~node ~about =
 
 let known_load t ~node ~about =
   Option.value (known_load_opt t ~node ~about) ~default:0
+
+let known_ma_depth_opt t ~node ~about =
+  if node = about then Some (local_ma_depth t ~node)
+  else Hashtbl.find_opt t.ma_tables.(node) about
+
+let known_ma_depth t ~node ~about =
+  Option.value (known_ma_depth_opt t ~node ~about) ~default:0
+
+(* One line per node: its own instantaneous load and deepest
+   activation queue, plus what its neighbours last told it. *)
+let report t =
+  let machine = Core.System.machine t.system in
+  let buf = Buffer.create 256 in
+  for n = 0 to Engine.node_count machine - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "node %d: load=%d ma_depth=%d" n (local_load t ~node:n)
+         (local_ma_depth t ~node:n));
+    let peers =
+      List.sort compare
+        (Network.Topology.neighbors (Engine.topology machine) n)
+    in
+    List.iter
+      (fun p ->
+        match known_load_opt t ~node:n ~about:p with
+        | None -> Buffer.add_string buf (Printf.sprintf " [%d:?]" p)
+        | Some l ->
+            Buffer.add_string buf
+              (Printf.sprintf " [%d:%d/%d]" p l (known_ma_depth t ~node:n ~about:p)))
+      peers;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
 
 let pick_least_for t ~node:my_id =
   let machine = Core.System.machine t.system in

@@ -34,6 +34,27 @@ val known_load : t -> node:int -> about:int -> int
 val known_load_opt : t -> node:int -> about:int -> int option
 (** As {!known_load}, but [None] when [node] never heard from [about]. *)
 
+val local_ma_depth : t -> node:int -> int
+(** The deepest multiactive activation queue of any object on the node
+    ({!Multiactive.queue_depth} maximised over residents; 0 when no
+    multiactive object lives there). Distinguishes "hot because one
+    serialized object is a bottleneck" (high depth) from "hot because
+    the node hosts a lot of work" (high {!local_load}, zero depth):
+    migrating the object helps the former, splitting the node's
+    population helps the latter. *)
+
+val known_ma_depth : t -> node:int -> about:int -> int
+(** The activation-queue depth node [node] last heard gossiped by node
+    [about] (own current depth when [node = about]; 0 if never heard). *)
+
+val known_ma_depth_opt : t -> node:int -> about:int -> int option
+(** As {!known_ma_depth}, but [None] when never heard. *)
+
+val report : t -> string
+(** A human-readable load report, one line per node: own load and
+    activation-queue depth, then each neighbour's last-gossiped
+    [load/ma_depth] pair ([?] when never heard). *)
+
 val pick_least : t -> Core.Ctx.t -> int
 (** The least-loaded node among self and torus neighbours, judged from
     the local gossip table. Never-heard neighbours are excluded (unknown

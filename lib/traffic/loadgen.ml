@@ -5,6 +5,14 @@ type mix = { m_get : int; m_put : int; m_cas : int; m_mget : int }
 
 let default_mix = { m_get = 60; m_put = 25; m_cas = 10; m_mget = 5 }
 
+type key_dist =
+  | Uniform
+  | Zipf of float
+      (** skewed key popularity with the given theta (> 0); rank 0 is
+          the hottest key. Ranks map straight onto key ids, so the hot
+          ranks spread across shards ([key mod shards]) while each
+          shard still sees a skewed stream. *)
+
 type config = {
   seed : int;
   process : process;
@@ -12,6 +20,7 @@ type config = {
   requests : int;
   start_ns : int;
   mix : mix;
+  key_dist : key_dist;
 }
 
 let default_config =
@@ -22,6 +31,7 @@ let default_config =
     requests = 1_000;
     start_ns = 1_000;
     mix = default_mix;
+    key_dist = Uniform;
   }
 
 type t = {
@@ -29,8 +39,32 @@ type t = {
   sys : Core.System.t;
   kv : Apps.Kv_store.t;
   rng : Simcore.Rng.t;
+  zipf_cdf : float array option;
+      (** cumulative popularity by rank, precomputed at launch *)
   mutable injected : int;
 }
+
+(* Normalised cumulative Zipf weights: cdf.(r) = P(rank <= r). *)
+let make_zipf_cdf ~n ~theta =
+  if theta <= 0. then invalid_arg "Loadgen: Zipf theta must be > 0";
+  let w = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let acc = ref 0. in
+  Array.map
+    (fun x ->
+      acc := !acc +. x;
+      !acc /. total)
+    w
+
+(* Smallest rank whose cumulative weight covers [u]. *)
+let zipf_rank cdf u =
+  let n = Array.length cdf in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
 
 let period_ns cfg = 1_000_000_000. /. float_of_int cfg.rate_rps
 
@@ -50,9 +84,21 @@ let inject t ~at =
   let node = Simcore.Rng.int t.rng nodes in
   let op = draw_op t in
   let keyspace = Apps.Kv_store.keyspace t.kv in
-  let base = Simcore.Rng.int t.rng keyspace in
-  let shift = Engine.decide machine "traffic.key.shift" 4 in
-  let key = (base + shift) mod keyspace in
+  let key =
+    match t.zipf_cdf with
+    | None ->
+        let base = Simcore.Rng.int t.rng keyspace in
+        let shift = Engine.decide machine "traffic.key.shift" 4 in
+        (base + shift) mod keyspace
+    | Some cdf ->
+        (* The rank comes from the generator's own seeded stream; the
+           recorded decision point only perturbs it, so a captured
+           schedule replays the exact same key sequence. *)
+        let u = Simcore.Rng.float t.rng 1.0 in
+        let rank = zipf_rank cdf u in
+        let shift = Engine.decide machine "traffic.key.zipf" 4 in
+        (rank + shift) mod keyspace
+  in
   let req_id = t.injected in
   t.injected <- t.injected + 1;
   Core.System.send_boot t.sys
@@ -84,8 +130,21 @@ let launch cfg sys kv =
   if cfg.rate_rps < 1 then invalid_arg "Loadgen.launch: rate_rps must be >= 1";
   if cfg.requests < 1 then
     invalid_arg "Loadgen.launch: requests must be >= 1";
+  let zipf_cdf =
+    match cfg.key_dist with
+    | Uniform -> None
+    | Zipf theta ->
+        Some (make_zipf_cdf ~n:(Apps.Kv_store.keyspace kv) ~theta)
+  in
   let t =
-    { cfg; sys; kv; rng = Simcore.Rng.create ~seed:cfg.seed; injected = 0 }
+    {
+      cfg;
+      sys;
+      kv;
+      rng = Simcore.Rng.create ~seed:cfg.seed;
+      zipf_cdf;
+      injected = 0;
+    }
   in
   let machine = Core.System.machine sys in
   (* Arrival i+1 is armed from arrival i's timer, so the whole process

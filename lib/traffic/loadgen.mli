@@ -9,10 +9,11 @@
 
     Determinism and replay: the arrival process draws from its own
     seeded {!Simcore.Rng} (a pure function of [seed]), and every arrival
-    additionally consults two engine decision points —
+    additionally consults engine decision points —
     ["traffic.arrival.jitter"] (extra delay before the injection, in
-    eighths of the nominal period) and ["traffic.key.shift"] (a key
-    perturbation) — through {!Machine.Engine.decide}. Under the default
+    eighths of the nominal period) and ["traffic.key.shift"] /
+    ["traffic.key.zipf"] (a key perturbation, for uniform and Zipfian
+    draws respectively) — through {!Machine.Engine.decide}. Under the default
     decision source both return 0 (the unperturbed baseline); under
     [lib/check] the choices are recorded into the schedule's vector, so
     a recorded run replays bit-identically and the explorer can perturb
@@ -26,6 +27,16 @@ type mix = { m_get : int; m_put : int; m_cas : int; m_mget : int }
 val default_mix : mix
 (** 60% get / 25% put / 10% cas / 5% fan-out mget. *)
 
+type key_dist =
+  | Uniform
+  | Zipf of float
+      (** Zipfian key popularity with parameter theta (> 0): rank [r]
+          gets weight [1/(r+1)^theta], rank 0 is the hottest key. The
+          rank is drawn from the generator's seeded stream and then
+          perturbed through a ["traffic.key.zipf"] decision point, so
+          recorded schedules replay bit-identically and the explorer
+          can nudge the skew. *)
+
 type config = {
   seed : int;
   process : process;
@@ -33,10 +44,11 @@ type config = {
   requests : int;  (** total injections, after which the process stops *)
   start_ns : int;  (** first arrival instant *)
   mix : mix;
+  key_dist : key_dist;  (** key popularity; [Uniform] is the baseline *)
 }
 
 val default_config : config
-(** Poisson, 200k req/s, 1000 requests, seed 1. *)
+(** Poisson, 200k req/s, 1000 requests, seed 1, uniform keys. *)
 
 type t
 

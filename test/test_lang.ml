@@ -288,6 +288,54 @@ let test_prim_errors () =
     (script_error
        "class a(x) state y = x method m() { } end boot a() on 0 <- m()")
 
+(* --- multiactive declarations --- *)
+
+let test_parse_multiactive_clauses () =
+  let open Lang.Ast in
+  let ast = Lang.Parser.parse_program (read_script_early "readers.abcl") in
+  let table = List.find (fun c -> c.c_name = "table") ast.p_classes in
+  match table.c_ma with
+  | None -> Alcotest.fail "table should carry a multiactive declaration"
+  | Some ma ->
+      Alcotest.(check int) "budget" 3 ma.ma_budget;
+      Alcotest.(check
+                  (list (pair string (list string))))
+        "groups"
+        [ ("readers", [ "peek" ]) ]
+        ma.ma_groups;
+      Alcotest.(check (list (pair string string))) "compatible" [] ma.ma_compatible
+
+let test_readers_script () =
+  let out, sys =
+    Lang.Compile.run_source ~nodes:4 (read_script_early "readers.abcl")
+  in
+  (* Bumps cannot overtake queued peeks, so the last ack carries the
+     exact final value. *)
+  Alcotest.(check string) "final value exact" "3\n" out;
+  let st = Core.System.stats sys in
+  Alcotest.(check int) "no serialization violations" 0
+    (Simcore.Stats.get st "ma.conflict")
+
+let test_multiactive_script_errors () =
+  Alcotest.(check bool) "group lists a non-method" true
+    (script_error
+       "class a group g = nope method m() { } end boot a() on 0 <- m()");
+  Alcotest.(check bool) "wait inside a multiactive class" true
+    (script_error
+       "class a group g = m method m() { wait { h() { } } } end boot a() on \
+        0 <- m()");
+  Alcotest.(check bool) "compatible names an unknown group" true
+    (script_error
+       "class a group g = m compatible g h method m() { } end boot a() on 0 \
+        <- m()");
+  let syntax_error src =
+    match Lang.Parser.parse_program src with
+    | exception Lang.Parser.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "budget without a group" true
+    (syntax_error "class a budget 2 method m() { } end boot a() on 0 <- m()")
+
 (* --- pretty-printer round trip --- *)
 
 let read_script name =
@@ -313,7 +361,10 @@ let test_pretty_roundtrip () =
       in
       if reparsed <> ast then
         Alcotest.failf "%s: print/parse round trip changed the AST" script)
-    [ "counter.abcl"; "pingpong.abcl"; "queens.abcl"; "sieve.abcl"; "fib.abcl" ]
+    [
+      "counter.abcl"; "pingpong.abcl"; "queens.abcl"; "sieve.abcl";
+      "fib.abcl"; "readers.abcl";
+    ]
 
 let test_pretty_behaviour_preserved () =
   (* The reprinted queens program still computes 92 solutions. *)
@@ -339,6 +390,13 @@ let () =
         ] );
       ( "compile",
         [ Alcotest.test_case "errors" `Quick test_compile_errors ] );
+      ( "multiactive",
+        [
+          Alcotest.test_case "clauses parsed" `Quick
+            test_parse_multiactive_clauses;
+          Alcotest.test_case "readers script" `Quick test_readers_script;
+          Alcotest.test_case "errors" `Quick test_multiactive_script_errors;
+        ] );
       ( "pretty",
         [
           Alcotest.test_case "roundtrip" `Quick test_pretty_roundtrip;

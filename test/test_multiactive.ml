@@ -1,0 +1,404 @@
+(* Tests for multiactive objects: compatibility-group declaration and
+   validation, per-group FIFO admission under forced deferral, overlap
+   of compatible groups (and only those — the conflict counter and the
+   quiescence probe watch for serialization violations), the test-only
+   corruption hook that manufactures such violations, drain-before-
+   freeze when a multiactive object migrates mid-activation, and a
+   qcheck sweep of recorded schedules over the multiactive workload. *)
+
+open Core
+module Engine = Machine.Engine
+module Kv = Apps.Kv_store
+module Loadgen = Traffic.Loadgen
+module Explore = Check.Explore
+module Workloads = Check.Workloads
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+let expect_invalid what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  | exception Invalid_argument _ -> ()
+
+(* --- declaration validation and introspection ---------------------- *)
+
+let test_declare_validation () =
+  let mk name =
+    Class_def.define ~name
+      ~methods:
+        [
+          (Pattern.intern (name ^ "_x") ~arity:0, fun _ _ -> ());
+          (Pattern.intern (name ^ "_y") ~arity:0, fun _ _ -> ());
+        ]
+      ()
+  in
+  expect_invalid "budget must be positive" (fun () ->
+      Multiactive.declare (mk "mav0") ~budget:0
+        ~groups:[ ("g", [ "mav0_x" ]) ]
+        ());
+  expect_invalid "unknown method name" (fun () ->
+      Multiactive.declare (mk "mav1") ~budget:2 ~groups:[ ("g", [ "nope" ]) ] ());
+  expect_invalid "method in two groups" (fun () ->
+      Multiactive.declare (mk "mav2") ~budget:2
+        ~groups:[ ("g", [ "mav2_x" ]); ("h", [ "mav2_x" ]) ]
+        ());
+  expect_invalid "empty group" (fun () ->
+      Multiactive.declare (mk "mav3") ~budget:2 ~groups:[ ("g", []) ] ());
+  expect_invalid "compatible may only name declared groups" (fun () ->
+      Multiactive.declare (mk "mav4") ~budget:2
+        ~compatible:[ ("g", "mav4_y") ]
+        ~groups:[ ("g", [ "mav4_x" ]) ]
+        ());
+  let cls = mk "mav5" in
+  Alcotest.(check bool)
+    "not multiactive before declare" false
+    (Multiactive.is_multiactive cls);
+  Multiactive.declare cls ~budget:3 ~groups:[ ("g", [ "mav5_x" ]) ] ();
+  Alcotest.(check bool)
+    "multiactive after declare" true
+    (Multiactive.is_multiactive cls);
+  let spec = Option.get (Multiactive.spec cls) in
+  Alcotest.(check int) "budget recorded" 3 spec.Kernel.ma_budget;
+  Alcotest.(check (list string))
+    "declared group, then implicit singleton for the undeclared method"
+    [ "g"; "mav5_y" ]
+    (Array.to_list spec.Kernel.ma_group_names)
+
+(* --- FIFO per group under forced deferral --------------------------- *)
+
+(* A decision source that answers "defer" to every admission question
+   sends every message through the group queues; the pump (which never
+   consults that decision point — deferral must not be able to starve
+   the object) then dispatches strictly oldest-first, so the start
+   order is the send order, per group and globally. *)
+
+let p_fifo_a = Pattern.intern "ma_fifo_a" ~arity:1
+let p_fifo_b = Pattern.intern "ma_fifo_b" ~arity:1
+
+let test_fifo_per_group () =
+  let starts = ref [] in
+  let record tag msg = starts := (tag, Value.to_int (Message.arg msg 0)) :: !starts in
+  let cls =
+    Class_def.define ~name:"ma_fifo_rec"
+      ~methods:
+        [
+          (p_fifo_a, fun _ msg -> record "a" msg);
+          (p_fifo_b, fun _ msg -> record "b" msg);
+        ]
+      ()
+  in
+  Multiactive.declare cls ~budget:2
+    ~groups:[ ("a", [ "ma_fifo_a" ]); ("b", [ "ma_fifo_b" ]) ]
+    ();
+  let sys = System.boot ~nodes:1 ~classes:[ cls ] () in
+  let o = System.create_root sys ~node:0 cls [] in
+  (* The very first invocation runs through the init table, not the
+     admission table; warm the object up so the measured stream is all
+     admission-controlled. *)
+  System.send_boot sys o p_fifo_a [ Value.int (-1) ];
+  System.run sys;
+  starts := [];
+  Engine.set_decision_source (System.machine sys)
+    (Some (fun tag _bound -> if String.equal tag "ma.admit.defer" then 1 else 0));
+  let sent = List.init 10 (fun i -> ((if i mod 3 = 0 then "b" else "a"), i)) in
+  List.iter
+    (fun (tag, i) ->
+      System.send_boot sys o
+        (if String.equal tag "b" then p_fifo_b else p_fifo_a)
+        [ Value.int i ])
+    sent;
+  System.run sys;
+  let st = System.stats sys in
+  Alcotest.(check int) "every message took the queue path" 10
+    (Simcore.Stats.get st "ma.queued");
+  Alcotest.(check (list (pair string int)))
+    "starts follow send order exactly" sent (List.rev !starts);
+  Alcotest.(check (list string))
+    "probe clean" []
+    (Check.Probes.multiactive sys ())
+
+(* --- compatible groups overlap; everything else stays serial -------- *)
+
+let p_cg_a = Pattern.intern "ma_cg_a" ~arity:1
+let p_cg_b = Pattern.intern "ma_cg_b" ~arity:1
+let p_cg_echo = Pattern.intern "ma_cg_echo" ~arity:1
+
+(* Two methods in distinct but declared-compatible groups, each blocking
+   on a remote round trip: sent back to back they must be in flight
+   together (peak overlap 2) without tripping the conflict counter. *)
+let test_compatible_groups_overlap () =
+  let echo =
+    Class_def.define ~name:"ma_cg_echo_cls"
+      ~methods:[ (p_cg_echo, fun ctx msg -> Ctx.reply ctx msg (Message.arg msg 0)) ]
+      ()
+  in
+  let worker =
+    Class_def.define ~name:"ma_cg_worker" ~state:[| "echo" |]
+      ~init:(fun args -> [| List.hd args |])
+      ~methods:
+        [
+          ( p_cg_a,
+            fun ctx msg ->
+              ignore
+                (Ctx.send_now ctx
+                   (Value.to_addr (Ctx.get ctx 0))
+                   p_cg_echo
+                   [ Message.arg msg 0 ]) );
+          ( p_cg_b,
+            fun ctx msg ->
+              ignore
+                (Ctx.send_now ctx
+                   (Value.to_addr (Ctx.get ctx 0))
+                   p_cg_echo
+                   [ Message.arg msg 0 ]) );
+        ]
+      ()
+  in
+  Multiactive.declare worker ~budget:4
+    ~compatible:[ ("ga", "gb") ]
+    ~groups:[ ("ga", [ "ma_cg_a" ]); ("gb", [ "ma_cg_b" ]) ]
+    ();
+  let sys = System.boot ~nodes:2 ~classes:[ echo; worker ] () in
+  let e = System.create_root sys ~node:1 echo [] in
+  let w = System.create_root sys ~node:0 worker [ Value.addr e ] in
+  (* Initialization runs through the init table; warm up first so both
+     measured sends face the admission table. *)
+  System.send_boot sys w p_cg_a [ Value.int 0 ];
+  System.run sys;
+  System.send_boot sys w p_cg_a [ Value.int 1 ];
+  System.send_boot sys w p_cg_b [ Value.int 2 ];
+  System.run sys;
+  let obj = Option.get (System.lookup_obj sys w) in
+  Alcotest.(check int)
+    "both activations were in flight together" 2
+    (Multiactive.peak_overlap obj);
+  let st = System.stats sys in
+  Alcotest.(check bool) "overlap counted" true (Simcore.Stats.get st "ma.overlap" > 0);
+  Alcotest.(check int) "no conflicts" 0 (Simcore.Stats.get st "ma.conflict");
+  Alcotest.(check (list string))
+    "probe clean" []
+    (Check.Probes.multiactive sys ())
+
+(* --- the annotated KV tier under read-heavy skewed load ------------- *)
+
+let run_ma_kv ?(force = false) () =
+  let kv =
+    Kv.create ~shards:2 ~keys_per_shard:8 ~mget_fan:2 ~multiactive:true
+      ~ma_budget:4 ()
+  in
+  let sys = System.boot ~nodes:2 ~classes:(Kv.classes kv) () in
+  Kv.spawn kv sys;
+  let lg =
+    Loadgen.launch
+      {
+        Loadgen.default_config with
+        seed = 5;
+        rate_rps = 600_000;
+        requests = 400;
+        mix = { Loadgen.m_get = 80; m_put = 14; m_cas = 4; m_mget = 2 };
+        key_dist = Loadgen.Zipf 1.2;
+      }
+      sys kv
+  in
+  if force then Multiactive.unsafe_force_admit := true;
+  Fun.protect
+    ~finally:(fun () -> Multiactive.unsafe_force_admit := false)
+    (fun () -> System.run sys);
+  (kv, sys, lg)
+
+let test_kv_overlap_conflict_free () =
+  let kv, sys, lg = run_ma_kv () in
+  let st = System.stats sys in
+  Alcotest.(check int) "all completed" 400 (Kv.completed kv);
+  Alcotest.(check bool)
+    "reads overlapped on the hot shard" true
+    (Simcore.Stats.get st "ma.overlap" > 0);
+  Alcotest.(check bool)
+    "writes were made to queue" true
+    (Simcore.Stats.get st "ma.queued" > 0);
+  Alcotest.(check int) "no conflicts" 0 (Simcore.Stats.get st "ma.conflict");
+  Alcotest.(check (list string)) "audit clean" [] (Loadgen.audit lg sys);
+  Alcotest.(check (list string))
+    "probe clean" []
+    (Check.Probes.multiactive sys ())
+
+(* The corruption hook bypasses compatibility on admission, so the same
+   run now starts activations while incompatible ones hold the object —
+   the conflict counter and the quiescence probe must both notice. *)
+let test_corruption_hook_detected () =
+  let _kv, sys, _lg = run_ma_kv ~force:true () in
+  let st = System.stats sys in
+  Alcotest.(check bool)
+    "conflicts manufactured" true
+    (Simcore.Stats.get st "ma.conflict" > 0);
+  Alcotest.(check bool)
+    "probe reports the violation" true
+    (Check.Probes.multiactive sys () <> [])
+
+(* --- selective reception is incompatible with multiactivity --------- *)
+
+let p_wf_go = Pattern.intern "ma_wf_go" ~arity:0
+let p_wf_hint = Pattern.intern "ma_wf_hint" ~arity:1
+
+let test_wait_for_rejected () =
+  let cls =
+    Class_def.define ~name:"ma_waiter"
+      ~methods:[ (p_wf_go, fun ctx _ -> ignore (Ctx.wait_for ctx [ p_wf_hint ])) ]
+      ()
+  in
+  Multiactive.declare cls ~budget:2 ~groups:[ ("g", [ "ma_wf_go" ]) ] ();
+  let sys = System.boot ~nodes:1 ~classes:[ cls ] () in
+  let o = System.create_root sys ~node:0 cls [] in
+  System.send_boot sys o p_wf_go [];
+  expect_invalid "wait_for inside a multiactive activation" (fun () ->
+      System.run sys)
+
+(* --- drain before freeze -------------------------------------------- *)
+
+let p_dr_work = Pattern.intern "ma_dr_work" ~arity:1
+let p_dr_echo = Pattern.intern "ma_dr_echo" ~arity:1
+
+(* The live (non-stub) record of [canon], wherever migration put it. *)
+let live_record sys ~nodes canon =
+  let rec scan node =
+    if node >= nodes then Alcotest.fail "live record not found"
+    else
+      let rt = System.rt sys node in
+      let found =
+        Hashtbl.fold
+          (fun _ (o : Kernel.obj) acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if
+                  o.Kernel.self = canon
+                  &&
+                  match o.Kernel.vftp.Kernel.vft_kind with
+                  | Kernel.Vft_forward _ -> false
+                  | _ -> true
+                then Some o
+                else None)
+          rt.Kernel.objects None
+      in
+      match found with Some o -> o | None -> scan (node + 1)
+  in
+  scan 0
+
+(* A move requested while activations are mid-flight (blocked on a
+   remote round trip) must be refused on the spot, the object put in
+   draining mode, and the move retried — with the still-queued group
+   backlog travelling along — once the running set empties. *)
+let test_drain_before_freeze () =
+  let replies = ref [] in
+  let move_result = ref None in
+  let mig = ref None in
+  let worker_addr = ref None in
+  let echo =
+    Class_def.define ~name:"ma_dr_echo_cls"
+      ~methods:
+        [
+          ( p_dr_echo,
+            fun ctx msg ->
+              (* Round trip of the first measured message (arg 0): the
+                 worker is provably mid-activation — blocked on this
+                 very reply — so request the move now and remember the
+                 immediate answer. *)
+              (match (!move_result, Value.to_int (Message.arg msg 0)) with
+              | None, 0 ->
+                  move_result :=
+                    Some
+                      (Migrate.move (Option.get !mig)
+                         ~canon:(Option.get !worker_addr)
+                         ~to_:2)
+              | _ -> ());
+              Ctx.reply ctx msg (Message.arg msg 0) );
+        ]
+      ()
+  in
+  let worker =
+    Class_def.define ~name:"ma_dr_worker" ~state:[| "echo" |]
+      ~init:(fun args -> [| List.hd args |])
+      ~methods:
+        [
+          ( p_dr_work,
+            fun ctx msg ->
+              let r =
+                Ctx.send_now ctx
+                  (Value.to_addr (Ctx.get ctx 0))
+                  p_dr_echo
+                  [ Message.arg msg 0 ]
+              in
+              replies := Value.to_int r :: !replies );
+        ]
+      ()
+  in
+  Multiactive.declare worker ~budget:2 ~groups:[ ("work", [ "ma_dr_work" ]) ] ();
+  let sys = System.boot ~nodes:3 ~classes:[ echo; worker ] () in
+  let m = Migrate.attach sys in
+  mig := Some m;
+  let e = System.create_root sys ~node:1 echo [] in
+  let w = System.create_root sys ~node:0 worker [ Value.addr e ] in
+  worker_addr := Some w;
+  (* Warm up through the init window so the admission table is live. *)
+  System.send_boot sys w p_dr_work [ Value.int 100 ];
+  System.run sys;
+  replies := [];
+  for i = 0 to 5 do
+    System.send_boot sys w p_dr_work [ Value.int i ]
+  done;
+  System.run sys;
+  Alcotest.(check (option bool))
+    "move refused while activations were in flight" (Some false) !move_result;
+  Alcotest.(check int) "the drained object did move" 1 (Migrate.migrations m);
+  Alcotest.(check int) "now hosted on node 2" 2 (Migrate.locate m w);
+  Alcotest.(check (list int))
+    "every message survived the move, exactly once"
+    [ 0; 1; 2; 3; 4; 5 ]
+    (List.sort compare !replies);
+  let obj = live_record sys ~nodes:3 w in
+  Alcotest.(check bool) "drain flag cleared" false (Multiactive.draining obj);
+  Alcotest.(check int) "no queued leftovers" 0 (Multiactive.queue_depth obj);
+  Alcotest.(check (list string))
+    "probe clean" []
+    (Check.Probes.multiactive sys ())
+
+(* --- schedule sweep -------------------------------------------------- *)
+
+let multiactive_wl = Option.get (Workloads.find "multiactive")
+
+let prop_swept_schedules =
+  QCheck.Test.make
+    ~name:"swept schedules: incompatible activations never overlap" ~count:12
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let o = Explore.run_recorded multiactive_wl ~seed in
+      not (Explore.failed o))
+
+let () =
+  Alcotest.run "multiactive"
+    [
+      ( "declare",
+        [
+          Alcotest.test_case "validation and introspection" `Quick
+            test_declare_validation;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "fifo per group under forced deferral" `Quick
+            test_fifo_per_group;
+          Alcotest.test_case "compatible groups overlap" `Quick
+            test_compatible_groups_overlap;
+          Alcotest.test_case "read-heavy kv overlaps without conflicts" `Quick
+            test_kv_overlap_conflict_free;
+          Alcotest.test_case "corruption hook is caught" `Quick
+            test_corruption_hook_detected;
+          Alcotest.test_case "selective reception rejected" `Quick
+            test_wait_for_rejected;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "drain before freeze" `Quick
+            test_drain_before_freeze;
+        ] );
+      ("schedules", [ to_alcotest prop_swept_schedules ]);
+    ]
