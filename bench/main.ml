@@ -4,17 +4,24 @@
      dune exec bench/main.exe -- [sections] [--full] [--smoke]
 
    Sections: table1 table2 table3 table4 fig5 fig6 ablations faults
-   migrate dgc coalesce recover traffic multiactive bechamel all
-   (default: all). --full runs the paper-scale N=13 / 512-node
+   migrate dgc coalesce recover traffic multiactive parallel bechamel
+   all (default: all). --full runs the paper-scale N=13 / 512-node
    configurations; without it the harness caps at N<=11 so a full pass
    stays around a minute. --smoke shrinks the fault sweep to two drop
    rates and the migration bench to N=7 for CI. The traffic section
    (open-loop load against the sharded KV tier) accepts --baseline
    FILE: a previously checked-in BENCH_traffic.json whose p99_ns gates
-   the current run at 1.5x. The multiactive section (serialized vs
+   the current run at 1.5x; it also takes --requests N (scaled runs on
+   sharded Zipf arrivals; past 50k requests the run must be paired with
+   --domains D > 1, which executes it on the domain-sharded parallel
+   engine). The multiactive section (serialized vs
    compatibility-annotated shards under read-heavy load) accepts
    --baseline FILE with a BENCH_multiactive.json whose
-   knee_multiactive_rps must not regress.
+   knee_multiactive_rps must not regress. The parallel section measures
+   the domain-sharded engine against the sequential loop at 1/2/4/8
+   domains, gates on identical Timeline hashes across all counts (and
+   against a --baseline BENCH_parallel_baseline.json), and on >= 1.5x
+   wall-clock speedup at 4 domains when the host has >= 4 cores.
 
    The schedule explorer is a checker, not a benchmark, and never runs
    under "all" — ask for it by name:
@@ -31,6 +38,29 @@ open Core
 
 let header title = Format.printf "@.=== %s ===@." title
 let cost = Machine.Cost_model.default
+
+(* Host-side perf triple for the section artifacts: each JSON-emitting
+   section brackets itself with [section_start], feeds every system (or
+   bare machine) it simulated to [note_events] / [note_machine_events],
+   and appends [perf_fields ()] to its field list — so CI can trend
+   simulator throughput uniformly across sections. Wall clock, not CPU
+   time: the parallel section's whole point is wall-clock speedup. *)
+let section_t0 = ref 0.
+let section_events = ref 0
+
+let section_start () =
+  section_events := 0;
+  section_t0 := Unix.gettimeofday ()
+
+let note_machine_events m =
+  section_events := !section_events + Machine.Engine.events_processed m
+
+let note_events sys = note_machine_events (System.machine sys)
+
+let perf_fields ?(domains = 1) () =
+  Services.Bench_json.perf_fields
+    ~wall_clock_s:(Unix.gettimeofday () -. !section_t0)
+    ~events:!section_events ~domains
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: costs of basic operations                                  *)
@@ -300,9 +330,14 @@ let fault_config plan =
 
 let faults ~smoke () =
   header "Degradation: N-queens (N=8, 16 nodes) under fault injection";
+  section_start ();
   let nodes = 16 and n = 8 in
   let run_plan plan =
-    Apps.Nqueens_par.run_sys ~machine_config:(fault_config plan) ~nodes ~n ()
+    let r, sys =
+      Apps.Nqueens_par.run_sys ~machine_config:(fault_config plan) ~nodes ~n ()
+    in
+    note_events sys;
+    (r, sys)
   in
   let rates = if smoke then [ 0.0; 0.05 ] else [ 0.0; 0.01; 0.02; 0.05; 0.10 ] in
   let base = ref 0 in
@@ -375,20 +410,21 @@ let faults ~smoke () =
     "chunk-stall wait while partitioned: %d ns total@."
     (Simcore.Stats.get (System.stats sys) "chunk.stall.wait_ns");
   Services.Bench_json.write ~path:"BENCH_faults.json"
-    Services.Bench_json.
-      [
-        ("smoke", Bool smoke);
-        ("drop_max_pct", Float (100. *. List.fold_left Float.max 0. rates));
-        ("slowdown_at_max_drop", Float !j_slowdown);
-        ("drops", Int !j_drops);
-        ("dups", Int !j_dups);
-        ("retransmits", Int !j_rexmit);
-        ("acks", Int !j_acks);
-        ("clean", Bool !j_clean);
-        ("crash_solutions", Int r.Apps.Nqueens_par.solutions);
-        ("crash_elapsed_ns", Int r.Apps.Nqueens_par.elapsed);
-        ("crash_clean", Bool clean);
-      ];
+    (Services.Bench_json.
+       [
+         ("smoke", Bool smoke);
+         ("drop_max_pct", Float (100. *. List.fold_left Float.max 0. rates));
+         ("slowdown_at_max_drop", Float !j_slowdown);
+         ("drops", Int !j_drops);
+         ("dups", Int !j_dups);
+         ("retransmits", Int !j_rexmit);
+         ("acks", Int !j_acks);
+         ("clean", Bool !j_clean);
+         ("crash_solutions", Int r.Apps.Nqueens_par.solutions);
+         ("crash_elapsed_ns", Int r.Apps.Nqueens_par.elapsed);
+         ("crash_clean", Bool clean);
+       ]
+    @ perf_fields ());
   Format.printf "metrics written to BENCH_faults.json@."
 
 (* ------------------------------------------------------------------ *)
@@ -447,6 +483,7 @@ let migrate_queens ?policy ?(gossip_ns = 0) ~rt_config ~nodes ~n () =
 
 let migrate_bench ~smoke () =
   header "Migration: hot-spot rebalancing (N-queens, all work born on node 0)";
+  section_start ();
   let nodes = 16 in
   let n = if smoke then 7 else 8 in
   let expected = [| 1; 1; 0; 0; 2; 10; 4; 40; 92 |].(n) in
@@ -468,6 +505,7 @@ let migrate_bench ~smoke () =
     let sys, m, solutions =
       migrate_queens ?policy ?gossip_ns ~rt_config ~nodes ~n ()
     in
+    note_events sys;
     let elapsed = System.elapsed sys in
     if !baseline = 0 then baseline := elapsed;
     let speedup = float_of_int !baseline /. float_of_int elapsed in
@@ -572,6 +610,7 @@ let migrate_bench ~smoke () =
       System.send_boot sys w p_pong []
     done;
     System.run sys;
+    note_events sys;
     let moves, colocated =
       match m with
       | None -> (0, 0)
@@ -591,16 +630,17 @@ let migrate_bench ~smoke () =
   Format.printf "affinity cut elapsed by %.1f%%@."
     (100. *. float_of_int (base - aff) /. float_of_int base);
   Services.Bench_json.write ~path:"BENCH_migrate.json"
-    Services.Bench_json.
-      [
-        ("smoke", Bool smoke);
-        ("hotspot_speedup", Float speedup);
-        ("steady_chain", Int chain);
-        ("affinity_base_ns", Int base);
-        ("affinity_pull_ns", Int aff);
-        ( "affinity_improvement_pct",
-          Float (100. *. float_of_int (base - aff) /. float_of_int base) );
-      ];
+    (Services.Bench_json.
+       [
+         ("smoke", Bool smoke);
+         ("hotspot_speedup", Float speedup);
+         ("steady_chain", Int chain);
+         ("affinity_base_ns", Int base);
+         ("affinity_pull_ns", Int aff);
+         ( "affinity_improvement_pct",
+           Float (100. *. float_of_int (base - aff) /. float_of_int base) );
+       ]
+    @ perf_fields ());
   Format.printf "metrics written to BENCH_migrate.json@."
 
 (* ------------------------------------------------------------------ *)
@@ -617,6 +657,7 @@ let dgc_total_records sys =
 
 let dgc_bench ~smoke () =
   header "Distributed GC: churn steady-state memory";
+  section_start ();
   let nodes = if smoke then 4 else 16 in
   let per_node = if smoke then 80 else 640 in
   let keep = 4 in
@@ -687,6 +728,7 @@ let dgc_bench ~smoke () =
   let g = Option.get g in
   System.run sys;
   Dgc.settle g;
+  note_events sys;
   let resident = dgc_total_records sys in
   let recycled =
     Simcore.Stats.get (System.stats sys) "slot.recycled"
@@ -711,6 +753,7 @@ let dgc_bench ~smoke () =
         samples := dgc_total_records sys_off :: !samples)
   done;
   System.run sys_off;
+  note_events sys_off;
   samples := dgc_total_records sys_off :: !samples;
   let samples = List.rev !samples in
   let monotonic =
@@ -768,6 +811,7 @@ let dgc_bench ~smoke () =
   System.send_boot sys h p_drop [];
   System.run sys;
   Dgc.settle g;
+  note_events sys;
   let stubs_left = ref 0 in
   for node = 0 to nodes - 1 do
     stubs_left := !stubs_left + Migrate.stub_count m ~node
@@ -801,18 +845,19 @@ let dgc_bench ~smoke () =
       Format.printf "FAILED weight-conservation audit@.";
       exit 1);
   Services.Bench_json.write ~path:"BENCH_dgc.json"
-    Services.Bench_json.
-      [
-        ("smoke", Bool smoke);
-        ("cycles", Int cycles);
-        ("live_set", Int live);
-        ("resident_with_dgc", Int resident);
-        ("resident_without_dgc", Int resident_off);
-        ("slots_recycled", Int recycled);
-        ("cells_migrated", Int !moved);
-        ("recalls", Int (Dgc.recalls g));
-        ("unstubs", Int (Dgc.unstubs g));
-      ];
+    (Services.Bench_json.
+       [
+         ("smoke", Bool smoke);
+         ("cycles", Int cycles);
+         ("live_set", Int live);
+         ("resident_with_dgc", Int resident);
+         ("resident_without_dgc", Int resident_off);
+         ("slots_recycled", Int recycled);
+         ("cells_migrated", Int !moved);
+         ("recalls", Int (Dgc.recalls g));
+         ("unstubs", Int (Dgc.unstubs g));
+       ]
+    @ perf_fields ());
   Format.printf "metrics written to BENCH_dgc.json@."
 
 (* ------------------------------------------------------------------ *)
@@ -874,6 +919,7 @@ let coalesce_burst ~coal ~faults ~rounds ~senders ~dests ~burst =
 
 let coalesce_bench ~smoke () =
   header "Aggregation: per-destination batching under bursty control traffic";
+  section_start ();
   let rounds = if smoke then 8 else 32 in
   let senders = 4 and dests = 3 and burst = 16 in
   let expected = rounds * senders * dests * burst in
@@ -892,6 +938,8 @@ let coalesce_bench ~smoke () =
     row "batching on" (coalesce_burst ~coal:true ~faults:None ~rounds ~senders ~dests ~burst)
   in
   let m_off, n_off, lat_off = off and m_on, n_on, lat_on = on in
+  note_machine_events m_off;
+  note_machine_events m_on;
   if n_off <> expected || n_on <> expected then begin
     Format.printf "FAILED delivery-count gate (expected %d)@." expected;
     exit 1
@@ -930,6 +978,7 @@ let coalesce_bench ~smoke () =
     coalesce_burst ~coal:true ~faults:(Some plan) ~rounds ~senders ~dests
       ~burst
   in
+  note_machine_events m_f;
   let rel = Option.get (Machine.Engine.reliable m_f) in
   let acks_piggy = ref 0 in
   for node = 0 to Machine.Engine.node_count m_f - 1 do
@@ -980,22 +1029,23 @@ let coalesce_bench ~smoke () =
     exit 1
   end;
   Services.Bench_json.write ~path:"BENCH_coalesce.json"
-    Services.Bench_json.
-      [
-        ("smoke", Bool smoke);
-        ("messages", Int expected);
-        ("packets_off", Int p_off);
-        ("packets_on", Int p_on);
-        ( "packet_reduction",
-          Float (float_of_int p_off /. float_of_int (max 1 p_on)) );
-        ("mean_latency_off_ns", Float lat_off);
-        ("mean_latency_on_ns", Float lat_on);
-        ("faulted_packets", Int (Machine.Engine.packets_sent m_f));
-        ("faulted_dropped", Int (Machine.Engine.packets_dropped m_f));
-        ("acks_piggybacked", Int !acks_piggy);
-        ("table1_dormant_dev_pct", Float d_dorm);
-        ("table1_inter_dev_pct", Float d_inter);
-      ];
+    (Services.Bench_json.
+       [
+         ("smoke", Bool smoke);
+         ("messages", Int expected);
+         ("packets_off", Int p_off);
+         ("packets_on", Int p_on);
+         ( "packet_reduction",
+           Float (float_of_int p_off /. float_of_int (max 1 p_on)) );
+         ("mean_latency_off_ns", Float lat_off);
+         ("mean_latency_on_ns", Float lat_on);
+         ("faulted_packets", Int (Machine.Engine.packets_sent m_f));
+         ("faulted_dropped", Int (Machine.Engine.packets_dropped m_f));
+         ("acks_piggybacked", Int !acks_piggy);
+         ("table1_dormant_dev_pct", Float d_dorm);
+         ("table1_inter_dev_pct", Float d_inter);
+       ]
+    @ perf_fields ());
   Format.printf "metrics written to BENCH_coalesce.json@."
 
 (* ------------------------------------------------------------------ *)
@@ -1082,6 +1132,7 @@ let recover_burst ~rounds ~burst ~crashes () =
 
 let recover_bench ~smoke () =
   header "Crash recovery: kill a node mid-burst, restore, replay";
+  section_start ();
   let module Engine = Machine.Engine in
   let rounds = if smoke then 3 else 6 in
   let burst = 16 in
@@ -1113,6 +1164,7 @@ let recover_bench ~smoke () =
        ])
   in
   let m, tl, mgr, lost, dup, max_gap = recover_burst ~rounds ~burst ~crashes () in
+  note_machine_events m;
   let audit = Recover.Manager.audit_quiescent mgr in
   let report = Option.get (Services.Recoverstats.survey_machine m) in
   Format.printf "%a@." Services.Recoverstats.pp report;
@@ -1309,6 +1361,7 @@ let recover_bench ~smoke () =
   System.send_boot sys d p_next [];
   System.run sys;
   Dgc.settle g;
+  note_events sys;
   let want_hash, want_sum =
     List.fold_left
       (fun (h, s) k -> ((31 * h) + k, s + k))
@@ -1344,6 +1397,7 @@ let recover_bench ~smoke () =
   end;
 
   (* Metrics file for CI artifacts. *)
+  let wall = Unix.gettimeofday () -. !section_t0 in
   let oc = open_out "BENCH_recover.json" in
   Printf.fprintf oc
     "{\n\
@@ -1361,7 +1415,10 @@ let recover_bench ~smoke () =
     \  \"lost\": %d,\n\
     \  \"duplicated\": %d,\n\
     \  \"timeline_hash\": \"%016x\",\n\
-    \  \"replay_identical\": %b\n\
+    \  \"replay_identical\": %b,\n\
+    \  \"wall_clock_s\": %.3f,\n\
+    \  \"events_per_sec\": %.3f,\n\
+    \  \"domains\": 1\n\
      }\n"
     smoke report.Services.Recoverstats.crashes
     report.Services.Recoverstats.restarts
@@ -1370,7 +1427,8 @@ let recover_bench ~smoke () =
     report.Services.Recoverstats.replayed
     report.Services.Recoverstats.inbox_rebuilt recovery_max
     report.Services.Recoverstats.recovery_ns outage baseline lost dup
-    (Services.Timeline.hash tl) identical;
+    (Services.Timeline.hash tl) identical wall
+    (if wall > 0. then float_of_int !section_events /. wall else 0.);
   close_out oc;
   Format.printf "metrics written to BENCH_recover.json@."
 
@@ -1430,24 +1488,63 @@ let traffic_run ?faults ?(moves = []) ?(with_dgc = false) ?(nodes = 8)
   let lg = Traffic.Loadgen.launch cfg sys kv in
   System.run sys;
   Option.iter Dgc.settle g;
+  note_events sys;
   let audit =
     Traffic.Loadgen.audit lg sys
     @ match g with Some g -> Dgc.audit g | None -> []
   in
   (lg, sys, audit)
 
-let traffic_bench ~smoke ~baseline () =
+let traffic_bench ~smoke ~baseline ~requests_opt ~domains () =
   let module Engine = Machine.Engine in
   header "Open-loop traffic: sharded KV/session tier (8 shards on 8 nodes)";
-  let requests = if smoke then 600 else 4_000 in
+  section_start ();
+  let requests =
+    match requests_opt with
+    | Some r -> r
+    | None -> if smoke then 600 else 4_000
+  in
+  (* The 1M-request configuration (ROADMAP item 4) is only tractable on
+     the domain-sharded engine: the sequential loop's wall clock scales
+     with simulated traffic. *)
+  if requests > 50_000 && domains <= 1 then begin
+    Format.printf
+      "traffic: %d requests need the parallel engine — rerun with --domains \
+       2 (or more)@."
+      requests;
+    exit 1
+  end;
   (* The tier's measured capacity is ~110k req/s (8 shards x 200
      modelled instructions per op); 60k offered keeps the sustainable
      run well below the knee the sweep then finds. *)
   let base_rate = 60_000 in
 
   (* Sustainable-rate run: every injected request must complete with a
-     finite tail and no errors. *)
-  let lg, sys, audit = traffic_run ~rate:base_rate ~requests () in
+     finite tail and no errors. With --requests/--domains the run scales
+     up on sharded Zipf arrivals (reusing the "traffic.key.zipf"
+     decision point) under the domain-sharded engine; the default path
+     is byte-identical to previous releases. *)
+  let lg, sys, audit =
+    if requests_opt <> None || domains > 1 then begin
+      let kv = Apps.Kv_store.create ~shards:8 ~keys_per_shard:16 ~mget_fan:3 () in
+      let sys = System.boot ~nodes:8 ~classes:(Apps.Kv_store.classes kv) () in
+      Apps.Kv_store.spawn kv sys;
+      let cfg =
+        {
+          Traffic.Loadgen.default_config with
+          rate_rps = base_rate;
+          requests;
+          key_dist = Traffic.Loadgen.Zipf 1.0;
+        }
+      in
+      let lg = Traffic.Loadgen.launch_sharded cfg sys kv in
+      if domains > 1 then System.run_parallel sys ~domains
+      else System.run sys;
+      note_events sys;
+      (lg, sys, Traffic.Loadgen.audit lg sys)
+    end
+    else traffic_run ~rate:base_rate ~requests ()
+  in
   let r = Traffic.Report.of_run lg sys in
   Format.printf "@[<v>%a@]@." Traffic.Report.pp r;
   let clean = Diagnostics.is_clean (Diagnostics.survey sys) in
@@ -1564,6 +1661,7 @@ let traffic_bench ~smoke ~baseline () =
             Str (Printf.sprintf "%016x" o.Check.Explore.o_hash) );
           ("faulted_p99_ns", Int (int_of_float r_f.Traffic.Report.r_p99_ns));
         ]
+    @ perf_fields ~domains:(max 1 domains) ()
   in
   Services.Bench_json.write ~path:"BENCH_traffic.json" fields;
   Format.printf "metrics written to BENCH_traffic.json@.";
@@ -1600,6 +1698,7 @@ let multiactive_bench ~smoke ~baseline () =
   header
     "Multiactive: read-heavy rate sweep, serialized vs annotated shards (8 \
      shards on 8 nodes)";
+  section_start ();
   let sweep_requests = if smoke then 400 else 2_000 in
   let rates =
     if smoke then [ 60_000; 120_000; 240_000; 480_000 ]
@@ -1717,6 +1816,7 @@ let multiactive_bench ~smoke ~baseline () =
       sys kv
   in
   System.run sys;
+  note_events sys;
   let audit = Traffic.Loadgen.audit lg sys in
   let st = System.stats sys in
   let peak = ref 0 and admitted = ref 0 in
@@ -1798,22 +1898,23 @@ let multiactive_bench ~smoke ~baseline () =
 
   (* Metrics file for CI artifacts + the regression gate. *)
   Services.Bench_json.write ~path:"BENCH_multiactive.json"
-    Services.Bench_json.
-      [
-        ("smoke", Bool smoke);
-        ("knee_serialized_rps", Int (eff ser_knee));
-        ("knee_multiactive_rps", Int (eff ma_knee));
-        ("knee_ratio", Float ratio);
-        ("capacity_ratio", Float cap_ratio);
-        ("peak_overlap", Int !peak);
-        ("admissions", Int (Simcore.Stats.get st "ma.admit"));
-        ("queued", Int (Simcore.Stats.get st "ma.queued"));
-        ("overlapped_starts", Int (Simcore.Stats.get st "ma.overlap"));
-        ("conflicts", Int conflicts);
-        ("faulted_p99_ns", Int (int_of_float r_f.Traffic.Report.r_p99_ns));
-        ("replay_identical", Bool replay_identical);
-        ("timeline_hash", Str (Printf.sprintf "%016x" o.Check.Explore.o_hash));
-      ];
+    (Services.Bench_json.
+       [
+         ("smoke", Bool smoke);
+         ("knee_serialized_rps", Int (eff ser_knee));
+         ("knee_multiactive_rps", Int (eff ma_knee));
+         ("knee_ratio", Float ratio);
+         ("capacity_ratio", Float cap_ratio);
+         ("peak_overlap", Int !peak);
+         ("admissions", Int (Simcore.Stats.get st "ma.admit"));
+         ("queued", Int (Simcore.Stats.get st "ma.queued"));
+         ("overlapped_starts", Int (Simcore.Stats.get st "ma.overlap"));
+         ("conflicts", Int conflicts);
+         ("faulted_p99_ns", Int (int_of_float r_f.Traffic.Report.r_p99_ns));
+         ("replay_identical", Bool replay_identical);
+         ("timeline_hash", Str (Printf.sprintf "%016x" o.Check.Explore.o_hash));
+       ]
+    @ perf_fields ());
   Format.printf "metrics written to BENCH_multiactive.json@.";
 
   (* Knee regression gate against a checked-in baseline: the annotated
@@ -1836,6 +1937,167 @@ let multiactive_bench ~smoke ~baseline () =
             Format.printf "FAILED multiactive knee regression gate@.";
             exit 1
           end)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel engine: domain-sharded simulation, conservative lookahead  *)
+(* ------------------------------------------------------------------ *)
+
+(* A fresh saturated open-loop workload per measurement (a system is
+   single-run): sharded arrivals with Zipf skew on the KV tier — the
+   parallel engine's supported envelope (no faults, no migration, no
+   gossip), and enough per-node work that domain sharding has
+   something to overlap. *)
+let parallel_workload ~nodes ~requests ~rate () =
+  let kv = Apps.Kv_store.create ~shards:nodes ~keys_per_shard:16 ~mget_fan:3 () in
+  let sys = System.boot ~nodes ~classes:(Apps.Kv_store.classes kv) () in
+  Apps.Kv_store.spawn kv sys;
+  let cfg =
+    {
+      Traffic.Loadgen.default_config with
+      rate_rps = rate;
+      requests;
+      key_dist = Traffic.Loadgen.Zipf 1.0;
+    }
+  in
+  let lg = Traffic.Loadgen.launch_sharded cfg sys kv in
+  (sys, lg)
+
+let parallel_bench ~smoke ~baseline () =
+  header "Parallel engine: nodes sharded across domains, conservative lookahead";
+  section_start ();
+  let nodes = 8 in
+  let requests = if smoke then 2_000 else 10_000 in
+  let rate = 400_000 in
+  let cores = Domain.recommended_domain_count () in
+  (* One measurement: build the workload fresh, run it under [run], wall
+     clock it, and collect the run's audit + Timeline hash. *)
+  let measure run =
+    let sys, lg = parallel_workload ~nodes ~requests ~rate () in
+    let tl = Services.Timeline.attach sys in
+    let t0 = Unix.gettimeofday () in
+    run sys;
+    let wall = Unix.gettimeofday () -. t0 in
+    note_events sys;
+    let audit = Traffic.Loadgen.audit lg sys in
+    (wall, Services.Timeline.hash tl, audit,
+     Machine.Engine.events_processed (System.machine sys))
+  in
+  let check_audit label audit =
+    if audit <> [] then begin
+      List.iter (fun v -> Format.printf "audit(%s): %s@." label v) audit;
+      Format.printf "FAILED parallel workload audit (%s)@." label;
+      exit 1
+    end
+  in
+  Format.printf "host cores: %d; lookahead: %d ns; %d nodes, %d requests at %d req/s@."
+    cores
+    (let sys, _ = parallel_workload ~nodes ~requests:1 ~rate () in
+     Machine.Engine.lookahead_ns (System.machine sys))
+    nodes requests rate;
+  let seq_wall, _seq_hash, seq_audit, seq_events =
+    measure (fun sys -> System.run sys)
+  in
+  check_audit "sequential" seq_audit;
+  Format.printf "%10s %12s %12s %10s  %s@." "engine" "wall(s)" "events/s"
+    "speedup" "timeline hash";
+  Format.printf "%10s %12.3f %12.0f %9.2fx@." "seq" seq_wall
+    (float_of_int seq_events /. seq_wall)
+    1.0;
+  let counts = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun d ->
+        let wall, hash, audit, events =
+          measure (fun sys -> System.run_parallel sys ~domains:d)
+        in
+        check_audit (Printf.sprintf "domains=%d" d) audit;
+        Format.printf "%8s %2d %12.3f %12.0f %9.2fx  %016x@." "domains" d wall
+          (float_of_int events /. wall)
+          (seq_wall /. wall) hash;
+        (d, wall, hash, events))
+      counts
+  in
+  (* Determinism gate (unconditional, any host): every domain count must
+     produce the same canonical observation stream. *)
+  let _, _, h1, _ = List.hd rows in
+  List.iter
+    (fun (d, _, h, _) ->
+      if h <> h1 then begin
+        Format.printf
+          "FAILED parallel determinism gate: hash %016x at %d domain(s) <> \
+           %016x at 1@."
+          h d h1;
+        exit 1
+      end)
+    rows;
+  Format.printf "determinism: identical Timeline hash at 1/2/4/8 domains@.";
+  (* Speedup gate — only meaningful when the host actually has the
+     cores; a 1- or 2-core CI runner reports the curve but cannot fail
+     it. *)
+  let wall_at d = match List.find_opt (fun (d', _, _, _) -> d' = d) rows with
+    | Some (_, w, _, _) -> w
+    | None -> nan
+  in
+  let speedup_4 = seq_wall /. wall_at 4 in
+  if cores >= 4 then begin
+    Format.printf "speedup at 4 domains: %.2fx (gate: >= 1.5x)@." speedup_4;
+    if speedup_4 < 1.5 then begin
+      Format.printf "FAILED parallel speedup gate@.";
+      exit 1
+    end
+  end
+  else
+    Format.printf
+      "speedup at 4 domains: %.2fx (gate skipped: host has %d core(s))@."
+      speedup_4 cores;
+  let total_events = List.fold_left (fun a (_, _, _, e) -> a + e) 0 rows in
+  Services.Bench_json.write ~path:"BENCH_parallel.json"
+    (Services.Bench_json.
+       [
+         ("smoke", Bool smoke);
+         ("config_requests", Int requests);
+         ("cores", Int cores);
+         ("seq_wall_s", Float seq_wall);
+         ("wall_1_s", Float (wall_at 1));
+         ("wall_2_s", Float (wall_at 2));
+         ("wall_4_s", Float (wall_at 4));
+         ("wall_8_s", Float (wall_at 8));
+         ("speedup_4", Float speedup_4);
+         ("speedup_gated", Bool (cores >= 4));
+         ("timeline_hash", Str (Printf.sprintf "%016x" h1));
+         ("timeline_hash_int", Int h1);
+         ("total_events", Int total_events);
+       ]
+    @ perf_fields ~domains:4 ());
+  Format.printf "metrics written to BENCH_parallel.json@.";
+  (* Baseline gate: the canonical observation stream is a pure function
+     of the workload, so against a baseline recorded at the same
+     request count the hash must match exactly. *)
+  match baseline with
+  | None -> ()
+  | Some path -> (
+      match Services.Bench_json.read_int_field ~path ~key:"config_requests" with
+      | Some want_req when want_req <> requests ->
+          Format.printf
+            "baseline %s was recorded at %d request(s), this run used %d — \
+             hash gate skipped@."
+            path want_req requests
+      | _ -> (
+          match
+            Services.Bench_json.read_int_field ~path ~key:"timeline_hash_int"
+          with
+          | None ->
+              Format.printf "FAILED: baseline %s has no timeline_hash_int@."
+                path;
+              exit 1
+          | Some want ->
+              Format.printf
+                "baseline hash gate: %016x vs baseline %016x %s@." h1 want
+                (if h1 = want then "(ok)" else "(MISMATCH)");
+              if h1 <> want then begin
+                Format.printf "FAILED parallel baseline hash gate@.";
+                exit 1
+              end))
 
 (* ------------------------------------------------------------------ *)
 (* Schedule explorer: sweep perturbed schedules, shrink failures       *)
@@ -1997,6 +2259,10 @@ let () =
   let replay, args = extract_opt "--replay" args in
   let out_dir, args = extract_opt "--out" args in
   let baseline, args = extract_opt "--baseline" args in
+  let requests_opt, args = extract_opt "--requests" args in
+  let domains_opt, args = extract_opt "--domains" args in
+  let requests_opt = Option.map int_of_string requests_opt in
+  let domains = match domains_opt with Some d -> int_of_string d | None -> 1 in
   let full = List.mem "--full" args in
   let smoke = List.mem "--smoke" args in
   let sections = List.filter (fun a -> a <> "--full" && a <> "--smoke") args in
@@ -2021,7 +2287,8 @@ let () =
   if want "dgc" then dgc_bench ~smoke ();
   if want "coalesce" then coalesce_bench ~smoke ();
   if want "recover" then recover_bench ~smoke ();
-  if want "traffic" then traffic_bench ~smoke ~baseline ();
+  if want "traffic" then traffic_bench ~smoke ~baseline ~requests_opt ~domains ();
   if want "multiactive" then multiactive_bench ~smoke ~baseline ();
+  if want "parallel" then parallel_bench ~smoke ~baseline ();
   if want "bechamel" then bechamel ();
   Format.printf "@."

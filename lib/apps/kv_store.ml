@@ -16,24 +16,44 @@ type stats = {
 
 type pend = { p_t0 : int; p_kind : int; mutable p_need : int }
 
+(* Request bookkeeping lives OCaml-side in the client closures — but a
+   client runs on its own node, and under [System.run_parallel] nodes on
+   different domains execute concurrently. So the bookkeeping is
+   per-node (one record per client, indexed by the client's node), and
+   readers fold the records with order-insensitive merges. *)
+type client_state = {
+  cs_stats : stats;
+  cs_pendings : (int, pend) Hashtbl.t;
+  cs_last_seen : (int, int) Hashtbl.t;
+  mutable cs_started : int;
+}
+
 type t = {
   n_shards : int;
   keyspace : int;
   fan : int;
   service_instr : int;
   client_instr : int;
-  stats : stats;
-  (* Request bookkeeping lives OCaml-side in the client closures:
-     clients never migrate and the tables are only folded over for
-     order-insensitive sums, so determinism is unaffected. *)
-  pendings : (int, pend) Hashtbl.t;
-  last_seen : (int, int) Hashtbl.t;
-  mutable started : int;
+  latency_bucket_ns : int;
+  mutable per_node : client_state array;
   mutable shard_addrs : Value.addr array;
   mutable client_addrs : Value.addr array;
   mutable shard_cls : Kernel.cls;
   mutable client_cls : Kernel.cls;
 }
+
+let fresh_stats ~bucket_width =
+  {
+    get_ok = 0;
+    put_ok = 0;
+    cas_ok = 0;
+    cas_fail = 0;
+    mget_ok = 0;
+    dup_resps = 0;
+    latency = Simcore.Histogram.create ~bucket_width ();
+  }
+
+let client_state_of t ctx = t.per_node.((Ctx.self ctx).Value.node)
 
 let p_op = Pattern.intern "tr_op" ~arity:4
 let p_get = Pattern.intern "kv_get" ~arity:3
@@ -148,9 +168,10 @@ let client_cls_def t =
             let t0 = Value.to_int (Message.arg msg 2) in
             let req_id = Value.to_int (Message.arg msg 3) in
             let self = Value.Addr (Ctx.self ctx) in
-            t.started <- t.started + 1;
+            let cs = client_state_of t ctx in
+            cs.cs_started <- cs.cs_started + 1;
             if kind = op_code Mget then begin
-              Hashtbl.replace t.pendings req_id
+              Hashtbl.replace cs.cs_pendings req_id
                 { p_t0 = t0; p_kind = kind; p_need = t.fan };
               for j = 0 to t.fan - 1 do
                 let kj = (key + j) mod t.keyspace in
@@ -159,7 +180,7 @@ let client_cls_def t =
               done
             end
             else begin
-              Hashtbl.replace t.pendings req_id
+              Hashtbl.replace cs.cs_pendings req_id
                 { p_t0 = t0; p_kind = kind; p_need = 1 };
               if kind = op_code Get then
                 Ctx.send ctx (shard_of t key) p_get
@@ -170,7 +191,9 @@ let client_cls_def t =
                     Value.int req_id ]
               else
                 let expect =
-                  Option.value (Hashtbl.find_opt t.last_seen key) ~default:0
+                  Option.value
+                    (Hashtbl.find_opt cs.cs_last_seen key)
+                    ~default:0
                 in
                 Ctx.send ctx (shard_of t key) p_cas
                   [ Value.int key; Value.int expect;
@@ -183,26 +206,27 @@ let client_cls_def t =
             let key = Value.to_int (Message.arg msg 2) in
             let version = Value.to_int (Message.arg msg 4) in
             let ok = Value.to_int (Message.arg msg 5) = 1 in
-            match Hashtbl.find_opt t.pendings req_id with
-            | None -> t.stats.dup_resps <- t.stats.dup_resps + 1
+            let cs = client_state_of t ctx in
+            match Hashtbl.find_opt cs.cs_pendings req_id with
+            | None -> cs.cs_stats.dup_resps <- cs.cs_stats.dup_resps + 1
             | Some p ->
                 (* A failed CAS reports the current version, so remember
                    it either way: the next CAS on this key races from
                    fresh information. *)
-                Hashtbl.replace t.last_seen key version;
+                Hashtbl.replace cs.cs_last_seen key version;
                 p.p_need <- p.p_need - 1;
                 if p.p_need = 0 then begin
-                  Hashtbl.remove t.pendings req_id;
-                  Simcore.Histogram.observe t.stats.latency
+                  Hashtbl.remove cs.cs_pendings req_id;
+                  Simcore.Histogram.observe cs.cs_stats.latency
                     (Ctx.now ctx - p.p_t0);
                   if p.p_kind = op_code Get then
-                    t.stats.get_ok <- t.stats.get_ok + 1
+                    cs.cs_stats.get_ok <- cs.cs_stats.get_ok + 1
                   else if p.p_kind = op_code Put then
-                    t.stats.put_ok <- t.stats.put_ok + 1
+                    cs.cs_stats.put_ok <- cs.cs_stats.put_ok + 1
                   else if p.p_kind = op_code Mget then
-                    t.stats.mget_ok <- t.stats.mget_ok + 1
-                  else if ok then t.stats.cas_ok <- t.stats.cas_ok + 1
-                  else t.stats.cas_fail <- t.stats.cas_fail + 1
+                    cs.cs_stats.mget_ok <- cs.cs_stats.mget_ok + 1
+                  else if ok then cs.cs_stats.cas_ok <- cs.cs_stats.cas_ok + 1
+                  else cs.cs_stats.cas_fail <- cs.cs_stats.cas_fail + 1
                 end );
       ]
     ()
@@ -224,19 +248,8 @@ let create ?(service_instr = 200) ?(client_instr = 30)
       fan = mget_fan;
       service_instr;
       client_instr;
-      stats =
-        {
-          get_ok = 0;
-          put_ok = 0;
-          cas_ok = 0;
-          cas_fail = 0;
-          mget_ok = 0;
-          dup_resps = 0;
-          latency = Simcore.Histogram.create ~bucket_width:latency_bucket_ns ();
-        };
-      pendings = Hashtbl.create 64;
-      last_seen = Hashtbl.create 64;
-      started = 0;
+      latency_bucket_ns;
+      per_node = [||];
       shard_addrs = [||];
       client_addrs = [||];
       shard_cls = placeholder;
@@ -266,6 +279,14 @@ let classes t = [ t.shard_cls; t.client_cls ]
 
 let spawn t sys =
   let nodes = System.node_count sys in
+  t.per_node <-
+    Array.init nodes (fun _ ->
+        {
+          cs_stats = fresh_stats ~bucket_width:t.latency_bucket_ns;
+          cs_pendings = Hashtbl.create 64;
+          cs_last_seen = Hashtbl.create 64;
+          cs_started = 0;
+        });
   t.shard_addrs <-
     Array.init t.n_shards (fun i ->
         System.create_root sys ~node:(i mod nodes) t.shard_cls []);
@@ -277,13 +298,37 @@ let keyspace t = t.keyspace
 let mget_fan t = t.fan
 let shard_addr t i = t.shard_addrs.(i)
 let client_addr t ~node = t.client_addrs.(node)
-let stats t = t.stats
+
+(* A merged snapshot: per-node counters summed, per-node latency
+   histograms folded into one. Order-insensitive, so the result is the
+   same whatever schedule (or domain count) produced the per-node
+   records. *)
+let stats t =
+  let acc = fresh_stats ~bucket_width:t.latency_bucket_ns in
+  Array.iter
+    (fun cs ->
+      let s = cs.cs_stats in
+      acc.get_ok <- acc.get_ok + s.get_ok;
+      acc.put_ok <- acc.put_ok + s.put_ok;
+      acc.cas_ok <- acc.cas_ok + s.cas_ok;
+      acc.cas_fail <- acc.cas_fail + s.cas_fail;
+      acc.mget_ok <- acc.mget_ok + s.mget_ok;
+      acc.dup_resps <- acc.dup_resps + s.dup_resps;
+      Simcore.Histogram.merge_into ~into:acc.latency s.latency)
+    t.per_node;
+  acc
+
+let started t =
+  Array.fold_left (fun acc cs -> acc + cs.cs_started) 0 t.per_node
 
 let completed t =
-  let s = t.stats in
+  let s = stats t in
   s.get_ok + s.put_ok + s.cas_ok + s.cas_fail + s.mget_ok
 
-let pending t = Hashtbl.length t.pendings
+let pending t =
+  Array.fold_left
+    (fun acc cs -> acc + Hashtbl.length cs.cs_pendings)
+    0 t.per_node
 
 (* A shard may have migrated: the record at its canonical address is
    then a forwarding stub, and the live record (same [self], non-forward
@@ -329,18 +374,18 @@ let applied_versions t sys =
     0 t.shard_addrs
 
 let audit t sys =
+  let s = stats t in
   let out = ref [] in
   let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
   if pending t > 0 then
     add "traffic: %d request(s) started but never completed" (pending t);
-  if t.stats.dup_resps > 0 then
-    add "traffic: %d reply(ies) for unknown or finished requests"
-      t.stats.dup_resps;
-  if t.started <> completed t + pending t then
-    add "traffic: started %d <> completed %d + pending %d" t.started
+  if s.dup_resps > 0 then
+    add "traffic: %d reply(ies) for unknown or finished requests" s.dup_resps;
+  if started t <> completed t + pending t then
+    add "traffic: started %d <> completed %d + pending %d" (started t)
       (completed t) (pending t);
   let applied = applied_versions t sys in
-  let writes = t.stats.put_ok + t.stats.cas_ok in
+  let writes = s.put_ok + s.cas_ok in
   if applied <> writes then
     add
       "traffic: versions across shards %d <> successful writes %d (a write \

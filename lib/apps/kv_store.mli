@@ -73,7 +73,13 @@ val keyspace : t -> int
 val mget_fan : t -> int
 val shard_addr : t -> int -> Core.Value.addr
 val client_addr : t -> node:int -> Core.Value.addr
+
 val stats : t -> stats
+(** A merged snapshot of the per-node client records (counters summed,
+    latency histograms folded). Bookkeeping is kept per node so client
+    handlers on different domains never share mutable state under
+    {!Core.System.run_parallel}; mutating the returned record has no
+    effect. *)
 
 val p_op : Core.Pattern.t
 (** The injection pattern: [tr_op(op_code, key, t0_ns, req_id)] sent at

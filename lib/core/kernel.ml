@@ -275,36 +275,36 @@ and shared = {
 and counters = {
   sent_local : origin_counters;  (** local sends: "send.local.*" *)
   recv_remote : origin_counters;  (** remote receipts: "recv.remote.*" *)
-  c_send_remote : int ref;
-  c_create_local : int ref;
-  c_create_remote : int ref;
-  c_create_remote_applied : int ref;
-  c_chunk_refill : int ref;
-  c_chunk_stall : int ref;
-  c_slot_recycled : int ref;
-  c_preempt : int ref;
-  c_wait_blocked : int ref;
-  c_wait_immediate : int ref;
-  c_reply_immediate : int ref;
-  c_reply_blocked : int ref;
-  c_reply_no_dest : int ref;
-  c_ma_admit : int ref;  (** activations admitted (immediately or pumped) *)
-  c_ma_queued : int ref;  (** messages parked on a group queue *)
-  c_ma_overlap : int ref;  (** admissions that joined a running set *)
-  c_ma_conflict : int ref;
+  c_send_remote : Simcore.Stats.cell;
+  c_create_local : Simcore.Stats.cell;
+  c_create_remote : Simcore.Stats.cell;
+  c_create_remote_applied : Simcore.Stats.cell;
+  c_chunk_refill : Simcore.Stats.cell;
+  c_chunk_stall : Simcore.Stats.cell;
+  c_slot_recycled : Simcore.Stats.cell;
+  c_preempt : Simcore.Stats.cell;
+  c_wait_blocked : Simcore.Stats.cell;
+  c_wait_immediate : Simcore.Stats.cell;
+  c_reply_immediate : Simcore.Stats.cell;
+  c_reply_blocked : Simcore.Stats.cell;
+  c_reply_no_dest : Simcore.Stats.cell;
+  c_ma_admit : Simcore.Stats.cell;  (** activations admitted (immediately or pumped) *)
+  c_ma_queued : Simcore.Stats.cell;  (** messages parked on a group queue *)
+  c_ma_overlap : Simcore.Stats.cell;  (** admissions that joined a running set *)
+  c_ma_conflict : Simcore.Stats.cell;
       (** incompatible overlaps — must stay 0; only the test-only
           forced-admission hook can make it move *)
 }
 
 and origin_counters = {
-  o_dormant : int ref;
-  o_active : int ref;
-  o_fault : int ref;
-  o_restore : int ref;
-  o_discarded : int ref;
-  o_naive_buffered : int ref;
-  o_depth_limited : int ref;
-  o_inlined : int ref;
+  o_dormant : Simcore.Stats.cell;
+  o_active : Simcore.Stats.cell;
+  o_fault : Simcore.Stats.cell;
+  o_restore : Simcore.Stats.cell;
+  o_discarded : Simcore.Stats.cell;
+  o_naive_buffered : Simcore.Stats.cell;
+  o_depth_limited : Simcore.Stats.cell;
+  o_inlined : Simcore.Stats.cell;
 }
 
 and node_rt = {
@@ -417,4 +417,4 @@ let make_counters stats =
   }
 
 let ctrs rt = rt.shared.ctrs
-let bump cell = incr cell
+let bump = Simcore.Stats.bump

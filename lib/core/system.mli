@@ -42,6 +42,14 @@ val send_boot :
 val run : ?max_slices:int -> t -> unit
 (** Runs the machine to quiescence. *)
 
+val run_parallel : ?max_slices:int -> t -> domains:int -> unit
+(** Runs the machine to quiescence with nodes sharded across [domains]
+    OCaml domains under the engine's conservative-lookahead scheme (see
+    {!Machine.Engine.run_parallel} for the determinism contract and the
+    feature restrictions). Rejects configurations with
+    [gossip_interval_ns > 0]: auto-gossip synchronises all node clocks
+    each round, which has no per-domain decomposition. *)
+
 val elapsed : t -> Simcore.Time.t
 val utilization : t -> float
 

@@ -109,25 +109,25 @@ type t = {
   h_recall : int;
   h_unstub : int;
   nodes : dstate array;
-  c_sweeps : int ref;
-  c_sweeps_skipped : int ref;
-  c_reclaimed : int ref;
-  c_reclaimed_node : int ref array;
-  c_stubs_freed : int ref;
-  c_stubs_freed_node : int ref array;
-  c_restocked : int ref;
-  c_restocked_node : int ref array;
-  c_dec_msgs : int ref;
-  c_dec_piggybacked : int ref;
-  c_dec_entries : int ref;
-  c_dec_entries_node : int ref array;
-  c_grants : int ref;
-  c_splits : int ref;
-  c_indirections : int ref;
-  c_debits : int ref;
-  c_conjures : int ref;
-  c_recalls : int ref;
-  c_unstubs : int ref;
+  c_sweeps : Simcore.Stats.cell;
+  c_sweeps_skipped : Simcore.Stats.cell;
+  c_reclaimed : Simcore.Stats.cell;
+  c_reclaimed_node : Simcore.Stats.cell array;
+  c_stubs_freed : Simcore.Stats.cell;
+  c_stubs_freed_node : Simcore.Stats.cell array;
+  c_restocked : Simcore.Stats.cell;
+  c_restocked_node : Simcore.Stats.cell array;
+  c_dec_msgs : Simcore.Stats.cell;
+  c_dec_piggybacked : Simcore.Stats.cell;
+  c_dec_entries : Simcore.Stats.cell;
+  c_dec_entries_node : Simcore.Stats.cell array;
+  c_grants : Simcore.Stats.cell;
+  c_splits : Simcore.Stats.cell;
+  c_indirections : Simcore.Stats.cell;
+  c_debits : Simcore.Stats.cell;
+  c_conjures : Simcore.Stats.cell;
+  c_recalls : Simcore.Stats.cell;
+  c_unstubs : Simcore.Stats.cell;
 }
 
 let key (a : Value.addr) = (a.Value.node, a.Value.slot)
@@ -209,7 +209,7 @@ let gc_grant t rt values reply =
       if a.Value.node = my_id then begin
         let cell = scion_cell d a.Value.slot in
         cell := !cell + t.grant;
-        incr t.c_grants;
+        Simcore.Stats.bump t.c_grants;
         { Message.gr_addr = a; gr_weight = t.grant; gr_backer = -1 }
       end
       else
@@ -217,11 +217,11 @@ let gc_grant t rt values reply =
         | Some st when st.st_weight >= 2 ->
             let half = st.st_weight / 2 in
             st.st_weight <- st.st_weight - half;
-            incr t.c_splits;
+            Simcore.Stats.bump t.c_splits;
             { Message.gr_addr = a; gr_weight = half; gr_backer = -1 }
         | Some st ->
             st.st_ind_out <- st.st_ind_out + 1;
-            incr t.c_indirections;
+            Simcore.Stats.bump t.c_indirections;
             { Message.gr_addr = a; gr_weight = 0; gr_backer = my_id }
         | None ->
             (* No counted claim here — an immigrant exporting its own
@@ -230,7 +230,7 @@ let gc_grant t rt values reply =
                weight at once and the scion catches up when the debit
                lands (a decrement overtaking it merely drives the scion
                transiently negative, which blocks reclaim just as well). *)
-            incr t.c_debits;
+            Simcore.Stats.bump t.c_debits;
             Engine.send_am t.machine ~src:rt.Kernel.node ~dst:a.Value.node
               ~handler:t.h_debit ~size_bytes:12
               (G_debit { slot = a.Value.slot; weight = t.grant });
@@ -248,7 +248,7 @@ let gc_grant t rt values reply =
    under its creator's live reference. *)
 let gc_conjure t rt (a : Value.addr) =
   Kernel.charge rt (Engine.cost t.machine).Cost_model.gc_dec_entry;
-  incr t.c_conjures;
+  Simcore.Stats.bump t.c_conjures;
   { Message.gr_addr = a; gr_weight = t.grant; gr_backer = -1 }
 
 let gc_conjured t rt slot =
@@ -289,9 +289,8 @@ let gc_accept t rt refs =
 (* --- decrement delivery ------------------------------------------- *)
 
 let note_dec_entries t node n =
-  t.c_dec_entries := !(t.c_dec_entries) + n;
-  let cn = t.c_dec_entries_node.(node) in
-  cn := !cn + n
+  Simcore.Stats.bump_n t.c_dec_entries n;
+  Simcore.Stats.bump_n t.c_dec_entries_node.(node) n
 
 (* Snapshot the pending table before sending: with aggregation live,
    send_am can flush a batch, which re-enters this module through the
@@ -304,7 +303,7 @@ let flush t node rt d =
     (fun (dst, b) ->
       if b.b_decs <> [] || b.b_inds <> [] then begin
         let n = List.length b.b_decs + List.length b.b_inds in
-        incr t.c_dec_msgs;
+        Simcore.Stats.bump t.c_dec_msgs;
         note_dec_entries t node n;
         Engine.send_am t.machine ~src:rt.Kernel.node ~dst ~handler:t.h_dec
           ~size_bytes:(8 + (8 * n))
@@ -324,8 +323,8 @@ let piggyback_riders t ~src ~dst =
       if b.b_decs = [] && b.b_inds = [] then []
       else begin
         let n = List.length b.b_decs + List.length b.b_inds in
-        incr t.c_dec_msgs;
-        incr t.c_dec_piggybacked;
+        Simcore.Stats.bump t.c_dec_msgs;
+        Simcore.Stats.bump t.c_dec_piggybacked;
         note_dec_entries t src n;
         [
           {
@@ -383,7 +382,7 @@ let on_unstub t node_id rt ~canon ~epoch =
   | Some m -> (
       match Migrate.drop_stub m ~node:node_id ~canon ~epoch with
       | Some obj ->
-          incr t.c_unstubs;
+          Simcore.Stats.bump t.c_unstubs;
           Machine.Node.heap_free_words rt.Kernel.node 8;
           let d = t.nodes.(node_id) in
           d.d_fresh <- obj.Kernel.phys_slot :: d.d_fresh
@@ -401,8 +400,8 @@ let sweep t ~node =
   List.iter
     (fun slot ->
       Sched.recycle_slot rt slot;
-      incr t.c_restocked;
-      incr t.c_restocked_node.(node))
+      Simcore.Stats.bump t.c_restocked;
+      Simcore.Stats.bump t.c_restocked_node.(node))
     d.d_quarantine;
   d.d_quarantine <- [];
   Hashtbl.iter (fun _ st -> st.st_marked <- false) d.d_stubs;
@@ -428,8 +427,8 @@ let sweep t ~node =
         | None -> fun () -> []);
       on_free =
         (fun (obj : Kernel.obj) ->
-          incr t.c_reclaimed;
-          incr t.c_reclaimed_node.(node);
+          Simcore.Stats.bump t.c_reclaimed;
+          Simcore.Stats.bump t.c_reclaimed_node.(node);
           Hashtbl.remove d.d_scion obj.Kernel.self.Value.slot;
           (match t.migrate with
           | Some m ->
@@ -454,9 +453,9 @@ let sweep t ~node =
   | Local_gc.Skipped _ ->
       (* Nothing was traced, so the stub marks mean nothing: no stub
          reclaim or recall this round. *)
-      incr t.c_sweeps_skipped
+      Simcore.Stats.bump t.c_sweeps_skipped
   | Local_gc.Swept _ ->
-      incr t.c_sweeps;
+      Simcore.Stats.bump t.c_sweeps;
       let c = Engine.cost t.machine in
       (* Unreferenced stubs refund their weight to the owner and release
          their backers, batched per destination. A stub someone still
@@ -471,8 +470,8 @@ let sweep t ~node =
       List.iter
         (fun (((onode, oslot) as k), st) ->
           Hashtbl.remove d.d_stubs k;
-          incr t.c_stubs_freed;
-          incr t.c_stubs_freed_node.(node);
+          Simcore.Stats.bump t.c_stubs_freed;
+          Simcore.Stats.bump t.c_stubs_freed_node.(node);
           if st.st_weight > 0 then begin
             Kernel.charge rt c.Cost_model.gc_dec_entry;
             out_dec d onode oslot st.st_weight
@@ -515,7 +514,7 @@ let sweep t ~node =
               then
                 match Vft.forward_info obj.Kernel.vftp with
                 | Some f ->
-                    incr t.c_recalls;
+                    Simcore.Stats.bump t.c_recalls;
                     Engine.send_am t.machine ~src:rt.Kernel.node
                       ~dst:f.Kernel.fwd_to.Value.node ~handler:t.h_recall
                       ~size_bytes:16
@@ -534,8 +533,8 @@ let sweep_all t =
   done
 
 let work t =
-  !(t.c_reclaimed) + !(t.c_stubs_freed) + !(t.c_restocked) + !(t.c_unstubs)
-  + !(t.c_recalls) + !(t.c_dec_msgs)
+  (Simcore.Stats.read t.c_reclaimed) + (Simcore.Stats.read t.c_stubs_freed) + (Simcore.Stats.read t.c_restocked) + (Simcore.Stats.read t.c_unstubs)
+  + (Simcore.Stats.read t.c_recalls) + (Simcore.Stats.read t.c_dec_msgs)
 
 (* Slots on their way back to the allocator. Settle must keep going
    while any exist even if no counter moved this round (the
@@ -712,13 +711,13 @@ let detach t =
 
 (* --- introspection ------------------------------------------------- *)
 
-let reclaimed t = !(t.c_reclaimed)
-let stubs_freed t = !(t.c_stubs_freed)
-let restocked t = !(t.c_restocked)
-let recalls t = !(t.c_recalls)
-let unstubs t = !(t.c_unstubs)
-let dec_entries t = !(t.c_dec_entries)
-let dec_piggybacked t = !(t.c_dec_piggybacked)
+let reclaimed t = (Simcore.Stats.read t.c_reclaimed)
+let stubs_freed t = (Simcore.Stats.read t.c_stubs_freed)
+let restocked t = (Simcore.Stats.read t.c_restocked)
+let recalls t = (Simcore.Stats.read t.c_recalls)
+let unstubs t = (Simcore.Stats.read t.c_unstubs)
+let dec_entries t = (Simcore.Stats.read t.c_dec_entries)
+let dec_piggybacked t = (Simcore.Stats.read t.c_dec_piggybacked)
 
 let scion_weight t ~node ~slot =
   match Hashtbl.find_opt t.nodes.(node).d_scion slot with

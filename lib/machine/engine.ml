@@ -41,6 +41,9 @@ type event =
   | Timer of (unit -> unit)
       (** engine-level timer (periodic services: gossip, migration
           policies); the thunk decides for itself whether to re-arm *)
+  | Timer_on of { node : int; fn : unit -> unit }
+      (** like [Timer], but owned by a node: a parallel run executes it
+          on the domain that owns [node] (sequentially identical) *)
 
 (* Crash-recovery instrumentation (installed by Recover.Manager). The
    hooks see every delivery, dispatch and send, so a manager can keep a
@@ -61,7 +64,7 @@ type handler = {
   h_category : Am.category;
   h_name : string;
   h_fn : t -> Node.t -> Am.t -> unit;
-  h_sent : int ref;  (** cached "am.sent.<category>" counter *)
+  h_sent : Simcore.Stats.cell;  (** cached "am.sent.<category>" counter *)
 }
 
 and t = {
@@ -85,29 +88,75 @@ and t = {
       (** schedule-exploration hook: [decide tag bound] picks a value in
           [0, bound) at a named decision point; [None] (and a pick of 0)
           is the unperturbed baseline *)
+  mutable node_decision : (node:int -> string -> int -> int) option;
+      (** node-keyed decision hook: each node draws from its own stream,
+          so a parallel run records and replays without a shared cursor *)
+  mutable tie_break_set : bool;
   mutable recovery : recovery_hooks option;
+  mutable par : par option;  (** live only inside {!run_parallel} *)
+  mutable evcount : int;  (** events processed by sequential [run] *)
   (* crash-recovery state: a down node processes no events until its
      scheduled restart; incarnations count restarts (0 = original) *)
   down : bool array;
   incarnation : int array;
   restart_due : Simcore.Time.t array;
   node_crashes : int array;
-  c_drop : int ref;
-  c_dup : int ref;
-  c_retransmit : int ref;
-  c_dup_discard : int ref;
-  c_ack : int ref;
-  c_co_batch : int ref;
-  c_co_single : int ref;
-  c_co_rider : int ref;
-  c_down_drop : int ref;
-  c_post_refused : int ref;
+  c_drop : Simcore.Stats.cell;
+  c_dup : Simcore.Stats.cell;
+  c_retransmit : Simcore.Stats.cell;
+  c_dup_discard : Simcore.Stats.cell;
+  c_ack : Simcore.Stats.cell;
+  c_co_batch : Simcore.Stats.cell;
+  c_co_single : Simcore.Stats.cell;
+  c_co_rider : Simcore.Stats.cell;
+  c_down_drop : Simcore.Stats.cell;
+  c_post_refused : Simcore.Stats.cell;
 }
 
 (* The aggregation layer batches whatever the transport underneath it
    carries: bare AMs fault-free, sequenced protocol frames under a
    fault plan. *)
 and coal = Co_data of Am.t Coalesce.t | Co_framed of Reliable.frame Coalesce.t
+
+(* A cross-node delivery deferred to the next window boundary of a
+   parallel run. The stamp (x_time, x_src, x_seq) is a canonical sort
+   key: x_seq counts the source node's deferred sends in its (count-
+   invariant) execution order, so the boundary application order — and
+   with it every inbox seq and wake — is identical for any domain
+   count. *)
+and xitem = {
+  x_time : Simcore.Time.t;  (* arrival *)
+  x_src : int;
+  x_seq : int;
+  x_dst : int;
+  x_am : Am.t;
+}
+
+(* Per-run parallel state. Arrays indexed per domain use a [pstride]
+   padding so no two domains share a cache line; cross-domain reads of
+   the plain slots happen only across barrier phases (the barrier is the
+   fence). *)
+and par = {
+  p_domains : int;
+  p_dom_of : int array;  (* node -> owning domain *)
+  p_queues : event Simcore.Event_queue.t array;  (* per domain *)
+  p_boxes : xitem Simcore.Spsc.t array array;  (* [src_dom].[dst_dom] *)
+  p_pending : xitem list array;  (* same-domain deferrals, newest first *)
+  p_barrier : Simcore.Barrier.t;
+  p_lookahead : Simcore.Time.t;
+  p_mins : Simcore.Time.t array;  (* padded: domain d at [d * pstride] *)
+  p_vnow : Simcore.Time.t array;  (* padded *)
+  p_horizon : Simcore.Time.t array;  (* padded; current window end *)
+  p_slices : int array;  (* padded *)
+  p_events : int array;  (* padded *)
+  p_send_seq : int array;  (* per node: deferred-send stamp *)
+  p_obs_seq : int array;  (* per node: observation stamp *)
+  p_obs : (Simcore.Time.t * int * int * observation) list array;
+      (* per domain, newest first: (time, node, seq, obs) *)
+  p_stop : bool Atomic.t;
+  p_err : (exn * Printexc.raw_backtrace) option array;  (* per domain *)
+  mutable p_running : bool;
+}
 
 and observation =
   | Obs_deliver of { time : Simcore.Time.t; src : int; dst : int }
@@ -154,7 +203,11 @@ let create ?(config = default_config) ~nodes:n () =
           | None -> Some (Co_data (Coalesce.create ~config:c ~nodes:n ()))));
     piggyback = None;
     decision = None;
+    node_decision = None;
+    tie_break_set = false;
     recovery = None;
+    par = None;
+    evcount = 0;
     down = Array.make n false;
     incarnation = Array.make n 0;
     restart_due = Array.make n 0;
@@ -206,10 +259,12 @@ let coalesce_stats t =
 
 let set_piggyback_source t hook = t.piggyback <- hook
 let set_decision_source t hook = t.decision <- hook
+let set_node_decision_source t hook = t.node_decision <- hook
 let set_tie_break t choose =
   (* Engine events carry no per-channel ordering of their own (frame
      arrivals re-sequence in the reliable layer), so every permutation
      of a same-time candidate set is a legal schedule. *)
+  t.tie_break_set <- Option.is_some choose;
   Simcore.Event_queue.set_tie_break t.events
     (Option.map (fun f evs -> f (Array.length evs)) choose)
 
@@ -218,13 +273,59 @@ let decide t tag bound =
   | Some f when bound > 1 -> f tag bound
   | Some _ | None -> 0
 
+let decide_on t ~node tag bound =
+  match t.node_decision with
+  | Some f when bound > 1 -> f ~node tag bound
+  | Some _ -> 0
+  | None -> decide t tag bound
+
+(* --- parallel-run plumbing ---------------------------------------- *)
+
+(* Padding stride for per-domain scalar slots: 8 words = 64 bytes. *)
+let pstride = 8
+
+(* The event sink: the engine's single queue sequentially, the calling
+   domain's private queue inside a parallel run. Every event a domain
+   creates targets work it owns (cross-node effects defer through the
+   boundary mailboxes instead), so routing by calling domain is exact. *)
+let add_event t ~time ev =
+  match t.par with
+  | Some p when p.p_running ->
+      Simcore.Event_queue.add p.p_queues.(Simcore.Domain_ctx.current ()) ~time ev
+  | _ -> Simcore.Event_queue.add t.events ~time ev
+
+(* Virtual now as seen by the calling domain. *)
+let now_cur t =
+  match t.par with
+  | Some p when p.p_running -> p.p_vnow.(Simcore.Domain_ctx.current () * pstride)
+  | _ -> t.vnow
+
+(* Observation emission. A parallel run buffers per domain under the
+   canonical stamp (time, producing node, per-node seq) and replays the
+   merged order into the observer at the end; the stamp is a total order
+   (per-node seqs never collide) and count-invariant (each node's
+   emission order is), so the Timeline hash is too. *)
+let emit_obs t ~time ~node obs =
+  match t.par with
+  | Some p when p.p_running ->
+      let d = Simcore.Domain_ctx.current () in
+      let s = p.p_obs_seq.(node) in
+      p.p_obs_seq.(node) <- s + 1;
+      p.p_obs.(d) <- (time, node, s, obs) :: p.p_obs.(d)
+  | _ -> ( match t.observer with Some f -> f obs | None -> ())
+
 let quiescent t =
   Array.for_all Node.is_idle t.nodes
   && reliable_in_flight t = 0
   && coalesce_buffered t = 0
 
 let schedule_at t ~time fn =
-  Simcore.Event_queue.add t.events ~time:(max time t.vnow) (Timer fn)
+  add_event t ~time:(max time (now_cur t)) (Timer fn)
+
+let schedule_on t ~node ~time fn =
+  if node < 0 || node >= Array.length t.nodes then
+    invalid_arg "Engine.schedule_on: bad node";
+  add_event t ~time:(max time (now_cur t)) (Timer_on { node; fn })
 
 let packets_dropped t = Network.Fabric.packets_dropped t.fabric
 let packets_duplicated t = Network.Fabric.packets_duplicated t.fabric
@@ -263,7 +364,7 @@ let wake t node ~time =
   if (not t.down.(Node.id node)) && Node.is_idle node then begin
     Node.set_idle node false;
     let time = max time (Node.now node) in
-    Simcore.Event_queue.add t.events ~time (Wake (Node.id node))
+    add_event t ~time (Wake (Node.id node))
   end
 
 (* Hand a message to the destination node's inbox, waking it if needed.
@@ -278,14 +379,35 @@ let deliver_local t ~dst ~arrival am =
   if Node.is_idle dst_node then begin
     Node.set_idle dst_node false;
     Node.set_next_wake dst_node wake_time;
-    Simcore.Event_queue.add t.events ~time:wake_time (Wake dst)
+    add_event t ~time:wake_time (Wake dst)
   end
   else if wake_time < Node.next_wake dst_node then begin
     (* The node is waiting for a later event; this message deserves an
        earlier look. Duplicate wakes are harmless. *)
     Node.set_next_wake dst_node wake_time;
-    Simcore.Event_queue.add t.events ~time:wake_time (Wake dst)
+    add_event t ~time:wake_time (Wake dst)
   end
+
+(* Route a fabric delivery. Sequentially this is a straight inbox
+   hand-off. Inside a parallel run the delivery is deferred to the next
+   window boundary under the canonical (arrival, src, per-src seq)
+   stamp: conservative lookahead guarantees [arrival] is at or past the
+   horizon, so deferral never reorders anything a node could already
+   have seen — it only fixes the inbox insertion order to one that is
+   independent of the domain count. *)
+let deliver_remote t ~src ~dst ~arrival am =
+  match t.par with
+  | Some p when p.p_running ->
+      let sd = Simcore.Domain_ctx.current () in
+      if arrival < p.p_horizon.(sd * pstride) then
+        failwith "Engine: lookahead violation (arrival inside the window)";
+      let s = p.p_send_seq.(src) in
+      p.p_send_seq.(src) <- s + 1;
+      let item = { x_time = arrival; x_src = src; x_seq = s; x_dst = dst; x_am = am } in
+      let dd = p.p_dom_of.(dst) in
+      if sd = dd then p.p_pending.(sd) <- item :: p.p_pending.(sd)
+      else Simcore.Spsc.push p.p_boxes.(sd).(dd) item
+  | _ -> deliver_local t ~dst ~arrival am
 
 (* --- reliable-delivery path (fault plan active) --- *)
 
@@ -311,21 +433,19 @@ let transmit_frame t ~control ~now ~src ~dst (frame : Reliable.frame) =
     Reliable.note_eta (Option.get t.rel) ~src ~dst ~seq:frame.Reliable.fr_seq
       ~eta;
   (match arrivals with
-  | [] -> incr t.c_drop
+  | [] -> Simcore.Stats.bump t.c_drop
   | [ _ ] -> ()
-  | _ -> incr t.c_dup);
+  | _ -> Simcore.Stats.bump t.c_dup);
   List.iter
     (fun arrival ->
-      (match t.observer with
-      | Some f -> f (Obs_deliver { time = arrival; src; dst })
-      | None -> ());
-      Simcore.Event_queue.add t.events ~time:arrival (Frame_rx { src; dst; frame }))
+      emit_obs t ~time:arrival ~node:src (Obs_deliver { time = arrival; src; dst });
+      add_event t ~time:arrival (Frame_rx { src; dst; frame }))
     arrivals;
   eta
 
 let arm_rel_tick t rel ~src ~dst ~now =
   match Reliable.timer_request rel ~src ~dst ~now with
-  | Some at -> Simcore.Event_queue.add t.events ~time:at (Rel_tick { src; dst })
+  | Some at -> add_event t ~time:at (Rel_tick { src; dst })
   | None -> ()
 
 let rel_send t rel ~src ~dst am =
@@ -376,13 +496,13 @@ let collect_riders t ~src ~dst =
       let riders = hook ~src ~dst in
       List.iter
         (fun (am : Am.t) ->
-          incr (handler t am.Am.handler).h_sent;
-          incr t.c_co_rider)
+          Simcore.Stats.bump (handler t am.Am.handler).h_sent;
+          Simcore.Stats.bump t.c_co_rider)
         riders;
       riders
 
 let note_batch t co ~src ~frames ~riders ~cause =
-  incr t.c_co_batch;
+  Simcore.Stats.bump t.c_co_batch;
   match co with
   | Co_data c -> Coalesce.note_batch c ~src ~frames ~riders ~cause
   | Co_framed c -> Coalesce.note_batch c ~src ~frames ~riders ~cause
@@ -411,17 +531,13 @@ let flush_data t co ~src ~dst ~now ~cause =
       let arrivals =
         staggered_arrivals t ~arrival (List.map am_wire_bytes ams)
       in
-      (match t.observer with
-      | Some f -> f (Obs_batch { time = arrival; src; dst; frames })
-      | None -> ());
+      emit_obs t ~time:arrival ~node:src (Obs_batch { time = arrival; src; dst; frames });
       List.iter2
         (fun am at ->
-          (match t.observer with
-          | Some f -> f (Obs_deliver { time = at; src; dst })
-          | None -> ());
+          emit_obs t ~time:at ~node:src (Obs_deliver { time = at; src; dst });
           deliver_local t ~dst ~arrival:at am)
         ams arrivals;
-      Simcore.Event_queue.add t.events ~time:arrival (Co_credit { src; dst })
+      add_event t ~time:arrival (Co_credit { src; dst })
 
 (* Flush the open (src, dst) buffer of the reliable layer: one flaky
    packet whose frames share a fate (all dropped, all duplicated), with
@@ -468,28 +584,24 @@ let flush_framed t rel co ~src ~dst ~now ~cause =
             Reliable.note_eta rel ~src ~dst ~seq:fr.Reliable.fr_seq ~eta)
         frames;
       (match arrivals with
-      | [] -> incr t.c_drop
+      | [] -> Simcore.Stats.bump t.c_drop
       | [ _ ] -> ()
-      | _ -> incr t.c_dup);
+      | _ -> Simcore.Stats.bump t.c_dup);
       let sizes = List.map frame_wire_bytes frames in
       List.iter
         (fun arrival ->
-          (match t.observer with
-          | Some f -> f (Obs_batch { time = arrival; src; dst; frames = n_frames })
-          | None -> ());
+          emit_obs t ~time:arrival ~node:src
+            (Obs_batch { time = arrival; src; dst; frames = n_frames });
           List.iter2
             (fun fr at ->
-              (match t.observer with
-              | Some f -> f (Obs_deliver { time = at; src; dst })
-              | None -> ());
-              Simcore.Event_queue.add t.events ~time:at
-                (Frame_rx { src; dst; frame = fr }))
+              emit_obs t ~time:at ~node:src (Obs_deliver { time = at; src; dst });
+              add_event t ~time:at (Frame_rx { src; dst; frame = fr }))
             frames
             (staggered_arrivals t ~arrival sizes))
         arrivals;
       (* The credit comes back at the fault-free arrival estimate, drop
          or not — flow control must not leak credits to the fault plan. *)
-      Simcore.Event_queue.add t.events ~time:eta (Co_credit { src; dst });
+      add_event t ~time:eta (Co_credit { src; dst });
       if n_riders > 0 then arm_rel_tick t rel ~src ~dst ~now;
       true
 
@@ -499,24 +611,21 @@ let co_send_data t co ~src ~dst ~now am =
     Coalesce.offer co ~src ~dst ~now ~bytes:(am_wire_bytes am) ~port_free am
   with
   | `Bypass ->
-      incr t.c_co_single;
+      Simcore.Stats.bump t.c_co_single;
       let arrival =
         Network.Fabric.send t.fabric ~now
           (Network.Packet.make ~src ~dst ~size_bytes:am.Am.size_bytes (Data am))
       in
-      (match t.observer with
-      | Some f -> f (Obs_deliver { time = arrival; src; dst })
-      | None -> ());
+      emit_obs t ~time:arrival ~node:src (Obs_deliver { time = arrival; src; dst });
       deliver_local t ~dst ~arrival am;
-      Simcore.Event_queue.add t.events ~time:arrival (Co_credit { src; dst })
+      add_event t ~time:arrival (Co_credit { src; dst })
   | `Opened ->
       (* Deadline timing is a decision point: the check may fire up to
          half a deadline late, stretching the aggregation window the way
          a busy host would. A pick of 0 is the exact deadline. *)
       let delay = (Coalesce.config co).Coalesce.max_delay_ns in
       let jitter = decide t "co.flush.delay" (1 + (delay / 2)) in
-      Simcore.Event_queue.add t.events ~time:(now + delay + jitter)
-        (Co_flush { src; dst })
+      add_event t ~time:(now + delay + jitter) (Co_flush { src; dst })
   | `Buffered -> ()
   | `Threshold -> flush_data t co ~src ~dst ~now ~cause:Coalesce.Size
 
@@ -530,11 +639,11 @@ let co_send_framed t rel co ~src ~dst ~now am =
           ~port_free frame
       with
       | `Bypass ->
-          incr t.c_co_single;
+          Simcore.Stats.bump t.c_co_single;
           let eta = transmit_frame t ~control:false ~now ~src ~dst frame in
-          Simcore.Event_queue.add t.events ~time:eta (Co_credit { src; dst })
+          add_event t ~time:eta (Co_credit { src; dst })
       | `Opened ->
-          Simcore.Event_queue.add t.events
+          add_event t
             ~time:(now + (Coalesce.config co).Coalesce.max_delay_ns)
             (Co_flush { src; dst })
       | `Buffered -> ()
@@ -569,8 +678,7 @@ let handle_co_flush t ~time ~src ~dst =
   | Some (Co_data c) -> (
       match Coalesce.deadline_check c ~src ~dst ~now:time with
       | `Flush -> flush_data t c ~src ~dst ~now:time ~cause:Coalesce.Deadline
-      | `Rearm at ->
-          Simcore.Event_queue.add t.events ~time:at (Co_flush { src; dst })
+      | `Rearm at -> add_event t ~time:at (Co_flush { src; dst })
       | `Idle -> ())
   | Some (Co_framed c) -> (
       match Coalesce.deadline_check c ~src ~dst ~now:time with
@@ -578,8 +686,7 @@ let handle_co_flush t ~time ~src ~dst =
           ignore
             (flush_framed t (Option.get t.rel) c ~src ~dst ~now:time
                ~cause:Coalesce.Deadline)
-      | `Rearm at ->
-          Simcore.Event_queue.add t.events ~time:at (Co_flush { src; dst })
+      | `Rearm at -> add_event t ~time:at (Co_flush { src; dst })
       | `Idle -> ())
 
 let handle_co_credit t ~time ~src ~dst =
@@ -614,25 +721,24 @@ let handle_frame t rel ~time ~src ~dst (frame : Reliable.frame) =
       (match Reliable.on_data rel ~src ~dst ~seq:frame.Reliable.fr_seq am with
       | `Deliver ams ->
           List.iter (fun am -> deliver_local t ~dst ~arrival:time am) ams
-      | `Duplicate -> incr t.c_dup_discard
+      | `Duplicate -> Simcore.Stats.bump t.c_dup_discard
       | `Reordered -> ());
       (* Data owes an acknowledgement: piggybacked on reverse traffic if
          any leaves soon, otherwise by the delayed-ack timer. Duplicates
          re-ack too — the previous ack may have been lost. *)
       (match Reliable.ack_needed rel ~me:dst ~peer:src ~now:time with
-      | Some at ->
-          Simcore.Event_queue.add t.events ~time:at (Ack_tick { me = dst; peer = src })
+      | Some at -> add_event t ~time:at (Ack_tick { me = dst; peer = src })
       | None -> ())
 
 let handle_rel_tick t rel ~time ~src ~dst =
   match Reliable.on_timer rel ~src ~dst ~now:time with
   | `Idle -> ()
-  | `Wait at -> Simcore.Event_queue.add t.events ~time:at (Rel_tick { src; dst })
+  | `Wait at -> add_event t ~time:at (Rel_tick { src; dst })
   | `Retransmit (frame, next_at) ->
-      incr t.c_retransmit;
+      Simcore.Stats.bump t.c_retransmit;
       charge t t.nodes.(src) t.config.cost.Cost_model.reliable_retransmit;
       ignore (transmit_frame t ~control:true ~now:time ~src ~dst frame);
-      Simcore.Event_queue.add t.events ~time:next_at (Rel_tick { src; dst })
+      add_event t ~time:next_at (Rel_tick { src; dst })
 
 let handle_ack_tick t rel ~time ~me ~peer =
   (* An open aggregation buffer towards the peer is a free ack carrier:
@@ -647,7 +753,7 @@ let handle_ack_tick t rel ~time ~me ~peer =
   match Reliable.on_ack_timer rel ~me ~peer with
   | None -> () (* piggybacked in the meantime (possibly by the flush above) *)
   | Some frame ->
-      incr t.c_ack;
+      Simcore.Stats.bump t.c_ack;
       charge t t.nodes.(me) t.config.cost.Cost_model.reliable_ack;
       ignore (transmit_frame t ~control:true ~now:time ~src:me ~dst:peer frame)
 
@@ -664,14 +770,15 @@ let rec send_am t ~src ~dst ~handler:hid ~size_bytes payload =
 
 and send_am_live t ~src ~dst ~handler:hid ~size_bytes payload =
   let h = handler t hid in
-  incr h.h_sent;
+  Simcore.Stats.bump h.h_sent;
   let am = { Am.handler = hid; src = Node.id src; size_bytes; payload } in
   let now = Node.now src in
   if dst = Node.id src then begin
-    (* Loopback bypasses the fabric (and with it the fault layer). *)
-    (match t.observer with
-    | Some f -> f (Obs_deliver { time = now + 1; src = Node.id src; dst })
-    | None -> ());
+    (* Loopback bypasses the fabric (and with it the fault layer); it
+       stays immediate in a parallel run too — source and destination
+       are the same node, so there is nothing to defer. *)
+    emit_obs t ~time:(now + 1) ~node:(Node.id src)
+      (Obs_deliver { time = now + 1; src = Node.id src; dst });
     deliver_local t ~dst ~arrival:(now + 1) am
   end
   else
@@ -685,14 +792,13 @@ and send_am_live t ~src ~dst ~handler:hid ~size_bytes payload =
           Network.Fabric.send t.fabric ~now
             (Network.Packet.make ~src:(Node.id src) ~dst ~size_bytes (Data am))
         in
-        (match t.observer with
-        | Some f -> f (Obs_deliver { time = arrival; src = Node.id src; dst })
-        | None -> ());
+        emit_obs t ~time:arrival ~node:(Node.id src)
+          (Obs_deliver { time = arrival; src = Node.id src; dst });
         (* The message sits in the destination's arrival-ordered inbox at
            once (it only becomes *visible* when the clock passes its
            arrival), so interrupt-mode delivery can notice it
-           mid-computation. *)
-        deliver_local t ~dst ~arrival am
+           mid-computation. Parallel runs defer it to the boundary. *)
+        deliver_remote t ~src:(Node.id src) ~dst ~arrival am
 
 let dispatch t node am =
   (match t.recovery with
@@ -743,23 +849,31 @@ let post t node thunk =
      queue is volatile and a down node must stay empty), only counted.
      Callers that need the work to survive must resubmit after the
      restart — exactly like a client of a crashed server. *)
-  if t.down.(Node.id node) then incr t.c_post_refused
+  if t.down.(Node.id node) then Simcore.Stats.bump t.c_post_refused
   else begin
+    (match t.par with
+    | Some p
+      when p.p_running
+           && p.p_dom_of.(Node.id node) <> Simcore.Domain_ctx.current () ->
+        (* No canonical stamp exists for an anonymous cross-domain post;
+           drive remote nodes through messages (or [schedule_on]). *)
+        invalid_arg "Engine.post: cross-domain post during a parallel run"
+    | _ -> ());
     Node.runq_push node thunk;
-    wake t node ~time:(max t.vnow (Node.now node))
+    wake t node ~time:(max (now_cur t) (Node.now node))
   end
 
 let reschedule_or_idle t node =
   if Node.runq_size node > 0 then begin
     Node.set_next_wake node (Node.now node);
-    Simcore.Event_queue.add t.events ~time:(Node.now node) (Wake (Node.id node))
+    add_event t ~time:(Node.now node) (Wake (Node.id node))
   end
   else
     match Node.inbox_next_arrival node with
     | Some arrival ->
         let time = max arrival (Node.now node) in
         Node.set_next_wake node time;
-        Simcore.Event_queue.add t.events ~time (Wake (Node.id node))
+        add_event t ~time (Wake (Node.id node))
     | None ->
         Node.set_next_wake node max_int;
         Node.set_idle node true
@@ -789,10 +903,8 @@ let crash_node t i ~restart_at =
   | Some (Co_data c) -> Coalesce.reset_src c ~src:i
   | Some (Co_framed c) -> Coalesce.reset_src c ~src:i
   | None -> ());
-  match t.observer with
-  | Some f ->
-      f (Obs_crash { time = t.vnow; node = i; incarnation = t.incarnation.(i) })
-  | None -> ()
+  emit_obs t ~time:t.vnow ~node:i
+    (Obs_crash { time = t.vnow; node = i; incarnation = t.incarnation.(i) })
 
 (* Bring node [i] back as a fresh incarnation and wake it so it polls
    whatever the recovery manager rebuilt into its inbox. The caller
@@ -802,11 +914,8 @@ let restart_node t i =
   t.down.(i) <- false;
   t.restart_due.(i) <- 0;
   t.incarnation.(i) <- t.incarnation.(i) + 1;
-  (match t.observer with
-  | Some f ->
-      f
-        (Obs_restart { time = t.vnow; node = i; incarnation = t.incarnation.(i) })
-  | None -> ());
+  emit_obs t ~time:t.vnow ~node:i
+    (Obs_restart { time = t.vnow; node = i; incarnation = t.incarnation.(i) });
   wake t t.nodes.(i) ~time:t.vnow
 
 let step t node ~time =
@@ -819,12 +928,10 @@ let step t node ~time =
       charge t node t.config.cost.Cost_model.sched_dequeue;
       thunk ()
   | None -> ());
-  (match t.observer with
-  | Some f ->
-      let t_end = Node.now node in
-      if t_end > t_start then
-        f (Obs_slice { node = Node.id node; t_start; t_end })
-  | None -> ());
+  (let t_end = Node.now node in
+   if t_end > t_start then
+     emit_obs t ~time:t_start ~node:(Node.id node)
+       (Obs_slice { node = Node.id node; t_start; t_end }));
   (* The scheduler ran dry: open aggregation buffers leave now, so
      dormant nodes pay zero added send latency for coalescing. *)
   if Node.runq_size node = 0 then flush_open_buffers t node;
@@ -850,7 +957,7 @@ let run ?(max_slices = max_int) t =
             if !slices > max_slices then
               failwith "Engine.run: max_slices exceeded (livelock?)";
             step t t.nodes.(i) ~time
-        | Frame_rx { dst; _ } when t.down.(dst) -> incr t.c_down_drop
+        | Frame_rx { dst; _ } when t.down.(dst) -> Simcore.Stats.bump t.c_down_drop
         | Frame_rx { src; dst; frame } ->
             handle_frame t (Option.get t.rel) ~time ~src ~dst frame
         | Rel_tick { src; dst } when t.down.(src) ->
@@ -867,10 +974,246 @@ let run ?(max_slices = max_int) t =
             handle_ack_tick t (Option.get t.rel) ~time ~me ~peer
         | Co_flush { src; dst } -> handle_co_flush t ~time ~src ~dst
         | Co_credit { src; dst } -> handle_co_credit t ~time ~src ~dst
-        | Timer fn -> fn ());
+        | Timer fn -> fn ()
+        | Timer_on { fn; _ } -> fn ());
+        t.evcount <- t.evcount + 1;
         loop ()
   in
   loop ()
+
+(* --- parallel run: conservative lookahead over sharded nodes ------- *)
+
+(* Soundness sketch. Let m be the global minimum pending-event time at a
+   round boundary and L = Fabric.min_remote_latency. Every event a
+   domain executes in the window [m, m + L) runs on a node whose clock
+   is >= its event time >= m, so any cross-node send it performs is
+   injected at now >= m and arrives at >= now + L >= m + L — at or past
+   the horizon, i.e. outside the window of *every* domain. Windows are
+   therefore interaction-free and domains can execute them unordered.
+   Determinism: deferred deliveries apply at the next boundary in
+   (arrival, src node, per-src seq) order, which is independent of the
+   domain count — by induction each round's horizon, per-node work and
+   boundary multiset are count-invariant, so the whole execution is. *)
+
+let run_parallel ?(max_slices = max_int) t ~domains () =
+  if domains < 1 then invalid_arg "Engine.run_parallel: domains must be >= 1";
+  if faults_active t then
+    invalid_arg "Engine.run_parallel: fault plans need the sequential engine";
+  if Option.is_some t.co then
+    invalid_arg "Engine.run_parallel: coalescing needs the sequential engine";
+  if Option.is_some t.recovery then
+    invalid_arg
+      "Engine.run_parallel: recovery hooks need the sequential engine";
+  if Array.exists Fun.id t.down then
+    invalid_arg "Engine.run_parallel: nodes are down";
+  if t.config.fabric.Network.Fabric.contention then
+    invalid_arg
+      "Engine.run_parallel: fabric contention needs the sequential engine";
+  if Option.is_some t.decision then
+    invalid_arg
+      "Engine.run_parallel: global decision hook set (use \
+       set_node_decision_source)";
+  if t.tie_break_set then
+    invalid_arg "Engine.run_parallel: global tie-break hook set";
+  if Option.is_some t.par then
+    invalid_arg "Engine.run_parallel: parallel run already active";
+  let n = Array.length t.nodes in
+  let domains = min domains n in
+  Simcore.Stats.shard t.stats domains;
+  let lookahead = Network.Fabric.min_remote_latency t.fabric in
+  if lookahead < 1 then
+    invalid_arg "Engine.run_parallel: fabric lookahead is zero";
+  (* Contiguous blocks of nodes per domain, balanced to within one. *)
+  let dom_of = Array.init n (fun i -> i * domains / n) in
+  let queues = Array.init domains (fun _ -> Simcore.Event_queue.create ()) in
+  (* Hand pending events to their owners, preserving (time, seq) order:
+     each queue receives its events as a subsequence of the global
+     order, so per-queue tie-breaks are count-invariant too. *)
+  let rec redistribute () =
+    match Simcore.Event_queue.pop t.events with
+    | None -> ()
+    | Some (time, ev) ->
+        let d =
+          match ev with
+          | Wake i -> dom_of.(i)
+          | Timer _ -> dom_of.(0)
+          | Timer_on { node; _ } -> dom_of.(node)
+          | _ ->
+              invalid_arg
+                "Engine.run_parallel: protocol events pending (reliable or \
+                 coalescing traffic in flight)"
+        in
+        Simcore.Event_queue.add queues.(d) ~time ev;
+        redistribute ()
+  in
+  redistribute ();
+  let pad = pstride in
+  let par =
+    {
+      p_domains = domains;
+      p_dom_of = dom_of;
+      p_queues = queues;
+      p_boxes =
+        Array.init domains (fun _ ->
+            Array.init domains (fun _ -> Simcore.Spsc.create ()));
+      p_pending = Array.make domains [];
+      p_barrier = Simcore.Barrier.create domains;
+      p_lookahead = lookahead;
+      p_mins = Array.make (domains * pad) max_int;
+      p_vnow = Array.make (domains * pad) t.vnow;
+      p_horizon = Array.make (domains * pad) 0;
+      p_slices = Array.make (domains * pad) 0;
+      p_events = Array.make (domains * pad) 0;
+      p_send_seq = Array.make n 0;
+      p_obs_seq = Array.make n 0;
+      p_obs = Array.make domains [];
+      p_stop = Atomic.make false;
+      p_err = Array.make domains None;
+      p_running = true;
+    }
+  in
+  t.par <- Some par;
+  let record_err d e =
+    if par.p_err.(d) = None then
+      par.p_err.(d) <- Some (e, Printexc.get_raw_backtrace ());
+    Atomic.set par.p_stop true
+  in
+  (* One round per iteration: apply boundary deliveries canonically,
+     publish the local minimum, agree on the horizon (replicated, not
+     communicated — everyone reads the same mins), execute the window.
+     Every domain passes the same barriers the same number of times;
+     errors stop execution but never desert a barrier, so no deadlock. *)
+  let worker d =
+    Simcore.Domain_ctx.set d;
+    let q = par.p_queues.(d) in
+    let running = ref true in
+    while !running do
+      (try
+         let mine = List.rev par.p_pending.(d) in
+         par.p_pending.(d) <- [];
+         let incoming = ref mine in
+         for s = 0 to domains - 1 do
+           incoming := !incoming @ Simcore.Spsc.drain par.p_boxes.(s).(d)
+         done;
+         let items =
+           List.sort
+             (fun a b ->
+               match compare a.x_time b.x_time with
+               | 0 -> (
+                   match compare a.x_src b.x_src with
+                   | 0 -> compare a.x_seq b.x_seq
+                   | c -> c)
+               | c -> c)
+             !incoming
+         in
+         List.iter
+           (fun it -> deliver_local t ~dst:it.x_dst ~arrival:it.x_time it.x_am)
+           items;
+         par.p_mins.(d * pad) <-
+           (match Simcore.Event_queue.peek_time q with
+           | Some tm -> tm
+           | None -> max_int)
+       with e -> record_err d e);
+      Simcore.Barrier.await par.p_barrier ~me:d;
+      if Atomic.get par.p_stop then running := false
+      else begin
+        let m = ref max_int in
+        for k = 0 to domains - 1 do
+          if par.p_mins.(k * pad) < !m then m := par.p_mins.(k * pad)
+        done;
+        let total_slices = ref 0 in
+        for k = 0 to domains - 1 do
+          total_slices := !total_slices + par.p_slices.(k * pad)
+        done;
+        if !m = max_int then running := false
+        else if !total_slices > max_slices then begin
+          (* Replicated verdict: every domain exits here this round. *)
+          if d = 0 then
+            record_err d
+              (Failure "Engine.run_parallel: max_slices exceeded (livelock?)")
+          else Atomic.set par.p_stop true;
+          running := false
+        end
+        else begin
+          let horizon = !m + par.p_lookahead in
+          par.p_horizon.(d * pad) <- horizon;
+          (try
+             let exec = ref true in
+             while !exec do
+               match Simcore.Event_queue.peek_time q with
+               | Some tm when tm < horizon -> (
+                   match Simcore.Event_queue.pop q with
+                   | None -> exec := false
+                   | Some (time, ev) ->
+                       if time > par.p_vnow.(d * pad) then
+                         par.p_vnow.(d * pad) <- time;
+                       par.p_events.(d * pad) <- par.p_events.(d * pad) + 1;
+                       (match ev with
+                       | Wake i ->
+                           par.p_slices.(d * pad) <-
+                             par.p_slices.(d * pad) + 1;
+                           step t t.nodes.(i) ~time
+                       | Timer fn -> fn ()
+                       | Timer_on { fn; _ } -> fn ()
+                       | _ -> assert false))
+               | _ -> exec := false
+             done
+           with e -> record_err d e);
+          Simcore.Barrier.await par.p_barrier ~me:d
+        end
+      end
+    done
+  in
+  let spawned =
+    Array.init (domains - 1) (fun k ->
+        Domain.spawn (fun () ->
+            try worker (k + 1) with e -> record_err (k + 1) e))
+  in
+  (try worker 0 with e -> record_err 0 e);
+  Array.iter Domain.join spawned;
+  par.p_running <- false;
+  t.par <- None;
+  Simcore.Domain_ctx.set 0;
+  (* Fold the per-domain cursors back into the sequential view. *)
+  for k = 0 to domains - 1 do
+    if par.p_vnow.(k * pad) > t.vnow then t.vnow <- par.p_vnow.(k * pad);
+    t.evcount <- t.evcount + par.p_events.(k * pad)
+  done;
+  (* First failure wins, by domain index — deterministic. *)
+  Array.iter
+    (function
+      | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt | None -> ())
+    par.p_err;
+  (* Deterministic observation replay: merge every domain's buffer in
+     canonical (time, node, seq) order — a total order, since per-node
+     seqs never collide. *)
+  match t.observer with
+  | None -> ()
+  | Some f ->
+      let all =
+        Array.fold_left (fun acc l -> List.rev_append l acc) [] par.p_obs
+      in
+      let all =
+        List.sort
+          (fun (t1, n1, s1, _) (t2, n2, s2, _) ->
+            match compare t1 t2 with
+            | 0 -> ( match compare n1 n2 with 0 -> compare s1 s2 | c -> c)
+            | c -> c)
+          all
+      in
+      List.iter (fun (_, _, _, o) -> f o) all
+
+let events_processed t =
+  match t.par with
+  | Some p when p.p_running ->
+      let total = ref t.evcount in
+      for k = 0 to p.p_domains - 1 do
+        total := !total + p.p_events.(k * pstride)
+      done;
+      !total
+  | _ -> t.evcount
+
+let lookahead_ns t = Network.Fabric.min_remote_latency t.fabric
 
 let now t = t.vnow
 

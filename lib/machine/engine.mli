@@ -97,6 +97,12 @@ val schedule_at : t -> time:Simcore.Time.t -> (unit -> unit) -> unit
     inside the thunk — but should first consult {!quiescent} so a
     finished run still drains its event queue and {!run} returns. *)
 
+val schedule_on :
+  t -> node:int -> time:Simcore.Time.t -> (unit -> unit) -> unit
+(** Like {!schedule_at}, but the timer belongs to [node]: a parallel run
+    executes it on the domain that owns the node (and the thunk may only
+    touch that node). Sequentially identical to {!schedule_at}. *)
+
 val quiescent : t -> bool
 (** Every node idle, no reliable-delivery traffic outstanding and no
     aggregation buffer still open: the machine would stop if no timer
@@ -126,6 +132,36 @@ val run : ?max_slices:int -> t -> unit
 (** Processes events until the machine quiesces (no pending events).
     Raises [Failure] if [max_slices] is exceeded — a backstop against
     livelocked programs. *)
+
+val run_parallel : ?max_slices:int -> t -> domains:int -> unit -> unit
+(** Like {!run}, but shards the nodes across [domains] OCaml domains
+    (clamped to the node count), each driving its own event queue, and
+    synchronises them with a conservative lookahead barrier: every
+    domain executes all events below [global_min + lookahead] per round,
+    where the lookahead is {!Network.Fabric.min_remote_latency} — the
+    guaranteed minimum timestamp increment of any cross-node message.
+    Cross-node deliveries defer to the next round boundary and apply in
+    canonical (arrival, source node, per-source seq) order, so the run —
+    including the Timeline observation stream, replayed in canonical
+    merged order at the end — is bit-identical for {e any} [domains],
+    including 1. ([run_parallel ~domains:1] is {e not} byte-identical to
+    {!run}: the sequential engine interleaves observations and inbox
+    insertions in pop order rather than boundary order. Compare parallel
+    runs with parallel runs.)
+
+    Requires a machine with no fault plan, no coalescing, no recovery
+    hooks, no fabric contention, no down nodes, and no global decision
+    or tie-break hook (use {!set_node_decision_source}); raises
+    [Invalid_argument] otherwise. [max_slices] bounds the total slice
+    count across all domains, checked once per round. *)
+
+val events_processed : t -> int
+(** Events executed so far by {!run} and {!run_parallel} together — the
+    numerator of a host-side events-per-second figure. *)
+
+val lookahead_ns : t -> Simcore.Time.t
+(** The conservative lookahead {!run_parallel} uses: the fabric's
+    minimum cross-node latency. *)
 
 val now : t -> Simcore.Time.t
 (** Timestamp of the most recently processed event. *)
@@ -268,3 +304,14 @@ val decide : t -> string -> int -> int
     recovery manager's crash re-timing, checkpoint staggering) can add
     decision points of their own that record and replay through the
     same choice vector as the engine's. *)
+
+val set_node_decision_source :
+  t -> (node:int -> string -> int -> int) option -> unit
+(** Node-keyed variant of {!set_decision_source}: each node draws from
+    its own recorded stream, so there is no shared cursor whose order
+    would depend on the execution interleaving. The only decision hook
+    {!run_parallel} accepts. *)
+
+val decide_on : t -> node:int -> string -> int -> int
+(** [decide_on t ~node tag bound] consults the node-keyed hook; without
+    one it falls back to {!decide} (sequential runs only). *)

@@ -107,15 +107,15 @@ type t = {
   policy : Policy.t option;
   interval_ns : int;
   load : Services.Load.t option;
-  c_out : int ref;
-  c_in : int ref;
-  c_fwd : int ref;
-  c_fwd_node : int ref array;
-  c_update : int ref;
-  c_held : int ref;
-  c_limbo : int ref;
-  c_dup : int ref;
-  c_colocated : int ref;
+  c_out : Simcore.Stats.cell;
+  c_in : Simcore.Stats.cell;
+  c_fwd : Simcore.Stats.cell;
+  c_fwd_node : Simcore.Stats.cell array;
+  c_update : Simcore.Stats.cell;
+  c_held : Simcore.Stats.cell;
+  c_limbo : Simcore.Stats.cell;
+  c_dup : Simcore.Stats.cell;
+  c_colocated : Simcore.Stats.cell;
   mutable hop_max : int;
 }
 
@@ -206,10 +206,10 @@ let gate_submit t rt (obj : Kernel.obj) ~sender ~seq msg =
     Sched.local_deliver ~origin:`Remote rt obj msg
   in
   let exp = expected g sender in
-  if seq < exp then incr t.c_dup
+  if seq < exp then Simcore.Stats.bump t.c_dup
   else if seq > exp then begin
     Hashtbl.replace g.g_held (sender, seq) msg;
-    incr t.c_held
+    Simcore.Stats.bump t.c_held
   end
   else begin
     Hashtbl.replace g.g_expected sender (exp + 1);
@@ -274,8 +274,8 @@ let forward_via_stub t rt (f : Kernel.fwd) ~sender ~seq ~hop msg =
   if hop > 4 * Engine.node_count t.machine then
     failwith "Migrate: forwarding loop detected";
   Kernel.charge rt (Engine.cost t.machine).Cost_model.migrate_forward;
-  incr t.c_fwd;
-  incr t.c_fwd_node.(my_id);
+  Simcore.Stats.bump t.c_fwd;
+  Simcore.Stats.bump t.c_fwd_node.(my_id);
   t.hop_max <- max t.hop_max hop;
   cache_learn (nstate_of t my_id) f.Kernel.fwd_canon f.Kernel.fwd_to
     f.Kernel.fwd_epoch;
@@ -307,7 +307,7 @@ let mig_send t rt (canon : Value.addr) msg =
              whole point of affinity migration — no fabric traversal, so
              no NIC setup either; only the residency lookup is paid. *)
           Kernel.charge rt c.Cost_model.check_locality;
-          incr t.c_colocated;
+          Simcore.Stats.bump t.c_colocated;
           gate_submit t rt obj ~sender:my_id ~seq msg)
   | None ->
       Kernel.charge rt c.Cost_model.msg_setup_send;
@@ -473,7 +473,7 @@ let rec do_move t rt (obj : Kernel.obj) ~to_ =
     obj.Kernel.ma <- None;
     obj.Kernel.exported <- true;
     cache_learn ns canon phys_hint epoch;
-    incr t.c_out;
+    Simcore.Stats.bump t.c_out;
     let size_bytes =
       Bytes.length state + Bytes.length ctor
       + List.fold_left (fun a b -> a + Bytes.length b) 0 frames
@@ -596,7 +596,7 @@ let install t rt ~canon ~cls_id ~epoch ~initialized ~state ~ctor ~frames
   Hashtbl.replace ns.ns_res (key canon) res;
   let phys = { Value.node = my_id; slot = obj.Kernel.phys_slot } in
   Hashtbl.replace ns.ns_cache (key canon) (phys, epoch);
-  incr t.c_in;
+  Simcore.Stats.bump t.c_in;
   (* Retarget every older stub at the new home in one shot, collapsing
      forwarding chains to a single hop at quiescence. *)
   List.iter
@@ -633,7 +633,7 @@ let on_m_msg t rt ~canon ~sender ~seq ~hop msg =
       (* We were taught this home but the install is still in flight on
          another channel: park until it lands. Parking takes custody. *)
       accept_in rt msg;
-      incr t.c_limbo;
+      Simcore.Stats.bump t.c_limbo;
       let cell =
         match Hashtbl.find_opt ns.ns_limbo (key canon) with
         | Some r -> r
@@ -648,7 +648,7 @@ let on_m_update t rt ~canon ~phys ~epoch =
   let my_id = Machine.Node.id rt.Kernel.node in
   let ns = nstate_of t my_id in
   Kernel.charge rt (Engine.cost t.machine).Cost_model.migrate_update;
-  incr t.c_update;
+  Simcore.Stats.bump t.c_update;
   cache_learn ns canon phys epoch;
   let record =
     if canon.Value.node = my_id then
@@ -969,9 +969,9 @@ let readvertise t ~node =
   Simcore.Stats.add (Engine.stats t.machine) "migrate.readvertise" !sent;
   !sent
 
-let migrations t = !(t.c_out)
-let forwarded t = !(t.c_fwd)
-let colocated_sends t = !(t.c_colocated)
+let migrations t = (Simcore.Stats.read t.c_out)
+let forwarded t = (Simcore.Stats.read t.c_fwd)
+let colocated_sends t = (Simcore.Stats.read t.c_colocated)
 let max_hop_seen t = t.hop_max
 
 let stub_count t ~node =

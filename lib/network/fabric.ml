@@ -18,12 +18,14 @@ type 'a t = {
   faults : Faults.t option;
   (* end of the last injection per source node: models the injection port *)
   injection_free : Simcore.Time.t array;
-  (* last delivery time per (src, dst) channel, for FIFO enforcement *)
-  last_delivery : (int, Simcore.Time.t) Hashtbl.t;
+  (* last delivery time per (src, dst) channel, for FIFO enforcement;
+     indexed by src so each sending domain touches only its own table *)
+  last_delivery : (int, Simcore.Time.t) Hashtbl.t array;
   (* when each directed link (from_node, to_node) becomes free *)
   link_free : (int * int, Simcore.Time.t) Hashtbl.t;
-  mutable packets : int;
-  mutable bytes : int;
+  (* per source node, so concurrent domains never share a counter *)
+  packets_by_src : int array;
+  bytes_by_src : int array;
   mutable dropped : int;
   mutable duplicated : int;
   (* per source node, for degradation reports *)
@@ -43,10 +45,10 @@ let create ?(config = default_config) ?faults topo =
     config;
     faults = Option.map Faults.create faults;
     injection_free = Array.make n 0;
-    last_delivery = Hashtbl.create 256;
+    last_delivery = Array.init n (fun _ -> Hashtbl.create 32);
     link_free = Hashtbl.create 256;
-    packets = 0;
-    bytes = 0;
+    packets_by_src = Array.make n 0;
+    bytes_by_src = Array.make n 0;
     dropped = 0;
     duplicated = 0;
     dropped_by_src = Array.make n 0;
@@ -103,16 +105,16 @@ let send t ~now (p : _ Packet.t) =
   in
   (* FIFO per channel: never deliver before (or at) the previous packet on
      the same (src, dst) pair. *)
-  let channel = (p.src * Topology.node_count t.topo) + p.dst in
+  let fifo = t.last_delivery.(p.src) in
   let arrival =
-    match Hashtbl.find_opt t.last_delivery channel with
+    match Hashtbl.find_opt fifo p.dst with
     | Some prev when arrival <= prev -> prev + 1
     | _ -> arrival
   in
   let arrival = if arrival <= now then now + 1 else arrival in
-  Hashtbl.replace t.last_delivery channel arrival;
-  t.packets <- t.packets + 1;
-  t.bytes <- t.bytes + wire;
+  Hashtbl.replace fifo p.dst arrival;
+  t.packets_by_src.(p.src) <- t.packets_by_src.(p.src) + 1;
+  t.bytes_by_src.(p.src) <- t.bytes_by_src.(p.src) + wire;
   arrival
 
 (* Applies a fault fate to a packet whose fault-free arrival would be
@@ -177,8 +179,8 @@ let send_flaky t ~now (p : _ Packet.t) =
 
 let send_control t ~now (p : _ Packet.t) =
   let wire = Packet.wire_bytes p in
-  t.packets <- t.packets + 1;
-  t.bytes <- t.bytes + wire;
+  t.packets_by_src.(p.src) <- t.packets_by_src.(p.src) + 1;
+  t.bytes_by_src.(p.src) <- t.bytes_by_src.(p.src) + wire;
   let base = now + transit_time t p in
   match t.faults with
   | None -> (base, [ base ])
@@ -186,8 +188,18 @@ let send_control t ~now (p : _ Packet.t) =
 
 let injection_idle t ~node ~now = t.injection_free.(node) <= now
 
-let packets_sent t = t.packets
-let bytes_sent t = t.bytes
+let packets_sent t = Array.fold_left ( + ) 0 t.packets_by_src
+let bytes_sent t = Array.fold_left ( + ) 0 t.bytes_by_src
+
+(* The smallest increment {!send} can put between a packet's injection
+   instant and its arrival at a *different* node: minimum wire size (a
+   bare header), the fixed launch cost, and at least one hop. The FIFO
+   and injection-port clamps only push arrivals later. This bound is the
+   conservative-parallel-simulation lookahead: a message sent at [now]
+   to another node cannot take effect before [now + min_remote_latency]. *)
+let min_remote_latency t =
+  transmission_ns t Packet.header_bytes
+  + t.config.hw_launch_ns + t.config.per_hop_ns
 let packets_dropped t = t.dropped
 let packets_duplicated t = t.duplicated
 let dropped_by_src t src = t.dropped_by_src.(src)
@@ -196,14 +208,15 @@ let crash_dropped t = t.crash_dropped
 let crash_dropped_by_node t node = t.crash_dropped_by_node.(node)
 
 let channel_entries t =
-  Hashtbl.length t.last_delivery + Hashtbl.length t.link_free
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.last_delivery
+  + Hashtbl.length t.link_free
 
 let reset t =
-  Hashtbl.reset t.last_delivery;
+  Array.iter Hashtbl.reset t.last_delivery;
   Hashtbl.reset t.link_free;
   Array.fill t.injection_free 0 (Array.length t.injection_free) 0;
-  t.packets <- 0;
-  t.bytes <- 0;
+  Array.fill t.packets_by_src 0 (Array.length t.packets_by_src) 0;
+  Array.fill t.bytes_by_src 0 (Array.length t.bytes_by_src) 0;
   t.dropped <- 0;
   t.duplicated <- 0;
   Array.fill t.dropped_by_src 0 (Array.length t.dropped_by_src) 0;

@@ -100,6 +100,15 @@ val transmission_ns : 'a t -> int -> Simcore.Time.t
     multi-frame packets can stagger per-frame delivery cut-through
     style without re-deriving the bandwidth model. *)
 
+val min_remote_latency : 'a t -> Simcore.Time.t
+(** Smallest possible [arrival - now] {!send} can produce for a packet
+    whose destination differs from its source: the transmission time of
+    a bare header plus the hardware launch cost plus one hop. Queueing
+    (injection port, channel FIFO) only increases arrivals, so this is
+    a sound conservative lookahead for parallel simulation: events a
+    node creates at another node always land at least this far in that
+    node's future. *)
+
 val packets_sent : 'a t -> int
 
 val bytes_sent : 'a t -> int

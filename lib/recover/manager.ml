@@ -99,16 +99,16 @@ type t = {
   app : app;
   cfg : config;
   ns : nstate array;
-  c_crashes : int ref;
-  c_restarts : int ref;
-  c_ckpts : int ref;
-  c_ckpt_bytes : int ref;
-  c_ckpt_deferred : int ref;
-  c_replayed : int ref;
-  c_recovery_ns : int ref;
-  c_suppressed : int ref;
-  c_unlogged : int ref;
-  c_inbox_rebuilt : int ref;
+  c_crashes : Simcore.Stats.cell;
+  c_restarts : Simcore.Stats.cell;
+  c_ckpts : Simcore.Stats.cell;
+  c_ckpt_bytes : Simcore.Stats.cell;
+  c_ckpt_deferred : Simcore.Stats.cell;
+  c_replayed : Simcore.Stats.cell;
+  c_recovery_ns : Simcore.Stats.cell;
+  c_suppressed : Simcore.Stats.cell;
+  c_unlogged : Simcore.Stats.cell;
+  c_inbox_rebuilt : Simcore.Stats.cell;
 }
 
 let store t i = t.ns.(i).store
@@ -155,11 +155,11 @@ let on_dispatch t ~node am =
     | None ->
         (* A message the delivery log never saw (e.g. injected behind
            the manager's back). It cannot be replayed after a crash. *)
-        incr t.c_unlogged
+        Simcore.Stats.bump t.c_unlogged
 
 let on_send t ~src =
   if t.ns.(src).replaying then begin
-    incr t.c_suppressed;
+    Simcore.Stats.bump t.c_suppressed;
     false
   end
   else true
@@ -169,7 +169,7 @@ let on_send t ~src =
 let checkpoint t i =
   let ns = t.ns.(i) in
   match t.app.a_snapshot i with
-  | None -> incr t.c_ckpt_deferred
+  | None -> Simcore.Stats.bump t.c_ckpt_deferred
   | Some img ->
       Store.put ns.store ~key:"ckpt" img;
       ns.has_ckpt <- true;
@@ -184,8 +184,8 @@ let checkpoint t i =
         (fun de ->
           Store.append ns.store ~log:"delivery" ~bytes:(dentry_bytes de.de_am))
         ns.pending;
-      incr t.c_ckpts;
-      t.c_ckpt_bytes := !(t.c_ckpt_bytes) + Bytes.length img
+      Simcore.Stats.bump t.c_ckpts;
+      Simcore.Stats.bump_n t.c_ckpt_bytes (Bytes.length img)
 
 let any_restart_pending t =
   Array.exists (fun ns -> ns.pending_restart) t.ns
@@ -219,7 +219,7 @@ let restart t i =
   List.iter
     (fun de ->
       Engine.redispatch t.eng ~node:i de.de_am;
-      incr t.c_replayed)
+      Simcore.Stats.bump t.c_replayed)
     (List.rev ns.done_log);
   ns.replaying <- false;
   (* 3. Rebuild the inbox from delivered-but-undispatched entries at
@@ -228,15 +228,15 @@ let restart t i =
   Queue.iter
     (fun de ->
       Node.inbox_push node ~arrival:de.de_arrival de.de_am;
-      incr t.c_inbox_rebuilt)
+      Simcore.Stats.bump t.c_inbox_rebuilt)
     ns.pending;
   (* 4. Up again, as a fresh incarnation. *)
   Engine.restart_node t.eng i;
   ns.pending_restart <- false;
-  incr t.c_restarts;
+  Simcore.Stats.bump t.c_restarts;
   let spent = Node.now node - t0 in
   ns.recoveries_ns <- ns.recoveries_ns + spent;
-  t.c_recovery_ns := !(t.c_recovery_ns) + spent
+  Simcore.Stats.bump_n t.c_recovery_ns (spent)
 
 let crash t i ~restart_at =
   let ns = t.ns.(i) in
@@ -247,7 +247,7 @@ let crash t i ~restart_at =
   ns.pending_restart <- true;
   Engine.crash_node t.eng i ~restart_at:ra;
   t.app.a_reset i;
-  incr t.c_crashes;
+  Simcore.Stats.bump t.c_crashes;
   Engine.schedule_at t.eng ~time:ra (fun () -> restart t i)
 
 (* --- wiring --- *)

@@ -31,6 +31,16 @@ let write ~path fields =
   Printf.fprintf oc "}\n";
   close_out oc
 
+let perf_fields ~wall_clock_s ~events ~domains =
+  let eps =
+    if wall_clock_s > 0. then float_of_int events /. wall_clock_s else 0.
+  in
+  [
+    ("wall_clock_s", Float wall_clock_s);
+    ("events_per_sec", Float eps);
+    ("domains", Int domains);
+  ]
+
 let read_int_field ~path ~key =
   match open_in path with
   | exception Sys_error _ -> None

@@ -9,7 +9,10 @@ type t = {
   tables : (int, int) Hashtbl.t array;
   (* ma_tables.(n) maps peer node id -> last activation-queue depth *)
   ma_tables : (int, int) Hashtbl.t array;
-  mutable broadcasts : int;
+  (* A sharded Stats cell, not a mutable field: [broadcast] runs from
+     application contexts on any node, so under [System.run_parallel]
+     a plain counter would be racy. *)
+  c_broadcasts : Simcore.Stats.cell;
 }
 
 let local_load_of_node node =
@@ -41,7 +44,7 @@ let broadcast_node t ~node:my_id =
         ~size_bytes:8
         (P_load { load; ma_depth }))
     (Network.Topology.neighbors (Engine.topology machine) my_id);
-  t.broadcasts <- t.broadcasts + 1
+  Simcore.Stats.bump t.c_broadcasts
 
 let broadcast t ctx = broadcast_node t ~node:(Core.Ctx.node_id ctx)
 
@@ -128,7 +131,16 @@ let attach system =
     Engine.register_handler machine Machine.Am.Service ~name:"load-gossip"
       handle
   in
-  let t = { system; handler; tables; ma_tables; broadcasts = 0 } in
+  let t =
+    {
+      system;
+      handler;
+      tables;
+      ma_tables;
+      c_broadcasts =
+        Simcore.Stats.counter (Core.System.stats system) "gossip.broadcasts";
+    }
+  in
   arm_auto_gossip t;
   t
 
@@ -201,4 +213,4 @@ let deferred_placement () =
   in
   (Core.Kernel.Custom_policy pick, fun t -> cell := Some t)
 
-let broadcasts t = t.broadcasts
+let broadcasts t = Simcore.Stats.read t.c_broadcasts

@@ -1,0 +1,73 @@
+(* Sense-reversing barrier with a bounded spin before blocking. Each
+   participant flips its private sense per phase; the last arrival
+   flips the shared sense, releasing the rest. The [Atomic] operations
+   are sequentially consistent, so every write made before [await] is
+   visible to every participant after it — the parallel engine leans on
+   this to exchange plain (non-atomic) per-domain data across phases.
+   (Blocking waiters get the same guarantee from the mutex.)
+
+   Waiters spin only briefly and then block on a condition variable:
+   with more domains than cores — a 2-core CI runner driving 8 domains —
+   a pure spin barrier burns a scheduler quantum per waiter per phase
+   and the run crawls; blocked waiters cost a wakeup instead. *)
+
+(* Private senses live in a padded slot each so two participants never
+   share a cache line. *)
+let pad = 16
+let spin_budget = 1024
+
+type t = {
+  parties : int;
+  count : int Atomic.t;
+  sense : bool Atomic.t;
+  local : bool array;  (* slot [i * pad]: participant i's next sense *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+}
+
+let create parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties must be >= 1";
+  {
+    parties;
+    count = Atomic.make parties;
+    sense = Atomic.make false;
+    local = Array.make (parties * pad) true;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+  }
+
+let await t ~me =
+  if t.parties > 1 then begin
+    let mine = t.local.(me * pad) in
+    t.local.(me * pad) <- not mine;
+    if Atomic.fetch_and_add t.count (-1) = 1 then begin
+      Atomic.set t.count t.parties;
+      Atomic.set t.sense mine;
+      (* Taking the mutex orders the broadcast after any waiter's
+         decision to block: a waiter re-checks the sense under the
+         mutex, so it either sees the flip or is already in
+         [Condition.wait] when the broadcast lands. *)
+      Mutex.lock t.mutex;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      let spins = ref 0 in
+      while Atomic.get t.sense <> mine && !spins < spin_budget do
+        Domain.cpu_relax ();
+        incr spins
+      done;
+      if Atomic.get t.sense <> mine then begin
+        Mutex.lock t.mutex;
+        while Atomic.get t.sense <> mine do
+          Condition.wait t.cond t.mutex
+        done;
+        Mutex.unlock t.mutex
+      end
+      (* A waiter stuck here across a whole next phase is impossible:
+         it has not left this [await], so the next phase is missing a
+         party and cannot release — at most one flip can be pending. *)
+    end
+  end
+
+let parties t = t.parties

@@ -1,0 +1,19 @@
+(** Sense-reversing barrier for the parallel engine's rounds: a short
+    bounded spin, then a condition-variable block (so oversubscribed
+    hosts — more domains than cores — do not burn a scheduler quantum
+    per waiter per phase).
+
+    All [parties] participants must call {!await} to release any of
+    them; each passes its own stable index [me] in [[0, parties)]. The
+    barrier is a full memory fence: writes made by any participant
+    before its [await] are visible to every participant afterwards, so
+    plain per-domain arrays exchanged strictly across barrier phases
+    need no atomics of their own. A 1-party barrier is a no-op. *)
+
+type t
+
+val create : int -> t
+(** [create parties] — raises [Invalid_argument] if [parties < 1]. *)
+
+val await : t -> me:int -> unit
+val parties : t -> int

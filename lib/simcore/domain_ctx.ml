@@ -1,0 +1,7 @@
+(* Which simulation domain (shard) the calling OCaml domain is driving.
+   Index 0 is the coordinating domain; a sequential run never calls [set]
+   and always reads 0. *)
+
+let key = Domain.DLS.new_key (fun () -> 0)
+let current () = Domain.DLS.get key
+let set i = Domain.DLS.set key i

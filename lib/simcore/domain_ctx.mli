@@ -1,0 +1,12 @@
+(** Identity of the simulation domain driving the calling OCaml domain.
+
+    The parallel engine pins each spawned domain to a shard index before
+    its worker loop starts; sharded services ({!Stats}) use the index to
+    pick their private slot. Outside a parallel run everything executes
+    on domain 0, the default. *)
+
+val current : unit -> int
+(** Shard index of the calling domain (0 unless {!set} was called). *)
+
+val set : int -> unit
+(** Pins the calling domain's shard index (domain-local storage). *)

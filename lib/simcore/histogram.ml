@@ -72,6 +72,24 @@ let quantile t q =
         let v = Float.min v (float_of_int t.max_v) in
         Some v
 
+let merge_into ~into src =
+  if src.count > 0 then begin
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum;
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v;
+    (match (into.bucket_width, src.bucket_width) with
+    | Some a, Some b when a <> b ->
+        invalid_arg "Histogram.merge_into: bucket widths differ"
+    | _ -> ());
+    Hashtbl.iter
+      (fun idx r ->
+        match Hashtbl.find_opt into.buckets idx with
+        | Some dst -> dst := !dst + !r
+        | None -> Hashtbl.add into.buckets idx (ref !r))
+      src.buckets
+  end
+
 let buckets t =
   Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) t.buckets []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

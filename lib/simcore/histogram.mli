@@ -31,6 +31,12 @@ val quantile : t -> float -> float option
     created without [bucket_width] (there is nothing to interpolate
     over). p50/p99/p999 are [quantile t 0.5] / [0.99] / [0.999]. *)
 
+val merge_into : into:t -> t -> unit
+(** Folds [src]'s samples into [into]: counts, sums, extrema and bucket
+    frequencies all add, so merging per-domain histograms at quiescence
+    yields the same summary for any domain count (sums commute). Raises
+    [Invalid_argument] when both have buckets of different widths. *)
+
 val buckets : t -> (int * int) list
 (** Sorted (bucket_index, count) pairs; empty without [bucket_width]. *)
 

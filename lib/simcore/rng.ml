@@ -14,6 +14,17 @@ let next t =
 let create ~seed = { state = mix (Int64.of_int seed) }
 let split t = { state = mix (next t) }
 
+(* Pure derivation: child [index] of a stream, computed from the parent's
+   current position WITHOUT advancing it. Distinct indices land the
+   children in unrelated splitmix64 positions (double mix). Used to give
+   every owner (node, shard, service) its own stream up front instead of
+   interleaving draws on a shared default stream — interleaved draws
+   would depend on execution order, which a parallel run does not fix. *)
+let derive t ~index =
+  if index < 0 then invalid_arg "Rng.derive: index must be >= 0";
+  let salt = Int64.mul (Int64.of_int (index + 1)) golden_gamma in
+  { state = mix (mix (Int64.logxor t.state salt)) }
+
 (* Uniform in [0, bound) by rejection sampling over the 62-bit draw
    space ([0, max_int]): plain [r mod bound] over-weights small residues
    whenever bound does not divide 2^62 — imperceptibly for small bounds,

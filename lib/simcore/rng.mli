@@ -9,7 +9,16 @@ type t
 val create : seed:int -> t
 
 val split : t -> t
-(** Derives an independent stream (e.g. one per node). *)
+(** Derives an independent stream, advancing the parent (e.g. carving
+    streams off sequentially at boot). *)
+
+val derive : t -> index:int -> t
+(** [derive t ~index] is the [index]-th child stream of [t]'s current
+    position, computed {e without} advancing [t]: deriving children in
+    any order — or from different domains — yields identical streams.
+    This is how components give each owner (one per node, shard,
+    service) its own stream instead of sharing a default stream whose
+    draw interleaving would depend on execution order. *)
 
 val int : t -> int -> int
 (** [int t bound] is uniform in [0, bound). [bound] must be positive. *)

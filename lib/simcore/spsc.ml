@@ -1,0 +1,43 @@
+(* Unbounded single-producer single-consumer queue: an atomically linked
+   list with a dummy head (Michael-Scott reduced to one producer and one
+   consumer, so neither end needs a retry loop). The producer appends to
+   [tail]; the consumer advances [head]. The only shared location either
+   side writes is a [next] pointer / the tail cursor, both via [Atomic],
+   which gives the necessary happens-before edge for the payload. *)
+
+type 'a node = { value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = {
+  mutable head : 'a node;  (* consumer-owned cursor (dummy node) *)
+  tail : 'a node Atomic.t;  (* producer-owned cursor *)
+}
+
+let make_node value = { value; next = Atomic.make None }
+
+let create () =
+  let dummy = make_node None in
+  { head = dummy; tail = Atomic.make dummy }
+
+let push t v =
+  let n = make_node (Some v) in
+  let prev = Atomic.get t.tail in
+  (* Order matters: link the node before publishing it via [next] so the
+     consumer never observes a reachable node with a stale tail. *)
+  Atomic.set t.tail n;
+  Atomic.set prev.next (Some n)
+
+let pop t =
+  match Atomic.get t.head.next with
+  | None -> None
+  | Some n ->
+      t.head <- n;
+      n.value
+
+let rec drain_into t acc =
+  match pop t with None -> acc | Some v -> drain_into t (v :: acc)
+
+let drain t =
+  (* Newest-first accumulation, reversed once: FIFO order out. *)
+  List.rev (drain_into t [])
+
+let is_empty t = Atomic.get t.head.next = None

@@ -1,0 +1,22 @@
+(** Unbounded single-producer single-consumer FIFO mailbox.
+
+    The parallel engine owns one per ordered domain pair: the source
+    domain pushes boundary items during its execution window, the
+    destination domain drains them at the next barrier. Exactly one
+    domain may call {!push} and exactly one may call {!pop}/{!drain}
+    over the queue's lifetime; the atomic links give the happens-before
+    edge that publishes each element's payload. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Oldest element, if any (consumer side). *)
+
+val drain : 'a t -> 'a list
+(** Every element currently visible, oldest first (consumer side). *)
+
+val is_empty : 'a t -> bool
+(** Consumer-side emptiness probe. *)

@@ -1,25 +1,89 @@
-type t = (string, int ref) Hashtbl.t
+(* Counter cells are sharded per simulation domain: each domain bumps a
+   private padded slot (no atomics, no contention, no false sharing) and
+   readers sum the slots. Summation is order-insensitive, so the merged
+   value at quiescence is identical for any domain count — part of the
+   parallel engine's bit-identical replay guarantee. *)
 
-let create () = Hashtbl.create 64
+(* 8 boxed-int words = 64 bytes: one cache line per domain slot. *)
+let stride = 8
 
+type cell = { mutable slots : int array }
+
+type t = {
+  tbl : (string, cell) Hashtbl.t;
+  mutable shards : int;
+  lock : Mutex.t;
+}
+
+let create () = { tbl = Hashtbl.create 64; shards = 1; lock = Mutex.create () }
+
+let bump c =
+  let i = Domain_ctx.current () * stride in
+  c.slots.(i) <- c.slots.(i) + 1
+
+let bump_n c n =
+  let i = Domain_ctx.current () * stride in
+  c.slots.(i) <- c.slots.(i) + n
+
+let read c =
+  let total = ref 0 in
+  let n = Array.length c.slots / stride in
+  for d = 0 to n - 1 do
+    total := !total + c.slots.(d * stride)
+  done;
+  !total
+
+(* The name table is the only structure touched by more than one domain
+   (dynamic counter creation mid-run); every access goes through the
+   lock. Cells themselves are lock-free. *)
 let counter t name =
-  match Hashtbl.find_opt t name with
-  | Some r -> r
-  | None ->
-      let r = ref 0 in
-      Hashtbl.add t name r;
-      r
+  Mutex.lock t.lock;
+  let c =
+    match Hashtbl.find_opt t.tbl name with
+    | Some c -> c
+    | None ->
+        let c = { slots = Array.make (t.shards * stride) 0 } in
+        Hashtbl.add t.tbl name c;
+        c
+  in
+  Mutex.unlock t.lock;
+  c
 
-let incr t name = incr (counter t name)
-let add t name n = counter t name := !(counter t name) + n
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let shard t n =
+  if n < 1 then invalid_arg "Stats.shard: shard count must be >= 1";
+  Mutex.lock t.lock;
+  if n > t.shards then begin
+    t.shards <- n;
+    Hashtbl.iter
+      (fun _ c ->
+        let bigger = Array.make (n * stride) 0 in
+        Array.blit c.slots 0 bigger 0 (Array.length c.slots);
+        c.slots <- bigger)
+      t.tbl
+  end;
+  Mutex.unlock t.lock
+
+let incr t name = bump (counter t name)
+let add t name n = bump_n (counter t name) n
+
+let get t name =
+  Mutex.lock t.lock;
+  let c = Hashtbl.find_opt t.tbl name in
+  Mutex.unlock t.lock;
+  match c with Some c -> read c | None -> 0
 
 let to_alist t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Mutex.lock t.lock;
+  let pairs = Hashtbl.fold (fun name c acc -> (name, read c) :: acc) t.tbl [] in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
 
 let names t = List.map fst (to_alist t)
-let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let reset t =
+  Mutex.lock t.lock;
+  Hashtbl.iter (fun _ c -> Array.fill c.slots 0 (Array.length c.slots) 0) t.tbl;
+  Mutex.unlock t.lock
 
 let pp ppf t =
   let pairs = to_alist t in

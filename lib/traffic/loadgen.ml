@@ -34,14 +34,26 @@ let default_config =
     key_dist = Uniform;
   }
 
+(* One arrival chain. Classic mode runs a single global chain
+   ([g_node = -1], injection node drawn per arrival); sharded mode runs
+   one chain per node, each owning a derived rng stream and injecting
+   only at its own node's client — so under [System.run_parallel] every
+   chain's draws, timers and posts stay inside one domain. *)
+type gen = {
+  g_node : int;
+  g_rng : Simcore.Rng.t;
+  g_share : int;  (** requests this chain will inject *)
+  mutable g_count : int;
+}
+
 type t = {
   cfg : config;
   sys : Core.System.t;
   kv : Apps.Kv_store.t;
-  rng : Simcore.Rng.t;
   zipf_cdf : float array option;
-      (** cumulative popularity by rank, precomputed at launch *)
-  mutable injected : int;
+      (** cumulative popularity by rank, precomputed at launch;
+          read-only after launch, so chains may share it *)
+  gens : gen array;
 }
 
 (* Normalised cumulative Zipf weights: cdf.(r) = P(rank <= r). *)
@@ -68,39 +80,38 @@ let zipf_rank cdf u =
 
 let period_ns cfg = 1_000_000_000. /. float_of_int cfg.rate_rps
 
-let draw_op t =
-  let m = t.cfg.mix in
+let draw_op cfg rng =
+  let m = cfg.mix in
   let total = m.m_get + m.m_put + m.m_cas + m.m_mget in
   if total <= 0 then invalid_arg "Loadgen: operation mix sums to zero";
-  let r = Simcore.Rng.int t.rng total in
+  let r = Simcore.Rng.int rng total in
   if r < m.m_get then Apps.Kv_store.Get
   else if r < m.m_get + m.m_put then Apps.Kv_store.Put
   else if r < m.m_get + m.m_put + m.m_cas then Apps.Kv_store.Cas
   else Apps.Kv_store.Mget
 
-let inject t ~at =
-  let machine = Core.System.machine t.sys in
-  let nodes = Core.System.node_count t.sys in
-  let node = Simcore.Rng.int t.rng nodes in
-  let op = draw_op t in
+(* [decide] abstracts over the engine's global decision source (classic
+   chain) and the per-node one (sharded chains). *)
+let draw_key t rng ~decide =
   let keyspace = Apps.Kv_store.keyspace t.kv in
-  let key =
-    match t.zipf_cdf with
-    | None ->
-        let base = Simcore.Rng.int t.rng keyspace in
-        let shift = Engine.decide machine "traffic.key.shift" 4 in
-        (base + shift) mod keyspace
-    | Some cdf ->
-        (* The rank comes from the generator's own seeded stream; the
-           recorded decision point only perturbs it, so a captured
-           schedule replays the exact same key sequence. *)
-        let u = Simcore.Rng.float t.rng 1.0 in
-        let rank = zipf_rank cdf u in
-        let shift = Engine.decide machine "traffic.key.zipf" 4 in
-        (rank + shift) mod keyspace
-  in
-  let req_id = t.injected in
-  t.injected <- t.injected + 1;
+  match t.zipf_cdf with
+  | None ->
+      let base = Simcore.Rng.int rng keyspace in
+      let shift = decide "traffic.key.shift" 4 in
+      (base + shift) mod keyspace
+  | Some cdf ->
+      (* The rank comes from the generator's own seeded stream; the
+         recorded decision point only perturbs it, so a captured
+         schedule replays the exact same key sequence. *)
+      let u = Simcore.Rng.float rng 1.0 in
+      let rank = zipf_rank cdf u in
+      let shift = decide "traffic.key.zipf" 4 in
+      (rank + shift) mod keyspace
+
+let inject t g ~node ~at ~req_id ~decide =
+  let op = draw_op t.cfg g.g_rng in
+  let key = draw_key t g.g_rng ~decide in
+  g.g_count <- g.g_count + 1;
   Core.System.send_boot t.sys
     (Apps.Kv_store.client_addr t.kv ~node)
     Apps.Kv_store.p_op
@@ -111,63 +122,112 @@ let inject t ~at =
       Core.Value.int req_id;
     ]
 
-let next_gap t =
-  let machine = Core.System.machine t.sys in
-  let period = period_ns t.cfg in
+let next_gap cfg rng ~period ~decide =
   let base =
-    match t.cfg.process with
+    match cfg.process with
     | Fixed -> period
     | Poisson ->
         (* Inverse-CDF exponential; 1 - u keeps the argument in (0, 1]. *)
-        let u = Simcore.Rng.float t.rng 1.0 in
+        let u = Simcore.Rng.float rng 1.0 in
         -.period *. log (1. -. u)
   in
-  let jitter_q = Engine.decide machine "traffic.arrival.jitter" 4 in
+  let jitter_q = decide "traffic.arrival.jitter" 4 in
   let jitter = float_of_int jitter_q *. period /. 8. in
   Stdlib.max 1 (int_of_float (Float.round (base +. jitter)))
 
-let launch cfg sys kv =
+let make ~gens cfg sys kv =
   if cfg.rate_rps < 1 then invalid_arg "Loadgen.launch: rate_rps must be >= 1";
-  if cfg.requests < 1 then
-    invalid_arg "Loadgen.launch: requests must be >= 1";
+  if cfg.requests < 1 then invalid_arg "Loadgen.launch: requests must be >= 1";
   let zipf_cdf =
     match cfg.key_dist with
     | Uniform -> None
     | Zipf theta ->
         Some (make_zipf_cdf ~n:(Apps.Kv_store.keyspace kv) ~theta)
   in
-  let t =
+  { cfg; sys; kv; zipf_cdf; gens }
+
+let launch cfg sys kv =
+  let g =
     {
-      cfg;
-      sys;
-      kv;
-      rng = Simcore.Rng.create ~seed:cfg.seed;
-      zipf_cdf;
-      injected = 0;
+      g_node = -1;
+      g_rng = Simcore.Rng.create ~seed:cfg.seed;
+      g_share = cfg.requests;
+      g_count = 0;
     }
   in
+  let t = make ~gens:[| g |] cfg sys kv in
   let machine = Core.System.machine sys in
+  let nodes = Core.System.node_count sys in
+  let decide = Engine.decide machine in
+  let period = period_ns cfg in
   (* Arrival i+1 is armed from arrival i's timer, so the whole process
      is a single deterministic chain of draws — open-loop by
      construction (nothing here observes completions). *)
   let rec arm at =
     Engine.schedule_at machine ~time:at (fun () ->
-        inject t ~at;
-        if t.injected < cfg.requests then arm (at + next_gap t))
+        let node = Simcore.Rng.int g.g_rng nodes in
+        inject t g ~node ~at ~req_id:g.g_count ~decide;
+        if g.g_count < cfg.requests then arm (at + next_gap cfg g.g_rng ~period ~decide))
   in
   arm cfg.start_ns;
   t
 
-let injected t = t.injected
+let launch_sharded cfg sys kv =
+  let nodes = Core.System.node_count sys in
+  let machine = Core.System.machine sys in
+  let base = Simcore.Rng.create ~seed:cfg.seed in
+  let gens =
+    Array.init nodes (fun node ->
+        {
+          g_node = node;
+          (* [derive] does not advance [base], so every chain's stream
+             is a pure function of (seed, node) — independent of the
+             order the chains are built or run in. *)
+          g_rng = Simcore.Rng.derive base ~index:node;
+          g_share =
+            (cfg.requests / nodes)
+            + (if node < cfg.requests mod nodes then 1 else 0);
+          g_count = 0;
+        })
+  in
+  let t = make ~gens cfg sys kv in
+  (* Each chain offers 1/nodes of the rate; superposed independent
+     Poisson processes recover the configured aggregate rate. *)
+  let period = period_ns cfg *. float_of_int nodes in
+  Array.iter
+    (fun g ->
+      if g.g_share > 0 then begin
+        let node = g.g_node in
+        let decide tag n = Engine.decide_on machine ~node tag n in
+        let rec arm at =
+          (* [schedule_on] pins the timer to the chain's node, so under
+             [run_parallel] the whole chain — draws, decision points,
+             the local post behind [send_boot] — executes on that
+             node's domain. *)
+          Engine.schedule_on machine ~node ~time:at (fun () ->
+              (* Globally unique and schedule-independent: chain [node]
+                 owns the ids congruent to [node] mod [nodes]. *)
+              let req_id = (g.g_count * nodes) + node in
+              inject t g ~node ~at ~req_id ~decide;
+              if g.g_count < g.g_share then
+                arm (at + next_gap cfg g.g_rng ~period ~decide))
+        in
+        arm cfg.start_ns
+      end)
+    gens;
+  t
+
+let injected t = Array.fold_left (fun acc g -> acc + g.g_count) 0 t.gens
+let sharded t = Array.length t.gens > 0 && t.gens.(0).g_node >= 0
 let config t = t.cfg
 let store t = t.kv
 
 let audit t sys =
   let missing =
-    if t.injected <> t.cfg.requests then
+    if injected t <> t.cfg.requests then
       [
         Printf.sprintf "traffic: injected %d of %d offered requests"
-          t.injected t.cfg.requests;
+          (injected t) t.cfg.requests;
       ]
     else []
   in

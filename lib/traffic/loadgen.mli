@@ -57,7 +57,24 @@ val launch : config -> Core.System.t -> Apps.Kv_store.t -> t
     [start_ns]). Call after {!Apps.Kv_store.spawn} and before
     [System.run]; injections ride the run. *)
 
+val launch_sharded : config -> Core.System.t -> Apps.Kv_store.t -> t
+(** Like {!launch}, but one arrival chain per node, each offering
+    [rate_rps / nodes] (superposed independent Poisson chains recover
+    the aggregate rate) and injecting only at its own node's client.
+    Chain [n] draws from [Rng.derive base ~index:n] — a pure function
+    of [(seed, n)] — consults the {e per-node} decision source
+    ({!Machine.Engine.decide_on}), and owns the request ids congruent
+    to [n] modulo the node count ([requests] split evenly, remainder to
+    low nodes). Every chain's timers, draws and posts stay on its own
+    node, so this is the arrival mode for {!Core.System.run_parallel};
+    it also runs — bit-identically across domain counts — under the
+    sequential engine. *)
+
 val injected : t -> int
+
+val sharded : t -> bool
+(** Whether this generator was built by {!launch_sharded}. *)
+
 val config : t -> config
 val store : t -> Apps.Kv_store.t
 

@@ -1,0 +1,299 @@
+(* Tests for the parallel simulation engine: the cross-domain SPSC
+   mailbox, the round barrier, the conservative lookahead (horizon)
+   computation, sharded stats/histogram merging, per-node RNG stream
+   derivation, and the headline determinism property — the same
+   recorded sharded schedule produces identical Timeline hashes and
+   identical merged KV metric folds at 1, 2 and 4 domains. *)
+
+open Core
+module Engine = Machine.Engine
+module Kv = Apps.Kv_store
+module Loadgen = Traffic.Loadgen
+module Spsc = Simcore.Spsc
+module Barrier = Simcore.Barrier
+module Rng = Simcore.Rng
+module Stats = Simcore.Stats
+module Histogram = Simcore.Histogram
+module Schedule = Check.Schedule
+
+(* --- SPSC mailbox ---------------------------------------------------- *)
+
+let test_spsc_fifo () =
+  let q = Spsc.create () in
+  Alcotest.(check bool) "fresh queue empty" true (Spsc.is_empty q);
+  for i = 0 to 99 do
+    Spsc.push q i
+  done;
+  Alcotest.(check (option int)) "pop oldest" (Some 0) (Spsc.pop q);
+  Alcotest.(check (option int)) "pop next" (Some 1) (Spsc.pop q);
+  Alcotest.(check (list int))
+    "drain returns the rest oldest-first"
+    (List.init 98 (fun i -> i + 2))
+    (Spsc.drain q);
+  Alcotest.(check bool) "drained queue empty" true (Spsc.is_empty q);
+  Alcotest.(check (option int)) "pop on empty" None (Spsc.pop q)
+
+let test_spsc_cross_domain () =
+  let n = 10_000 in
+  let q = Spsc.create () in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          Spsc.push q i
+        done)
+  in
+  (* Consume concurrently with production: order and completeness must
+     hold while the producer is still pushing. *)
+  let got = ref [] and count = ref 0 in
+  while !count < n do
+    match Spsc.pop q with
+    | Some v ->
+        got := v :: !got;
+        incr count
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Alcotest.(check (list int))
+    "every element arrives in FIFO order"
+    (List.init n (fun i -> i))
+    (List.rev !got);
+  Alcotest.(check bool) "nothing left over" true (Spsc.is_empty q)
+
+(* --- round barrier --------------------------------------------------- *)
+
+let test_barrier_phases () =
+  let parties = 4 and rounds = 200 in
+  let b = Barrier.create parties in
+  Alcotest.(check int) "parties" parties (Barrier.parties b);
+  (* Plain (non-atomic) slots exchanged strictly across barrier phases:
+     the barrier's fence is what makes the reads well-defined. *)
+  let slots = Array.make parties 0 in
+  let bad = Atomic.make 0 in
+  let worker me () =
+    for r = 0 to rounds - 1 do
+      slots.(me) <- (r * parties) + me;
+      Barrier.await b ~me;
+      let expect = ref 0 and got = ref 0 in
+      for d = 0 to parties - 1 do
+        expect := !expect + (r * parties) + d;
+        got := !got + slots.(d)
+      done;
+      if !got <> !expect then Atomic.incr bad;
+      Barrier.await b ~me
+    done
+  in
+  let ds = Array.init (parties - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "every phase saw every write" 0 (Atomic.get bad)
+
+let test_barrier_single_party () =
+  let b = Barrier.create 1 in
+  (* Must not block. *)
+  Barrier.await b ~me:0;
+  Barrier.await b ~me:0;
+  Alcotest.(check int) "parties" 1 (Barrier.parties b)
+
+let test_barrier_rejects_zero () =
+  Alcotest.check_raises "parties >= 1"
+    (Invalid_argument "Barrier.create: parties must be >= 1") (fun () ->
+      ignore (Barrier.create 0))
+
+(* --- lookahead / horizon --------------------------------------------- *)
+
+let test_lookahead_default_config () =
+  let sys = System.boot ~nodes:2 ~classes:[] () in
+  let m = System.machine sys in
+  (* Default fabric: 12-byte bare header on a 1 GB/s link (12 ns
+     transmission), 450 ns launch, 20 ns minimum single hop. No remote
+     effect can land closer than this, so it is the round horizon. *)
+  Alcotest.(check int) "lookahead = min remote latency" 950
+    (Engine.lookahead_ns m)
+
+let test_run_parallel_rejects_gossip () =
+  let rt_config =
+    { System.default_rt_config with Kernel.gossip_interval_ns = 1_000 }
+  in
+  let sys = System.boot ~rt_config ~nodes:2 ~classes:[] () in
+  Alcotest.check_raises "gossip has no per-domain decomposition"
+    (Invalid_argument "System.run_parallel: gossip_interval_ns requires [run]")
+    (fun () -> System.run_parallel sys ~domains:2)
+
+(* --- sharded stats and histogram merging ----------------------------- *)
+
+let test_stats_shard_merge () =
+  let st = Stats.create () in
+  Stats.shard st 4;
+  let c = Stats.counter st "parallel.test" in
+  let ds =
+    Array.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            Simcore.Domain_ctx.set (i + 1);
+            for _ = 1 to 10_000 do
+              Stats.bump c
+            done))
+  in
+  for _ = 1 to 10_000 do
+    Stats.bump c
+  done;
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "read sums every domain slot" 40_000 (Stats.read c);
+  Alcotest.(check int) "get sees the same total" 40_000
+    (Stats.get st "parallel.test")
+
+let test_histogram_merge () =
+  let all = Histogram.create ~bucket_width:100 () in
+  let parts = Array.init 3 (fun _ -> Histogram.create ~bucket_width:100 ()) in
+  List.iteri
+    (fun i v ->
+      Histogram.observe all v;
+      Histogram.observe parts.(i mod 3) v)
+    [ 100; 2_000; 350; 4_200; 77; 900; 12_000; 512 ];
+  let merged = Histogram.create ~bucket_width:100 () in
+  Array.iter (fun p -> Histogram.merge_into ~into:merged p) parts;
+  Alcotest.(check int) "count" (Histogram.count all) (Histogram.count merged);
+  Alcotest.(check (option int)) "min" (Histogram.min all) (Histogram.min merged);
+  Alcotest.(check (option int)) "max" (Histogram.max all) (Histogram.max merged);
+  Alcotest.(check (option (float 1e-9)))
+    "p99" (Histogram.quantile all 0.99)
+    (Histogram.quantile merged 0.99)
+
+(* --- per-node RNG streams -------------------------------------------- *)
+
+let test_rng_derive_pure () =
+  let parent = Rng.create ~seed:42 in
+  let before = Rng.state parent in
+  let a = Rng.derive parent ~index:3 in
+  Alcotest.(check bool) "derive does not advance the parent" true
+    (Rng.state parent = before);
+  let b = Rng.derive parent ~index:3 in
+  let draws r = List.init 16 (fun _ -> Rng.int r 1_000_000) in
+  Alcotest.(check (list int)) "same index, same stream" (draws a) (draws b);
+  let c = Rng.derive parent ~index:4 in
+  Alcotest.(check bool) "different index, different stream" true
+    (draws (Rng.derive parent ~index:3) <> draws c)
+
+(* --- the determinism property ---------------------------------------- *)
+
+(* One parallel run of the sharded open-loop workload under a given
+   node-keyed decision source; returns the Timeline hash and an
+   order-insensitive fold of the merged KV metrics. *)
+let run_sharded ~seed ~domains ~source =
+  let kv = Kv.create ~shards:4 () in
+  let sys = System.boot ~nodes:4 ~classes:(Kv.classes kv) () in
+  let machine = System.machine sys in
+  Engine.set_node_decision_source machine (Some source);
+  Kv.spawn kv sys;
+  let tl = Services.Timeline.attach sys in
+  let lg =
+    Loadgen.launch_sharded
+      {
+        Loadgen.default_config with
+        seed;
+        rate_rps = 300_000;
+        requests = 120;
+        key_dist = Loadgen.Zipf 1.0;
+      }
+      sys kv
+  in
+  System.run_parallel sys ~domains;
+  let h = Services.Timeline.hash tl in
+  Services.Timeline.detach tl;
+  let s = Kv.stats kv in
+  let fold =
+    ( Kv.completed kv,
+      Kv.pending kv,
+      s.Kv.get_ok + s.Kv.put_ok + s.Kv.cas_ok + s.Kv.cas_fail + s.Kv.mget_ok,
+      Histogram.count s.Kv.latency,
+      Histogram.quantile s.Kv.latency 0.99 )
+  in
+  let audit = Loadgen.audit lg sys in
+  (h, fold, audit)
+
+let prop_parallel_replay_identical =
+  QCheck.Test.make ~count:5
+    ~name:"recorded sharded schedule is bit-identical at 1/2/4 domains"
+    QCheck.(int_range 1 5_000)
+    (fun seed ->
+      let sh = Schedule.record_sharded ~seed ~nodes:4 in
+      let h1, fold1, audit1 =
+        run_sharded ~seed ~domains:1 ~source:(Schedule.node_source sh)
+      in
+      if audit1 <> [] then
+        QCheck.Test.fail_reportf "seed %d: 1-domain audit unclean: %s" seed
+          (String.concat "; " audit1);
+      let traces = Schedule.traces sh in
+      List.iter
+        (fun domains ->
+          let replayed = Schedule.replay_sharded traces in
+          let h, fold, audit =
+            run_sharded ~seed ~domains ~source:(Schedule.node_source replayed)
+          in
+          if h <> h1 then
+            QCheck.Test.fail_reportf
+              "seed %d: Timeline hash diverged at %d domains" seed domains;
+          if fold <> fold1 then
+            QCheck.Test.fail_reportf
+              "seed %d: merged KV metrics diverged at %d domains" seed domains;
+          if audit <> [] then
+            QCheck.Test.fail_reportf "seed %d: %d-domain audit unclean: %s"
+              seed domains
+              (String.concat "; " audit))
+        [ 2; 4 ];
+      true)
+
+let test_oversubscribed_domains_identical () =
+  (* More domains than nodes must clamp/behave, and more domains than
+     host cores must still terminate and agree (the barrier blocks
+     rather than spins). *)
+  let seed = 17 in
+  let sh = Schedule.record_sharded ~seed ~nodes:4 in
+  let h1, fold1, _ =
+    run_sharded ~seed ~domains:1 ~source:(Schedule.node_source sh)
+  in
+  let replayed = Schedule.replay_sharded (Schedule.traces sh) in
+  let h8, fold8, audit8 =
+    run_sharded ~seed ~domains:8 ~source:(Schedule.node_source replayed)
+  in
+  Alcotest.(check bool) "hash identical at 8 domains" true (h1 = h8);
+  Alcotest.(check bool) "metric fold identical at 8 domains" true
+    (fold1 = fold8);
+  Alcotest.(check (list string)) "audit clean at 8 domains" [] audit8
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "mailbox",
+        [
+          Alcotest.test_case "FIFO push/pop/drain" `Quick test_spsc_fifo;
+          Alcotest.test_case "cross-domain FIFO" `Quick test_spsc_cross_domain;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "phase fence across domains" `Quick
+            test_barrier_phases;
+          Alcotest.test_case "single party is a no-op" `Quick
+            test_barrier_single_party;
+          Alcotest.test_case "rejects zero parties" `Quick
+            test_barrier_rejects_zero;
+        ] );
+      ( "horizon",
+        [
+          Alcotest.test_case "lookahead from default fabric" `Quick
+            test_lookahead_default_config;
+          Alcotest.test_case "gossip rejected" `Quick
+            test_run_parallel_rejects_gossip;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "stats shard merge" `Quick test_stats_shard_merge;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          Alcotest.test_case "rng derive purity" `Quick test_rng_derive_pure;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest prop_parallel_replay_identical;
+          Alcotest.test_case "8 domains on a small host" `Quick
+            test_oversubscribed_domains_identical;
+        ] );
+    ]

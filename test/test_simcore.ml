@@ -93,8 +93,9 @@ let test_stats () =
   Alcotest.(check int) "missing" 0 (Stats.get s "nope");
   Alcotest.(check (list string)) "names sorted" [ "a"; "b" ] (Stats.names s);
   let cell = Stats.counter s "a" in
-  incr cell;
-  Alcotest.(check int) "ref shared" 3 (Stats.get s "a");
+  Stats.bump cell;
+  Alcotest.(check int) "cell shared" 3 (Stats.get s "a");
+  Alcotest.(check int) "cell read" 3 (Stats.read cell);
   Stats.reset s;
   Alcotest.(check int) "reset" 0 (Stats.get s "a")
 
