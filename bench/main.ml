@@ -21,7 +21,14 @@
    the domain-sharded engine against the sequential loop at 1/2/4/8
    domains, gates on identical Timeline hashes across all counts (and
    against a --baseline BENCH_parallel_baseline.json), and on >= 1.5x
-   wall-clock speedup at 4 domains when the host has >= 4 cores.
+   wall-clock speedup at 4 domains when the host has >= 4 cores; it
+   also emits per-feature envelope rows (faults / coalesce / recover
+   under domains). The faults, coalesce, and recover sections accept
+   --domains D: with D > 1 each re-runs its hostile workload on the
+   domain-sharded engine at 1 and D domains and gates on identical
+   Timeline hashes plus the feature's own invariants (exactly-once
+   delivery, batches formed, restarts = crashes with bounded
+   recovery).
 
    The schedule explorer is a checker, not a benchmark, and never runs
    under "all" — ask for it by name:
@@ -328,7 +335,264 @@ let fault_config plan =
     Machine.Engine.faults = (if Network.Faults.is_fault_free plan then None else Some plan);
   }
 
-let faults ~smoke () =
+(* ------------------------------------------------------------------ *)
+(* Parallel feature envelope: fault plans, coalescing, and crash       *)
+(* recovery under the domain-sharded engine                            *)
+(* ------------------------------------------------------------------ *)
+
+type Machine.Am.payload += Pe_seq of { k : int }
+
+type envelope_feature = Env_faults | Env_coalesce | Env_recover
+
+let envelope_feature_name = function
+  | Env_faults -> "faults"
+  | Env_coalesce -> "coalesce"
+  | Env_recover -> "recover"
+
+type envelope_result = {
+  e_hash : int;
+  e_sent : int;
+  e_lost : int;
+  e_dup : int;
+  e_in_flight : int;
+  e_retransmits : int;
+  e_drops : int;
+  e_batches : int;
+  e_restarts : int;
+  e_crashes : int;
+  e_recovery_max : int;
+  e_audit : string list;
+}
+
+(* One hostile run at [domains]: sequenced 16-byte bursts on a ring
+   (node s -> s+3) under a lossy, duplicating, jittering fabric, plus
+   the feature's own machinery (framed batches, scripted crash windows
+   with the recovery manager attached). Every construct is
+   parallel-safe: timers are node-owned and post to their own node,
+   sent counters are per-source (a single writing domain each), and
+   receive-side state lives in per-node tables covered by the recovery
+   snapshot. [source] supplies the node-keyed decision streams, so a
+   recorded sharded schedule replays the run bit-identically at any
+   domain count. *)
+let envelope_burst ~feature ~rounds ~burst ~domains ~source () =
+  let module Engine = Machine.Engine in
+  let nodes = 8 in
+  let plan =
+    Network.Faults.plan ~seed:29 ~drop:0.02 ~duplicate:0.01 ~jitter_ns:400 ()
+  in
+  let coalesce =
+    match feature with
+    | Env_faults -> None
+    | Env_coalesce | Env_recover ->
+        Some
+          {
+            Machine.Coalesce.default_config with
+            Machine.Coalesce.max_delay_ns = 2_000;
+          }
+  in
+  let config =
+    { Engine.default_config with Engine.faults = Some plan; coalesce }
+  in
+  let m = Engine.create ~config ~nodes () in
+  Engine.set_node_decision_source m (Some source);
+  let tl = Services.Timeline.attach_machine m in
+  let next = Array.init nodes (fun _ -> Hashtbl.create 16) in
+  let h =
+    Engine.register_handler m Machine.Am.Service ~name:"envelope-seq"
+      (fun _ node am ->
+        match am.Machine.Am.payload with
+        | Pe_seq { k } ->
+            let me = Machine.Node.id node in
+            let src = am.Machine.Am.src in
+            let e = Option.value (Hashtbl.find_opt next.(me) src) ~default:0 in
+            Hashtbl.replace next.(me) src (max (k + 1) e)
+        | _ -> ())
+  in
+  let crashes =
+    match feature with
+    | Env_recover ->
+        [
+          {
+            Recover.Manager.cs_node = 3;
+            cs_at = 40_000;
+            cs_down_ns = 30_000;
+            cs_jitter_ns = 1_000;
+          };
+          {
+            Recover.Manager.cs_node = 5;
+            cs_at = 95_000;
+            cs_down_ns = 30_000;
+            cs_jitter_ns = 1_000;
+          };
+        ]
+    | _ -> []
+  in
+  let mgr =
+    match feature with
+    | Env_recover ->
+        let app =
+          {
+            Recover.Manager.a_snapshot =
+              (fun node ->
+                let slice =
+                  Hashtbl.fold (fun s k acc -> (s, k) :: acc) next.(node) []
+                in
+                Some (Marshal.to_bytes (List.sort compare slice) []));
+            a_restore =
+              (fun node b ->
+                Hashtbl.reset next.(node);
+                List.iter
+                  (fun (s, k) -> Hashtbl.replace next.(node) s k)
+                  (Marshal.from_bytes b 0 : (int * int) list));
+            a_reset = (fun node -> Hashtbl.reset next.(node));
+          }
+        in
+        Some (Recover.Manager.attach m ~app ~crashes ())
+    | _ -> None
+  in
+  (* Sent counters tick at actual send time inside the owning node's
+     thunk, so bursts skipped on a down sender never count as sent. *)
+  let sent = Array.make (nodes * nodes) 0 in
+  for s = 0 to nodes - 1 do
+    for r = 0 to rounds - 1 do
+      Engine.schedule_on m ~node:s ~time:(12_000 + (r * 20_000)) (fun () ->
+          if not (Engine.node_down m s) then
+            Engine.post m (Engine.node m s) (fun () ->
+                let src = Engine.node m s in
+                let dst = (s + 3) mod nodes in
+                let key = (s * nodes) + dst in
+                for _ = 1 to burst do
+                  Engine.send_am m ~src ~dst ~handler:h ~size_bytes:16
+                    (Pe_seq { k = sent.(key) });
+                  sent.(key) <- sent.(key) + 1
+                done))
+    done
+  done;
+  Engine.run_parallel m ~domains ();
+  note_machine_events m;
+  let hash = Services.Timeline.hash tl in
+  Services.Timeline.detach tl;
+  let lost = ref 0 and dup = ref 0 and total_sent = ref 0 in
+  for s = 0 to nodes - 1 do
+    for d = 0 to nodes - 1 do
+      let k = sent.((s * nodes) + d) in
+      if k > 0 then begin
+        total_sent := !total_sent + k;
+        let got = Option.value (Hashtbl.find_opt next.(d) s) ~default:0 in
+        if got < k then lost := !lost + (k - got);
+        if got > k then incr dup
+      end
+    done
+  done;
+  let st = Engine.stats m in
+  let batches =
+    match Engine.coalesce_stats m with
+    | Some s -> s.Machine.Coalesce.s_batches
+    | None -> 0
+  in
+  let audit =
+    match mgr with Some g -> Recover.Manager.audit_quiescent g | None -> []
+  in
+  let recovery_max =
+    List.fold_left
+      (fun acc cs ->
+        match mgr with
+        | Some g -> max acc (Recover.Manager.recovery_ns g cs.Recover.Manager.cs_node)
+        | None -> acc)
+      0 crashes
+  in
+  (match mgr with Some g -> Recover.Manager.detach g | None -> ());
+  {
+    e_hash = hash;
+    e_sent = !total_sent;
+    e_lost = !lost;
+    e_dup = !dup;
+    e_in_flight = Engine.reliable_in_flight m;
+    e_retransmits = Simcore.Stats.get st "reliable.retransmit";
+    e_drops = Engine.packets_dropped m;
+    e_batches = batches;
+    e_restarts = Simcore.Stats.get st "recover.restarts";
+    e_crashes = List.length crashes;
+    e_recovery_max = recovery_max;
+    e_audit = audit;
+  }
+
+(* Run the feature at 1 domain and at [domains] from the same recorded
+   sharded schedule, gate on identical Timeline hashes plus the
+   feature's own invariants (exactly-once; batches actually formed;
+   restarts = crashes and bounded recovery), and return the parallel
+   hash with the JSON fields for the caller's metrics file. Exits
+   nonzero on any failure, like every other bench gate. *)
+let envelope_section ~feature ~smoke ~domains () =
+  let module J = Services.Bench_json in
+  let name = envelope_feature_name feature in
+  header
+    (Printf.sprintf "Parallel envelope: %s under %d domain(s)" name domains);
+  let rounds = if smoke then 4 else 8 in
+  let burst = if smoke then 8 else 16 in
+  let seed =
+    match feature with Env_faults -> 101 | Env_coalesce -> 102 | Env_recover -> 103
+  in
+  let sh = Check.Schedule.record_sharded ~seed ~nodes:8 in
+  let r1 =
+    envelope_burst ~feature ~rounds ~burst ~domains:1
+      ~source:(Check.Schedule.node_source sh) ()
+  in
+  let traces = Check.Schedule.traces sh in
+  let rd =
+    envelope_burst ~feature ~rounds ~burst ~domains
+      ~source:(Check.Schedule.node_source (Check.Schedule.replay_sharded traces))
+      ()
+  in
+  Format.printf "%d msg(s): hash %016x at 1 domain, %016x at %d domain(s) %s@."
+    r1.e_sent r1.e_hash rd.e_hash domains
+    (if r1.e_hash = rd.e_hash then "(identical)" else "(MISMATCH)");
+  Format.printf
+    "exactly-once: %d lost, %d dup channel(s), %d in flight; %d \
+     retransmit(s), %d drop(s)@."
+    rd.e_lost rd.e_dup rd.e_in_flight rd.e_retransmits rd.e_drops;
+  (match feature with
+  | Env_coalesce | Env_recover ->
+      Format.printf "batches formed under domains: %d@." rd.e_batches
+  | Env_faults -> ());
+  (match feature with
+  | Env_recover ->
+      Format.printf "restarts %d of %d crash(es), worst recovery %.1f us@."
+        rd.e_restarts rd.e_crashes
+        (float_of_int rd.e_recovery_max /. 1000.)
+  | _ -> ());
+  List.iter (fun v -> Format.printf "AUDIT %s@." v) (r1.e_audit @ rd.e_audit);
+  let fail msg =
+    Format.printf "FAILED parallel envelope (%s): %s@." name msg;
+    exit 1
+  in
+  if rd.e_hash <> r1.e_hash then
+    fail "Timeline hash differs across domain counts";
+  if r1.e_sent <> rd.e_sent then
+    fail "send counts differ across domain counts";
+  if r1.e_lost + rd.e_lost > 0 || r1.e_dup + rd.e_dup > 0 then
+    fail "exactly-once violated";
+  if rd.e_in_flight <> 0 || r1.e_in_flight <> 0 then
+    fail "reliable layer not drained";
+  if r1.e_audit <> [] || rd.e_audit <> [] then fail "recovery audit unclean";
+  (match feature with
+  | Env_coalesce | Env_recover ->
+      if rd.e_batches < 1 then fail "no batches formed under domains"
+  | Env_faults -> ());
+  (match feature with
+  | Env_recover ->
+      if rd.e_restarts <> rd.e_crashes then fail "restart count <> crash count";
+      if rd.e_recovery_max > 2_000_000 then fail "recovery exceeded 2 ms"
+  | _ -> ());
+  ( rd.e_hash,
+    [
+      (name ^ "_env_domains", J.Int domains);
+      (name ^ "_hash", J.Str (Printf.sprintf "%016x" rd.e_hash));
+      (name ^ "_hash_int", J.Int rd.e_hash);
+      (name ^ "_sent", J.Int rd.e_sent);
+    ] )
+
+let faults ~smoke ~domains () =
   header "Degradation: N-queens (N=8, 16 nodes) under fault injection";
   section_start ();
   let nodes = 16 and n = 8 in
@@ -409,10 +673,16 @@ let faults ~smoke () =
   Format.printf
     "chunk-stall wait while partitioned: %d ns total@."
     (Simcore.Stats.get (System.stats sys) "chunk.stall.wait_ns");
+  let env_fields =
+    if domains > 1 then
+      snd (envelope_section ~feature:Env_faults ~smoke ~domains ())
+    else []
+  in
   Services.Bench_json.write ~path:"BENCH_faults.json"
     (Services.Bench_json.
        [
          ("smoke", Bool smoke);
+         ("domains", Int domains);
          ("drop_max_pct", Float (100. *. List.fold_left Float.max 0. rates));
          ("slowdown_at_max_drop", Float !j_slowdown);
          ("drops", Int !j_drops);
@@ -424,7 +694,7 @@ let faults ~smoke () =
          ("crash_elapsed_ns", Int r.Apps.Nqueens_par.elapsed);
          ("crash_clean", Bool clean);
        ]
-    @ perf_fields ());
+    @ env_fields @ perf_fields ());
   Format.printf "metrics written to BENCH_faults.json@."
 
 (* ------------------------------------------------------------------ *)
@@ -917,7 +1187,7 @@ let coalesce_burst ~coal ~faults ~rounds ~senders ~dests ~burst =
   Machine.Engine.run m;
   (m, !count, float_of_int !lat_sum /. float_of_int (max 1 !count))
 
-let coalesce_bench ~smoke () =
+let coalesce_bench ~smoke ~domains () =
   header "Aggregation: per-destination batching under bursty control traffic";
   section_start ();
   let rounds = if smoke then 8 else 32 in
@@ -1028,10 +1298,16 @@ let coalesce_bench ~smoke () =
     Format.printf "FAILED Table-1 preservation gate@.";
     exit 1
   end;
+  let env_fields =
+    if domains > 1 then
+      snd (envelope_section ~feature:Env_coalesce ~smoke ~domains ())
+    else []
+  in
   Services.Bench_json.write ~path:"BENCH_coalesce.json"
     (Services.Bench_json.
        [
          ("smoke", Bool smoke);
+         ("domains", Int domains);
          ("messages", Int expected);
          ("packets_off", Int p_off);
          ("packets_on", Int p_on);
@@ -1045,7 +1321,7 @@ let coalesce_bench ~smoke () =
          ("table1_dormant_dev_pct", Float d_dorm);
          ("table1_inter_dev_pct", Float d_inter);
        ]
-    @ perf_fields ());
+    @ env_fields @ perf_fields ());
   Format.printf "metrics written to BENCH_coalesce.json@."
 
 (* ------------------------------------------------------------------ *)
@@ -1130,7 +1406,7 @@ let recover_burst ~rounds ~burst ~crashes () =
     sent;
   (m, tl, mgr, !lost, !dup_or_reorder, max_gap)
 
-let recover_bench ~smoke () =
+let recover_bench ~smoke ~domains () =
   header "Crash recovery: kill a node mid-burst, restore, replay";
   section_start ();
   let module Engine = Machine.Engine in
@@ -1396,6 +1672,12 @@ let recover_bench ~smoke () =
     exit 1
   end;
 
+  let env_hash =
+    if domains > 1 then
+      Some (fst (envelope_section ~feature:Env_recover ~smoke ~domains ()))
+    else None
+  in
+
   (* Metrics file for CI artifacts. *)
   let wall = Unix.gettimeofday () -. !section_t0 in
   let oc = open_out "BENCH_recover.json" in
@@ -1416,9 +1698,10 @@ let recover_bench ~smoke () =
     \  \"duplicated\": %d,\n\
     \  \"timeline_hash\": \"%016x\",\n\
     \  \"replay_identical\": %b,\n\
+    \  \"envelope_hash\": \"%s\",\n\
     \  \"wall_clock_s\": %.3f,\n\
     \  \"events_per_sec\": %.3f,\n\
-    \  \"domains\": 1\n\
+    \  \"domains\": %d\n\
      }\n"
     smoke report.Services.Recoverstats.crashes
     report.Services.Recoverstats.restarts
@@ -1427,8 +1710,13 @@ let recover_bench ~smoke () =
     report.Services.Recoverstats.replayed
     report.Services.Recoverstats.inbox_rebuilt recovery_max
     report.Services.Recoverstats.recovery_ns outage baseline lost dup
-    (Services.Timeline.hash tl) identical wall
-    (if wall > 0. then float_of_int !section_events /. wall else 0.);
+    (Services.Timeline.hash tl) identical
+    (match env_hash with
+    | Some h -> Printf.sprintf "%016x" h
+    | None -> "")
+    wall
+    (if wall > 0. then float_of_int !section_events /. wall else 0.)
+    domains;
   close_out oc;
   Format.printf "metrics written to BENCH_recover.json@."
 
@@ -1962,7 +2250,7 @@ let parallel_workload ~nodes ~requests ~rate () =
   let lg = Traffic.Loadgen.launch_sharded cfg sys kv in
   (sys, lg)
 
-let parallel_bench ~smoke ~baseline () =
+let parallel_bench ~smoke ~baseline ~domains () =
   header "Parallel engine: nodes sharded across domains, conservative lookahead";
   section_start ();
   let nodes = 8 in
@@ -2051,6 +2339,20 @@ let parallel_bench ~smoke ~baseline () =
       "speedup at 4 domains: %.2fx (gate skipped: host has %d core(s))@."
       speedup_4 cores;
   let total_events = List.fold_left (fun a (_, _, _, e) -> a + e) 0 rows in
+  (* Per-feature envelope rows: the hostile-network constructs (fault
+     plans, coalescing, crash recovery) under the same determinism
+     regime, so CI trends their hashes alongside the clean KV
+     workload's. Domain-count determinism does not depend on host
+     cores, so these rows always run. *)
+  let feat_domains = if domains > 1 then domains else 4 in
+  let env_rows =
+    List.map
+      (fun feature ->
+        let h, fields = envelope_section ~feature ~smoke ~domains:feat_domains () in
+        (envelope_feature_name feature, h, fields))
+      [ Env_faults; Env_coalesce; Env_recover ]
+  in
+  let env_fields = List.concat_map (fun (_, _, f) -> f) env_rows in
   Services.Bench_json.write ~path:"BENCH_parallel.json"
     (Services.Bench_json.
        [
@@ -2068,7 +2370,7 @@ let parallel_bench ~smoke ~baseline () =
          ("timeline_hash_int", Int h1);
          ("total_events", Int total_events);
        ]
-    @ perf_fields ~domains:4 ());
+    @ env_fields @ perf_fields ~domains:4 ());
   Format.printf "metrics written to BENCH_parallel.json@.";
   (* Baseline gate: the canonical observation stream is a pure function
      of the workload, so against a baseline recorded at the same
@@ -2097,7 +2399,33 @@ let parallel_bench ~smoke ~baseline () =
               if h1 <> want then begin
                 Format.printf "FAILED parallel baseline hash gate@.";
                 exit 1
-              end))
+              end;
+              (* Per-feature hash gates, against baselines recorded at
+                 the same scale. Absent keys are reported, not failed,
+                 so an older baseline file stays usable. *)
+              List.iter
+                (fun (nm, h, _) ->
+                  match
+                    Services.Bench_json.read_int_field ~path
+                      ~key:(nm ^ "_hash_int")
+                  with
+                  | None ->
+                      Format.printf
+                        "baseline has no %s_hash_int — feature hash gate \
+                         skipped@."
+                        nm
+                  | Some want_f ->
+                      Format.printf
+                        "baseline %s hash gate: %016x vs baseline %016x %s@."
+                        nm h want_f
+                        (if h = want_f then "(ok)" else "(MISMATCH)");
+                      if h <> want_f then begin
+                        Format.printf
+                          "FAILED parallel baseline feature hash gate (%s)@."
+                          nm;
+                        exit 1
+                      end)
+                env_rows))
 
 (* ------------------------------------------------------------------ *)
 (* Schedule explorer: sweep perturbed schedules, shrink failures       *)
@@ -2282,13 +2610,13 @@ let () =
   if want "fig5" then fig5 ~full ();
   if want "fig6" then fig6 ~full ();
   if want "ablations" then ablations ();
-  if want "faults" then faults ~smoke ();
+  if want "faults" then faults ~smoke ~domains ();
   if want "migrate" then migrate_bench ~smoke ();
   if want "dgc" then dgc_bench ~smoke ();
-  if want "coalesce" then coalesce_bench ~smoke ();
-  if want "recover" then recover_bench ~smoke ();
+  if want "coalesce" then coalesce_bench ~smoke ~domains ();
+  if want "recover" then recover_bench ~smoke ~domains ();
   if want "traffic" then traffic_bench ~smoke ~baseline ~requests_opt ~domains ();
   if want "multiactive" then multiactive_bench ~smoke ~baseline ();
-  if want "parallel" then parallel_bench ~smoke ~baseline ();
+  if want "parallel" then parallel_bench ~smoke ~baseline ~domains ();
   if want "bechamel" then bechamel ();
   Format.printf "@."

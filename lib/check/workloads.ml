@@ -563,6 +563,142 @@ let recover_wl =
         finish mon tl extra);
   }
 
+(* --- the lifted envelope: faults + coalescing + crash recovery -------- *)
+
+let hostile_wl =
+  {
+    w_name = "hostile";
+    w_run =
+      (fun sched ->
+        (* The full lifted feature envelope in one run: a lossy,
+           duplicating fabric under per-destination batching, with the
+           recovery manager crashing nodes mid-burst. This is exactly
+           the composition the parallel engine admits; the explorer
+           perturbs its decision points sequentially and checks the
+           same invariants (exactly-once FIFO per channel, quiescent
+           recovery, drained reliable layer). *)
+        let seed = 1 + Schedule.choice sched ~tag:"ho.seed" 1_000_000 in
+        let drop =
+          0.02 *. float_of_int (Schedule.choice sched ~tag:"ho.drop" 3)
+        in
+        let plan =
+          Network.Faults.plan ~seed ~drop ~duplicate:0.02 ~jitter_ns:500 ()
+        in
+        let config =
+          {
+            Engine.default_config with
+            Engine.faults = Some plan;
+            coalesce =
+              Some
+                {
+                  Machine.Coalesce.default_config with
+                  Machine.Coalesce.max_delay_ns = 2_000;
+                };
+          }
+        in
+        let nodes = 8 in
+        let m = Engine.create ~config ~nodes () in
+        wire sched m;
+        let tl = Services.Timeline.attach_machine m in
+        let next = Array.init nodes (fun _ -> Hashtbl.create 16) in
+        let bad = ref [] in
+        let h =
+          Engine.register_handler m Machine.Am.Service ~name:"chk-hostile-seq"
+            (fun _ node am ->
+              match am.Machine.Am.payload with
+              | Chk_seq { k } ->
+                  let me = Machine.Node.id node in
+                  let src = am.Machine.Am.src in
+                  let expect =
+                    Option.value (Hashtbl.find_opt next.(me) src) ~default:0
+                  in
+                  if k <> expect then
+                    bad :=
+                      Printf.sprintf
+                        "channel %d->%d: received %d, expected %d (FIFO or \
+                         exactly-once broken)"
+                        src me k expect
+                      :: !bad;
+                  Hashtbl.replace next.(me) src (max (k + 1) expect)
+              | _ -> ())
+        in
+        let app =
+          {
+            Recover.Manager.a_snapshot =
+              (fun node ->
+                let slice =
+                  Hashtbl.fold
+                    (fun src k acc -> (src, k) :: acc)
+                    next.(node) []
+                in
+                Some (Marshal.to_bytes (List.sort compare slice) []));
+            a_restore =
+              (fun node b ->
+                Hashtbl.reset next.(node);
+                List.iter
+                  (fun (src, k) -> Hashtbl.replace next.(node) src k)
+                  (Marshal.from_bytes b 0 : (int * int) list));
+            a_reset = (fun node -> Hashtbl.reset next.(node));
+          }
+        in
+        let crashes =
+          let first = Schedule.choice sched ~tag:"ho.victim" nodes in
+          List.init 2 (fun k ->
+              {
+                (* Distinct victims, like the recover workload. *)
+                Recover.Manager.cs_node = (first + (4 * k)) mod nodes;
+                cs_at =
+                  30_000 + (k * 45_000)
+                  + (2_000 * Schedule.choice sched ~tag:"ho.phase" 8);
+                cs_down_ns = 25_000;
+                cs_jitter_ns = 2_000;
+              })
+        in
+        let mgr = Recover.Manager.attach m ~app ~crashes () in
+        let mon = Monitor.create () in
+        Monitor.register mon ~name:"reliable" ~when_:Monitor.At_quiescence
+          (Probes.reliable m);
+        Monitor.register mon ~name:"coalesce" ~when_:Monitor.At_quiescence
+          (Probes.coalesce m);
+        Probes.register_recovery mon mgr;
+        Monitor.attach_periodic mon m ~interval_ns:monitor_interval_ns;
+        let senders = 3 and dests = 2 and rounds = 3 and burst = 12 in
+        let sent = Hashtbl.create 16 in
+        for r = 0 to rounds - 1 do
+          Engine.schedule_at m ~time:(10_000 + (r * 40_000)) (fun () ->
+              for s = 0 to senders - 1 do
+                let src = Engine.node m s in
+                Engine.post m src (fun () ->
+                    for d = 1 to dests do
+                      let dst = (s + (d * 3)) mod nodes in
+                      for _ = 1 to burst do
+                        let ch = (s, dst) in
+                        let k =
+                          Option.value (Hashtbl.find_opt sent ch) ~default:0
+                        in
+                        Hashtbl.replace sent ch (k + 1);
+                        Engine.send_am m ~src ~dst ~handler:h ~size_bytes:8
+                          (Chk_seq { k })
+                      done
+                    done)
+              done)
+        done;
+        Engine.run m;
+        Hashtbl.iter
+          (fun (s, dstn) k ->
+            let got =
+              Option.value (Hashtbl.find_opt next.(dstn) s) ~default:0
+            in
+            if got <> k then
+              bad :=
+                Printf.sprintf "channel %d->%d: delivered %d of %d sent" s
+                  dstn got k
+                :: !bad)
+          sent;
+        let extra = List.map (fun d -> ("app", d)) (List.rev !bad) in
+        finish mon tl extra);
+  }
+
 (* --- open-loop traffic: sharded KV tier under faults + churn ---------- *)
 
 let traffic_wl =
@@ -698,6 +834,7 @@ let all =
     dgc_wl;
     coalesce_wl;
     recover_wl;
+    hostile_wl;
     traffic_wl;
     multiactive_wl;
   ]

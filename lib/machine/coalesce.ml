@@ -67,23 +67,24 @@ type 'a chan = {
   mutable listed : bool;  (** dst present in the per-src open list *)
 }
 
+(* Every counter below is per source node: a channel (and its buffer)
+   belongs to the sending node, so in a parallel run each array slot has
+   a single writing domain and the totals are summed on read. *)
 type 'a t = {
   cfg : config;
   nodes : int;
-  chans : (int, 'a chan) Hashtbl.t;  (** keyed by src * nodes + dst *)
+  chans : 'a chan array;  (** indexed by src * nodes + dst, preallocated *)
   open_dsts_by_src : int list array;  (** dsts with (possibly) open buffers *)
-  mutable total_buffered : int;
+  buffered_by_src : int array;
   (* statistics *)
-  mutable batches : int;
-  mutable singles : int;  (** bypass sends (batches of one, no waiting) *)
-  mutable frames_sent : int;  (** frames shipped inside batches *)
-  mutable riders : int;  (** piggybacked control AMs appended at flush *)
-  mutable flush_size : int;
-  mutable flush_idle : int;
-  mutable flush_deadline : int;
-  mutable flush_ack : int;
-  mutable flush_credit : int;
-  occupancy : Simcore.Histogram.t;  (** frames per batch *)
+  frames_by_src : int array;  (** frames shipped inside batches *)
+  riders_by_src : int array;  (** piggybacked control AMs appended at flush *)
+  flush_size_by_src : int array;
+  flush_idle_by_src : int array;
+  flush_deadline_by_src : int array;
+  flush_ack_by_src : int array;
+  flush_credit_by_src : int array;
+  occupancy_by_src : Simcore.Histogram.t array;  (** frames per batch *)
   node_batches : int array;
   node_singles : int array;
 }
@@ -115,45 +116,36 @@ let create ?(config = default_config) ~nodes () =
   {
     cfg = config;
     nodes;
-    chans = Hashtbl.create 64;
+    chans =
+      Array.init (nodes * nodes) (fun _ ->
+          {
+            buf = [];
+            frames = 0;
+            bytes = 0;
+            opened = 0;
+            newest = 0;
+            armed = false;
+            credit = config.credits;
+            starved = false;
+            listed = false;
+          });
     open_dsts_by_src = Array.make nodes [];
-    total_buffered = 0;
-    batches = 0;
-    singles = 0;
-    frames_sent = 0;
-    riders = 0;
-    flush_size = 0;
-    flush_idle = 0;
-    flush_deadline = 0;
-    flush_ack = 0;
-    flush_credit = 0;
-    occupancy = Simcore.Histogram.create ~bucket_width:2 ();
+    buffered_by_src = Array.make nodes 0;
+    frames_by_src = Array.make nodes 0;
+    riders_by_src = Array.make nodes 0;
+    flush_size_by_src = Array.make nodes 0;
+    flush_idle_by_src = Array.make nodes 0;
+    flush_deadline_by_src = Array.make nodes 0;
+    flush_ack_by_src = Array.make nodes 0;
+    flush_credit_by_src = Array.make nodes 0;
+    occupancy_by_src =
+      Array.init nodes (fun _ -> Simcore.Histogram.create ~bucket_width:2 ());
     node_batches = Array.make nodes 0;
     node_singles = Array.make nodes 0;
   }
 
 let config t = t.cfg
-
-let chan_of t ~src ~dst =
-  let k = (src * t.nodes) + dst in
-  match Hashtbl.find_opt t.chans k with
-  | Some ch -> ch
-  | None ->
-      let ch =
-        {
-          buf = [];
-          frames = 0;
-          bytes = 0;
-          opened = 0;
-          newest = 0;
-          armed = false;
-          credit = t.cfg.credits;
-          starved = false;
-          listed = false;
-        }
-      in
-      Hashtbl.add t.chans k ch;
-      ch
+let chan_of t ~src ~dst = t.chans.((src * t.nodes) + dst)
 
 type verdict = [ `Bypass | `Opened | `Buffered | `Threshold ]
 
@@ -164,7 +156,6 @@ let offer t ~src ~dst ~now ~bytes ~port_free item : verdict =
        delay this frame. Send it alone, exactly as the unbatched build
        would (the caller uses the plain single-frame path). *)
     ch.credit <- ch.credit - 1;
-    t.singles <- t.singles + 1;
     t.node_singles.(src) <- t.node_singles.(src) + 1;
     `Bypass
   end
@@ -173,7 +164,7 @@ let offer t ~src ~dst ~now ~bytes ~port_free item : verdict =
     ch.frames <- ch.frames + 1;
     ch.bytes <- ch.bytes + bytes;
     ch.newest <- max ch.newest now;
-    t.total_buffered <- t.total_buffered + 1;
+    t.buffered_by_src.(src) <- t.buffered_by_src.(src) + 1;
     if ch.frames = 1 then begin
       ch.opened <- now;
       if not ch.listed then begin
@@ -202,7 +193,7 @@ let take t ~src ~dst =
     ch.starved <- false;
     let items = List.rev ch.buf in
     let bytes = ch.bytes and newest = ch.newest in
-    t.total_buffered <- t.total_buffered - ch.frames;
+    t.buffered_by_src.(src) <- t.buffered_by_src.(src) - ch.frames;
     ch.buf <- [];
     ch.frames <- 0;
     ch.bytes <- 0;
@@ -210,17 +201,17 @@ let take t ~src ~dst =
   end
 
 let note_batch t ~src ~frames ~riders ~cause =
-  t.batches <- t.batches + 1;
   t.node_batches.(src) <- t.node_batches.(src) + 1;
-  t.frames_sent <- t.frames_sent + frames;
-  t.riders <- t.riders + riders;
-  Simcore.Histogram.observe t.occupancy frames;
+  t.frames_by_src.(src) <- t.frames_by_src.(src) + frames;
+  t.riders_by_src.(src) <- t.riders_by_src.(src) + riders;
+  Simcore.Histogram.observe t.occupancy_by_src.(src) frames;
+  let bump a = a.(src) <- a.(src) + 1 in
   match cause with
-  | Size -> t.flush_size <- t.flush_size + 1
-  | Idle -> t.flush_idle <- t.flush_idle + 1
-  | Deadline -> t.flush_deadline <- t.flush_deadline + 1
-  | Ack -> t.flush_ack <- t.flush_ack + 1
-  | Credit -> t.flush_credit <- t.flush_credit + 1
+  | Size -> bump t.flush_size_by_src
+  | Idle -> bump t.flush_idle_by_src
+  | Deadline -> bump t.flush_deadline_by_src
+  | Ack -> bump t.flush_ack_by_src
+  | Credit -> bump t.flush_credit_by_src
 
 let deadline_check t ~src ~dst ~now =
   let ch = chan_of t ~src ~dst in
@@ -250,10 +241,7 @@ let credit_return t ~src ~dst =
     `Idle
   end
 
-let has_open t ~src ~dst =
-  match Hashtbl.find_opt t.chans ((src * t.nodes) + dst) with
-  | Some ch -> ch.frames > 0
-  | None -> false
+let has_open t ~src ~dst = (chan_of t ~src ~dst).frames > 0
 
 (* Destinations with open buffers for [src], compacting the list (a dst
    flushed by deadline or threshold since it was listed drops out). *)
@@ -265,7 +253,7 @@ let open_dsts t ~src =
   t.open_dsts_by_src.(src) <- live;
   live
 
-let buffered t = t.total_buffered
+let buffered t = Array.fold_left ( + ) 0 t.buffered_by_src
 
 (* Crash: the source NIC's aggregation buffers are volatile. Buffered
    frames are simply forgotten — under a fault plan they were sequenced
@@ -274,40 +262,40 @@ let buffered t = t.total_buffered
    them from there. Credits refill (outstanding batches' credit-return
    events may still land later; [credit_return] clamps at the cap). *)
 let reset_src t ~src =
-  List.iter
-    (fun dst ->
-      match Hashtbl.find_opt t.chans ((src * t.nodes) + dst) with
-      | None -> ()
-      | Some ch ->
-          t.total_buffered <- t.total_buffered - ch.frames;
-          ch.buf <- [];
-          ch.frames <- 0;
-          ch.bytes <- 0;
-          ch.armed <- false;
-          ch.credit <- t.cfg.credits;
-          ch.starved <- false;
-          ch.listed <- false)
-    t.open_dsts_by_src.(src);
   t.open_dsts_by_src.(src) <- [];
-  (* Channels that were never listed (no open buffer) can still hold
-     spent credits for in-flight singles; refill those too. *)
-  Hashtbl.iter
-    (fun k ch -> if k / t.nodes = src then ch.credit <- t.cfg.credits)
-    t.chans
+  t.buffered_by_src.(src) <- 0;
+  (* Every channel of the crashed source: wipe open buffers, and refill
+     credits even on channels that only hold spent credits for in-flight
+     singles. *)
+  for dst = 0 to t.nodes - 1 do
+    let ch = t.chans.((src * t.nodes) + dst) in
+    ch.buf <- [];
+    ch.frames <- 0;
+    ch.bytes <- 0;
+    ch.armed <- false;
+    ch.credit <- t.cfg.credits;
+    ch.starved <- false;
+    ch.listed <- false
+  done
 
 let stats t =
+  let sum = Array.fold_left ( + ) 0 in
+  let occupancy = Simcore.Histogram.create ~bucket_width:2 () in
+  Array.iter
+    (fun h -> Simcore.Histogram.merge_into ~into:occupancy h)
+    t.occupancy_by_src;
   {
-    s_batches = t.batches;
-    s_singles = t.singles;
-    s_frames = t.frames_sent;
-    s_riders = t.riders;
-    s_flush_size = t.flush_size;
-    s_flush_idle = t.flush_idle;
-    s_flush_deadline = t.flush_deadline;
-    s_flush_ack = t.flush_ack;
-    s_flush_credit = t.flush_credit;
-    s_buffered = t.total_buffered;
-    s_occupancy = t.occupancy;
+    s_batches = sum t.node_batches;
+    s_singles = sum t.node_singles;
+    s_frames = sum t.frames_by_src;
+    s_riders = sum t.riders_by_src;
+    s_flush_size = sum t.flush_size_by_src;
+    s_flush_idle = sum t.flush_idle_by_src;
+    s_flush_deadline = sum t.flush_deadline_by_src;
+    s_flush_ack = sum t.flush_ack_by_src;
+    s_flush_credit = sum t.flush_credit_by_src;
+    s_buffered = sum t.buffered_by_src;
+    s_occupancy = occupancy;
     s_node_batches = Array.copy t.node_batches;
     s_node_singles = Array.copy t.node_singles;
   }

@@ -129,8 +129,15 @@ and xitem = {
   x_src : int;
   x_seq : int;
   x_dst : int;
-  x_am : Am.t;
+  x_pay : xpayload;
 }
+
+(* What crosses a boundary: a bare AM headed straight for the
+   destination inbox, or a sequenced protocol frame that re-enters the
+   owning domain's event queue as a [Frame_rx] — the receive-side
+   protocol work (acks, resequencing) must run on the receiving CPU
+   during its window, not at the boundary. *)
+and xpayload = X_am of Am.t | X_frame of Reliable.frame
 
 (* Per-run parallel state. Arrays indexed per domain use a [pstride]
    padding so no two domains share a cache line; cross-domain reads of
@@ -153,7 +160,16 @@ and par = {
   p_obs_seq : int array;  (* per node: observation stamp *)
   p_obs : (Simcore.Time.t * int * int * observation) list array;
       (* per domain, newest first: (time, node, seq, obs) *)
-  p_stop : bool Atomic.t;
+  p_errflag : int array;
+      (* padded; 1 = this domain holds an error. Published by its owner
+         in the boundary phase (before barrier A) and read by everyone
+         after it, so the stop verdict is computed from barrier-frozen
+         data — an error raised *inside* a window is only published at
+         the next boundary, never mid-round, and every domain reaches
+         the same verdict in the same round. *)
+  p_slices_pub : int array;
+      (* padded; boundary-published copy of p_slices, frozen for the
+         round's verdict like p_errflag *)
   p_err : (exn * Printexc.raw_backtrace) option array;  (* per domain *)
   mutable p_running : bool;
 }
@@ -166,6 +182,28 @@ and observation =
       (** the named incarnation died *)
   | Obs_restart of { time : Simcore.Time.t; node : int; incarnation : int }
       (** the node came back as the named (new) incarnation *)
+
+(* A cross-node effect was produced inside the window it should have
+   been safely beyond: the conservative-lookahead invariant is broken
+   (a fabric config whose minimum latency understates some real path).
+   Carries which shard violated the window, not just a string. *)
+exception
+  Lookahead_violation of {
+    domain : int;
+    node : int;
+    arrival : Simcore.Time.t;
+    horizon : Simcore.Time.t;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Lookahead_violation { domain; node; arrival; horizon } ->
+        Some
+          (Printf.sprintf
+             "Engine.Lookahead_violation { domain = %d; node = %d; arrival = \
+              %dns; horizon = %dns }"
+             domain node arrival horizon)
+    | _ -> None)
 
 let create ?(config = default_config) ~nodes:n () =
   if n < 1 then invalid_arg "Engine.create: need at least one node";
@@ -388,26 +426,39 @@ let deliver_local t ~dst ~arrival am =
     add_event t ~time:wake_time (Wake dst)
   end
 
-(* Route a fabric delivery. Sequentially this is a straight inbox
-   hand-off. Inside a parallel run the delivery is deferred to the next
-   window boundary under the canonical (arrival, src, per-src seq)
-   stamp: conservative lookahead guarantees [arrival] is at or past the
+(* Defer a cross-node effect to the next window boundary of a parallel
+   run, under the canonical (arrival, src, per-src seq) stamp:
+   conservative lookahead guarantees [arrival] is at or past the
    horizon, so deferral never reorders anything a node could already
-   have seen — it only fixes the inbox insertion order to one that is
+   have seen — it only fixes the application order to one that is
    independent of the domain count. *)
+let defer p ~src ~dst ~arrival pay =
+  let sd = Simcore.Domain_ctx.current () in
+  let horizon = p.p_horizon.(sd * pstride) in
+  if arrival < horizon then
+    raise (Lookahead_violation { domain = sd; node = src; arrival; horizon });
+  let s = p.p_send_seq.(src) in
+  p.p_send_seq.(src) <- s + 1;
+  let item = { x_time = arrival; x_src = src; x_seq = s; x_dst = dst; x_pay = pay } in
+  let dd = p.p_dom_of.(dst) in
+  if sd = dd then p.p_pending.(sd) <- item :: p.p_pending.(sd)
+  else Simcore.Spsc.push p.p_boxes.(sd).(dd) item
+
+(* Route a fabric delivery: a straight inbox hand-off sequentially, a
+   deferred boundary item inside a parallel run. *)
 let deliver_remote t ~src ~dst ~arrival am =
   match t.par with
-  | Some p when p.p_running ->
-      let sd = Simcore.Domain_ctx.current () in
-      if arrival < p.p_horizon.(sd * pstride) then
-        failwith "Engine: lookahead violation (arrival inside the window)";
-      let s = p.p_send_seq.(src) in
-      p.p_send_seq.(src) <- s + 1;
-      let item = { x_time = arrival; x_src = src; x_seq = s; x_dst = dst; x_am = am } in
-      let dd = p.p_dom_of.(dst) in
-      if sd = dd then p.p_pending.(sd) <- item :: p.p_pending.(sd)
-      else Simcore.Spsc.push p.p_boxes.(sd).(dd) item
+  | Some p when p.p_running -> defer p ~src ~dst ~arrival (X_am am)
   | _ -> deliver_local t ~dst ~arrival am
+
+(* Route a protocol-frame arrival. The fabric never carries loopback
+   traffic, so a frame always crosses nodes: a parallel run defers it
+   exactly like a bare-AM delivery and it re-enters the owning domain's
+   queue at the boundary. *)
+let frame_rx t ~src ~dst ~arrival frame =
+  match t.par with
+  | Some p when p.p_running -> defer p ~src ~dst ~arrival (X_frame frame)
+  | _ -> add_event t ~time:arrival (Frame_rx { src; dst; frame })
 
 (* --- reliable-delivery path (fault plan active) --- *)
 
@@ -439,7 +490,7 @@ let transmit_frame t ~control ~now ~src ~dst (frame : Reliable.frame) =
   List.iter
     (fun arrival ->
       emit_obs t ~time:arrival ~node:src (Obs_deliver { time = arrival; src; dst });
-      add_event t ~time:arrival (Frame_rx { src; dst; frame }))
+      frame_rx t ~src ~dst ~arrival frame)
     arrivals;
   eta
 
@@ -535,7 +586,7 @@ let flush_data t co ~src ~dst ~now ~cause =
       List.iter2
         (fun am at ->
           emit_obs t ~time:at ~node:src (Obs_deliver { time = at; src; dst });
-          deliver_local t ~dst ~arrival:at am)
+          deliver_remote t ~src ~dst ~arrival:at am)
         ams arrivals;
       add_event t ~time:arrival (Co_credit { src; dst })
 
@@ -595,7 +646,7 @@ let flush_framed t rel co ~src ~dst ~now ~cause =
           List.iter2
             (fun fr at ->
               emit_obs t ~time:at ~node:src (Obs_deliver { time = at; src; dst });
-              add_event t ~time:at (Frame_rx { src; dst; frame = fr }))
+              frame_rx t ~src ~dst ~arrival:at fr)
             frames
             (staggered_arrivals t ~arrival sizes))
         arrivals;
@@ -617,14 +668,16 @@ let co_send_data t co ~src ~dst ~now am =
           (Network.Packet.make ~src ~dst ~size_bytes:am.Am.size_bytes (Data am))
       in
       emit_obs t ~time:arrival ~node:src (Obs_deliver { time = arrival; src; dst });
-      deliver_local t ~dst ~arrival am;
+      deliver_remote t ~src ~dst ~arrival am;
       add_event t ~time:arrival (Co_credit { src; dst })
   | `Opened ->
       (* Deadline timing is a decision point: the check may fire up to
          half a deadline late, stretching the aggregation window the way
-         a busy host would. A pick of 0 is the exact deadline. *)
+         a busy host would. A pick of 0 is the exact deadline. Keyed by
+         the flushing node so a parallel run draws without a shared
+         cursor. *)
       let delay = (Coalesce.config co).Coalesce.max_delay_ns in
-      let jitter = decide t "co.flush.delay" (1 + (delay / 2)) in
+      let jitter = decide_on t ~node:src "co.flush.delay" (1 + (delay / 2)) in
       add_event t ~time:(now + delay + jitter) (Co_flush { src; dst })
   | `Buffered -> ()
   | `Threshold -> flush_data t co ~src ~dst ~now ~cause:Coalesce.Size
@@ -892,7 +945,11 @@ let crash_node t i ~restart_at =
   if i < 0 || i >= Array.length t.nodes then
     invalid_arg "Engine.crash_node: bad node";
   if t.down.(i) then invalid_arg "Engine.crash_node: node already down";
-  let now = max t.vnow (Node.now t.nodes.(i)) in
+  (* [now_cur]: in a parallel run the caller is a [Timer_on] handler on
+     the owning domain, whose virtual now at that point is the event
+     time — count-invariant, unlike the engine-global cursor. *)
+  let vnow = now_cur t in
+  let now = max vnow (Node.now t.nodes.(i)) in
   if restart_at <= now then
     invalid_arg "Engine.crash_node: restart_at must be in the future";
   t.down.(i) <- true;
@@ -903,8 +960,8 @@ let crash_node t i ~restart_at =
   | Some (Co_data c) -> Coalesce.reset_src c ~src:i
   | Some (Co_framed c) -> Coalesce.reset_src c ~src:i
   | None -> ());
-  emit_obs t ~time:t.vnow ~node:i
-    (Obs_crash { time = t.vnow; node = i; incarnation = t.incarnation.(i) })
+  emit_obs t ~time:vnow ~node:i
+    (Obs_crash { time = vnow; node = i; incarnation = t.incarnation.(i) })
 
 (* Bring node [i] back as a fresh incarnation and wake it so it polls
    whatever the recovery manager rebuilt into its inbox. The caller
@@ -914,9 +971,10 @@ let restart_node t i =
   t.down.(i) <- false;
   t.restart_due.(i) <- 0;
   t.incarnation.(i) <- t.incarnation.(i) + 1;
-  emit_obs t ~time:t.vnow ~node:i
-    (Obs_restart { time = t.vnow; node = i; incarnation = t.incarnation.(i) });
-  wake t t.nodes.(i) ~time:t.vnow
+  let vnow = now_cur t in
+  emit_obs t ~time:vnow ~node:i
+    (Obs_restart { time = vnow; node = i; incarnation = t.incarnation.(i) });
+  wake t t.nodes.(i) ~time:vnow
 
 let step t node ~time =
   Node.set_next_wake node max_int;
@@ -937,45 +995,53 @@ let step t node ~time =
   if Node.runq_size node = 0 then flush_open_buffers t node;
   reschedule_or_idle t node
 
+(* Execute one engine event. Shared by the sequential loop and each
+   parallel window (every event a domain pops targets work it owns, and
+   every event it creates routes back through [add_event], so the same
+   dispatch is exact in both modes). [count_slice] is the caller's
+   slice accounting — the livelock bound is per mode.
+
+   A down node is deaf: its wakes are stale, frames addressed to it
+   fall on a dead interface, and its protocol timers are deferred past
+   the restart rather than consumed (dropping a Rel_tick/Ack_tick would
+   strand the layer's armed-timer flag and stall retransmission
+   forever). *)
+let exec_event t ~time ~count_slice ev =
+  let deferred_to restart_at =
+    if time > restart_at then time + 1 else restart_at + 1
+  in
+  match ev with
+  | Wake i when t.down.(i) -> ()
+  | Wake i ->
+      count_slice ();
+      step t t.nodes.(i) ~time
+  | Frame_rx { dst; _ } when t.down.(dst) -> Simcore.Stats.bump t.c_down_drop
+  | Frame_rx { src; dst; frame } ->
+      handle_frame t (Option.get t.rel) ~time ~src ~dst frame
+  | Rel_tick { src; dst } when t.down.(src) ->
+      add_event t ~time:(deferred_to t.restart_due.(src)) (Rel_tick { src; dst })
+  | Rel_tick { src; dst } -> handle_rel_tick t (Option.get t.rel) ~time ~src ~dst
+  | Ack_tick { me; peer } when t.down.(me) ->
+      add_event t ~time:(deferred_to t.restart_due.(me)) (Ack_tick { me; peer })
+  | Ack_tick { me; peer } -> handle_ack_tick t (Option.get t.rel) ~time ~me ~peer
+  | Co_flush { src; dst } -> handle_co_flush t ~time ~src ~dst
+  | Co_credit { src; dst } -> handle_co_credit t ~time ~src ~dst
+  | Timer fn -> fn ()
+  | Timer_on { fn; _ } -> fn ()
+
 let run ?(max_slices = max_int) t =
   let slices = ref 0 in
+  let count_slice () =
+    incr slices;
+    if !slices > max_slices then
+      failwith "Engine.run: max_slices exceeded (livelock?)"
+  in
   let rec loop () =
     match Simcore.Event_queue.pop t.events with
     | None -> ()
     | Some (time, ev) ->
         t.vnow <- max t.vnow time;
-        (* A down node is deaf: its wakes are stale, frames addressed to
-           it fall on a dead interface, and its protocol timers are
-           deferred past the restart rather than consumed (dropping a
-           Rel_tick/Ack_tick would strand the layer's armed-timer flag
-           and stall retransmission forever). *)
-        let deferred_to restart_at = if time > restart_at then time + 1 else restart_at + 1 in
-        (match ev with
-        | Wake i when t.down.(i) -> ()
-        | Wake i ->
-            incr slices;
-            if !slices > max_slices then
-              failwith "Engine.run: max_slices exceeded (livelock?)";
-            step t t.nodes.(i) ~time
-        | Frame_rx { dst; _ } when t.down.(dst) -> Simcore.Stats.bump t.c_down_drop
-        | Frame_rx { src; dst; frame } ->
-            handle_frame t (Option.get t.rel) ~time ~src ~dst frame
-        | Rel_tick { src; dst } when t.down.(src) ->
-            Simcore.Event_queue.add t.events
-              ~time:(deferred_to t.restart_due.(src))
-              (Rel_tick { src; dst })
-        | Rel_tick { src; dst } ->
-            handle_rel_tick t (Option.get t.rel) ~time ~src ~dst
-        | Ack_tick { me; peer } when t.down.(me) ->
-            Simcore.Event_queue.add t.events
-              ~time:(deferred_to t.restart_due.(me))
-              (Ack_tick { me; peer })
-        | Ack_tick { me; peer } ->
-            handle_ack_tick t (Option.get t.rel) ~time ~me ~peer
-        | Co_flush { src; dst } -> handle_co_flush t ~time ~src ~dst
-        | Co_credit { src; dst } -> handle_co_credit t ~time ~src ~dst
-        | Timer fn -> fn ()
-        | Timer_on { fn; _ } -> fn ());
+        exec_event t ~time ~count_slice ev;
         t.evcount <- t.evcount + 1;
         loop ()
   in
@@ -996,14 +1062,10 @@ let run ?(max_slices = max_int) t =
    boundary multiset are count-invariant, so the whole execution is. *)
 
 let run_parallel ?(max_slices = max_int) t ~domains () =
+  (* Every precondition is checked before *any* state is touched: a
+     rejected call must leave the engine exactly as it was, so a caller
+     can fall back to the sequential [run]. *)
   if domains < 1 then invalid_arg "Engine.run_parallel: domains must be >= 1";
-  if faults_active t then
-    invalid_arg "Engine.run_parallel: fault plans need the sequential engine";
-  if Option.is_some t.co then
-    invalid_arg "Engine.run_parallel: coalescing needs the sequential engine";
-  if Option.is_some t.recovery then
-    invalid_arg
-      "Engine.run_parallel: recovery hooks need the sequential engine";
   if Array.exists Fun.id t.down then
     invalid_arg "Engine.run_parallel: nodes are down";
   if t.config.fabric.Network.Fabric.contention then
@@ -1017,18 +1079,21 @@ let run_parallel ?(max_slices = max_int) t ~domains () =
     invalid_arg "Engine.run_parallel: global tie-break hook set";
   if Option.is_some t.par then
     invalid_arg "Engine.run_parallel: parallel run already active";
-  let n = Array.length t.nodes in
-  let domains = min domains n in
-  Simcore.Stats.shard t.stats domains;
   let lookahead = Network.Fabric.min_remote_latency t.fabric in
   if lookahead < 1 then
     invalid_arg "Engine.run_parallel: fabric lookahead is zero";
+  let n = Array.length t.nodes in
+  let domains = min domains n in
+  (* All guards passed — mutation may start. *)
+  Simcore.Stats.shard t.stats domains;
   (* Contiguous blocks of nodes per domain, balanced to within one. *)
   let dom_of = Array.init n (fun i -> i * domains / n) in
   let queues = Array.init domains (fun _ -> Simcore.Event_queue.create ()) in
   (* Hand pending events to their owners, preserving (time, seq) order:
      each queue receives its events as a subsequence of the global
-     order, so per-queue tie-breaks are count-invariant too. *)
+     order, so per-queue tie-breaks are count-invariant too. Every
+     event kind has an owning node (protocol events belong to the node
+     whose channel end they tick). *)
   let rec redistribute () =
     match Simcore.Event_queue.pop t.events with
     | None -> ()
@@ -1036,12 +1101,13 @@ let run_parallel ?(max_slices = max_int) t ~domains () =
         let d =
           match ev with
           | Wake i -> dom_of.(i)
+          | Frame_rx { dst; _ } -> dom_of.(dst)
+          | Rel_tick { src; _ } -> dom_of.(src)
+          | Ack_tick { me; _ } -> dom_of.(me)
+          | Co_flush { src; _ } -> dom_of.(src)
+          | Co_credit { src; _ } -> dom_of.(src)
           | Timer _ -> dom_of.(0)
           | Timer_on { node; _ } -> dom_of.(node)
-          | _ ->
-              invalid_arg
-                "Engine.run_parallel: protocol events pending (reliable or \
-                 coalescing traffic in flight)"
         in
         Simcore.Event_queue.add queues.(d) ~time ev;
         redistribute ()
@@ -1067,7 +1133,8 @@ let run_parallel ?(max_slices = max_int) t ~domains () =
       p_send_seq = Array.make n 0;
       p_obs_seq = Array.make n 0;
       p_obs = Array.make domains [];
-      p_stop = Atomic.make false;
+      p_errflag = Array.make (domains * pad) 0;
+      p_slices_pub = Array.make (domains * pad) 0;
       p_err = Array.make domains None;
       p_running = true;
     }
@@ -1075,14 +1142,16 @@ let run_parallel ?(max_slices = max_int) t ~domains () =
   t.par <- Some par;
   let record_err d e =
     if par.p_err.(d) = None then
-      par.p_err.(d) <- Some (e, Printexc.get_raw_backtrace ());
-    Atomic.set par.p_stop true
+      par.p_err.(d) <- Some (e, Printexc.get_raw_backtrace ())
   in
   (* One round per iteration: apply boundary deliveries canonically,
-     publish the local minimum, agree on the horizon (replicated, not
-     communicated — everyone reads the same mins), execute the window.
-     Every domain passes the same barriers the same number of times;
-     errors stop execution but never desert a barrier, so no deadlock. *)
+     publish the local minimum, error flag and slice count, agree on
+     the verdict (replicated, not communicated — everyone reads the
+     same boundary-published slots after barrier A), execute the
+     window. Every exit decision — error, empty queues, max_slices —
+     is a pure function of barrier-frozen data, so all domains leave
+     in the same round having crossed the same number of barriers;
+     nobody can desert a barrier another domain is still waiting on. *)
   let worker d =
     Simcore.Domain_ctx.set d;
     let q = par.p_queues.(d) in
@@ -1107,15 +1176,34 @@ let run_parallel ?(max_slices = max_int) t ~domains () =
              !incoming
          in
          List.iter
-           (fun it -> deliver_local t ~dst:it.x_dst ~arrival:it.x_time it.x_am)
+           (fun it ->
+             match it.x_pay with
+             | X_am am -> deliver_local t ~dst:it.x_dst ~arrival:it.x_time am
+             | X_frame frame ->
+                 (* The protocol work runs on the receiving CPU inside
+                    its next window, not at the boundary. *)
+                 add_event t ~time:it.x_time
+                   (Frame_rx { src = it.x_src; dst = it.x_dst; frame }))
            items;
          par.p_mins.(d * pad) <-
            (match Simcore.Event_queue.peek_time q with
            | Some tm -> tm
            | None -> max_int)
        with e -> record_err d e);
+      (* Publish this domain's error flag and slice count before the
+         barrier: the verdict below reads only these boundary-published
+         slots, never live state a faster domain could still be
+         mutating inside its window. An error raised mid-window is
+         therefore invisible until the next round — where every domain
+         sees it at once and exits together, matching barrier counts. *)
+      par.p_errflag.(d * pad) <- (if par.p_err.(d) <> None then 1 else 0);
+      par.p_slices_pub.(d * pad) <- par.p_slices.(d * pad);
       Simcore.Barrier.await par.p_barrier ~me:d;
-      if Atomic.get par.p_stop then running := false
+      let stop = ref false in
+      for k = 0 to domains - 1 do
+        if par.p_errflag.(k * pad) <> 0 then stop := true
+      done;
+      if !stop then running := false
       else begin
         let m = ref max_int in
         for k = 0 to domains - 1 do
@@ -1123,15 +1211,16 @@ let run_parallel ?(max_slices = max_int) t ~domains () =
         done;
         let total_slices = ref 0 in
         for k = 0 to domains - 1 do
-          total_slices := !total_slices + par.p_slices.(k * pad)
+          total_slices := !total_slices + par.p_slices_pub.(k * pad)
         done;
         if !m = max_int then running := false
         else if !total_slices > max_slices then begin
-          (* Replicated verdict: every domain exits here this round. *)
+          (* Replicated verdict (frozen slot scan): every domain takes
+             this branch in the same round; only domain 0 records the
+             error so the report is singular. *)
           if d = 0 then
             record_err d
-              (Failure "Engine.run_parallel: max_slices exceeded (livelock?)")
-          else Atomic.set par.p_stop true;
+              (Failure "Engine.run_parallel: max_slices exceeded (livelock?)");
           running := false
         end
         else begin
@@ -1148,14 +1237,11 @@ let run_parallel ?(max_slices = max_int) t ~domains () =
                        if time > par.p_vnow.(d * pad) then
                          par.p_vnow.(d * pad) <- time;
                        par.p_events.(d * pad) <- par.p_events.(d * pad) + 1;
-                       (match ev with
-                       | Wake i ->
+                       exec_event t ~time
+                         ~count_slice:(fun () ->
                            par.p_slices.(d * pad) <-
-                             par.p_slices.(d * pad) + 1;
-                           step t t.nodes.(i) ~time
-                       | Timer fn -> fn ()
-                       | Timer_on { fn; _ } -> fn ()
-                       | _ -> assert false))
+                             par.p_slices.(d * pad) + 1)
+                         ev)
                | _ -> exec := false
              done
            with e -> record_err d e);
@@ -1215,7 +1301,9 @@ let events_processed t =
 
 let lookahead_ns t = Network.Fabric.min_remote_latency t.fabric
 
-let now t = t.vnow
+(* Domain-local inside a parallel run: each worker's virtual now is its
+   own cursor (the global cursor only folds back at the end). *)
+let now t = now_cur t
 
 let elapsed t =
   Array.fold_left (fun acc n -> max acc (Node.now n)) Simcore.Time.zero t.nodes

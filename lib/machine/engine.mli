@@ -149,11 +149,34 @@ val run_parallel : ?max_slices:int -> t -> domains:int -> unit -> unit
     insertions in pop order rather than boundary order. Compare parallel
     runs with parallel runs.)
 
-    Requires a machine with no fault plan, no coalescing, no recovery
-    hooks, no fabric contention, no down nodes, and no global decision
-    or tie-break hook (use {!set_node_decision_source}); raises
-    [Invalid_argument] otherwise. [max_slices] bounds the total slice
-    count across all domains, checked once per round. *)
+    Fault plans, coalescing and recovery hooks are all accepted: fault
+    fates come from per-channel streams owned by the sending node's
+    domain, open aggregation buffers are node-local (flush triggers ride
+    the owning domain's window, and framed batches cross domains through
+    the boundary mailboxes with whole-batch fate preserved), and
+    checkpoint/restart timers are node-owned events. Still sequential-
+    only: fabric contention (a shared link-occupancy table), nodes
+    already down at call time, and the global decision / tie-break hooks
+    (use {!set_node_decision_source}); raises [Invalid_argument] for
+    those — and a rejected call is side-effect-free, leaving the engine
+    exactly as it was. [max_slices] bounds the total slice count across
+    all domains, checked once per round.
+
+    Raises {!Lookahead_violation} if a cross-node effect lands inside
+    the current window — only possible with a fabric config whose
+    {!Network.Fabric.min_remote_latency} understates a real path (e.g. a
+    pathological [bytes_per_us] that makes a mid-batch frame outrun a
+    bare header). *)
+
+exception
+  Lookahead_violation of {
+    domain : int;  (** the shard that produced the violating effect *)
+    node : int;  (** the sending node *)
+    arrival : Simcore.Time.t;
+    horizon : Simcore.Time.t;  (** end of the window it should have cleared *)
+  }
+(** Raised (out of {!run_parallel}, propagated from the violating
+    domain) when the conservative-lookahead invariant breaks. *)
 
 val events_processed : t -> int
 (** Events executed so far by {!run} and {!run_parallel} together — the
@@ -164,7 +187,10 @@ val lookahead_ns : t -> Simcore.Time.t
     minimum cross-node latency. *)
 
 val now : t -> Simcore.Time.t
-(** Timestamp of the most recently processed event. *)
+(** Timestamp of the most recently processed event. Domain-local during
+    a parallel run: inside an event handler it equals that event's time
+    (count-invariant); between events it is the calling domain's own
+    cursor, so boundary-phase code must not treat it as global. *)
 
 val elapsed : t -> Simcore.Time.t
 (** Makespan: the maximum node clock. *)

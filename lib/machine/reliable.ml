@@ -67,8 +67,13 @@ type journal = {
 type t = {
   cfg : config;
   nodes : int;
-  txs : (int, tx) Hashtbl.t;  (** keyed by src * nodes + dst *)
-  rxs : (int, rx) Hashtbl.t;  (** keyed by src * nodes + dst *)
+  (* Channel state is preallocated for every (src, dst) pair rather than
+     created lazily on first use: a parallel run then only ever mutates
+     the per-channel records (each touched by a single domain — the
+     tx side by the sender's, the rx side by the receiver's), never a
+     shared table. *)
+  txs : tx array;  (** indexed by src * nodes + dst *)
+  rxs : rx array;  (** indexed by src * nodes + dst *)
   mutable journal : journal option;
   retransmits : int array;  (** per sending node *)
   dup_discards : int array;  (** per receiving node *)
@@ -80,14 +85,30 @@ type t = {
   rto_hist : Simcore.Histogram.t array;
 }
 
+let fresh_tx cfg =
+  {
+    next_seq = 0;
+    base = 0;
+    inflight = Hashtbl.create 8;
+    backlog = Queue.create ();
+    rto = cfg.rto_ns;
+    deadline = max_int;
+    timer_armed = false;
+    retries = 0;
+    srtt = -1;
+    rttvar = 0;
+  }
+
+let fresh_rx () = { expected = 0; reorder = Hashtbl.create 8; ack_due = max_int }
+
 let create ?(config = default_config) ~nodes () =
   if config.window < 1 then invalid_arg "Reliable.create: window must be >= 1";
   if config.backoff < 1 then invalid_arg "Reliable.create: backoff must be >= 1";
   {
     cfg = config;
     nodes;
-    txs = Hashtbl.create 64;
-    rxs = Hashtbl.create 64;
+    txs = Array.init (nodes * nodes) (fun _ -> fresh_tx config);
+    rxs = Array.init (nodes * nodes) (fun _ -> fresh_rx ());
     journal = None;
     retransmits = Array.make nodes 0;
     dup_discards = Array.make nodes 0;
@@ -101,38 +122,8 @@ let set_journal t j = t.journal <- j
 
 let key t src dst = (src * t.nodes) + dst
 
-let tx_of t ~src ~dst =
-  let k = key t src dst in
-  match Hashtbl.find_opt t.txs k with
-  | Some tx -> tx
-  | None ->
-      let tx =
-        {
-          next_seq = 0;
-          base = 0;
-          inflight = Hashtbl.create 8;
-          backlog = Queue.create ();
-          rto = t.cfg.rto_ns;
-          deadline = max_int;
-          timer_armed = false;
-          retries = 0;
-          srtt = -1;
-          rttvar = 0;
-        }
-      in
-      Hashtbl.add t.txs k tx;
-      tx
-
-let rx_of t ~src ~dst =
-  let k = key t src dst in
-  match Hashtbl.find_opt t.rxs k with
-  | Some rx -> rx
-  | None ->
-      let rx =
-        { expected = 0; reorder = Hashtbl.create 8; ack_due = max_int }
-      in
-      Hashtbl.add t.rxs k rx;
-      rx
+let tx_of t ~src ~dst = t.txs.(key t src dst)
+let rx_of t ~src ~dst = t.rxs.(key t src dst)
 
 (* Cumulative ack the [me] side owes for traffic arriving from [peer].
    A pending standalone ack is suppressed only when the carrying frame
@@ -398,31 +389,36 @@ let on_ack_timer t ~me ~peer =
 (* --- introspection --- *)
 
 let in_flight t =
-  Hashtbl.fold
-    (fun _ tx acc -> acc + Hashtbl.length tx.inflight + Queue.length tx.backlog)
-    t.txs 0
+  Array.fold_left
+    (fun acc tx -> acc + Hashtbl.length tx.inflight + Queue.length tx.backlog)
+    0 t.txs
 
 let reorder_buffered t =
-  Hashtbl.fold (fun _ rx acc -> acc + Hashtbl.length rx.reorder) t.rxs 0
+  Array.fold_left (fun acc rx -> acc + Hashtbl.length rx.reorder) 0 t.rxs
 
+(* Only channels that carried traffic, in (src, dst) order — preallocated
+   pristine channels are invisible, matching the old lazy table. *)
 let channel_states t =
-  Hashtbl.fold
-    (fun key tx acc ->
-      let src = key / t.nodes and dst = key mod t.nodes in
-      ( src,
-        dst,
-        tx.next_seq,
-        tx.base,
-        Hashtbl.length tx.inflight,
-        Queue.length tx.backlog )
-      :: acc)
-    t.txs []
-  |> List.sort compare
+  let acc = ref [] in
+  for key = Array.length t.txs - 1 downto 0 do
+    let tx = t.txs.(key) in
+    if
+      tx.next_seq > 0 || tx.base > 0
+      || Hashtbl.length tx.inflight > 0
+      || Queue.length tx.backlog > 0
+    then
+      acc :=
+        ( key / t.nodes,
+          key mod t.nodes,
+          tx.next_seq,
+          tx.base,
+          Hashtbl.length tx.inflight,
+          Queue.length tx.backlog )
+        :: !acc
+  done;
+  !acc
 
-let rx_expected t ~src ~dst =
-  match Hashtbl.find_opt t.rxs (key t src dst) with
-  | Some rx -> rx.expected
-  | None -> 0
+let rx_expected t ~src ~dst = t.rxs.(key t src dst).expected
 
 let node_retransmits t node = t.retransmits.(node)
 let node_dup_discards t node = t.dup_discards.(node)

@@ -23,18 +23,19 @@ type 'a t = {
   last_delivery : (int, Simcore.Time.t) Hashtbl.t array;
   (* when each directed link (from_node, to_node) becomes free *)
   link_free : (int * int, Simcore.Time.t) Hashtbl.t;
-  (* per source node, so concurrent domains never share a counter *)
+  (* per source node, so concurrent domains never share a counter; the
+     totals are derived by summation on read *)
   packets_by_src : int array;
   bytes_by_src : int array;
-  mutable dropped : int;
-  mutable duplicated : int;
+  nodes : int;
   (* per source node, for degradation reports *)
   dropped_by_src : int array;
   duplicated_by_src : int array;
-  (* of [dropped], the losses caused by a crash window rather than by a
-     random per-packet drop draw — attributed to the crashed endpoint *)
-  mutable crash_dropped : int;
-  crash_dropped_by_node : int array;
+  (* of the drops, the losses caused by a crash window rather than by a
+     random per-packet drop draw — attributed to the crashed endpoint.
+     Indexed [src * nodes + crashed_node]: only the sending node's
+     domain writes a row, and per-crashed-node totals sum a column. *)
+  crash_dropped_matrix : int array;
 }
 
 let create ?(config = default_config) ?faults topo =
@@ -43,18 +44,16 @@ let create ?(config = default_config) ?faults topo =
   {
     topo;
     config;
-    faults = Option.map Faults.create faults;
+    faults = Option.map (Faults.create ~nodes:n) faults;
     injection_free = Array.make n 0;
     last_delivery = Array.init n (fun _ -> Hashtbl.create 32);
     link_free = Hashtbl.create 256;
     packets_by_src = Array.make n 0;
     bytes_by_src = Array.make n 0;
-    dropped = 0;
-    duplicated = 0;
+    nodes = n;
     dropped_by_src = Array.make n 0;
     duplicated_by_src = Array.make n 0;
-    crash_dropped = 0;
-    crash_dropped_by_node = Array.make n 0;
+    crash_dropped_matrix = Array.make (n * n) 0;
   }
 
 let topology t = t.topo
@@ -132,13 +131,12 @@ let faulty_arrivals t f ~now ~base (p : _ Packet.t) =
     else None
   in
   let drop_one () =
-    t.dropped <- t.dropped + 1;
     t.dropped_by_src.(p.src) <- t.dropped_by_src.(p.src) + 1
   in
   let crash_drop node =
     drop_one ();
-    t.crash_dropped <- t.crash_dropped + 1;
-    t.crash_dropped_by_node.(node) <- t.crash_dropped_by_node.(node) + 1
+    let k = (p.src * t.nodes) + node in
+    t.crash_dropped_matrix.(k) <- t.crash_dropped_matrix.(k) + 1
   in
   let first = base + fate.Faults.f_jitter in
   let arrivals =
@@ -160,7 +158,6 @@ let faulty_arrivals t f ~now ~base (p : _ Packet.t) =
         crash_drop node;
         arrivals
     | None ->
-        t.duplicated <- t.duplicated + 1;
         t.duplicated_by_src.(p.src) <- t.duplicated_by_src.(p.src) + 1;
         arrivals @ [ copy ]
   end
@@ -200,12 +197,18 @@ let bytes_sent t = Array.fold_left ( + ) 0 t.bytes_by_src
 let min_remote_latency t =
   transmission_ns t Packet.header_bytes
   + t.config.hw_launch_ns + t.config.per_hop_ns
-let packets_dropped t = t.dropped
-let packets_duplicated t = t.duplicated
+let packets_dropped t = Array.fold_left ( + ) 0 t.dropped_by_src
+let packets_duplicated t = Array.fold_left ( + ) 0 t.duplicated_by_src
 let dropped_by_src t src = t.dropped_by_src.(src)
 let duplicated_by_src t src = t.duplicated_by_src.(src)
-let crash_dropped t = t.crash_dropped
-let crash_dropped_by_node t node = t.crash_dropped_by_node.(node)
+let crash_dropped t = Array.fold_left ( + ) 0 t.crash_dropped_matrix
+
+let crash_dropped_by_node t node =
+  let total = ref 0 in
+  for src = 0 to t.nodes - 1 do
+    total := !total + t.crash_dropped_matrix.((src * t.nodes) + node)
+  done;
+  !total
 
 let channel_entries t =
   Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.last_delivery
@@ -217,9 +220,6 @@ let reset t =
   Array.fill t.injection_free 0 (Array.length t.injection_free) 0;
   Array.fill t.packets_by_src 0 (Array.length t.packets_by_src) 0;
   Array.fill t.bytes_by_src 0 (Array.length t.bytes_by_src) 0;
-  t.dropped <- 0;
-  t.duplicated <- 0;
   Array.fill t.dropped_by_src 0 (Array.length t.dropped_by_src) 0;
   Array.fill t.duplicated_by_src 0 (Array.length t.duplicated_by_src) 0;
-  t.crash_dropped <- 0;
-  Array.fill t.crash_dropped_by_node 0 (Array.length t.crash_dropped_by_node) 0
+  Array.fill t.crash_dropped_matrix 0 (Array.length t.crash_dropped_matrix) 0

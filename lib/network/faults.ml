@@ -42,14 +42,29 @@ type t = {
      crash instant replays deterministically instead of being baked into
      the plan. *)
   mutable t_crashes : window list;
-  (* per-(src, dst) channel streams, created lazily; the seed of each is a
-     pure function of (plan seed, src, dst) so creation order is
-     irrelevant to the draws *)
+  (* per-(src, dst) channel streams; the seed of each is a pure function
+     of (plan seed, src, dst), so creation order is irrelevant to the
+     draws. When the node count is known at creation every stream is
+     preallocated eagerly — a parallel run then never mutates the table,
+     only the (per-channel, single-writer) streams inside it. *)
   channels : (int * int, Simcore.Rng.t) Hashtbl.t;
 }
 
-let create p =
-  { t_plan = p; t_crashes = p.crashes; channels = Hashtbl.create 64 }
+let channel_seed p ~src ~dst = p.seed + (src * 2_000_003) + (dst * 7_919)
+
+let create ?nodes p =
+  let channels = Hashtbl.create 64 in
+  (match nodes with
+  | None -> ()
+  | Some n ->
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then
+            Hashtbl.add channels (src, dst)
+              (Simcore.Rng.create ~seed:(channel_seed p ~src ~dst))
+        done
+      done);
+  { t_plan = p; t_crashes = p.crashes; channels }
 
 let plan_of t = t.t_plan
 let crash_windows t = t.t_crashes
@@ -79,8 +94,10 @@ let channel_rng t ~src ~dst =
   match Hashtbl.find_opt t.channels (src, dst) with
   | Some rng -> rng
   | None ->
-      let seed = t.t_plan.seed + (src * 2_000_003) + (dst * 7_919) in
-      let rng = Simcore.Rng.create ~seed in
+      (* Lazy fallback for states created without a node count — the
+         stream is the same pure function of (seed, src, dst) either
+         way. Only reached on the sequential engine. *)
+      let rng = Simcore.Rng.create ~seed:(channel_seed t.t_plan ~src ~dst) in
       Hashtbl.add t.channels (src, dst) rng;
       rng
 

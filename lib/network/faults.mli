@@ -52,7 +52,13 @@ val is_fault_free : plan -> bool
 type t
 (** Instantiated plan state: the per-channel random streams. *)
 
-val create : plan -> t
+val create : ?nodes:int -> plan -> t
+(** Instantiates the plan. With [~nodes] every per-channel stream is
+    preallocated eagerly (each stream's seed is a pure function of the
+    plan seed and the channel endpoints, so eager creation draws
+    nothing); a parallel run then never mutates the channel table, only
+    the single-writer streams inside it. Without [~nodes] streams are
+    created lazily on first use — sequential engine only. *)
 
 val plan_of : t -> plan
 (** The plan this state was created from. Its [crashes] field is the

@@ -92,6 +92,8 @@ type nstate = {
   cursors : (int, int) Hashtbl.t;  (** live journal released cursors *)
   mutable pending_restart : bool;
   mutable recoveries_ns : int;  (** total simulated recovery wall-clock *)
+  mutable dirty : bool;  (** state changed since the last snapshot *)
+  mutable ckpt_armed : bool;  (** a checkpoint timer is in the queue *)
 }
 
 type t = {
@@ -118,12 +120,76 @@ let recovery_ns t i = t.ns.(i).recoveries_ns
 let dentry_bytes (am : Am.t) = am.Am.size_bytes + 16
 let cursor_bytes = 8
 
+(* --- checkpointing --- *)
+
+(* Returns whether a snapshot was actually taken (the application may
+   refuse when the node is not at a safe point). *)
+let checkpoint t i =
+  let ns = t.ns.(i) in
+  match t.app.a_snapshot i with
+  | None ->
+      Simcore.Stats.bump t.c_ckpt_deferred;
+      false
+  | Some img ->
+      Store.put ns.store ~key:"ckpt" img;
+      ns.has_ckpt <- true;
+      ns.ckpt_cursors <- Hashtbl.copy ns.cursors;
+      ns.done_log <- [];
+      (* The snapshot subsumes everything dispatched and every journal
+         entry; only the still-pending deliveries must stay logged. *)
+      Store.truncate ns.store ~log:"dispatch";
+      Store.truncate ns.store ~log:"journal";
+      Store.truncate ns.store ~log:"delivery";
+      Queue.iter
+        (fun de ->
+          Store.append ns.store ~log:"delivery" ~bytes:(dentry_bytes de.de_am))
+        ns.pending;
+      Simcore.Stats.bump t.c_ckpts;
+      Simcore.Stats.bump_n t.c_ckpt_bytes (Bytes.length img);
+      true
+
 (* --- the engine hooks --- *)
+
+(* Arm a checkpoint for node [i] at [at] (plus a node-keyed stagger
+   jitter) unless one is already pending. The timer is a node-owned
+   event, so a parallel run executes it on the owning domain; [at] must
+   be count-invariant (an arrival stamp or the node's own clock — never
+   the engine cursor, which is domain-local between events). *)
+let rec arm_ckpt t i ~at =
+  let ns = t.ns.(i) in
+  if not ns.ckpt_armed then begin
+    ns.ckpt_armed <- true;
+    let jitter =
+      Engine.decide_on t.eng ~node:i "recover.ckpt.stagger"
+        (1 + (t.cfg.checkpoint_every_ns / 4))
+    in
+    Engine.schedule_on t.eng ~node:i ~time:(at + jitter) (ckpt_tick t i)
+  end
+
+(* Checkpoints are activity-driven: a delivery or dispatch marks the
+   node dirty and arms a timer one period out, so safe-points align
+   with the node's own event stream (and, in a parallel run, with its
+   round windows) instead of a global engine clock. A down node skips
+   its tick — snapshotting wiped state would lose the replay logs —
+   and re-arms from its first post-restart activity. *)
+and ckpt_tick t i () =
+  let ns = t.ns.(i) in
+  ns.ckpt_armed <- false;
+  if Engine.node_down t.eng i then ()
+  else if ns.dirty then
+    if checkpoint t i then ns.dirty <- false
+    else
+      (* Not at a safe point: retry a period later. *)
+      arm_ckpt t i ~at:(Engine.now t.eng + t.cfg.checkpoint_every_ns)
 
 let on_deliver t ~dst ~arrival am =
   let ns = t.ns.(dst) in
   Queue.push { de_am = am; de_arrival = arrival } ns.pending;
-  Store.append ns.store ~log:"delivery" ~bytes:(dentry_bytes am)
+  Store.append ns.store ~log:"delivery" ~bytes:(dentry_bytes am);
+  if not (Engine.node_down t.eng dst) then begin
+    ns.dirty <- true;
+    arm_ckpt t dst ~at:(arrival + t.cfg.checkpoint_every_ns)
+  end
 
 (* Pull the entry for [am] out of the pending set. Dispatch order
    usually matches delivery order, so the head check almost always
@@ -151,7 +217,10 @@ let on_dispatch t ~node am =
     match take_pending ns am with
     | Some de ->
         ns.done_log <- de :: ns.done_log;
-        Store.append ns.store ~log:"dispatch" ~bytes:cursor_bytes
+        Store.append ns.store ~log:"dispatch" ~bytes:cursor_bytes;
+        ns.dirty <- true;
+        arm_ckpt t node
+          ~at:(Node.now (Engine.node t.eng node) + t.cfg.checkpoint_every_ns)
     | None ->
         (* A message the delivery log never saw (e.g. injected behind
            the manager's back). It cannot be replayed after a crash. *)
@@ -164,38 +233,8 @@ let on_send t ~src =
   end
   else true
 
-(* --- checkpointing --- *)
-
-let checkpoint t i =
-  let ns = t.ns.(i) in
-  match t.app.a_snapshot i with
-  | None -> Simcore.Stats.bump t.c_ckpt_deferred
-  | Some img ->
-      Store.put ns.store ~key:"ckpt" img;
-      ns.has_ckpt <- true;
-      ns.ckpt_cursors <- Hashtbl.copy ns.cursors;
-      ns.done_log <- [];
-      (* The snapshot subsumes everything dispatched and every journal
-         entry; only the still-pending deliveries must stay logged. *)
-      Store.truncate ns.store ~log:"dispatch";
-      Store.truncate ns.store ~log:"journal";
-      Store.truncate ns.store ~log:"delivery";
-      Queue.iter
-        (fun de ->
-          Store.append ns.store ~log:"delivery" ~bytes:(dentry_bytes de.de_am))
-        ns.pending;
-      Simcore.Stats.bump t.c_ckpts;
-      Simcore.Stats.bump_n t.c_ckpt_bytes (Bytes.length img)
-
 let any_restart_pending t =
   Array.exists (fun ns -> ns.pending_restart) t.ns
-
-let rec ckpt_tick t i () =
-  checkpoint t i;
-  if not (Engine.quiescent t.eng) || any_restart_pending t then
-    Engine.schedule_at t.eng
-      ~time:(Engine.now t.eng + t.cfg.checkpoint_every_ns)
-      (ckpt_tick t i)
 
 (* --- crash and recovery --- *)
 
@@ -236,7 +275,11 @@ let restart t i =
   Simcore.Stats.bump t.c_restarts;
   let spent = Node.now node - t0 in
   ns.recoveries_ns <- ns.recoveries_ns + spent;
-  Simcore.Stats.bump_n t.c_recovery_ns (spent)
+  Simcore.Stats.bump_n t.c_recovery_ns spent;
+  (* The replayed logs want pruning: a fresh checkpoint one period out
+     resets the next crash's replay cost. *)
+  ns.dirty <- true;
+  arm_ckpt t i ~at:(Node.now node + t.cfg.checkpoint_every_ns)
 
 let crash t i ~restart_at =
   let ns = t.ns.(i) in
@@ -248,7 +291,8 @@ let crash t i ~restart_at =
   Engine.crash_node t.eng i ~restart_at:ra;
   t.app.a_reset i;
   Simcore.Stats.bump t.c_crashes;
-  Engine.schedule_at t.eng ~time:ra (fun () -> restart t i)
+  (* Node-owned: the restart runs on the domain that owns the node. *)
+  Engine.schedule_on t.eng ~node:i ~time:ra (fun () -> restart t i)
 
 (* --- wiring --- *)
 
@@ -311,6 +355,8 @@ let attach ?(config = default_config) eng ~app ~crashes () =
               cursors = Hashtbl.create 8;
               pending_restart = false;
               recoveries_ns = 0;
+              dirty = false;
+              ckpt_armed = false;
             });
       c_crashes = Simcore.Stats.counter stats "recover.crashes";
       c_restarts = Simcore.Stats.counter stats "recover.restarts";
@@ -339,9 +385,13 @@ let attach ?(config = default_config) eng ~app ~crashes () =
   let timed =
     List.map
       (fun cs ->
-        let jc = Engine.decide eng "recover.crash.jitter" (cs.cs_jitter_ns + 1) in
+        let jc =
+          Engine.decide_on eng ~node:cs.cs_node "recover.crash.jitter"
+            (cs.cs_jitter_ns + 1)
+        in
         let jr =
-          Engine.decide eng "recover.restart.jitter" (cs.cs_jitter_ns + 1)
+          Engine.decide_on eng ~node:cs.cs_node "recover.restart.jitter"
+            (cs.cs_jitter_ns + 1)
         in
         let at = cs.cs_at + jc in
         (cs, at, at + cs.cs_down_ns + jr))
@@ -357,20 +407,17 @@ let attach ?(config = default_config) eng ~app ~crashes () =
   | None -> assert false (* faults_active checked above *));
   List.iter
     (fun (cs, at, ra) ->
-      Engine.schedule_at eng ~time:at (fun () ->
+      (* Node-owned: the crash (and the restart it schedules) executes
+         on the domain that owns the node. *)
+      Engine.schedule_on eng ~node:cs.cs_node ~time:at (fun () ->
           crash t cs.cs_node ~restart_at:ra))
     timed;
   (* Checkpoint 0: persist the pristine state so the very first crash
-     already has something to restore; then a staggered per-node timer. *)
+     already has something to restore. Later checkpoints are activity-
+     driven — the first delivery or dispatch after a snapshot arms a
+     per-node timer one period (plus a node-keyed stagger) out. *)
   for i = 0 to n - 1 do
-    checkpoint t i;
-    let phase = i * config.checkpoint_every_ns / n in
-    let jitter =
-      Engine.decide eng "recover.ckpt.stagger" (1 + (config.checkpoint_every_ns / 4))
-    in
-    Engine.schedule_at eng
-      ~time:(Engine.now eng + config.checkpoint_every_ns + phase + jitter)
-      (ckpt_tick t i)
+    ignore (checkpoint t i : bool)
   done;
   t
 

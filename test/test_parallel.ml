@@ -3,10 +3,17 @@
    computation, sharded stats/histogram merging, per-node RNG stream
    derivation, and the headline determinism property — the same
    recorded sharded schedule produces identical Timeline hashes and
-   identical merged KV metric folds at 1, 2 and 4 domains. *)
+   identical merged KV metric folds at 1, 2 and 4 domains. Also the
+   guard-path contract (a rejected [run_parallel] is side-effect-free),
+   the structured [Lookahead_violation] error, and the lifted feature
+   envelope: faults + coalescing + crash recovery under domains. *)
 
 open Core
 module Engine = Machine.Engine
+module Coalesce = Machine.Coalesce
+module Manager = Recover.Manager
+module Fabric = Network.Fabric
+module Faults = Network.Faults
 module Kv = Apps.Kv_store
 module Loadgen = Traffic.Loadgen
 module Spsc = Simcore.Spsc
@@ -118,6 +125,159 @@ let test_run_parallel_rejects_gossip () =
   Alcotest.check_raises "gossip has no per-domain decomposition"
     (Invalid_argument "System.run_parallel: gossip_interval_ns requires [run]")
     (fun () -> System.run_parallel sys ~domains:2)
+
+(* --- rejected run_parallel is side-effect-free ----------------------- *)
+
+(* Boot the sharded KV workload, let [trip] provoke (and swallow) a
+   rejected [run_parallel], then finish the run on the sequential
+   engine. If the rejected call touched any state — sharded the stats,
+   drained the event queue into per-domain queues — the sequential run
+   afterwards diverges from a clean twin that was never offered to the
+   parallel engine. *)
+let run_seq_workload ?machine_config ~seed ~source ~trip () =
+  let kv = Kv.create ~shards:4 () in
+  let sys = System.boot ?machine_config ~nodes:4 ~classes:(Kv.classes kv) () in
+  let machine = System.machine sys in
+  Engine.set_node_decision_source machine (Some source);
+  Kv.spawn kv sys;
+  let tl = Services.Timeline.attach sys in
+  let _lg =
+    Loadgen.launch_sharded
+      {
+        Loadgen.default_config with
+        seed;
+        rate_rps = 300_000;
+        requests = 80;
+        key_dist = Loadgen.Zipf 1.0;
+      }
+      sys kv
+  in
+  trip machine;
+  System.run sys;
+  let h = Services.Timeline.hash tl in
+  Services.Timeline.detach tl;
+  (h, Kv.completed kv, Engine.events_processed machine)
+
+let check_rejection_side_effect_free ?machine_config ~seed ~trip () =
+  let sh = Schedule.record_sharded ~seed ~nodes:4 in
+  let clean =
+    run_seq_workload ?machine_config ~seed
+      ~source:(Schedule.node_source sh)
+      ~trip:(fun _ -> ())
+      ()
+  in
+  let replayed = Schedule.replay_sharded (Schedule.traces sh) in
+  let tripped =
+    run_seq_workload ?machine_config ~seed
+      ~source:(Schedule.node_source replayed)
+      ~trip ()
+  in
+  let h_clean, done_clean, ev_clean = clean in
+  let h_tripped, done_tripped, ev_tripped = tripped in
+  Alcotest.(check bool)
+    "Timeline hash identical after a rejected run_parallel" true
+    (h_clean = h_tripped);
+  Alcotest.(check int) "same requests completed" done_clean done_tripped;
+  Alcotest.(check int) "same events processed" ev_clean ev_tripped
+
+let test_rejected_tie_break_side_effect_free () =
+  check_rejection_side_effect_free ~seed:91
+    ~trip:(fun machine ->
+      Engine.set_tie_break machine (Some (fun _ -> 0));
+      (match Engine.run_parallel machine ~domains:2 () with
+      | () -> Alcotest.fail "run_parallel accepted a global tie-break hook"
+      | exception Invalid_argument _ -> ());
+      Engine.set_tie_break machine None)
+    ()
+
+let test_rejected_contention_side_effect_free () =
+  let machine_config =
+    {
+      Engine.default_config with
+      Engine.fabric = { Fabric.default_config with Fabric.contention = true };
+    }
+  in
+  check_rejection_side_effect_free ~machine_config ~seed:92
+    ~trip:(fun machine ->
+      match Engine.run_parallel machine ~domains:2 () with
+      | () -> Alcotest.fail "run_parallel accepted a contention fabric"
+      | exception Invalid_argument _ -> ())
+    ()
+
+(* --- structured lookahead violations --------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Provoke a genuine violation: at a pathological bandwidth (sub-ns per
+   byte, rounded up per packet) the transmission-time difference that
+   staggers a batch's first frame collapses to zero while the lookahead
+   still charges a full header, so the frame lands 1 ns inside the
+   horizon. A single credit forces the batch to flush from a [Co_credit]
+   event, whose time is the round minimum. *)
+let test_lookahead_violation_structured () =
+  let config =
+    {
+      Engine.default_config with
+      Engine.fabric = { Fabric.default_config with Fabric.bytes_per_us = 100_000 };
+      coalesce = Some { Coalesce.default_config with Coalesce.credits = 1 };
+    }
+  in
+  let m = Engine.create ~config ~nodes:2 () in
+  let h =
+    Engine.register_handler m Machine.Am.Service ~name:"lv-sink"
+      (fun _ _ _ -> ())
+  in
+  Engine.schedule_on m ~node:0 ~time:1_000 (fun () ->
+      Engine.post m (Engine.node m 0) (fun () ->
+          let src = Engine.node m 0 in
+          for _ = 1 to 3 do
+            Engine.send_am m ~src ~dst:1 ~handler:h ~size_bytes:4
+              Machine.Am.Ping
+          done));
+  match Engine.run_parallel m ~domains:2 () with
+  | () -> Alcotest.fail "pathological bandwidth did not violate the horizon"
+  | exception Engine.Lookahead_violation { domain; node; arrival; horizon } ->
+      Alcotest.(check int) "raised on the sending node's domain" 0 domain;
+      Alcotest.(check int) "names the sending node" 0 node;
+      Alcotest.(check bool) "arrival strictly inside the horizon" true
+        (arrival < horizon);
+      let rendered =
+        Printexc.to_string
+          (Engine.Lookahead_violation { domain; node; arrival; horizon })
+      in
+      Alcotest.(check bool) "printer renders the payload" true
+        (contains rendered "Lookahead_violation"
+        && contains rendered "domain = 0"
+        && contains rendered "node = 0")
+
+let test_lookahead_violation_sequential_ok () =
+  (* The same configuration is legal on the sequential engine: the
+     horizon is a parallel-envelope constraint, not a config error. *)
+  let config =
+    {
+      Engine.default_config with
+      Engine.fabric = { Fabric.default_config with Fabric.bytes_per_us = 100_000 };
+      coalesce = Some { Coalesce.default_config with Coalesce.credits = 1 };
+    }
+  in
+  let m = Engine.create ~config ~nodes:2 () in
+  let got = ref 0 in
+  let h =
+    Engine.register_handler m Machine.Am.Service ~name:"lv-count"
+      (fun _ _ _ -> incr got)
+  in
+  Engine.schedule_on m ~node:0 ~time:1_000 (fun () ->
+      Engine.post m (Engine.node m 0) (fun () ->
+          let src = Engine.node m 0 in
+          for _ = 1 to 3 do
+            Engine.send_am m ~src ~dst:1 ~handler:h ~size_bytes:4
+              Machine.Am.Ping
+          done));
+  Engine.run m;
+  Alcotest.(check int) "all three messages delivered" 3 !got
 
 (* --- sharded stats and histogram merging ----------------------------- *)
 
@@ -260,6 +420,160 @@ let test_oversubscribed_domains_identical () =
     (fold1 = fold8);
   Alcotest.(check (list string)) "audit clean at 8 domains" [] audit8
 
+(* --- the lifted feature envelope ------------------------------------- *)
+
+type Machine.Am.payload += Hs_seq of { k : int }
+
+(* The hostile composition: a fault plan (drop, duplicate, jitter), so
+   every send goes through the reliable layer; framed coalescing, so
+   frames batch and share fates; and a recovery manager with a crash
+   window over node 1, so a checkpoint/journal/replay cycle runs
+   mid-stream. Drivers are node-owned timers that post to their own
+   node, so every construct is parallel-safe. Returns the Timeline
+   hash, an order-insensitive fold of every feature's metrics, and the
+   manager's quiescent audit. *)
+let run_hostile ~seed ~domains ~source =
+  let nodes = 4 in
+  let plan =
+    Faults.plan ~seed:(seed + 7) ~drop:0.03 ~duplicate:0.02 ~jitter_ns:400 ()
+  in
+  let config =
+    {
+      Engine.default_config with
+      Engine.faults = Some plan;
+      coalesce = Some { Coalesce.default_config with Coalesce.max_delay_ns = 2_000 };
+    }
+  in
+  let m = Engine.create ~config ~nodes () in
+  Engine.set_node_decision_source m (Some source);
+  let tl = Services.Timeline.attach_machine m in
+  let next = Array.init nodes (fun _ -> Hashtbl.create 8) in
+  let h =
+    Engine.register_handler m Machine.Am.Service ~name:"hostile-seq"
+      (fun _ node am ->
+        match am.Machine.Am.payload with
+        | Hs_seq { k } ->
+            let me = Machine.Node.id node in
+            let src = am.Machine.Am.src in
+            let cur = Option.value (Hashtbl.find_opt next.(me) src) ~default:0 in
+            Hashtbl.replace next.(me) src (max (k + 1) cur)
+        | _ -> ())
+  in
+  let app =
+    {
+      Manager.a_snapshot =
+        (fun node ->
+          let slice =
+            Hashtbl.fold (fun src k acc -> (src, k) :: acc) next.(node) []
+          in
+          Some (Marshal.to_bytes (List.sort compare slice) []));
+      a_restore =
+        (fun node b ->
+          Hashtbl.reset next.(node);
+          List.iter
+            (fun (src, k) -> Hashtbl.replace next.(node) src k)
+            (Marshal.from_bytes b 0 : (int * int) list));
+      a_reset = (fun node -> Hashtbl.reset next.(node));
+    }
+  in
+  let crashes =
+    [
+      {
+        Manager.cs_node = 1;
+        cs_at = 50_000;
+        cs_down_ns = 30_000;
+        cs_jitter_ns = 1_500;
+      };
+    ]
+  in
+  let mgr = Manager.attach m ~app ~crashes () in
+  (* Every node streams sequence numbers at its neighbour from timers
+     it owns; a timer firing while its node is down skips the burst
+     (count-invariantly — down windows are part of the schedule). *)
+  for s = 0 to nodes - 1 do
+    for r = 0 to 5 do
+      Engine.schedule_on m ~node:s
+        ~time:(8_000 + (r * 18_000))
+        (fun () ->
+          if not (Engine.node_down m s) then
+            Engine.post m (Engine.node m s) (fun () ->
+                let src = Engine.node m s in
+                for i = 0 to 4 do
+                  Engine.send_am m ~src ~dst:((s + 1) mod nodes) ~handler:h
+                    ~size_bytes:16
+                    (Hs_seq { k = (r * 5) + i })
+                done))
+    done
+  done;
+  Engine.run_parallel m ~domains ();
+  let hash = Services.Timeline.hash tl in
+  Services.Timeline.detach tl;
+  let st = Engine.stats m in
+  let delivered =
+    Array.to_list
+      (Array.map
+         (fun tbl ->
+           List.sort compare
+             (Hashtbl.fold (fun s k acc -> (s, k) :: acc) tbl []))
+         next)
+  in
+  let co =
+    match Engine.coalesce_stats m with
+    | Some s -> (s.Coalesce.s_batches, s.Coalesce.s_singles, s.Coalesce.s_frames)
+    | None -> (0, 0, 0)
+  in
+  let fold =
+    ( Engine.elapsed m,
+      Engine.packets_sent m,
+      Engine.packets_dropped m,
+      Engine.packets_duplicated m,
+      Engine.crash_dropped m,
+      ( Stats.get st "reliable.retransmit",
+        Stats.get st "reliable.dup_discard",
+        Stats.get st "recover.crashes",
+        Stats.get st "recover.restarts",
+        Stats.get st "recover.replayed",
+        Stats.get st "recover.ckpts" ),
+      co,
+      delivered )
+  in
+  let aud = Manager.audit_quiescent mgr in
+  Manager.detach mgr;
+  (hash, fold, aud)
+
+let prop_hostile_envelope_identical =
+  QCheck.Test.make ~count:4
+    ~name:"faults + coalescing + crash recovery bit-identical at 1/2/4 domains"
+    QCheck.(int_range 1 5_000)
+    (fun seed ->
+      let sh = Schedule.record_sharded ~seed ~nodes:4 in
+      let h1, fold1, aud1 =
+        run_hostile ~seed ~domains:1 ~source:(Schedule.node_source sh)
+      in
+      if aud1 <> [] then
+        QCheck.Test.fail_reportf "seed %d: 1-domain recovery audit unclean: %s"
+          seed (String.concat "; " aud1);
+      let traces = Schedule.traces sh in
+      List.iter
+        (fun domains ->
+          let replayed = Schedule.replay_sharded traces in
+          let h, fold, aud =
+            run_hostile ~seed ~domains ~source:(Schedule.node_source replayed)
+          in
+          if h <> h1 then
+            QCheck.Test.fail_reportf
+              "seed %d: hostile Timeline hash diverged at %d domains" seed
+              domains;
+          if fold <> fold1 then
+            QCheck.Test.fail_reportf
+              "seed %d: hostile metric fold diverged at %d domains" seed domains;
+          if aud <> [] then
+            QCheck.Test.fail_reportf
+              "seed %d: %d-domain recovery audit unclean: %s" seed domains
+              (String.concat "; " aud))
+        [ 2; 4 ];
+      true)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -283,6 +597,17 @@ let () =
             test_lookahead_default_config;
           Alcotest.test_case "gossip rejected" `Quick
             test_run_parallel_rejects_gossip;
+          Alcotest.test_case "violation is structured" `Quick
+            test_lookahead_violation_structured;
+          Alcotest.test_case "violating config legal sequentially" `Quick
+            test_lookahead_violation_sequential_ok;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "rejected tie-break call leaves no trace" `Quick
+            test_rejected_tie_break_side_effect_free;
+          Alcotest.test_case "rejected contention call leaves no trace" `Quick
+            test_rejected_contention_side_effect_free;
         ] );
       ( "merge",
         [
@@ -296,4 +621,6 @@ let () =
           Alcotest.test_case "8 domains on a small host" `Quick
             test_oversubscribed_domains_identical;
         ] );
+      ( "envelope",
+        [ QCheck_alcotest.to_alcotest prop_hostile_envelope_identical ] );
     ]
